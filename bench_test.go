@@ -1,0 +1,81 @@
+// Package repro_test holds the top-level benchmark harness: one benchmark
+// per figure and table of the paper's evaluation section. Each benchmark
+// regenerates its figure's data series (throughput per node across the
+// weak-scaling node sweep, for every system variant) on the simulated
+// machine and prints the same rows the paper plots. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The benchmarks use a condensed node sweep to stay fast; cmd/weakscale
+// runs the full 1..1024 sweep.
+package repro_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/harness"
+)
+
+// benchNodes is the condensed weak-scaling sweep used by the benchmarks.
+var benchNodes = []int{1, 4, 16, 64, 256, 1024}
+
+func runFigure(b *testing.B, name string) {
+	app, err := harness.AppByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		series, err := harness.RunFigure(app, benchNodes, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			fmt.Println()
+			fmt.Print(harness.FormatFigure(app, series))
+			last := len(series[0].Points) - 1
+			for _, s := range series {
+				eff := s.Points[last].Throughput / s.Points[0].Throughput
+				b.ReportMetric(100*eff, "eff@"+fmt.Sprint(benchNodes[last])+"-"+s.System+"-%")
+			}
+		}
+	}
+}
+
+// BenchmarkFigure6 regenerates Figure 6: Stencil weak scaling (Regent with
+// and without control replication vs the PRK MPI and MPI+OpenMP codes).
+func BenchmarkFigure6Stencil(b *testing.B) { runFigure(b, "stencil") }
+
+// BenchmarkFigure7 regenerates Figure 7: MiniAero weak scaling (Regent vs
+// MPI+Kokkos in rank-per-core and rank-per-node configurations).
+func BenchmarkFigure7MiniAero(b *testing.B) { runFigure(b, "miniaero") }
+
+// BenchmarkFigure8 regenerates Figure 8: PENNANT weak scaling (Regent vs
+// MPI and MPI+OpenMP, with the per-cycle dt allreduce).
+func BenchmarkFigure8PENNANT(b *testing.B) { runFigure(b, "pennant") }
+
+// BenchmarkFigure9 regenerates Figure 9: Circuit weak scaling (Regent with
+// vs without control replication).
+func BenchmarkFigure9Circuit(b *testing.B) { runFigure(b, "circuit") }
+
+// BenchmarkTable1 regenerates Table 1: wall-clock running times of the
+// shallow and complete region-intersection phases for each application at
+// 64 and 1024 nodes.
+func BenchmarkTable1Intersections(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.Table1([]int{64, 1024})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			fmt.Println()
+			fmt.Print(harness.FormatTable1(rows))
+			for _, r := range rows {
+				if r.Nodes == 1024 {
+					b.ReportMetric(r.ShallowMs, r.App+"-shallow-ms")
+					b.ReportMetric(r.CompleteMs, r.App+"-complete-ms")
+				}
+			}
+		}
+	}
+}

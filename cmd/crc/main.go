@@ -1,0 +1,133 @@
+// Command crc is the control replication compiler driver: it builds one of
+// the evaluation applications' implicitly parallel programs, runs the
+// control replication pass on its main loop, and dumps the result of each
+// phase — the transformed loop body with the inserted copies, the
+// placement report, the communication pairs, the shard ownership, and the
+// intersection timings.
+//
+// Usage:
+//
+//	crc [-app stencil|miniaero|pennant|circuit] [-nodes N] [-shards N]
+//	    [-sync p2p|barrier] [-pairs]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cr"
+	"repro/internal/harness"
+	"repro/internal/ir"
+	"repro/internal/region"
+)
+
+func main() {
+	appName := flag.String("app", "stencil", "application to compile")
+	nodes := flag.Int("nodes", 4, "node count to build the app for")
+	shards := flag.Int("shards", 0, "shard count (default: nodes)")
+	syncMode := flag.String("sync", "p2p", "synchronization lowering: p2p or barrier")
+	showPairs := flag.Bool("pairs", false, "list every communication pair")
+	dump := flag.Bool("dump", false, "print the source program before compiling")
+	flag.Parse()
+
+	app, err := harness.AppByName(*appName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "crc:", err)
+		os.Exit(1)
+	}
+	if *shards == 0 {
+		*shards = *nodes
+	}
+	sync := cr.PointToPoint
+	if *syncMode == "barrier" {
+		sync = cr.BarrierSync
+	} else if *syncMode != "p2p" {
+		fmt.Fprintf(os.Stderr, "crc: unknown sync mode %q\n", *syncMode)
+		os.Exit(1)
+	}
+
+	prog, loop := app.BuildProgram(*nodes)
+	if *dump {
+		fmt.Print(ir.Dump(prog))
+		fmt.Println()
+	}
+	plan, err := cr.Compile(prog, loop, cr.Options{NumShards: *shards, Sync: sync})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "crc:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("control replication: %s @ %d nodes, %d shards, %s sync\n\n",
+		app.Name, *nodes, plan.Opts.NumShards, plan.Opts.Sync)
+
+	fmt.Printf("launch domain: %d points, block-partitioned over %d shards (%d..%d colors each)\n",
+		len(plan.Domain), plan.Opts.NumShards,
+		len(plan.Owned[len(plan.Owned)-1]), len(plan.Owned[0]))
+
+	fmt.Println("\npartitions used in the replicated loop:")
+	for _, p := range plan.UsedParts {
+		kind := "aliased"
+		if p.Disjoint() {
+			kind = "disjoint"
+		}
+		fmt.Printf("  %-24s %-9s fields=%v\n", p.Name(), kind, plan.PartFields[p])
+	}
+
+	fmt.Println("\ntransformed loop body:")
+	for i, op := range plan.Body {
+		switch {
+		case op.Launch != nil:
+			label := op.Launch.Label
+			if label == "" {
+				label = op.Launch.Task.Name
+			}
+			fmt.Printf("  %2d  launch %s\n", i, label)
+		case op.Set != nil:
+			fmt.Printf("  %2d  scalar %s = ...\n", i, op.Set.Name)
+		case op.Copy != nil:
+			fmt.Printf("  %2d  %v\n", i, op.Copy)
+			if *showPairs {
+				for _, pr := range op.Copy.Pairs {
+					fmt.Printf("        %v -> %v  overlap %d elements (shard %d -> %d)\n",
+						pr.Src, pr.Dst, pr.Overlap.Volume(), plan.ShardOf[pr.Src], plan.ShardOf[pr.Dst])
+				}
+			}
+		}
+	}
+	if len(plan.InitCopies) > 0 {
+		fmt.Println("\nhoisted loop-invariant copies (run once before the loop):")
+		for _, cp := range plan.InitCopies {
+			fmt.Printf("  %v\n", cp)
+		}
+	}
+
+	fmt.Println("\nfinalization sources (disjoint written partitions):")
+	for _, p := range plan.WrittenDisjoint {
+		fmt.Printf("  %s\n", p.Name())
+	}
+
+	fmt.Printf("\nplacement report: inserted=%d redundant-removed=%d dead-removed=%d hoisted=%d final=%d\n",
+		plan.Report.CopiesInserted, plan.Report.RedundantRemoved,
+		plan.Report.DeadRemoved, plan.Report.Hoisted, plan.Report.FinalCopies)
+
+	var vol int64
+	count := 0
+	reduceCount := 0
+	for _, op := range plan.Body {
+		if op.Copy == nil {
+			continue
+		}
+		count += len(op.Copy.Pairs)
+		if op.Copy.Reduce != region.ReduceNone {
+			reduceCount += len(op.Copy.Pairs)
+		}
+		for _, pr := range op.Copy.Pairs {
+			vol += pr.Overlap.Volume()
+		}
+	}
+	fmt.Printf("communication: %d pairs per iteration (%d reduction applies), %d elements moved\n",
+		count, reduceCount, vol)
+	fmt.Printf("intersections: shallow %v (%d candidates), complete %v (%d non-empty pairs)\n",
+		plan.Timings.Shallow, plan.Timings.Candidates, plan.Timings.Complete, plan.Timings.Pairs)
+}

@@ -1,0 +1,107 @@
+// Command crlang compiles a program written in the textual Regent-subset
+// frontend (see internal/lang) and executes it — sequentially, on the
+// implicit runtime, or control-replicated — printing the compiled plan and
+// the final scalar environment.
+//
+// Usage:
+//
+//	crlang [-engine seq|implicit|cr] [-nodes N] [-dump] file.cr
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/cr"
+	"repro/internal/ir"
+	"repro/internal/lang"
+	"repro/internal/realm"
+	"repro/internal/rt"
+	"repro/internal/spmd"
+)
+
+func main() {
+	engine := flag.String("engine", "cr", "execution engine: seq, implicit, or cr")
+	nodes := flag.Int("nodes", 4, "simulated node count (implicit, cr)")
+	dump := flag.Bool("dump", false, "print the compiled ir program")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: crlang [-engine seq|implicit|cr] [-nodes N] [-dump] file.cr")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "crlang:", err)
+		os.Exit(1)
+	}
+	prog, err := lang.Compile(string(src))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "crlang:", err)
+		os.Exit(1)
+	}
+	if *dump {
+		fmt.Print(ir.Dump(prog))
+		fmt.Println()
+	}
+
+	var env ir.MapEnv
+	switch *engine {
+	case "seq":
+		res := ir.ExecSequential(prog)
+		env = res.Env
+		fmt.Println("sequential execution complete")
+	case "implicit":
+		sim := realm.NewSim(realm.DefaultConfig(*nodes))
+		res, err := rt.New(sim, prog, rt.Real).Run()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "crlang:", err)
+			os.Exit(1)
+		}
+		env = res.Env
+		fmt.Printf("implicit execution complete: %v virtual, %d tasks, %d messages\n",
+			res.Elapsed, res.Stats.TasksRun, res.Stats.Messages)
+	case "cr":
+		plans, err := spmd.CompileAll(prog, cr.Options{NumShards: *nodes})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "crlang:", err)
+			os.Exit(1)
+		}
+		for _, plan := range plans {
+			fmt.Printf("replicated loop %q: %d shards, body:\n", plan.Loop.Var, plan.Opts.NumShards)
+			for i, op := range plan.Body {
+				switch {
+				case op.Launch != nil:
+					fmt.Printf("  %d: launch %s\n", i, op.Launch.Label)
+				case op.Copy != nil:
+					fmt.Printf("  %d: %v\n", i, op.Copy)
+				}
+			}
+		}
+		sim := realm.NewSim(realm.DefaultConfig(*nodes))
+		res, err := spmd.New(sim, prog, ir.ExecReal, plans).Run()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "crlang:", err)
+			os.Exit(1)
+		}
+		env = res.Env
+		fmt.Printf("control-replicated execution complete: %v virtual, %d tasks, %d messages\n",
+			res.Elapsed, res.Stats.TasksRun, res.Stats.Messages)
+	default:
+		fmt.Fprintf(os.Stderr, "crlang: unknown engine %q\n", *engine)
+		os.Exit(1)
+	}
+
+	if len(env) > 0 {
+		var names []string
+		for k := range env {
+			names = append(names, k)
+		}
+		sort.Strings(names)
+		fmt.Println("final scalars:")
+		for _, k := range names {
+			fmt.Printf("  %s = %g\n", k, env[k])
+		}
+	}
+}

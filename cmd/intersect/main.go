@@ -1,0 +1,49 @@
+// Command intersect regenerates Table 1 of the paper: the wall-clock
+// running times of the dynamic region-intersection phases (shallow, using
+// interval trees / BVHs over subregion bounds; complete, computing exact
+// overlaps) for each application's communication partitions.
+//
+// Usage:
+//
+//	intersect [-nodes 64,1024] [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	nodesFlag := flag.String("nodes", "64,1024", "comma-separated node counts")
+	csv := flag.Bool("csv", false, "emit CSV instead of a table")
+	flag.Parse()
+
+	var nodes []int
+	for _, part := range strings.Split(*nodesFlag, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			fmt.Fprintf(os.Stderr, "intersect: bad node count %q\n", part)
+			os.Exit(1)
+		}
+		nodes = append(nodes, n)
+	}
+
+	rows, err := harness.Table1(nodes)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "intersect:", err)
+		os.Exit(1)
+	}
+	if *csv {
+		fmt.Println("app,nodes,shallow_ms,complete_ms,candidates,pairs")
+		for _, r := range rows {
+			fmt.Printf("%s,%d,%.3f,%.3f,%d,%d\n", r.App, r.Nodes, r.ShallowMs, r.CompleteMs, r.Candidates, r.FinalPairs)
+		}
+		return
+	}
+	fmt.Print(harness.FormatTable1(rows))
+}

@@ -1,0 +1,81 @@
+// Command weakscale regenerates the paper's weak-scaling figures (6-9):
+// for one application or all of them, it sweeps node counts, runs every
+// system variant on the simulated machine, and prints throughput-per-node
+// series (optionally as CSV).
+//
+// Usage:
+//
+//	weakscale [-app stencil|miniaero|pennant|circuit|all] [-nodes 1,2,...]
+//	          [-iters N] [-csv] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	appName := flag.String("app", "all", "application to run (stencil, miniaero, pennant, circuit, all)")
+	nodesFlag := flag.String("nodes", "", "comma-separated node counts (default: the paper's 1..1024 sweep)")
+	iters := flag.Int("iters", 0, "iterations per measurement (0 = app default)")
+	csv := flag.Bool("csv", false, "emit CSV instead of a table")
+	verbose := flag.Bool("v", false, "print per-measurement progress")
+	flag.Parse()
+
+	nodes := harness.DefaultNodes
+	if *nodesFlag != "" {
+		nodes = nil
+		for _, part := range strings.Split(*nodesFlag, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || n < 1 {
+				fmt.Fprintf(os.Stderr, "weakscale: bad node count %q\n", part)
+				os.Exit(1)
+			}
+			nodes = append(nodes, n)
+		}
+	}
+
+	var apps []harness.App
+	if *appName == "all" {
+		apps = harness.Apps()
+	} else {
+		app, err := harness.AppByName(*appName)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "weakscale:", err)
+			os.Exit(1)
+		}
+		apps = []harness.App{app}
+	}
+
+	var progress func(string)
+	if *verbose {
+		progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
+	}
+
+	for _, app := range apps {
+		if *iters > 0 {
+			app.Iters = *iters
+		}
+		series, err := harness.RunFigure(app, nodes, progress)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "weakscale:", err)
+			os.Exit(1)
+		}
+		if *csv {
+			fmt.Printf("app,system,nodes,per_iter_s,throughput_per_node_%s\n", strings.ReplaceAll(app.Unit, " ", "_"))
+			for _, s := range series {
+				for _, p := range s.Points {
+					fmt.Printf("%s,%s,%d,%g,%g\n", app.Name, s.System, p.Nodes, p.PerIter.Seconds(), p.Throughput)
+				}
+			}
+		} else {
+			fmt.Print(harness.FormatFigure(app, series))
+			fmt.Println()
+		}
+	}
+}

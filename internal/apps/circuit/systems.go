@@ -1,0 +1,34 @@
+package circuit
+
+import (
+	"fmt"
+
+	"repro/internal/bench"
+	"repro/internal/cr"
+	"repro/internal/realm"
+)
+
+// Systems lists the Figure 9 series (the paper's circuit evaluation has no
+// external reference code; it compares Regent with and without CR).
+var Systems = []string{"regent-cr", "regent-nocr"}
+
+// Measure runs the circuit under one system at the given piece count and
+// returns the steady-state per-iteration time.
+func Measure(system string, nodes, iters int) (realm.Time, error) {
+	cfg := Default(nodes)
+	if iters > 0 {
+		cfg.Iters = iters
+	}
+	cores := realm.DefaultConfig(nodes).CoresPerNode
+	app := Build(cfg)
+	tune := bench.DefaultTuning(cores)
+
+	switch system {
+	case "regent-cr":
+		return bench.MeasureCR(app.Prog, app.Loop, nodes, cr.PointToPoint, tune)
+	case "regent-nocr":
+		return bench.MeasureImplicit(app.Prog, app.Loop, nodes, tune)
+	default:
+		return 0, fmt.Errorf("circuit: unknown system %q", system)
+	}
+}

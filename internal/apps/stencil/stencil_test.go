@@ -1,0 +1,246 @@
+package stencil
+
+import (
+	"testing"
+
+	"repro/internal/cr"
+	"repro/internal/geometry"
+	"repro/internal/ir"
+	"repro/internal/realm"
+	"repro/internal/rt"
+	"repro/internal/spmd"
+)
+
+func TestFactor2(t *testing.T) {
+	cases := []struct {
+		n      int
+		gx, gy int64
+	}{
+		{1, 1, 1}, {2, 2, 1}, {4, 2, 2}, {6, 3, 2}, {12, 4, 3}, {64, 8, 8}, {1024, 32, 32}, {7, 7, 1},
+	}
+	for _, c := range cases {
+		gx, gy := Factor2(c.n)
+		if gx != c.gx || gy != c.gy {
+			t.Errorf("Factor2(%d) = %d,%d want %d,%d", c.n, gx, gy, c.gx, c.gy)
+		}
+		if gx*gy != int64(c.n) {
+			t.Errorf("Factor2(%d) does not multiply back", c.n)
+		}
+	}
+}
+
+// refStencil computes the expected grid directly.
+func refStencil(cfg Config) (in, out [][]float64) {
+	gx, gy := Factor2(cfg.Nodes)
+	w, h := gx*cfg.TileW, gy*cfg.TileH
+	r := cfg.Radius
+	in = make([][]float64, w)
+	out = make([][]float64, w)
+	for x := range in {
+		in[x] = make([]float64, h)
+		out[x] = make([]float64, h)
+		for y := range in[x] {
+			in[x][y] = float64(x) + float64(y)*0.5
+		}
+	}
+	for it := 0; it < cfg.Iters; it++ {
+		for x := r; x < w-r; x++ {
+			for y := r; y < h-r; y++ {
+				acc := out[x][y]
+				for k := int64(1); k <= r; k++ {
+					wk := 1.0 / (2.0 * float64(k) * float64(2*r+1))
+					// Term order matches the task kernel exactly so the
+					// comparison is bitwise.
+					acc += wk * in[x+k][y]
+					acc += wk * in[x-k][y]
+					acc += wk * in[x][y+k]
+					acc += wk * in[x][y-k]
+				}
+				out[x][y] = acc
+			}
+		}
+		for x := int64(0); x < w; x++ {
+			for y := int64(0); y < h; y++ {
+				in[x][y]++
+			}
+		}
+	}
+	return in, out
+}
+
+func TestSequentialMatchesReference(t *testing.T) {
+	cfg := Small(4)
+	app := Build(cfg)
+	res := ir.ExecSequential(app.Prog)
+	wantIn, wantOut := refStencil(cfg)
+	app.In.IndexSpace().Each(func(pt geometry.Point) bool {
+		if got := res.Stores[app.In].Get(app.XIn, pt); got != wantIn[pt.X()][pt.Y()] {
+			t.Fatalf("in[%v] = %v, want %v", pt, got, wantIn[pt.X()][pt.Y()])
+		}
+		if got := res.Stores[app.Out].Get(app.XOut, pt); got != wantOut[pt.X()][pt.Y()] {
+			t.Fatalf("out[%v] = %v, want %v", pt, got, wantOut[pt.X()][pt.Y()])
+		}
+		return true
+	})
+}
+
+func TestCRMatchesSequential(t *testing.T) {
+	for _, nodes := range []int{1, 2, 4, 6} {
+		cfg := Small(nodes)
+		app := Build(cfg)
+		seq := ir.ExecSequential(app.Prog)
+
+		app2 := Build(cfg)
+		plans, err := spmd.CompileAll(app2.Prog, cr.Options{NumShards: nodes})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim := realm.NewSim(realm.DefaultConfig(nodes))
+		res, err := spmd.New(sim, app2.Prog, ir.ExecReal, plans).Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Stores[app2.In].EqualOn(seq.Stores[app.In], app.XIn, app.In.IndexSpace()) {
+			t.Fatalf("nodes=%d: IN mismatch", nodes)
+		}
+		if !res.Stores[app2.Out].EqualOn(seq.Stores[app.Out], app.XOut, app.Out.IndexSpace()) {
+			t.Fatalf("nodes=%d: OUT mismatch", nodes)
+		}
+	}
+}
+
+func TestImplicitMatchesSequential(t *testing.T) {
+	cfg := Small(4)
+	app := Build(cfg)
+	seq := ir.ExecSequential(app.Prog)
+
+	app2 := Build(cfg)
+	sim := realm.NewSim(realm.DefaultConfig(4))
+	res, err := rt.New(sim, app2.Prog, rt.Real).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stores[app2.In].EqualOn(seq.Stores[app.In], app.XIn, app.In.IndexSpace()) {
+		t.Fatal("IN mismatch")
+	}
+	if !res.Stores[app2.Out].EqualOn(seq.Stores[app.Out], app.XOut, app.Out.IndexSpace()) {
+		t.Fatal("OUT mismatch")
+	}
+}
+
+func TestCompiledShapeNoPrivateCopies(t *testing.T) {
+	app := Build(Small(4))
+	plan, err := cr.Compile(app.Prog, app.Loop, cr.Options{NumShards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exactly one copy: SIN -> QIN after the add launch (§4.5: the private
+	// partition provably needs no copies).
+	var copies []*cr.CopyOp
+	for _, op := range plan.Body {
+		if op.Copy != nil {
+			copies = append(copies, op.Copy)
+		}
+	}
+	if len(copies) != 1 {
+		t.Fatalf("copies = %d, want 1", len(copies))
+	}
+	if copies[0].Src != app.SIn || copies[0].Dst != app.QIn {
+		t.Errorf("copy = %v, want SIN->QIN", copies[0])
+	}
+	for _, pr := range copies[0].Pairs {
+		if pr.Src == pr.Dst {
+			t.Errorf("self pair %v in halo exchange", pr)
+		}
+	}
+}
+
+func TestHaloVolumeMatchesExpectation(t *testing.T) {
+	// Copy volume = sum over internal edges of 2 strips of radius*edgeLen.
+	cfg := Small(4) // 2x2 tiles
+	app := Build(cfg)
+	plan, err := cr.Compile(app.Prog, app.Loop, cr.Options{NumShards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var vol int64
+	for _, op := range plan.Body {
+		if op.Copy != nil {
+			for _, pr := range op.Copy.Pairs {
+				vol += pr.Overlap.Volume()
+			}
+		}
+	}
+	gx, gy := Factor2(cfg.Nodes)
+	w, h := gx*cfg.TileW, gy*cfg.TileH
+	want := (gx-1)*h*cfg.Radius*2 + (gy-1)*w*cfg.Radius*2
+	if vol != want {
+		t.Errorf("halo volume = %d, want %d", vol, want)
+	}
+}
+
+func TestMeasureAllSystemsSmallScale(t *testing.T) {
+	for _, sys := range Systems {
+		per, err := Measure(sys, 4, 6)
+		if err != nil {
+			t.Fatalf("%s: %v", sys, err)
+		}
+		if per <= 0 {
+			t.Errorf("%s: non-positive per-iteration time", sys)
+		}
+	}
+}
+
+func TestWeakScalingShape(t *testing.T) {
+	// The headline Figure 6 property at small scale: CR throughput/node
+	// stays near flat from 1 to 8 nodes while the implicit runtime's
+	// degrades measurably by 8 nodes under the calibrated overheads.
+	if testing.Short() {
+		t.Skip("weak scaling shape test is slow")
+	}
+	perNode := func(sys string, nodes int) float64 {
+		per, err := Measure(sys, nodes, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		app := Build(Default(nodes))
+		return app.PointsPerNode() / per.Seconds()
+	}
+	cr1 := perNode("regent-cr", 1)
+	cr8 := perNode("regent-cr", 8)
+	if eff := cr8 / cr1; eff < 0.9 {
+		t.Errorf("CR efficiency at 8 nodes = %.2f, want >= 0.9", eff)
+	}
+	mpi8 := perNode("mpi", 8)
+	if mpi8 < 0.5*cr8 || mpi8 > 2*cr8 {
+		t.Errorf("MPI throughput %.3g should be comparable to CR %.3g", mpi8, cr8)
+	}
+}
+
+func TestBuildRejectsTinyTiles(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for tiles below stencil diameter")
+		}
+	}()
+	Build(Config{Nodes: 1, TileW: 3, TileH: 3, Radius: 2, Iters: 1})
+}
+
+func TestBarrierSyncMatchesSequential(t *testing.T) {
+	cfg := Small(4)
+	app := Build(cfg)
+	seq := ir.ExecSequential(app.Prog)
+	app2 := Build(cfg)
+	plans, err := spmd.CompileAll(app2.Prog, cr.Options{NumShards: 4, Sync: cr.BarrierSync})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := realm.NewSim(realm.DefaultConfig(4))
+	res, err := spmd.New(sim, app2.Prog, ir.ExecReal, plans).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stores[app2.Out].EqualOn(seq.Stores[app.Out], app.XOut, app.Out.IndexSpace()) {
+		t.Fatal("barrier-sync stencil diverged")
+	}
+}

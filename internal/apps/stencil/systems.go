@@ -1,0 +1,89 @@
+package stencil
+
+import (
+	"fmt"
+
+	"repro/internal/baseline"
+	"repro/internal/bench"
+	"repro/internal/cr"
+	"repro/internal/realm"
+)
+
+// Systems lists the Figure 6 series.
+var Systems = []string{"regent-cr", "regent-nocr", "mpi", "mpi-openmp"}
+
+// Measure runs the stencil under one system at the given node count and
+// returns the steady-state per-iteration time. MPI variants follow the PRK
+// reference structure: one rank per core for "mpi", one threaded rank per
+// node with a serialized pack/exchange section for "mpi-openmp".
+func Measure(system string, nodes, iters int) (realm.Time, error) {
+	cfg := Default(nodes)
+	if iters > 0 {
+		cfg.Iters = iters
+	}
+	cores := realm.DefaultConfig(nodes).CoresPerNode
+
+	switch system {
+	case "regent-cr", "regent-nocr":
+		app := Build(cfg)
+		tune := bench.DefaultTuning(cores)
+		if system == "regent-cr" {
+			return bench.MeasureCR(app.Prog, app.Loop, nodes, cr.PointToPoint, tune)
+		}
+		return bench.MeasureImplicit(app.Prog, app.Loop, nodes, tune)
+	case "mpi", "mpi-openmp":
+		return measureMPI(cfg, system == "mpi-openmp")
+	default:
+		return 0, fmt.Errorf("stencil: unknown system %q", system)
+	}
+}
+
+// measureMPI runs the hand-written halo-exchange reference.
+func measureMPI(cfg Config, openmp bool) (realm.Time, error) {
+	gx, gy := Factor2(cfg.Nodes)
+	machine := realm.DefaultConfig(cfg.Nodes)
+	cores := machine.CoresPerNode
+	vol := float64(cfg.TileW * cfg.TileH)
+	kernel := realm.Time(vol * (stencilCostPerPoint + addCostPerPoint) / float64(cores))
+
+	spec := baseline.Spec{
+		Nodes:        cfg.Nodes,
+		Iters:        cfg.Iters,
+		RanksPerNode: cores,
+		KernelTime:   kernel,
+		Neighbors:    gridNeighbors(gx, gy, cfg.TileW, cfg.TileH, cfg.Radius),
+	}
+	if openmp {
+		spec.RanksPerNode = 1
+		// The threaded variant serializes halo pack/unpack on one core.
+		haloBytes := 2 * cfg.Radius * (cfg.TileW + cfg.TileH) * 8
+		spec.SerialOverhead = realm.Time(float64(haloBytes)/3.0) + realm.Microseconds(60)
+	} else {
+		spec.PerMessageCPU = realm.Microseconds(1)
+	}
+	sim := realm.NewSim(machine)
+	res, err := baseline.Run(sim, spec)
+	if err != nil {
+		return 0, err
+	}
+	return res.PerIteration(cfg.Iters / 4), nil
+}
+
+// gridNeighbors returns the 4-neighborhood halo exchanges of a gx-by-gy
+// tile grid (a star stencil exchanges no corners).
+func gridNeighbors(gx, gy, tileW, tileH, r int64) func(int) []baseline.Neighbor {
+	return func(node int) []baseline.Neighbor {
+		tx, ty := int64(node)/gy, int64(node)%gy
+		var out []baseline.Neighbor
+		add := func(ntx, nty, bytes int64) {
+			if ntx >= 0 && ntx < gx && nty >= 0 && nty < gy {
+				out = append(out, baseline.Neighbor{Node: int(ntx*gy + nty), Bytes: bytes})
+			}
+		}
+		add(tx-1, ty, r*tileH*8)
+		add(tx+1, ty, r*tileH*8)
+		add(tx, ty-1, r*tileW*8)
+		add(tx, ty+1, r*tileW*8)
+		return out
+	}
+}

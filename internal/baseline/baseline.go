@@ -1,0 +1,144 @@
+// Package baseline provides the hand-written SPMD reference codes the paper
+// compares against (MPI, MPI+OpenMP, MPI+Kokkos in rank-per-core and
+// rank-per-node configurations). A baseline run models one rank group per
+// node: each node thread computes its kernel, exchanges halos with its
+// neighbors, optionally joins a per-iteration allreduce, and repeats —
+// exactly the structure of Figure 1b, written directly against the
+// simulated machine with none of the tasking runtime's overheads.
+package baseline
+
+import (
+	"fmt"
+
+	"repro/internal/realm"
+)
+
+// Neighbor describes one outgoing halo exchange of a node per iteration.
+type Neighbor struct {
+	Node  int   // destination node
+	Bytes int64 // payload per iteration (total across the node's ranks)
+}
+
+// Spec describes a weak-scaling baseline run.
+type Spec struct {
+	Nodes int
+	Iters int
+	// RanksPerNode: 1 models rank-per-node (threaded kernel); >1 models
+	// rank-per-core, which splits each neighbor exchange into RanksPerNode
+	// messages (more messages, each smaller) and adds per-rank message
+	// overhead on the host CPU.
+	RanksPerNode int
+	// KernelTime is the per-node compute time per iteration (already
+	// accounting for intra-node parallelism).
+	KernelTime realm.Time
+	// SerialOverhead is extra unoverlapped per-iteration time (e.g. the
+	// serialized communication/pack section of an MPI+OpenMP code).
+	SerialOverhead realm.Time
+	// PerMessageCPU is host CPU time consumed per message posted.
+	PerMessageCPU realm.Time
+	// Neighbors lists each node's outgoing exchanges.
+	Neighbors func(node int) []Neighbor
+	// Allreduce adds a per-iteration global scalar reduction (PENNANT dt).
+	Allreduce bool
+	// Noise optionally scales kernel time per (node, iteration) to model
+	// load imbalance and OS noise.
+	Noise realm.NoiseFn
+}
+
+// Result reports the run's per-iteration completion times.
+type Result struct {
+	IterTimes []realm.Time
+	Elapsed   realm.Time
+}
+
+// Run executes the baseline on the given simulator. Each node is one
+// simulated thread; received halos are awaited through per-(node,iteration)
+// counting barriers sized by the incoming-message count, like matched
+// MPI_Irecv/Waitall.
+func Run(sim *realm.Sim, spec Spec) (*Result, error) {
+	if spec.Nodes > sim.Nodes() {
+		return nil, fmt.Errorf("baseline: spec wants %d nodes, machine has %d", spec.Nodes, sim.Nodes())
+	}
+	if spec.RanksPerNode < 1 {
+		spec.RanksPerNode = 1
+	}
+
+	// Count incoming messages per node per iteration.
+	incoming := make([]int, spec.Nodes)
+	for n := 0; n < spec.Nodes; n++ {
+		for _, nb := range spec.Neighbors(n) {
+			if nb.Node != n {
+				incoming[nb.Node] += spec.RanksPerNode
+			}
+		}
+	}
+
+	recvBar := make([][]*realm.Barrier, spec.Nodes)
+	for n := range recvBar {
+		recvBar[n] = make([]*realm.Barrier, spec.Iters)
+		for t := range recvBar[n] {
+			if incoming[n] > 0 {
+				recvBar[n][t] = sim.NewBarrier(incoming[n])
+			}
+		}
+	}
+	colls := make([]*realm.Collective, spec.Iters)
+	if spec.Allreduce {
+		for t := range colls {
+			colls[t] = sim.NewCollective(spec.Nodes, 0, func(a, v float64) float64 { return a + v })
+		}
+	}
+
+	iterTimes := make([]realm.Time, spec.Iters)
+	remaining := make([]int, spec.Iters)
+	for t := range remaining {
+		remaining[t] = spec.Nodes
+	}
+
+	for n := 0; n < spec.Nodes; n++ {
+		n := n
+		sim.Spawn(fmt.Sprintf("rank-%d", n), sim.Node(n).Proc(0), func(th *realm.Thread) {
+			for t := 0; t < spec.Iters; t++ {
+				kt := spec.KernelTime
+				if spec.Noise != nil {
+					kt = realm.Time(float64(kt) * spec.Noise(n, t))
+				}
+				th.Elapse(kt + spec.SerialOverhead)
+				for _, nb := range spec.Neighbors(n) {
+					if nb.Node == n {
+						continue
+					}
+					per := nb.Bytes / int64(spec.RanksPerNode)
+					for r := 0; r < spec.RanksPerNode; r++ {
+						th.Elapse(spec.PerMessageCPU)
+						ev := sim.Copy(sim.Node(n), sim.Node(nb.Node), per, realm.NoEvent, nil)
+						recvBar[nb.Node][t].Arrive(ev)
+					}
+				}
+				if recvBar[n][t] != nil {
+					th.WaitEvent(recvBar[n][t].Done())
+				}
+				if spec.Allreduce {
+					colls[t].Contribute(n, realm.NoEvent, func() float64 { return 1 })
+					th.WaitEvent(colls[t].Done())
+				}
+				remaining[t]--
+				if remaining[t] == 0 {
+					iterTimes[t] = sim.Now()
+				}
+			}
+		})
+	}
+	elapsed := sim.Run()
+	return &Result{IterTimes: iterTimes, Elapsed: elapsed}, nil
+}
+
+// PerIteration returns the steady-state per-iteration time, skipping warm-up
+// iterations.
+func (r *Result) PerIteration(skip int) realm.Time {
+	n := len(r.IterTimes)
+	if n-skip < 2 {
+		skip = 0
+	}
+	return (r.IterTimes[n-1] - r.IterTimes[skip]) / realm.Time(n-1-skip)
+}

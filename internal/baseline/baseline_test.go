@@ -1,0 +1,129 @@
+package baseline
+
+import (
+	"testing"
+
+	"repro/internal/realm"
+)
+
+func ringNeighbors(nodes int, bytes int64) func(int) []Neighbor {
+	return func(n int) []Neighbor {
+		if nodes == 1 {
+			return nil
+		}
+		return []Neighbor{
+			{Node: (n + 1) % nodes, Bytes: bytes},
+			{Node: (n - 1 + nodes) % nodes, Bytes: bytes},
+		}
+	}
+}
+
+func TestBaselineSingleNodeIsKernelBound(t *testing.T) {
+	sim := realm.NewSim(realm.DefaultConfig(1))
+	res, err := Run(sim, Spec{
+		Nodes: 1, Iters: 5, RanksPerNode: 1,
+		KernelTime: realm.Milliseconds(10),
+		Neighbors:  ringNeighbors(1, 0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	per := res.PerIteration(1)
+	if per != realm.Milliseconds(10) {
+		t.Errorf("per iteration = %v, want 10ms", per)
+	}
+}
+
+func TestBaselineHaloExchangeSynchronizes(t *testing.T) {
+	sim := realm.NewSim(realm.DefaultConfig(4))
+	res, err := Run(sim, Spec{
+		Nodes: 4, Iters: 6, RanksPerNode: 1,
+		KernelTime: realm.Milliseconds(5),
+		Neighbors:  ringNeighbors(4, 1<<16),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	per := res.PerIteration(1)
+	// Kernel plus at least one message transfer time.
+	if per <= realm.Milliseconds(5) {
+		t.Errorf("per iteration %v should exceed pure kernel time", per)
+	}
+	if per > realm.Milliseconds(6) {
+		t.Errorf("per iteration %v should stay near kernel time with small halos", per)
+	}
+	// Iteration times strictly increase.
+	for i := 1; i < len(res.IterTimes); i++ {
+		if res.IterTimes[i] <= res.IterTimes[i-1] {
+			t.Fatalf("iteration times not increasing: %v", res.IterTimes)
+		}
+	}
+}
+
+func TestBaselineRankPerCoreCostsMoreMessages(t *testing.T) {
+	run := func(rpn int) realm.Time {
+		sim := realm.NewSim(realm.DefaultConfig(4))
+		res, err := Run(sim, Spec{
+			Nodes: 4, Iters: 6, RanksPerNode: rpn,
+			KernelTime:    realm.Milliseconds(2),
+			PerMessageCPU: realm.Microseconds(5),
+			Neighbors:     ringNeighbors(4, 1<<14),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.PerIteration(1)
+	}
+	if run(12) <= run(1) {
+		t.Error("rank-per-core should pay more per-message overhead than rank-per-node")
+	}
+}
+
+func TestBaselineAllreduceAddsLatency(t *testing.T) {
+	run := func(allreduce bool) realm.Time {
+		sim := realm.NewSim(realm.DefaultConfig(8))
+		res, err := Run(sim, Spec{
+			Nodes: 8, Iters: 6, RanksPerNode: 1,
+			KernelTime: realm.Milliseconds(1),
+			Neighbors:  ringNeighbors(8, 1<<10),
+			Allreduce:  allreduce,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.PerIteration(1)
+	}
+	if run(true) <= run(false) {
+		t.Error("allreduce should add per-iteration latency")
+	}
+}
+
+func TestBaselineDeterministic(t *testing.T) {
+	run := func() realm.Time {
+		sim := realm.NewSim(realm.DefaultConfig(4))
+		res, err := Run(sim, Spec{
+			Nodes: 4, Iters: 5, RanksPerNode: 2,
+			KernelTime: realm.Milliseconds(3),
+			Neighbors:  ringNeighbors(4, 1<<12),
+			Allreduce:  true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Elapsed
+	}
+	first := run()
+	for i := 0; i < 3; i++ {
+		if run() != first {
+			t.Fatal("non-deterministic baseline run")
+		}
+	}
+}
+
+func TestBaselineRejectsOversizedSpec(t *testing.T) {
+	sim := realm.NewSim(realm.DefaultConfig(2))
+	_, err := Run(sim, Spec{Nodes: 4, Iters: 1, Neighbors: ringNeighbors(4, 0)})
+	if err == nil {
+		t.Error("expected error for spec larger than machine")
+	}
+}

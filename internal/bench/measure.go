@@ -1,0 +1,121 @@
+// Package bench is the benchmark harness that regenerates the paper's
+// evaluation: the weak-scaling figures (6-9) and the intersection-timing
+// table (Table 1). It runs each application under every system variant —
+// Regent with control replication, Regent without (the implicit runtime),
+// and the hand-written MPI(+X) reference codes — on the simulated machine,
+// and reports per-node throughput series.
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/cr"
+	"repro/internal/ir"
+	"repro/internal/realm"
+	"repro/internal/rt"
+	"repro/internal/spmd"
+)
+
+// Tuning carries the per-application calibration of runtime overheads (see
+// EXPERIMENTS.md for how the constants were chosen).
+type Tuning struct {
+	// Implicit (non-CR) runtime: central per-task launch/analysis costs.
+	ImplicitLaunchBase   realm.Time
+	ImplicitLaunchPerSub realm.Time
+	// Shard-side per-task issue cost under CR.
+	ShardLaunchBase realm.Time
+	// KernelCores divides kernel durations; Regent configurations dedicate
+	// one core per node to runtime analysis (the PENNANT effect, §5.3), so
+	// this is typically cores-1 for Regent and cores for MPI.
+	KernelCores int
+	// Window is the CR shards' deferred-execution scheduling window in
+	// iterations. ImplicitWindow is the central runtime's effective window:
+	// 1, because with thousands of queued launches the analysis pipeline
+	// backs up and launch cost lands on the critical path (this reproduces
+	// the measured gradual rolloff of Figures 6-9; see EXPERIMENTS.md).
+	Window         int
+	ImplicitWindow int
+	// Noise models load imbalance / OS noise on task durations (nil = none).
+	Noise realm.NoiseFn
+}
+
+// DefaultTuning returns the calibration shared by the applications unless
+// they override specific constants.
+func DefaultTuning(cores int) Tuning {
+	return Tuning{
+		// Central runtime: ~350us of analysis+mapping per core-granularity
+		// task plus a region-tree component growing with subregion count;
+		// tasks here are node-granular, so both scale by the core count.
+		ImplicitLaunchBase:   realm.Microseconds(float64(cores) * 350),
+		ImplicitLaunchPerSub: realm.Microseconds(float64(cores) * 26),
+		ShardLaunchBase:      realm.Microseconds(float64(cores) * 2),
+		KernelCores:          cores - 1,
+		Window:               2,
+		ImplicitWindow:       1,
+	}
+}
+
+// steadyState returns the mean per-iteration time of the recorded
+// completion times, skipping warm-up iterations.
+func steadyState(times []realm.Time, skip int) (realm.Time, error) {
+	if len(times)-skip < 2 {
+		skip = 0
+	}
+	if len(times) < 2 {
+		return 0, fmt.Errorf("bench: need at least 2 iterations, got %d", len(times))
+	}
+	return (times[len(times)-1] - times[skip]) / realm.Time(len(times)-1-skip), nil
+}
+
+// MeasureImplicit runs the program on the implicit (non-CR) runtime in
+// Modeled mode and returns the steady-state per-iteration time of the
+// given loop.
+func MeasureImplicit(prog *ir.Program, loop *ir.Loop, nodes int, tune Tuning) (realm.Time, error) {
+	sim := realm.NewSim(realm.DefaultConfig(nodes))
+	eng := rt.New(sim, prog, rt.Modeled)
+	eng.Over.LaunchBase = tune.ImplicitLaunchBase
+	eng.Over.LaunchPerSub = tune.ImplicitLaunchPerSub
+	eng.Over.KernelCores = tune.KernelCores
+	eng.Over.Window = tune.ImplicitWindow
+	eng.Over.Noise = tune.Noise
+	res, err := eng.Run()
+	if err != nil {
+		return 0, err
+	}
+	return steadyState(res.IterTimes[loop], warmup(loop.Trip))
+}
+
+// MeasureCR compiles the loop with control replication (one shard per
+// node), runs it in Modeled mode, and returns the steady-state
+// per-iteration time.
+func MeasureCR(prog *ir.Program, loop *ir.Loop, nodes int, sync cr.SyncMode, tune Tuning) (realm.Time, error) {
+	plan, err := cr.Compile(prog, loop, cr.Options{NumShards: nodes, Sync: sync})
+	if err != nil {
+		return 0, err
+	}
+	sim := realm.NewSim(realm.DefaultConfig(nodes))
+	eng := spmd.New(sim, prog, ir.ExecModeled, map[*ir.Loop]*cr.Compiled{loop: plan})
+	eng.Over.ShardLaunchBase = tune.ShardLaunchBase
+	eng.Over.KernelCores = tune.KernelCores
+	eng.Over.Window = tune.Window
+	eng.Over.Noise = tune.Noise
+	res, err := eng.Run()
+	if err != nil {
+		return 0, err
+	}
+	return steadyState(res.IterTimes[loop], warmup(loop.Trip))
+}
+
+// CompileForTimings compiles the loop and returns the plan, exposing the
+// intersection timings for the Table 1 harness.
+func CompileForTimings(prog *ir.Program, loop *ir.Loop, nodes int) (*cr.Compiled, error) {
+	return cr.Compile(prog, loop, cr.Options{NumShards: nodes, Sync: cr.PointToPoint})
+}
+
+func warmup(trip int) int {
+	w := trip / 4
+	if w < 1 {
+		w = 1
+	}
+	return w
+}

@@ -1,0 +1,159 @@
+package cr
+
+import (
+	"fmt"
+
+	"repro/internal/geometry"
+	"repro/internal/ir"
+	"repro/internal/region"
+)
+
+// loopInfo is the result of target-program analysis (§2.2): the launches
+// and scalar statements of the loop body, the partitions each touches with
+// what privilege and fields, and the common launch domain.
+type loopInfo struct {
+	domain    []geometry.Point
+	stmts     []ir.Stmt
+	usedParts []*region.Partition
+	// partFields accumulates every field used with a partition.
+	partFields map[*region.Partition]map[region.FieldID]bool
+	// written marks partitions written (read-write or reduce) by any launch.
+	written map[*region.Partition]bool
+	// reduced maps partitions to the reduce ops applied (at most one op per
+	// partition is supported).
+	reduced map[*region.Partition]region.ReductionOp
+}
+
+// partFieldList converts the accumulated field sets to sorted slices.
+func (info *loopInfo) partFieldList() map[*region.Partition][]region.FieldID {
+	out := make(map[*region.Partition][]region.FieldID, len(info.partFields))
+	for p, set := range info.partFields {
+		out[p] = sortedFields(set)
+	}
+	return out
+}
+
+func sortedFields(set map[region.FieldID]bool) []region.FieldID {
+	var fs []region.FieldID
+	for f := range set {
+		fs = append(fs, f)
+	}
+	for i := 1; i < len(fs); i++ {
+		for j := i; j > 0 && fs[j] < fs[j-1]; j-- {
+			fs[j], fs[j-1] = fs[j-1], fs[j]
+		}
+	}
+	return fs
+}
+
+// analyzeLoop checks that the loop is a control-replication target and
+// gathers its partition-level use information. All analysis is at the
+// granularity of tasks, privileges, partitions, and disjointness — never
+// task bodies (§2.2).
+func analyzeLoop(prog *ir.Program, loop *ir.Loop) (*loopInfo, error) {
+	if !ir.ReplicableLoopBody(loop.Body) {
+		return nil, fmt.Errorf("cr: loop %q body contains statements control replication cannot transform", loop.Var)
+	}
+	info := &loopInfo{
+		partFields: make(map[*region.Partition]map[region.FieldID]bool),
+		written:    make(map[*region.Partition]bool),
+		reduced:    make(map[*region.Partition]region.ReductionOp),
+	}
+	for _, s := range loop.Body {
+		switch s := s.(type) {
+		case *ir.SetScalar:
+			info.stmts = append(info.stmts, s)
+		case *ir.Launch:
+			if err := info.addLaunch(s); err != nil {
+				return nil, err
+			}
+		case *ir.Loop:
+			return nil, fmt.Errorf("cr: nested loops are transformed independently; flatten or compile the inner loop")
+		default:
+			return nil, fmt.Errorf("cr: unsupported statement %T in replicated loop", s)
+		}
+	}
+	if len(info.domain) == 0 {
+		return nil, fmt.Errorf("cr: loop %q contains no index launches", loop.Var)
+	}
+	return info, nil
+}
+
+func (info *loopInfo) addLaunch(l *ir.Launch) error {
+	if len(info.domain) == 0 {
+		info.domain = l.Domain
+	} else if !sameDomain(info.domain, l.Domain) {
+		return fmt.Errorf("cr: launch %s uses a different domain than earlier launches; control replication shards one common iteration space", l.Task.Name)
+	}
+	for ai, a := range l.Args {
+		if !a.Identity() {
+			return fmt.Errorf("cr: launch %s arg %d still has a non-identity projection after normalization", l.Task.Name, ai)
+		}
+		param := l.Task.Params[ai]
+		if _, ok := info.partFields[a.Part]; !ok {
+			info.usedParts = append(info.usedParts, a.Part)
+			info.partFields[a.Part] = make(map[region.FieldID]bool)
+		}
+		for _, f := range param.Fields {
+			info.partFields[a.Part][f] = true
+		}
+		switch param.Priv {
+		case ir.PrivReadWrite:
+			if !a.Part.Disjoint() {
+				return fmt.Errorf("cr: launch %s writes aliased partition %s; forall tasks writing overlapping data are not parallel (reductions are the only supported aliased writes)", l.Task.Name, a.Part.Name())
+			}
+			info.written[a.Part] = true
+		case ir.PrivReduce:
+			info.written[a.Part] = true
+			if prev, ok := info.reduced[a.Part]; ok && prev != param.Op {
+				return fmt.Errorf("cr: partition %s reduced with both %v and %v", a.Part.Name(), prev, param.Op)
+			}
+			info.reduced[a.Part] = param.Op
+		}
+	}
+	// Intra-launch conflicts make the forall loop not actually parallel.
+	for i := range l.Args {
+		for j := i + 1; j < len(l.Args); j++ {
+			pi, pj := l.Task.Params[i], l.Task.Params[j]
+			if !ir.Conflicts(pi.Priv, pi.Op, pj.Priv, pj.Op) {
+				continue
+			}
+			if !fieldsIntersect(pi.Fields, pj.Fields) {
+				continue
+			}
+			ai, aj := l.Args[i], l.Args[j]
+			if ai.Part == aj.Part && ai.Part.Disjoint() {
+				continue // same subregion per task; internally sequential
+			}
+			if !region.PartitionsMayAlias(ai.Part, aj.Part) {
+				continue
+			}
+			return fmt.Errorf("cr: launch %s has conflicting aliased arguments %d and %d", l.Task.Name, i, j)
+		}
+	}
+	info.stmts = append(info.stmts, l)
+	return nil
+}
+
+func sameDomain(a, b []geometry.Point) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func fieldsIntersect(a, b []region.FieldID) bool {
+	for _, x := range a {
+		for _, y := range b {
+			if x == y {
+				return true
+			}
+		}
+	}
+	return false
+}

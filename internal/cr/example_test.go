@@ -1,0 +1,34 @@
+package cr_test
+
+import (
+	"fmt"
+
+	"repro/internal/cr"
+	"repro/internal/progtest"
+)
+
+// ExampleCompile control-replicates the paper's Figure 2 program and prints
+// the transformed loop body — which matches Figure 4b: the copy from the
+// written block partition PB to the aliased image partition QB, and nothing
+// for the provably disjoint PA.
+func ExampleCompile() {
+	f := progtest.NewFigure2(48, 8, 3)
+	plan, err := cr.Compile(f.Prog, f.Loop, cr.Options{NumShards: 4})
+	if err != nil {
+		panic(err)
+	}
+	for _, op := range plan.Body {
+		switch {
+		case op.Launch != nil:
+			fmt.Printf("launch %s\n", op.Launch.Task.Name)
+		case op.Copy != nil:
+			fmt.Println(op.Copy)
+		}
+	}
+	fmt.Printf("shards: %d\n", plan.Opts.NumShards)
+	// Output:
+	// launch TF
+	// copy PB -> QB (16 pairs)
+	// launch TG
+	// shards: 4
+}

@@ -1,0 +1,194 @@
+package geometry
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func sortedInts(xs []int) []int {
+	out := make([]int, len(xs))
+	copy(out, xs)
+	sort.Ints(out)
+	return out
+}
+
+func TestIntervalTreeSmall(t *testing.T) {
+	tree := NewIntervalTree([]Interval{
+		{0, 10, 1},
+		{5, 15, 2},
+		{20, 30, 3},
+		{12, 12, 4},
+	})
+	if tree.Len() != 4 {
+		t.Errorf("len = %d", tree.Len())
+	}
+	cases := []struct {
+		lo, hi int64
+		want   []int
+	}{
+		{0, 4, []int{1}},
+		{5, 10, []int{1, 2}},
+		{11, 19, []int{2, 4}},
+		{12, 12, []int{2, 4}},
+		{16, 19, nil},
+		{25, 100, []int{3}},
+		{-10, 100, []int{1, 2, 3, 4}},
+		{10, 5, nil}, // inverted query is empty
+	}
+	for _, c := range cases {
+		got := sortedInts(tree.Query(c.lo, c.hi, nil))
+		want := sortedInts(c.want)
+		if len(got) != len(want) {
+			t.Errorf("query [%d,%d] = %v, want %v", c.lo, c.hi, got, want)
+			continue
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("query [%d,%d] = %v, want %v", c.lo, c.hi, got, want)
+				break
+			}
+		}
+	}
+}
+
+func TestIntervalTreeIgnoresInverted(t *testing.T) {
+	tree := NewIntervalTree([]Interval{{5, 3, 1}, {0, 1, 2}})
+	if tree.Len() != 1 {
+		t.Errorf("len = %d, want 1", tree.Len())
+	}
+}
+
+func TestIntervalTreeEmpty(t *testing.T) {
+	tree := NewIntervalTree(nil)
+	if got := tree.Query(0, 100, nil); len(got) != 0 {
+		t.Errorf("query on empty tree = %v", got)
+	}
+}
+
+// Property: interval tree query results match brute force on random input.
+func TestIntervalTreeMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 50; iter++ {
+		n := rng.Intn(200) + 1
+		ivs := make([]Interval, n)
+		for i := range ivs {
+			lo := rng.Int63n(1000)
+			ivs[i] = Interval{Lo: lo, Hi: lo + rng.Int63n(50), ID: i}
+		}
+		tree := NewIntervalTree(ivs)
+		for q := 0; q < 20; q++ {
+			lo := rng.Int63n(1000)
+			hi := lo + rng.Int63n(100)
+			got := sortedInts(tree.Query(lo, hi, nil))
+			var want []int
+			for _, iv := range ivs {
+				if iv.Lo <= hi && iv.Hi >= lo {
+					want = append(want, iv.ID)
+				}
+			}
+			want = sortedInts(want)
+			if len(got) != len(want) {
+				t.Fatalf("iter %d query [%d,%d]: got %d results, want %d", iter, lo, hi, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("iter %d query [%d,%d]: got %v, want %v", iter, lo, hi, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestBVHSmall(t *testing.T) {
+	bvh := NewBVH([]BVHEntry{
+		{R2(0, 0, 4, 4), 1},
+		{R2(5, 5, 9, 9), 2},
+		{R2(3, 3, 6, 6), 3},
+	})
+	if bvh.Len() != 3 {
+		t.Errorf("len = %d", bvh.Len())
+	}
+	got := sortedInts(bvh.Query(R2(4, 4, 5, 5), nil))
+	want := []int{1, 2, 3}
+	if len(got) != 3 || got[0] != want[0] || got[1] != want[1] || got[2] != want[2] {
+		t.Errorf("query = %v, want %v", got, want)
+	}
+	if res := bvh.Query(R2(20, 20, 30, 30), nil); len(res) != 0 {
+		t.Errorf("disjoint query = %v", res)
+	}
+	if res := bvh.Query(EmptyRect(2), nil); len(res) != 0 {
+		t.Errorf("empty query = %v", res)
+	}
+}
+
+func TestBVHEmptyAndSkipsEmptyRects(t *testing.T) {
+	bvh := NewBVH([]BVHEntry{{EmptyRect(2), 9}})
+	if bvh.Len() != 0 {
+		t.Errorf("len = %d, want 0", bvh.Len())
+	}
+	if got := NewBVH(nil).Query(R2(0, 0, 1, 1), nil); len(got) != 0 {
+		t.Errorf("query = %v", got)
+	}
+}
+
+// Property: BVH query results match brute force on random rectangles in 1-3D.
+func TestBVHMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for iter := 0; iter < 50; iter++ {
+		dim := int8(1 + rng.Intn(3))
+		n := rng.Intn(300) + 1
+		entries := make([]BVHEntry, n)
+		for i := range entries {
+			entries[i] = BVHEntry{Rect: randRect(rng, dim), ID: i}
+		}
+		bvh := NewBVH(entries)
+		for q := 0; q < 20; q++ {
+			query := randRect(rng, dim)
+			got := sortedInts(bvh.Query(query, nil))
+			var want []int
+			for _, e := range entries {
+				if e.Rect.Overlaps(query) {
+					want = append(want, e.ID)
+				}
+			}
+			want = sortedInts(want)
+			if len(got) != len(want) {
+				t.Fatalf("iter %d: got %d results, want %d", iter, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("iter %d: got %v, want %v", iter, got, want)
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkIntervalTreeBuild1024(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	ivs := make([]Interval, 1024)
+	for i := range ivs {
+		lo := rng.Int63n(1 << 20)
+		ivs[i] = Interval{Lo: lo, Hi: lo + 1024, ID: i}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NewIntervalTree(ivs)
+	}
+}
+
+func BenchmarkBVHQuery(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	entries := make([]BVHEntry, 4096)
+	for i := range entries {
+		x, y := rng.Int63n(1<<12), rng.Int63n(1<<12)
+		entries[i] = BVHEntry{Rect: R2(x, y, x+16, y+16), ID: i}
+	}
+	bvh := NewBVH(entries)
+	b.ResetTimer()
+	var dst []int
+	for i := 0; i < b.N; i++ {
+		dst = bvh.Query(entries[i%len(entries)].Rect, dst[:0])
+	}
+}

@@ -1,0 +1,99 @@
+package geometry
+
+import "sort"
+
+// BVHEntry is a rectangle with an opaque identifier, the element of a BVH.
+type BVHEntry struct {
+	Rect Rect
+	ID   int
+}
+
+// BVH is a static bounding-volume hierarchy over rectangles, supporting
+// overlap queries. It is the acceleration structure the paper uses for the
+// shallow-intersection phase on structured (multi-dimensional) regions
+// (§3.3).
+type BVH struct {
+	root *bvhNode
+	size int
+}
+
+type bvhNode struct {
+	bounds      Rect
+	left, right *bvhNode
+	leaves      []BVHEntry // non-nil only at leaf nodes
+}
+
+// bvhLeafSize is the maximum number of entries stored in a leaf.
+const bvhLeafSize = 8
+
+// NewBVH builds a BVH over the given entries. Entries with empty
+// rectangles are ignored.
+func NewBVH(entries []BVHEntry) *BVH {
+	valid := make([]BVHEntry, 0, len(entries))
+	for _, e := range entries {
+		if !e.Rect.Empty() {
+			valid = append(valid, e)
+		}
+	}
+	b := &BVH{size: len(valid)}
+	if len(valid) > 0 {
+		b.root = buildBVH(valid)
+	}
+	return b
+}
+
+// Len returns the number of entries in the hierarchy.
+func (b *BVH) Len() int { return b.size }
+
+func buildBVH(entries []BVHEntry) *bvhNode {
+	n := &bvhNode{bounds: EmptyRect(entries[0].Rect.Dim())}
+	for _, e := range entries {
+		n.bounds = n.bounds.Union(e.Rect)
+	}
+	if len(entries) <= bvhLeafSize {
+		n.leaves = entries
+		return n
+	}
+	// Split on the widest axis of the bounding box at the median center.
+	axis, widest := 0, int64(-1)
+	for i := 0; i < int(n.bounds.Dim()); i++ {
+		w := n.bounds.Hi.C[i] - n.bounds.Lo.C[i]
+		if w > widest {
+			widest, axis = w, i
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		ci := entries[i].Rect.Lo.C[axis] + entries[i].Rect.Hi.C[axis]
+		cj := entries[j].Rect.Lo.C[axis] + entries[j].Rect.Hi.C[axis]
+		return ci < cj
+	})
+	mid := len(entries) / 2
+	n.left = buildBVH(entries[:mid])
+	n.right = buildBVH(entries[mid:])
+	return n
+}
+
+// Query appends to dst the IDs of all entries whose rectangles overlap q
+// and returns the extended slice.
+func (b *BVH) Query(q Rect, dst []int) []int {
+	if b.root == nil || q.Empty() {
+		return dst
+	}
+	return queryBVH(b.root, q, dst)
+}
+
+func queryBVH(n *bvhNode, q Rect, dst []int) []int {
+	if !n.bounds.Overlaps(q) {
+		return dst
+	}
+	if n.leaves != nil {
+		for _, e := range n.leaves {
+			if e.Rect.Overlaps(q) {
+				dst = append(dst, e.ID)
+			}
+		}
+		return dst
+	}
+	dst = queryBVH(n.left, q, dst)
+	return queryBVH(n.right, q, dst)
+}

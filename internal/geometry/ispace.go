@@ -1,0 +1,464 @@
+package geometry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// IndexSpace is a (possibly sparse) set of points, represented as a list of
+// pairwise-disjoint rectangles of a common dimensionality. Dense index
+// spaces are a single rectangle. The representation is not unique, but all
+// operations preserve the disjointness invariant, and Equal compares the
+// underlying point sets rather than the representations.
+type IndexSpace struct {
+	dim   int8
+	spans []Rect // pairwise disjoint, none empty
+}
+
+// NewIndexSpace returns the dense index space covering r.
+func NewIndexSpace(r Rect) IndexSpace {
+	if r.Empty() {
+		return IndexSpace{dim: r.Dim()}
+	}
+	return IndexSpace{dim: r.Dim(), spans: []Rect{r}}
+}
+
+// EmptyIndexSpace returns an empty index space of the given dimension.
+func EmptyIndexSpace(dim int8) IndexSpace { return IndexSpace{dim: dim} }
+
+// FromPoints builds an index space from an arbitrary set of points
+// (duplicates allowed). Runs of consecutive points along the last axis are
+// coalesced into rectangles.
+func FromPoints(dim int8, pts []Point) IndexSpace {
+	if len(pts) == 0 {
+		return IndexSpace{dim: dim}
+	}
+	sorted := make([]Point, len(pts))
+	copy(sorted, pts)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Less(sorted[j]) })
+	var spans []Rect
+	run := Rect{sorted[0], sorted[0]}
+	last := int(dim) - 1
+	for _, p := range sorted[1:] {
+		if p == run.Hi {
+			continue // duplicate
+		}
+		ext := run.Hi
+		ext.C[last]++
+		if p == ext {
+			run.Hi = p
+			continue
+		}
+		spans = append(spans, run)
+		run = Rect{p, p}
+	}
+	spans = append(spans, run)
+	return IndexSpace{dim: dim, spans: spans}
+}
+
+// FromDisjointRects builds an index space from rectangles the caller
+// guarantees are pairwise disjoint, skipping the quadratic union pass. It
+// is the constructor large structured partitions use (e.g. the ghost bands
+// of a 1024-tile grid). Empty rectangles are dropped; disjointness is the
+// caller's responsibility and is verified only in tests.
+func FromDisjointRects(dim int8, rects []Rect) IndexSpace {
+	spans := make([]Rect, 0, len(rects))
+	for _, r := range rects {
+		if !r.Empty() {
+			spans = append(spans, r)
+		}
+	}
+	if dim == 1 {
+		sortSpans1D(spans)
+	}
+	return IndexSpace{dim: dim, spans: spans}
+}
+
+// FromRects builds an index space as the union of arbitrary (possibly
+// overlapping) rectangles.
+func FromRects(dim int8, rects []Rect) IndexSpace {
+	out := IndexSpace{dim: dim}
+	for _, r := range rects {
+		out = out.Union(NewIndexSpace(r))
+	}
+	return out
+}
+
+// Dim returns the space's dimensionality.
+func (s IndexSpace) Dim() int8 { return s.dim }
+
+// Spans returns the disjoint rectangles making up the space. The returned
+// slice must not be modified.
+func (s IndexSpace) Spans() []Rect { return s.spans }
+
+// Empty reports whether the space contains no points.
+func (s IndexSpace) Empty() bool { return len(s.spans) == 0 }
+
+// Volume returns the number of points in the space.
+func (s IndexSpace) Volume() int64 {
+	var v int64
+	for _, r := range s.spans {
+		v += r.Volume()
+	}
+	return v
+}
+
+// Bounds returns the bounding rectangle of the space.
+func (s IndexSpace) Bounds() Rect {
+	out := EmptyRect(s.dim)
+	for _, r := range s.spans {
+		out = out.Union(r)
+	}
+	return out
+}
+
+// Dense reports whether the space is exactly one rectangle.
+func (s IndexSpace) Dense() bool { return len(s.spans) == 1 }
+
+// Contains reports whether p is in the space.
+func (s IndexSpace) Contains(p Point) bool {
+	for _, r := range s.spans {
+		if r.Contains(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// Each calls fn for every point in the space (span by span, row-major
+// within each span), stopping early if fn returns false.
+func (s IndexSpace) Each(fn func(Point) bool) {
+	for _, r := range s.spans {
+		stopped := false
+		r.Each(func(p Point) bool {
+			if !fn(p) {
+				stopped = true
+				return false
+			}
+			return true
+		})
+		if stopped {
+			return
+		}
+	}
+}
+
+// Points materializes every point in the space. Intended for small spaces
+// and tests.
+func (s IndexSpace) Points() []Point {
+	pts := make([]Point, 0, s.Volume())
+	s.Each(func(p Point) bool { pts = append(pts, p); return true })
+	return pts
+}
+
+// sweepThreshold is the size above which 1-D operations switch from the
+// quadratic all-pairs algorithms to sorted sweeps.
+const sweepThreshold = 64
+
+// sortSpans1D sorts 1-D spans in place by lower bound. Every IndexSpace
+// constructor and operation maintains the invariant that 1-D span lists are
+// sorted, so the sweep algorithms never re-sort.
+func sortSpans1D(spans []Rect) {
+	sort.Slice(spans, func(i, j int) bool { return spans[i].Lo.X() < spans[j].Lo.X() })
+}
+
+// sorted1D returns the spans, which are sorted by construction for 1-D
+// spaces.
+func (s IndexSpace) sorted1D() []Rect { return s.spans }
+
+// Intersect returns the set intersection of s and t.
+func (s IndexSpace) Intersect(t IndexSpace) IndexSpace {
+	s.mustMatch(t)
+	if s.dim == 1 && len(s.spans)+len(t.spans) > sweepThreshold {
+		return s.intersect1D(t)
+	}
+	var spans []Rect
+	for _, a := range s.spans {
+		for _, b := range t.spans {
+			if c := a.Intersect(b); !c.Empty() {
+				spans = append(spans, c)
+			}
+		}
+	}
+	if s.dim == 1 {
+		sortSpans1D(spans)
+	}
+	return IndexSpace{dim: s.dim, spans: spans}
+}
+
+// intersect1D is the sorted-sweep intersection for large 1-D span lists.
+func (s IndexSpace) intersect1D(t IndexSpace) IndexSpace {
+	a, b := s.sorted1D(), t.sorted1D()
+	var spans []Rect
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		lo := max64(a[i].Lo.X(), b[j].Lo.X())
+		hi := min64(a[i].Hi.X(), b[j].Hi.X())
+		if lo <= hi {
+			spans = append(spans, R1(lo, hi))
+		}
+		if a[i].Hi.X() < b[j].Hi.X() {
+			i++
+		} else {
+			j++
+		}
+	}
+	return IndexSpace{dim: 1, spans: spans}
+}
+
+// Overlaps reports whether s and t share at least one point; it short
+// circuits and is cheaper than computing the full intersection.
+func (s IndexSpace) Overlaps(t IndexSpace) bool {
+	s.mustMatch(t)
+	if s.dim == 1 && len(s.spans)+len(t.spans) > sweepThreshold {
+		a, b := s.sorted1D(), t.sorted1D()
+		i, j := 0, 0
+		for i < len(a) && j < len(b) {
+			if a[i].Lo.X() <= b[j].Hi.X() && b[j].Lo.X() <= a[i].Hi.X() {
+				return true
+			}
+			if a[i].Hi.X() < b[j].Hi.X() {
+				i++
+			} else {
+				j++
+			}
+		}
+		return false
+	}
+	for _, a := range s.spans {
+		for _, b := range t.spans {
+			if a.Overlaps(b) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Subtract returns the set difference s minus t.
+func (s IndexSpace) Subtract(t IndexSpace) IndexSpace {
+	s.mustMatch(t)
+	if s.dim == 1 && len(s.spans)+len(t.spans) > sweepThreshold {
+		return s.subtract1D(t)
+	}
+	spans := s.spans
+	for _, b := range t.spans {
+		var next []Rect
+		for _, a := range spans {
+			next = append(next, subtractRect(a, b)...)
+		}
+		spans = next
+	}
+	out := IndexSpace{dim: s.dim, spans: spans}
+	out.coalesce()
+	if s.dim == 1 {
+		sortSpans1D(out.spans)
+	}
+	return out
+}
+
+// subtract1D is the sorted-sweep difference for large 1-D span lists.
+func (s IndexSpace) subtract1D(t IndexSpace) IndexSpace {
+	a, b := s.sorted1D(), t.sorted1D()
+	var spans []Rect
+	j := 0
+	for _, sp := range a {
+		lo, hi := sp.Lo.X(), sp.Hi.X()
+		// Skip subtrahend spans entirely before this span.
+		for j < len(b) && b[j].Hi.X() < lo {
+			j++
+		}
+		k := j
+		cur := lo
+		for k < len(b) && b[k].Lo.X() <= hi {
+			if b[k].Lo.X() > cur {
+				spans = append(spans, R1(cur, b[k].Lo.X()-1))
+			}
+			if b[k].Hi.X()+1 > cur {
+				cur = b[k].Hi.X() + 1
+			}
+			if cur > hi {
+				break
+			}
+			k++
+		}
+		if cur <= hi {
+			spans = append(spans, R1(cur, hi))
+		}
+	}
+	return IndexSpace{dim: 1, spans: spans}
+}
+
+// Union returns the set union of s and t.
+func (s IndexSpace) Union(t IndexSpace) IndexSpace {
+	s.mustMatch(t)
+	diff := t.Subtract(s)
+	spans := make([]Rect, 0, len(s.spans)+len(diff.spans))
+	spans = append(spans, s.spans...)
+	spans = append(spans, diff.spans...)
+	out := IndexSpace{dim: s.dim, spans: spans}
+	out.coalesce()
+	if s.dim == 1 {
+		sortSpans1D(out.spans)
+	}
+	return out
+}
+
+// Equal reports whether s and t contain exactly the same points.
+func (s IndexSpace) Equal(t IndexSpace) bool {
+	return s.Subtract(t).Empty() && t.Subtract(s).Empty()
+}
+
+// ContainsAll reports whether every point of t is in s.
+func (s IndexSpace) ContainsAll(t IndexSpace) bool {
+	return t.Subtract(s).Empty()
+}
+
+// String renders the span list.
+func (s IndexSpace) String() string {
+	if s.Empty() {
+		return "{}"
+	}
+	parts := make([]string, len(s.spans))
+	for i, r := range s.spans {
+		parts[i] = r.String()
+	}
+	return "{" + strings.Join(parts, " ") + "}"
+}
+
+func (s IndexSpace) mustMatch(t IndexSpace) {
+	if s.dim != t.dim {
+		panic(fmt.Sprintf("geometry: index space dimension mismatch %d vs %d", s.dim, t.dim))
+	}
+}
+
+// subtractRect returns a minus b as a list of disjoint rectangles. The
+// standard axis-by-axis carve: for each axis, peel off the slabs of a that
+// lie strictly below and strictly above b on that axis, then narrow a to
+// b's extent on that axis and continue with the next axis.
+func subtractRect(a, b Rect) []Rect {
+	c := a.Intersect(b)
+	if c.Empty() {
+		return []Rect{a}
+	}
+	var out []Rect
+	rem := a
+	for i := 0; i < int(a.Dim()); i++ {
+		if rem.Lo.C[i] < c.Lo.C[i] {
+			lower := rem
+			lower.Hi.C[i] = c.Lo.C[i] - 1
+			out = append(out, lower)
+			rem.Lo.C[i] = c.Lo.C[i]
+		}
+		if rem.Hi.C[i] > c.Hi.C[i] {
+			upper := rem
+			upper.Lo.C[i] = c.Hi.C[i] + 1
+			out = append(out, upper)
+			rem.Hi.C[i] = c.Hi.C[i]
+		}
+	}
+	return out
+}
+
+// coalesceLimit bounds the quadratic merge heuristic: spaces with more
+// spans than this skip coalescing entirely (disjointness, the invariant
+// that matters, is preserved either way; coalescing is only a compaction).
+const coalesceLimit = 128
+
+// coalesce greedily merges pairs of spans that abut with identical extents
+// in every other axis, shrinking the representation. It is a heuristic, not
+// a canonicalization.
+func (s *IndexSpace) coalesce() {
+	if len(s.spans) > coalesceLimit {
+		return
+	}
+	merged := true
+	for merged {
+		merged = false
+	outer:
+		for i := 0; i < len(s.spans); i++ {
+			for j := i + 1; j < len(s.spans); j++ {
+				if m, ok := tryMerge(s.spans[i], s.spans[j]); ok {
+					s.spans[i] = m
+					s.spans = append(s.spans[:j], s.spans[j+1:]...)
+					merged = true
+					break outer
+				}
+			}
+		}
+	}
+}
+
+// tryMerge merges two rectangles if their union is exactly a rectangle.
+func tryMerge(a, b Rect) (Rect, bool) {
+	diffAxis := -1
+	for i := 0; i < int(a.Dim()); i++ {
+		if a.Lo.C[i] == b.Lo.C[i] && a.Hi.C[i] == b.Hi.C[i] {
+			continue
+		}
+		if diffAxis >= 0 {
+			return Rect{}, false
+		}
+		diffAxis = i
+	}
+	if diffAxis < 0 {
+		return a, true // identical
+	}
+	lo, hi := a, b
+	if b.Lo.C[diffAxis] < a.Lo.C[diffAxis] {
+		lo, hi = b, a
+	}
+	if lo.Hi.C[diffAxis]+1 >= hi.Lo.C[diffAxis] {
+		m := lo
+		m.Hi.C[diffAxis] = max64(lo.Hi.C[diffAxis], hi.Hi.C[diffAxis])
+		return m, true
+	}
+	return Rect{}, false
+}
+
+// UnionMany returns the union of many index spaces. For 1-D inputs it is a
+// single sort-and-sweep over all spans (O(n log n)), the constructor for
+// unions of many sparse subregions (e.g. an aliased ghost partition's
+// footprint); other dimensions fall back to iterative union.
+func UnionMany(dim int8, spaces []IndexSpace) IndexSpace {
+	if dim != 1 {
+		out := EmptyIndexSpace(dim)
+		for _, s := range spaces {
+			out = out.Union(s)
+		}
+		return out
+	}
+	var all []Rect
+	for _, s := range spaces {
+		all = append(all, s.spans...)
+	}
+	if len(all) == 0 {
+		return IndexSpace{dim: 1}
+	}
+	sortSpans1D(all)
+	merged := all[:1]
+	for _, r := range all[1:] {
+		last := &merged[len(merged)-1]
+		if r.Lo.X() <= last.Hi.X()+1 {
+			if r.Hi.X() > last.Hi.X() {
+				last.Hi = r.Hi
+			}
+			continue
+		}
+		merged = append(merged, r)
+	}
+	return IndexSpace{dim: 1, spans: merged}
+}
+
+// Factor2 returns the most-square factorization a*b = n with a >= b, the
+// standard tile-grid shape for weak scaling over n nodes.
+func Factor2(n int64) (a, b int64) {
+	b = 1
+	for d := int64(1); d*d <= n; d++ {
+		if n%d == 0 {
+			b = d
+		}
+	}
+	return n / b, b
+}

@@ -1,0 +1,123 @@
+package geometry
+
+import "sort"
+
+// Interval is a 1-D inclusive interval with an opaque identifier, used as
+// the element of an IntervalTree.
+type Interval struct {
+	Lo, Hi int64
+	ID     int
+}
+
+// IntervalTree is a static centered interval tree supporting overlap
+// queries in O(log n + k). It is the acceleration structure the paper uses
+// for the shallow-intersection phase on unstructured (1-D) regions (§3.3).
+type IntervalTree struct {
+	root *itNode
+	size int
+}
+
+type itNode struct {
+	center      int64
+	left, right *itNode
+	byLo        []Interval // intervals crossing center, sorted by Lo asc
+	byHi        []Interval // same intervals, sorted by Hi desc
+}
+
+// NewIntervalTree builds a tree over the given intervals. Intervals with
+// Hi < Lo are ignored.
+func NewIntervalTree(ivs []Interval) *IntervalTree {
+	valid := make([]Interval, 0, len(ivs))
+	for _, iv := range ivs {
+		if iv.Hi >= iv.Lo {
+			valid = append(valid, iv)
+		}
+	}
+	t := &IntervalTree{size: len(valid)}
+	t.root = buildItNode(valid)
+	return t
+}
+
+// Len returns the number of intervals in the tree.
+func (t *IntervalTree) Len() int { return t.size }
+
+func buildItNode(ivs []Interval) *itNode {
+	if len(ivs) == 0 {
+		return nil
+	}
+	// Use the median of all endpoints as the center.
+	endpoints := make([]int64, 0, 2*len(ivs))
+	for _, iv := range ivs {
+		endpoints = append(endpoints, iv.Lo, iv.Hi)
+	}
+	sort.Slice(endpoints, func(i, j int) bool { return endpoints[i] < endpoints[j] })
+	center := endpoints[len(endpoints)/2]
+
+	var left, right, cross []Interval
+	for _, iv := range ivs {
+		switch {
+		case iv.Hi < center:
+			left = append(left, iv)
+		case iv.Lo > center:
+			right = append(right, iv)
+		default:
+			cross = append(cross, iv)
+		}
+	}
+	n := &itNode{center: center}
+	n.byLo = make([]Interval, len(cross))
+	copy(n.byLo, cross)
+	sort.Slice(n.byLo, func(i, j int) bool { return n.byLo[i].Lo < n.byLo[j].Lo })
+	n.byHi = make([]Interval, len(cross))
+	copy(n.byHi, cross)
+	sort.Slice(n.byHi, func(i, j int) bool { return n.byHi[i].Hi > n.byHi[j].Hi })
+	// Degenerate guard: if nothing was split off, recursion would not
+	// terminate; but cross absorbed everything touching center, and left and
+	// right are strictly smaller by construction whenever they are non-empty.
+	n.left = buildItNode(left)
+	n.right = buildItNode(right)
+	return n
+}
+
+// Query appends to dst the IDs of all intervals overlapping [lo, hi] and
+// returns the extended slice. Results are in no particular order.
+func (t *IntervalTree) Query(lo, hi int64, dst []int) []int {
+	if hi < lo {
+		return dst
+	}
+	return queryItNode(t.root, lo, hi, dst)
+}
+
+func queryItNode(n *itNode, lo, hi int64, dst []int) []int {
+	if n == nil {
+		return dst
+	}
+	switch {
+	case hi < n.center:
+		// Query entirely left of center: crossing intervals overlap iff
+		// their Lo <= hi.
+		for _, iv := range n.byLo {
+			if iv.Lo > hi {
+				break
+			}
+			dst = append(dst, iv.ID)
+		}
+		return queryItNode(n.left, lo, hi, dst)
+	case lo > n.center:
+		// Entirely right of center: crossing intervals overlap iff Hi >= lo.
+		for _, iv := range n.byHi {
+			if iv.Hi < lo {
+				break
+			}
+			dst = append(dst, iv.ID)
+		}
+		return queryItNode(n.right, lo, hi, dst)
+	default:
+		// Query straddles center: every crossing interval overlaps.
+		for _, iv := range n.byLo {
+			dst = append(dst, iv.ID)
+		}
+		dst = queryItNode(n.left, lo, hi, dst)
+		return queryItNode(n.right, lo, hi, dst)
+	}
+}

@@ -1,0 +1,89 @@
+// Package geometry provides the index-space geometry underlying logical
+// regions: points, rectangles, dense and sparse index spaces, and the
+// acceleration structures (interval trees and bounding-volume hierarchies)
+// used by the control replication compiler's shallow-intersection phase.
+//
+// All coordinates are int64. Points and rectangles carry an explicit
+// dimensionality from 1 to 3; a rectangle's bounds are inclusive on both
+// ends, matching Legion's convention.
+package geometry
+
+import "fmt"
+
+// MaxDim is the maximum supported dimensionality of an index space.
+const MaxDim = 3
+
+// Point is a point in a 1-, 2- or 3-dimensional integer index space.
+// Coordinates beyond Dim must be zero so that equality on the struct is
+// equality on the point.
+type Point struct {
+	C   [MaxDim]int64
+	Dim int8
+}
+
+// Pt1 returns a 1-D point.
+func Pt1(x int64) Point { return Point{C: [MaxDim]int64{x, 0, 0}, Dim: 1} }
+
+// Pt2 returns a 2-D point.
+func Pt2(x, y int64) Point { return Point{C: [MaxDim]int64{x, y, 0}, Dim: 2} }
+
+// Pt3 returns a 3-D point.
+func Pt3(x, y, z int64) Point { return Point{C: [MaxDim]int64{x, y, z}, Dim: 3} }
+
+// X returns the first coordinate.
+func (p Point) X() int64 { return p.C[0] }
+
+// Y returns the second coordinate (zero for 1-D points).
+func (p Point) Y() int64 { return p.C[1] }
+
+// Z returns the third coordinate (zero for 1-D and 2-D points).
+func (p Point) Z() int64 { return p.C[2] }
+
+// Add returns the coordinate-wise sum of p and q. The points must have the
+// same dimensionality.
+func (p Point) Add(q Point) Point {
+	p.mustMatch(q)
+	for i := 0; i < int(p.Dim); i++ {
+		p.C[i] += q.C[i]
+	}
+	return p
+}
+
+// Sub returns the coordinate-wise difference of p and q.
+func (p Point) Sub(q Point) Point {
+	p.mustMatch(q)
+	for i := 0; i < int(p.Dim); i++ {
+		p.C[i] -= q.C[i]
+	}
+	return p
+}
+
+// Less reports whether p precedes q in lexicographic order. The points must
+// have the same dimensionality.
+func (p Point) Less(q Point) bool {
+	p.mustMatch(q)
+	for i := 0; i < int(p.Dim); i++ {
+		if p.C[i] != q.C[i] {
+			return p.C[i] < q.C[i]
+		}
+	}
+	return false
+}
+
+// String formats the point as <x>, <x,y> or <x,y,z>.
+func (p Point) String() string {
+	switch p.Dim {
+	case 1:
+		return fmt.Sprintf("<%d>", p.C[0])
+	case 2:
+		return fmt.Sprintf("<%d,%d>", p.C[0], p.C[1])
+	default:
+		return fmt.Sprintf("<%d,%d,%d>", p.C[0], p.C[1], p.C[2])
+	}
+}
+
+func (p Point) mustMatch(q Point) {
+	if p.Dim != q.Dim {
+		panic(fmt.Sprintf("geometry: dimension mismatch %d vs %d", p.Dim, q.Dim))
+	}
+}

@@ -1,0 +1,72 @@
+package geometry
+
+import "testing"
+
+func TestPointConstructors(t *testing.T) {
+	p1 := Pt1(5)
+	if p1.Dim != 1 || p1.X() != 5 || p1.Y() != 0 || p1.Z() != 0 {
+		t.Errorf("Pt1(5) = %+v", p1)
+	}
+	p2 := Pt2(3, -4)
+	if p2.Dim != 2 || p2.X() != 3 || p2.Y() != -4 {
+		t.Errorf("Pt2(3,-4) = %+v", p2)
+	}
+	p3 := Pt3(1, 2, 3)
+	if p3.Dim != 3 || p3.X() != 1 || p3.Y() != 2 || p3.Z() != 3 {
+		t.Errorf("Pt3(1,2,3) = %+v", p3)
+	}
+}
+
+func TestPointAddSub(t *testing.T) {
+	a, b := Pt2(1, 2), Pt2(10, 20)
+	if got := a.Add(b); got != Pt2(11, 22) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := b.Sub(a); got != Pt2(9, 18) {
+		t.Errorf("Sub = %v", got)
+	}
+	// Add must not mutate its receiver.
+	if a != Pt2(1, 2) {
+		t.Errorf("receiver mutated: %v", a)
+	}
+}
+
+func TestPointLess(t *testing.T) {
+	cases := []struct {
+		a, b Point
+		want bool
+	}{
+		{Pt2(0, 0), Pt2(0, 1), true},
+		{Pt2(0, 1), Pt2(0, 0), false},
+		{Pt2(1, 0), Pt2(0, 9), false},
+		{Pt2(0, 9), Pt2(1, 0), true},
+		{Pt1(3), Pt1(3), false},
+		{Pt3(1, 1, 1), Pt3(1, 1, 2), true},
+	}
+	for _, c := range cases {
+		if got := c.a.Less(c.b); got != c.want {
+			t.Errorf("%v.Less(%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestPointDimMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on dimension mismatch")
+		}
+	}()
+	Pt1(0).Add(Pt2(0, 0))
+}
+
+func TestPointString(t *testing.T) {
+	if s := Pt1(7).String(); s != "<7>" {
+		t.Errorf("got %q", s)
+	}
+	if s := Pt2(7, 8).String(); s != "<7,8>" {
+		t.Errorf("got %q", s)
+	}
+	if s := Pt3(7, 8, 9).String(); s != "<7,8,9>" {
+		t.Errorf("got %q", s)
+	}
+}

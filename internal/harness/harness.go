@@ -1,0 +1,218 @@
+// Package harness regenerates the paper's evaluation section: the four
+// weak-scaling figures (6: Stencil, 7: MiniAero, 8: PENNANT, 9: Circuit)
+// and Table 1 (dynamic region-intersection times). It is shared by the
+// top-level benchmarks and the cmd/weakscale and cmd/intersect tools.
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/apps/circuit"
+	"repro/internal/apps/miniaero"
+	"repro/internal/apps/pennant"
+	"repro/internal/apps/stencil"
+	"repro/internal/bench"
+	"repro/internal/ir"
+	"repro/internal/realm"
+)
+
+// App describes one application's weak-scaling experiment.
+type App struct {
+	Name    string
+	Figure  int
+	Systems []string
+	// Measure returns the steady-state per-iteration time for one system at
+	// one node count.
+	Measure func(system string, nodes, iters int) (realm.Time, error)
+	// UnitsPerNode is the per-node work per iteration; Unit/UnitScale name
+	// and scale the throughput axis exactly as the paper's figures do.
+	UnitsPerNode float64
+	Unit         string
+	UnitScale    float64
+	// Iters is the default iteration count per measurement.
+	Iters int
+	// BuildProgram builds the app's program and main loop at a node count
+	// (used by the Table 1 intersection-timing harness).
+	BuildProgram func(nodes int) (*ir.Program, *ir.Loop)
+}
+
+// Apps returns the four evaluation applications in figure order.
+func Apps() []App {
+	return []App{
+		{
+			Name: "stencil", Figure: 6, Systems: stencil.Systems,
+			Measure:      stencil.Measure,
+			UnitsPerNode: 40000 * 40000, Unit: "10^6 points/s", UnitScale: 1e6,
+			Iters: 10,
+			BuildProgram: func(nodes int) (*ir.Program, *ir.Loop) {
+				a := stencil.Build(stencil.Default(nodes))
+				return a.Prog, a.Loop
+			},
+		},
+		{
+			Name: "miniaero", Figure: 7, Systems: miniaero.Systems,
+			Measure:      miniaero.Measure,
+			UnitsPerNode: miniaero.PaperCellsPerNode, Unit: "10^3 cells/s", UnitScale: 1e3,
+			Iters: 10,
+			BuildProgram: func(nodes int) (*ir.Program, *ir.Loop) {
+				a := miniaero.Build(miniaero.Default(nodes))
+				return a.Prog, a.Loop
+			},
+		},
+		{
+			Name: "pennant", Figure: 8, Systems: pennant.Systems,
+			Measure:      pennant.Measure,
+			UnitsPerNode: pennant.PaperZonesPerNode, Unit: "10^6 zones/s", UnitScale: 1e6,
+			Iters: 12,
+			BuildProgram: func(nodes int) (*ir.Program, *ir.Loop) {
+				a := pennant.Build(pennant.Default(nodes))
+				return a.Prog, a.Loop
+			},
+		},
+		{
+			Name: "circuit", Figure: 9, Systems: circuit.Systems,
+			Measure:      circuit.Measure,
+			UnitsPerNode: circuit.PaperNodesPerPiece, Unit: "10^3 nodes/s", UnitScale: 1e3,
+			Iters: 10,
+			BuildProgram: func(nodes int) (*ir.Program, *ir.Loop) {
+				a := circuit.Build(circuit.Default(nodes))
+				return a.Prog, a.Loop
+			},
+		},
+	}
+}
+
+// AppByName finds an application.
+func AppByName(name string) (App, error) {
+	for _, a := range Apps() {
+		if a.Name == name {
+			return a, nil
+		}
+	}
+	return App{}, fmt.Errorf("harness: unknown app %q (have stencil, miniaero, pennant, circuit)", name)
+}
+
+// DefaultNodes is the paper's weak-scaling node sweep.
+var DefaultNodes = []int{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
+
+// Point is one measurement.
+type Point struct {
+	Nodes      int
+	PerIter    realm.Time
+	Throughput float64 // units/s per node, divided by UnitScale
+	Wall       time.Duration
+}
+
+// Series is one system's curve.
+type Series struct {
+	System string
+	Points []Point
+}
+
+// RunFigure sweeps every system of the app across the node counts.
+func RunFigure(app App, nodes []int, progress func(string)) ([]Series, error) {
+	var out []Series
+	for _, sys := range app.Systems {
+		s := Series{System: sys}
+		for _, n := range nodes {
+			t0 := time.Now()
+			per, err := app.Measure(sys, n, app.Iters)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s@%d: %w", app.Name, sys, n, err)
+			}
+			p := Point{
+				Nodes:      n,
+				PerIter:    per,
+				Throughput: app.UnitsPerNode / per.Seconds() / app.UnitScale,
+				Wall:       time.Since(t0),
+			}
+			s.Points = append(s.Points, p)
+			if progress != nil {
+				progress(fmt.Sprintf("%-10s %-16s nodes=%-5d thr/node=%10.1f %s (sim wall %v)",
+					app.Name, sys, n, p.Throughput, app.Unit, p.Wall.Round(time.Millisecond)))
+			}
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// FormatFigure renders the series as the paper's figure data: throughput
+// per node by node count, plus parallel efficiencies at the largest count.
+func FormatFigure(app App, series []Series) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure %d: %s weak scaling — throughput per node (%s)\n", app.Figure, app.Name, app.Unit)
+	fmt.Fprintf(&b, "%-8s", "nodes")
+	for _, s := range series {
+		fmt.Fprintf(&b, "%18s", s.System)
+	}
+	b.WriteString("\n")
+	if len(series) == 0 || len(series[0].Points) == 0 {
+		return b.String()
+	}
+	for i := range series[0].Points {
+		fmt.Fprintf(&b, "%-8d", series[0].Points[i].Nodes)
+		for _, s := range series {
+			fmt.Fprintf(&b, "%18.1f", s.Points[i].Throughput)
+		}
+		b.WriteString("\n")
+	}
+	last := len(series[0].Points) - 1
+	fmt.Fprintf(&b, "parallel efficiency at %d nodes:", series[0].Points[last].Nodes)
+	for _, s := range series {
+		fmt.Fprintf(&b, "  %s %.1f%%", s.System, 100*s.Points[last].Throughput/s.Points[0].Throughput)
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// Table1Row is one application's intersection timings at one node count
+// (paper Table 1): the wall-clock milliseconds of the shallow phase (run
+// once, on one node) and of the complete phase (run in parallel across
+// nodes, so reported per node).
+type Table1Row struct {
+	App                    string
+	Nodes                  int
+	ShallowMs, CompleteMs  float64
+	Candidates, FinalPairs int
+}
+
+// Table1 measures the dynamic intersection phases for every app at the
+// given node counts by compiling each application's main loop and reading
+// the compiler's phase timings.
+func Table1(nodeCounts []int) ([]Table1Row, error) {
+	var rows []Table1Row
+	for _, app := range Apps() {
+		for _, n := range nodeCounts {
+			prog, loop := app.BuildProgram(n)
+			plan, err := bench.CompileForTimings(prog, loop, n)
+			if err != nil {
+				return nil, fmt.Errorf("%s@%d: %w", app.Name, n, err)
+			}
+			rows = append(rows, Table1Row{
+				App:        app.Name,
+				Nodes:      n,
+				ShallowMs:  float64(plan.Timings.Shallow.Microseconds()) / 1000,
+				CompleteMs: float64(plan.Timings.Complete.Microseconds()) / 1000 / float64(n),
+				Candidates: plan.Timings.Candidates,
+				FinalPairs: plan.Timings.Pairs,
+			})
+		}
+	}
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i].App < rows[j].App })
+	return rows, nil
+}
+
+// FormatTable1 renders the rows like the paper's Table 1.
+func FormatTable1(rows []Table1Row) string {
+	var b strings.Builder
+	b.WriteString("Table 1: Running times for region intersections\n")
+	fmt.Fprintf(&b, "%-10s %-7s %12s %13s %12s %10s\n", "App", "Nodes", "Shallow(ms)", "Complete(ms)", "Candidates", "Pairs")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %-7d %12.1f %13.1f %12d %10d\n", r.App, r.Nodes, r.ShallowMs, r.CompleteMs, r.Candidates, r.FinalPairs)
+	}
+	return b.String()
+}

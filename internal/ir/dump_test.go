@@ -1,0 +1,39 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDumpFigure2(t *testing.T) {
+	p, _, _ := figure2Program(24, 4, 3)
+	out := Dump(p)
+	for _, want := range []string{
+		"program figure2",
+		"region A(24 elements)",
+		"region B(24 elements)",
+		"partition PA (disjoint complete, 4 colors)",
+		"partition QB (aliased, 4 colors)",
+		"task TF(B.val: reads writes; A.val: reads)",
+		"for t = 0, 3 do",
+		"launch TF(PB[i], PA[i])",
+		"launch TG(PA[i], QB[i])",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dump missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDumpScalarReduce(t *testing.T) {
+	p := NewProgram("dt")
+	// Reuse the figure-2 fixture pieces for a reduce launch.
+	p2, _, _ := figure2Program(8, 2, 1)
+	launch := p2.Stmts[2].(*Loop).Body[0].(*Launch)
+	launch.Reduce = &ScalarReduce{Into: "dt", Op: 2} // ReduceMin
+	out := Dump(p2)
+	if !strings.Contains(out, "-> min dt") {
+		t.Errorf("dump missing scalar reduce annotation:\n%s", out)
+	}
+	_ = p
+}

@@ -1,0 +1,61 @@
+package ir
+
+import (
+	"fmt"
+
+	"repro/internal/geometry"
+	"repro/internal/region"
+)
+
+// NormalizeProjections rewrites every launch argument of the form p[f(i)]
+// with a non-identity projection f into q[i] for a freshly materialized
+// partition q with q[i] = p[f(i)] (paper §2.2: "any accesses with a
+// non-trivial function f are transformed into the form q[i] with a new
+// partition q" — the essential use of multiple partitions of the same
+// data). Identical (partition, projection-name, domain) arguments share the
+// materialized partition.
+func NormalizeProjections(p *Program) {
+	cache := map[string]*region.Partition{}
+	normalizeStmts(p, p.Stmts, cache)
+}
+
+func normalizeStmts(p *Program, stmts []Stmt, cache map[string]*region.Partition) {
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *Loop:
+			normalizeStmts(p, s.Body, cache)
+		case *Launch:
+			for ai := range s.Args {
+				a := &s.Args[ai]
+				if a.Identity() {
+					continue
+				}
+				if a.ProjName == "" {
+					panic(fmt.Sprintf("ir: non-identity projection on launch %s must carry a ProjName", s.Task.Name))
+				}
+				key := fmt.Sprintf("%s/%s/%d/%v", a.Part.Name(), a.ProjName, len(s.Domain), s.Domain[0])
+				q, ok := cache[key]
+				if !ok {
+					q = materializeProjection(a.Part, a.Proj, a.ProjName, s.Domain)
+					cache[key] = q
+				}
+				a.Part, a.Proj, a.ProjName = q, nil, ""
+			}
+		}
+	}
+}
+
+// materializeProjection builds the partition q with q[i] = p[f(i)] over the
+// launch domain. Disjointness/completeness are re-established dynamically
+// by BySubsets (a projection may repeat source subregions, which makes the
+// result aliased).
+func materializeProjection(p *region.Partition, f func(geometry.Point) geometry.Point, name string, domain []geometry.Point) *region.Partition {
+	subs := make(map[geometry.Point]geometry.IndexSpace, len(domain))
+	var pts []geometry.Point
+	for _, c := range domain {
+		subs[c] = p.Sub(f(c)).IndexSpace()
+		pts = append(pts, c)
+	}
+	colorSpace := geometry.FromPoints(domain[0].Dim, pts)
+	return p.Parent().BySubsets(p.Name()+"@"+name, colorSpace, subs)
+}

@@ -1,0 +1,137 @@
+package ir
+
+import (
+	"fmt"
+
+	"repro/internal/geometry"
+	"repro/internal/region"
+)
+
+// SeqResult holds the outcome of a sequential reference execution: the
+// final store for each root region and the final scalar environment.
+type SeqResult struct {
+	Stores map[*region.Region]*region.Store
+	Env    MapEnv
+}
+
+// ExecSequential interprets the program with sequential semantics on real
+// data — the golden reference every parallel execution must match bitwise.
+//
+// Reduction semantics are defined here once and mirrored by every engine:
+// within an index launch, each task instance folds its contributions into a
+// private identity-initialized buffer (in kernel order), and the buffers
+// are applied to the destination region in ascending color order. This is
+// exactly the reduction-instance discipline of §4.3, so the distributed
+// executions reproduce it bit for bit.
+func ExecSequential(p *Program) *SeqResult {
+	res := &SeqResult{
+		Stores: make(map[*region.Region]*region.Store),
+		Env:    MapEnv{},
+	}
+	for root, fs := range p.FieldSpaces {
+		res.Stores[root] = region.NewStore(root.IndexSpace(), fs)
+	}
+	for k, v := range p.Scalars {
+		res.Env[k] = v
+	}
+	execSeqStmts(p, res, p.Stmts)
+	return res
+}
+
+func execSeqStmts(p *Program, res *SeqResult, stmts []Stmt) {
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *Fill:
+			st := res.Stores[s.Target.Root()]
+			s.Target.IndexSpace().Each(func(pt geometry.Point) bool {
+				st.Set(s.Field, pt, s.Value)
+				return true
+			})
+		case *FillFunc:
+			st := res.Stores[s.Target.Root()]
+			s.Target.IndexSpace().Each(func(pt geometry.Point) bool {
+				st.Set(s.Field, pt, s.Fn(pt))
+				return true
+			})
+		case *SetScalar:
+			res.Env[s.Name] = s.Expr(res.Env)
+		case *Loop:
+			for t := 0; t < s.Trip; t++ {
+				res.Env[s.Var] = float64(t)
+				execSeqStmts(p, res, s.Body)
+			}
+		case *Launch:
+			ExecLaunchSeq(res.Stores, res.Env, s)
+		default:
+			panic(fmt.Sprintf("ir: unknown statement %T", s))
+		}
+	}
+}
+
+// ExecLaunchSeq executes one index launch with the canonical sequential
+// semantics against the given root-region stores and environment, updating
+// the environment with any scalar reduction. Engines use it for setup
+// launches outside replicated loops.
+//
+// Reduction semantics: every task folds its contributions into private
+// identity-initialized buffers (one per reduce argument); after all tasks
+// have run, the buffers are applied argument-major — for each reduce
+// argument in parameter order, in ascending task-color order. This is the
+// canonical order both distributed executions reproduce: the implicit
+// runtime chains its reduction applications across arguments, and under
+// control replication the compiler emits reduction copies per argument in
+// parameter order with per-destination chains in source-color order. (With
+// only one or two contributors per element any order agrees bitwise; four-
+// way shared mesh corners are where the order becomes observable.)
+func ExecLaunchSeq(stores map[*region.Region]*region.Store, env MapEnv, l *Launch) {
+	scalars := make([]float64, len(l.ScalarArgs))
+	for i, e := range l.ScalarArgs {
+		scalars[i] = e(env)
+	}
+	var folded float64
+	if l.Reduce != nil {
+		folded = l.Reduce.Op.Identity()
+	}
+	type pendingReduce struct {
+		buf *region.Store
+		sub *region.Region
+	}
+	// pending[ai] holds the reduce buffers of argument ai, in color order.
+	pending := make([][]pendingReduce, len(l.Args))
+	for _, c := range l.Domain {
+		ctx := &TaskCtx{Color: c, Scalars: scalars}
+		for ai, a := range l.Args {
+			param := l.Task.Params[ai]
+			sub := a.At(c)
+			global := stores[sub.Root()]
+			if param.Priv == PrivReduce {
+				buf := region.NewStore(sub.IndexSpace(), global.FieldSpace())
+				for _, f := range param.Fields {
+					buf.Fill(f, param.Op.Identity())
+				}
+				ctx.Args = append(ctx.Args, NewPhysArg(sub, buf, param))
+				pending[ai] = append(pending[ai], pendingReduce{buf: buf, sub: sub})
+			} else {
+				ctx.Args = append(ctx.Args, NewPhysArg(sub, global, param))
+			}
+		}
+		if l.Task.Kernel != nil {
+			l.Task.Kernel(ctx)
+		}
+		if l.Reduce != nil {
+			folded = l.Reduce.Op.Fold(folded, ctx.Return)
+		}
+	}
+	for ai, bufs := range pending {
+		param := l.Task.Params[ai]
+		for _, pr := range bufs {
+			global := stores[pr.sub.Root()]
+			for _, f := range param.Fields {
+				global.ReduceFieldFrom(pr.buf, f, param.Op, pr.sub.IndexSpace())
+			}
+		}
+	}
+	if l.Reduce != nil {
+		env[l.Reduce.Into] = folded
+	}
+}

@@ -1,0 +1,152 @@
+// Package ir is the program representation for the Regent subset that
+// control replication targets (paper §2.2): programs whose main loops are
+// forall-style index launches of tasks over partitioned regions, with
+// privileges declared per region parameter, plus restricted scalar
+// statements and scalar reductions.
+//
+// Task bodies are opaque Go functions, exactly as task bodies are opaque to
+// the Regent compiler: every property the analyses need — privileges,
+// fields, the partitions accessed, and partition disjointness — is carried
+// by the IR, and the paper's requirement that "a compile-time analysis need
+// not consider the code inside of a task" is preserved by enforcing
+// privileges strictly at runtime (PhysArg panics on undeclared accesses).
+package ir
+
+import (
+	"fmt"
+
+	"repro/internal/geometry"
+	"repro/internal/region"
+)
+
+// Privilege is a task's declared right on a region parameter.
+type Privilege int8
+
+// The privilege lattice of §2.1: read-only, read-write, and reduction with
+// an associative commutative operator.
+const (
+	PrivRead Privilege = iota
+	PrivReadWrite
+	PrivReduce
+)
+
+// String names the privilege.
+func (p Privilege) String() string {
+	switch p {
+	case PrivRead:
+		return "reads"
+	case PrivReadWrite:
+		return "reads writes"
+	case PrivReduce:
+		return "reduces"
+	default:
+		return fmt.Sprintf("Privilege(%d)", int8(p))
+	}
+}
+
+// Conflicts reports whether an operation with privilege a must be ordered
+// against a later operation with privilege b on overlapping data: two reads
+// commute, and two reductions with the same operator commute (§2.1).
+func Conflicts(a Privilege, aOp region.ReductionOp, b Privilege, bOp region.ReductionOp) bool {
+	if a == PrivRead && b == PrivRead {
+		return false
+	}
+	if a == PrivReduce && b == PrivReduce && aOp == bOp {
+		return false
+	}
+	return true
+}
+
+// Param declares one region parameter of a task: its privilege, reduction
+// operator (for PrivReduce), and the fields it touches.
+type Param struct {
+	Name   string
+	Priv   Privilege
+	Op     region.ReductionOp
+	Fields []region.FieldID
+}
+
+// TaskDecl is a registered task: parameter declarations, an executable
+// kernel, and a cost model used to charge virtual time for the kernel.
+type TaskDecl struct {
+	Name       string
+	Params     []Param
+	NumScalars int
+	// Kernel executes the task body against physical region arguments. It
+	// may be nil for model-only tasks.
+	Kernel func(*TaskCtx)
+	// Cost model: virtual nanoseconds = CostFixed + CostPerElem * volume of
+	// region argument CostArg. The engine divides by the effective core
+	// count it assigns to the task.
+	CostFixed   float64
+	CostPerElem float64
+	CostArg     int
+}
+
+// Cost returns the single-core virtual duration of one task instance whose
+// CostArg region has the given volume.
+func (t *TaskDecl) Cost(vol int64) float64 {
+	return t.CostFixed + t.CostPerElem*float64(vol)
+}
+
+// TaskCtx is the execution context handed to a kernel: the physical region
+// arguments (aligned with Params), scalar arguments, the task's color in
+// its index launch, and the scalar return slot.
+type TaskCtx struct {
+	Color   geometry.Point
+	Args    []PhysArg
+	Scalars []float64
+	// Return is the task's scalar result, folded across the launch when the
+	// launch declares a scalar reduction.
+	Return float64
+}
+
+// PhysArg is a physical region argument: a subregion plus the store backing
+// it, with strict privilege enforcement on every access.
+type PhysArg struct {
+	Region *region.Region
+	Store  *region.Store
+	Priv   Privilege
+	Op     region.ReductionOp
+	fields map[region.FieldID]bool
+}
+
+// NewPhysArg builds a physical argument for a task parameter.
+func NewPhysArg(r *region.Region, st *region.Store, p Param) PhysArg {
+	fields := make(map[region.FieldID]bool, len(p.Fields))
+	for _, f := range p.Fields {
+		fields[f] = true
+	}
+	return PhysArg{Region: r, Store: st, Priv: p.Priv, Op: p.Op, fields: fields}
+}
+
+// Get reads field f at point p; the task must hold a read-bearing privilege
+// on f.
+func (a *PhysArg) Get(f region.FieldID, p geometry.Point) float64 {
+	if !a.fields[f] || a.Priv == PrivReduce {
+		panic(fmt.Sprintf("ir: read of field %d without read privilege", f))
+	}
+	return a.Store.Get(f, p)
+}
+
+// Set writes field f at point p; the task must hold read-write privilege.
+func (a *PhysArg) Set(f region.FieldID, p geometry.Point, v float64) {
+	if !a.fields[f] || a.Priv != PrivReadWrite {
+		panic(fmt.Sprintf("ir: write of field %d without write privilege", f))
+	}
+	a.Store.Set(f, p, v)
+}
+
+// Reduce folds v into field f at point p with the declared operator; the
+// task must hold the matching reduce privilege.
+func (a *PhysArg) Reduce(f region.FieldID, op region.ReductionOp, p geometry.Point, v float64) {
+	if !a.fields[f] || a.Priv != PrivReduce || op != a.Op {
+		panic(fmt.Sprintf("ir: reduction %v of field %d without matching reduce privilege", op, f))
+	}
+	a.Store.Reduce(f, op, p, v)
+}
+
+// Each iterates the argument's index space.
+func (a *PhysArg) Each(fn func(geometry.Point) bool) {
+	a.Region.IndexSpace().Each(fn)
+}

@@ -1,0 +1,108 @@
+package ir
+
+import (
+	"fmt"
+
+	"repro/internal/region"
+)
+
+// Validate checks program well-formedness: every launch's arguments match
+// its task's parameter list, fields exist in the target region's field
+// space, launch domains are covered by the argument partitions' color
+// spaces (under the declared projections), and loop bodies contain only the
+// statement forms control replication admits (§2.2: loops of task calls
+// with no loop-carried dependencies except reductions, plus scalar
+// statements).
+func (p *Program) Validate() error {
+	return p.validateStmts(p.Stmts, false)
+}
+
+func (p *Program) validateStmts(stmts []Stmt, inLoop bool) error {
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *Fill, *FillFunc:
+			if inLoop {
+				return fmt.Errorf("ir: fill statements are setup-only, not allowed inside loops")
+			}
+		case *SetScalar:
+			// Allowed anywhere.
+		case *Loop:
+			if s.Trip < 0 {
+				return fmt.Errorf("ir: loop %q has negative trip count", s.Var)
+			}
+			if err := p.validateStmts(s.Body, true); err != nil {
+				return err
+			}
+		case *Launch:
+			if err := p.validateLaunch(s); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("ir: unknown statement type %T", s)
+		}
+	}
+	return nil
+}
+
+func (p *Program) validateLaunch(l *Launch) error {
+	name := l.Label
+	if name == "" {
+		name = l.Task.Name
+	}
+	if len(l.Args) != len(l.Task.Params) {
+		return fmt.Errorf("ir: launch %s passes %d region args, task declares %d", name, len(l.Args), len(l.Task.Params))
+	}
+	if len(l.ScalarArgs) != l.Task.NumScalars {
+		return fmt.Errorf("ir: launch %s passes %d scalar args, task declares %d", name, len(l.ScalarArgs), l.Task.NumScalars)
+	}
+	if len(l.Domain) == 0 {
+		return fmt.Errorf("ir: launch %s has an empty domain", name)
+	}
+	for ai, a := range l.Args {
+		param := l.Task.Params[ai]
+		if param.Priv == PrivReduce && param.Op == region.ReduceNone {
+			return fmt.Errorf("ir: launch %s param %d declares reduce privilege without an operator", name, ai)
+		}
+		fs, ok := p.FieldSpaces[a.Part.Parent().Root()]
+		if !ok {
+			return fmt.Errorf("ir: launch %s param %d targets region with no field space", name, ai)
+		}
+		for _, f := range param.Fields {
+			if int(f) < 0 || int(f) >= fs.NumFields() {
+				return fmt.Errorf("ir: launch %s param %d names unknown field %d", name, ai, f)
+			}
+		}
+		cs := a.Part.ColorSpace()
+		for _, c := range l.Domain {
+			pc := c
+			if a.Proj != nil {
+				pc = a.Proj(c)
+			}
+			if !cs.Contains(pc) {
+				return fmt.Errorf("ir: launch %s param %d: projected color %v outside partition %s's color space", name, ai, pc, a.Part.Name())
+			}
+		}
+	}
+	return nil
+}
+
+// ReplicableLoopBody reports whether a loop body consists only of the
+// statement forms control replication can transform: index launches and
+// scalar statements (including nested replicable loops). This is the §2.2
+// target-program check; the engine falls back to implicit execution for
+// anything else.
+func ReplicableLoopBody(body []Stmt) bool {
+	for _, s := range body {
+		switch s := s.(type) {
+		case *Launch, *SetScalar:
+			// fine
+		case *Loop:
+			if !ReplicableLoopBody(s.Body) {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,35 @@
+package lang_test
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/lang"
+)
+
+// ExampleCompile compiles a tiny textual program and runs it sequentially.
+func ExampleCompile() {
+	prog, err := lang.Compile(`
+program double
+region R[0..7] fields { x }
+partition PR = block(R, 2)
+task dbl(r: region writes(x) reads(x)) {
+  for p in r { r.x[p] = 2 * r.x[p] }
+}
+task total(r: region reads(x)) {
+  for p in r { result += r.x[p] }
+}
+fill R.x = idx
+for t = 0, 3 {
+  launch dbl(PR[i])
+  reduce + sum = launch total(PR[i])
+}
+`)
+	if err != nil {
+		panic(err)
+	}
+	res := ir.ExecSequential(prog)
+	fmt.Printf("sum = %g\n", res.Env["sum"]) // (0+..+7) * 2^3
+	// Output:
+	// sum = 224
+}

@@ -1,0 +1,220 @@
+package lang
+
+import (
+	"repro/internal/geometry"
+	"repro/internal/ir"
+	"repro/internal/region"
+)
+
+// Kernel compilation: task bodies are compiled to closures over ir.TaskCtx.
+// Accesses resolve their parameter and field bindings at compile time, so
+// execution is a plain tree walk with no name lookups. Privilege checking
+// happens here (with source positions), in addition to the ir layer's
+// strict dynamic enforcement.
+
+// kenv is the kernel's evaluation state.
+type kenv struct {
+	ctx        *ir.TaskCtx
+	vars       map[string]int64 // loop variables: point coordinates
+	result     float64
+	resultInit bool
+}
+
+type kstmtFn func(*kenv)
+type kexprFn func(*kenv) float64
+
+// compileKernel builds the task's executable body from its AST.
+func (b *builder) compileKernel(tk *astTask, params map[string]paramInfo) (func(*ir.TaskCtx), error) {
+	scope := map[string]bool{} // loop variables in scope
+	body, err := b.compileKStmts(tk, tk.body, params, scope)
+	if err != nil {
+		return nil, err
+	}
+	return func(ctx *ir.TaskCtx) {
+		env := &kenv{ctx: ctx, vars: map[string]int64{}}
+		for _, fn := range body {
+			fn(env)
+		}
+		if env.resultInit {
+			ctx.Return = env.result
+		}
+	}, nil
+}
+
+func (b *builder) compileKStmts(tk *astTask, stmts []astKStmt, params map[string]paramInfo, scope map[string]bool) ([]kstmtFn, error) {
+	var out []kstmtFn
+	for _, s := range stmts {
+		fn, err := b.compileKStmt(tk, s, params, scope)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, fn)
+	}
+	return out, nil
+}
+
+func (b *builder) compileKStmt(tk *astTask, s astKStmt, params map[string]paramInfo, scope map[string]bool) (kstmtFn, error) {
+	switch s := s.(type) {
+	case *astKFor:
+		info, ok := params[s.over]
+		if !ok || info.isScalar {
+			return nil, errAt(s.line, "for-loop must iterate a region parameter, %q is not one", s.over)
+		}
+		if scope[s.v] {
+			return nil, errAt(s.line, "loop variable %q shadows an outer loop variable", s.v)
+		}
+		inner := map[string]bool{}
+		for k := range scope {
+			inner[k] = true
+		}
+		inner[s.v] = true
+		body, err := b.compileKStmts(tk, s.body, params, inner)
+		if err != nil {
+			return nil, err
+		}
+		argIdx, v := info.argIdx, s.v
+		return func(env *kenv) {
+			env.ctx.Args[argIdx].Each(func(p geometry.Point) bool {
+				env.vars[v] = p.X()
+				for _, fn := range body {
+					fn(env)
+				}
+				return true
+			})
+			delete(env.vars, v)
+		}, nil
+	case *astKResult:
+		e, err := b.compileExpr(s.expr, params, scope)
+		if err != nil {
+			return nil, err
+		}
+		op := map[string]region.ReductionOp{"+": region.ReduceSum, "min": region.ReduceMin, "max": region.ReduceMax}[s.op]
+		return func(env *kenv) {
+			v := e(env)
+			if !env.resultInit {
+				env.result = op.Identity()
+				env.resultInit = true
+			}
+			env.result = op.Fold(env.result, v)
+		}, nil
+	case *astKAssign:
+		info, ok := params[s.dst.param]
+		if !ok || info.isScalar {
+			return nil, errAt(s.line, "unknown region parameter %q", s.dst.param)
+		}
+		idx, err := compileIndex(s.dst.idx, scope, s.line)
+		if err != nil {
+			return nil, err
+		}
+		e, err := b.compileExpr(s.expr, params, scope)
+		if err != nil {
+			return nil, err
+		}
+		argIdx := info.argIdx
+		switch s.op {
+		case "=":
+			fid, ok := info.writable[s.dst.field]
+			if !ok {
+				return nil, errAt(s.line, "parameter %q has no write privilege on field %q", s.dst.param, s.dst.field)
+			}
+			return func(env *kenv) {
+				env.ctx.Args[argIdx].Set(fid, idx(env), e(env))
+			}, nil
+		case "+=":
+			fid, ok := info.reduced[s.dst.field]
+			if !ok {
+				// Allow += as read-modify-write under full write privilege.
+				if wid, okW := info.writable[s.dst.field]; okW {
+					return func(env *kenv) {
+						p := idx(env)
+						a := &env.ctx.Args[argIdx]
+						a.Set(wid, p, a.Get(wid, p)+e(env))
+					}, nil
+				}
+				return nil, errAt(s.line, "parameter %q has no reduce or write privilege on field %q", s.dst.param, s.dst.field)
+			}
+			op := info.op
+			return func(env *kenv) {
+				env.ctx.Args[argIdx].Reduce(fid, op, idx(env), e(env))
+			}, nil
+		}
+	}
+	return nil, errAt(0, "unsupported kernel statement")
+}
+
+func compileIndex(idx astIndex, scope map[string]bool, line int) (func(*kenv) geometry.Point, error) {
+	if !scope[idx.v] {
+		return nil, errAt(line, "index variable %q is not a loop variable in scope", idx.v)
+	}
+	v, off, mod := idx.v, idx.off, idx.mod
+	if mod > 0 {
+		return func(env *kenv) geometry.Point {
+			x := env.vars[v] + off
+			return geometry.Pt1(((x % mod) + mod) % mod)
+		}, nil
+	}
+	return func(env *kenv) geometry.Point {
+		return geometry.Pt1(env.vars[v] + off)
+	}, nil
+}
+
+func (b *builder) compileExpr(e astExpr, params map[string]paramInfo, scope map[string]bool) (kexprFn, error) {
+	switch e := e.(type) {
+	case astNum:
+		v := e.v
+		return func(*kenv) float64 { return v }, nil
+	case astRef:
+		if scope[e.name] {
+			name := e.name
+			return func(env *kenv) float64 { return float64(env.vars[name]) }, nil
+		}
+		if info, ok := params[e.name]; ok && info.isScalar {
+			i := info.scalarIdx
+			return func(env *kenv) float64 { return env.ctx.Scalars[i] }, nil
+		}
+		return nil, errAt(e.line, "unknown name %q (not a loop variable or scalar parameter)", e.name)
+	case astAcc:
+		info, ok := params[e.a.param]
+		if !ok || info.isScalar {
+			return nil, errAt(e.a.line, "unknown region parameter %q", e.a.param)
+		}
+		fid, ok := info.readable[e.a.field]
+		if !ok {
+			return nil, errAt(e.a.line, "parameter %q has no read privilege on field %q", e.a.param, e.a.field)
+		}
+		idx, err := compileIndex(e.a.idx, scope, e.a.line)
+		if err != nil {
+			return nil, err
+		}
+		argIdx := info.argIdx
+		return func(env *kenv) float64 {
+			return env.ctx.Args[argIdx].Get(fid, idx(env))
+		}, nil
+	case astBin:
+		l, err := b.compileExpr(e.l, params, scope)
+		if err != nil {
+			return nil, err
+		}
+		r, err := b.compileExpr(e.r, params, scope)
+		if err != nil {
+			return nil, err
+		}
+		switch e.op {
+		case '+':
+			return func(env *kenv) float64 { return l(env) + r(env) }, nil
+		case '-':
+			return func(env *kenv) float64 { return l(env) - r(env) }, nil
+		case '*':
+			return func(env *kenv) float64 { return l(env) * r(env) }, nil
+		case '/':
+			return func(env *kenv) float64 { return l(env) / r(env) }, nil
+		}
+	case astNeg:
+		inner, err := b.compileExpr(e.e, params, scope)
+		if err != nil {
+			return nil, err
+		}
+		return func(env *kenv) float64 { return -inner(env) }, nil
+	}
+	return nil, errAt(0, "unsupported expression")
+}

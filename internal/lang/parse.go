@@ -1,0 +1,783 @@
+package lang
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// parser is a recursive-descent parser over the token stream.
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func parse(src string) (*astProgram, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	return p.program()
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) errf(t token, format string, args ...interface{}) error {
+	return fmt.Errorf("lang: line %d:%d: %s", t.line, t.col, fmt.Sprintf(format, args...))
+}
+
+// accept consumes the token if it matches the punctuation/keyword text.
+func (p *parser) accept(text string) bool {
+	if p.cur().text == text && p.cur().kind != tEOF {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(text string) error {
+	if !p.accept(text) {
+		return p.errf(p.cur(), "expected %q, found %s", text, p.cur())
+	}
+	return nil
+}
+
+func (p *parser) ident() (string, int, error) {
+	t := p.cur()
+	if t.kind != tIdent {
+		return "", 0, p.errf(t, "expected identifier, found %s", t)
+	}
+	p.pos++
+	return t.text, t.line, nil
+}
+
+func (p *parser) intLit() (int64, error) {
+	neg := p.accept("-")
+	t := p.cur()
+	if t.kind != tNumber {
+		return 0, p.errf(t, "expected integer, found %s", t)
+	}
+	v, err := strconv.ParseInt(t.text, 10, 64)
+	if err != nil {
+		return 0, p.errf(t, "bad integer %q", t.text)
+	}
+	p.pos++
+	if neg {
+		v = -v
+	}
+	return v, nil
+}
+
+func (p *parser) numLit() (float64, error) {
+	neg := p.accept("-")
+	t := p.cur()
+	if t.kind != tNumber {
+		return 0, p.errf(t, "expected number, found %s", t)
+	}
+	v, err := strconv.ParseFloat(t.text, 64)
+	if err != nil {
+		return 0, p.errf(t, "bad number %q", t.text)
+	}
+	p.pos++
+	if neg {
+		v = -v
+	}
+	return v, nil
+}
+
+func (p *parser) program() (*astProgram, error) {
+	prog := &astProgram{}
+	if err := p.expect("program"); err != nil {
+		return nil, err
+	}
+	name, _, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	prog.name = name
+	for p.cur().kind != tEOF {
+		t := p.cur()
+		switch t.text {
+		case "region":
+			r, err := p.regionDecl()
+			if err != nil {
+				return nil, err
+			}
+			prog.regions = append(prog.regions, r)
+		case "partition":
+			pd, err := p.partitionDecl()
+			if err != nil {
+				return nil, err
+			}
+			prog.parts = append(prog.parts, pd)
+		case "task":
+			tk, err := p.taskDecl()
+			if err != nil {
+				return nil, err
+			}
+			prog.tasks = append(prog.tasks, tk)
+		default:
+			s, err := p.mainStmt()
+			if err != nil {
+				return nil, err
+			}
+			prog.stmts = append(prog.stmts, s)
+		}
+	}
+	return prog, nil
+}
+
+// region NAME [lo..hi] fields { f, g }
+func (p *parser) regionDecl() (*astRegion, error) {
+	line := p.cur().line
+	p.pos++ // "region"
+	name, _, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect("["); err != nil {
+		return nil, err
+	}
+	lo, err := p.intLit()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(".."); err != nil {
+		return nil, err
+	}
+	hi, err := p.intLit()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect("]"); err != nil {
+		return nil, err
+	}
+	if err := p.expect("fields"); err != nil {
+		return nil, err
+	}
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	var fields []string
+	for {
+		f, _, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		fields = append(fields, f)
+		if !p.accept(",") {
+			break
+		}
+	}
+	if err := p.expect("}"); err != nil {
+		return nil, err
+	}
+	return &astRegion{name: name, lo: lo, hi: hi, fields: fields, line: line}, nil
+}
+
+// partition NAME = block(R, n) | image(R, P, shift(k)) | image(R, P, window(a, b))
+func (p *parser) partitionDecl() (*astPartition, error) {
+	line := p.cur().line
+	p.pos++ // "partition"
+	name, _, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect("="); err != nil {
+		return nil, err
+	}
+	kindTok := p.cur()
+	kind, _, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	pd := &astPartition{name: name, kind: kind, line: line}
+	switch kind {
+	case "block":
+		pd.region, _, err = p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(","); err != nil {
+			return nil, err
+		}
+		pd.n, err = p.intLit()
+		if err != nil {
+			return nil, err
+		}
+	case "image":
+		pd.region, _, err = p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(","); err != nil {
+			return nil, err
+		}
+		pd.srcPd, _, err = p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(","); err != nil {
+			return nil, err
+		}
+		fn, _, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		pd.fn.kind = fn
+		switch fn {
+		case "shift":
+			pd.fn.a, err = p.intLit()
+			if err != nil {
+				return nil, err
+			}
+		case "window", "ring":
+			pd.fn.a, err = p.intLit()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(","); err != nil {
+				return nil, err
+			}
+			pd.fn.b, err = p.intLit()
+			if err != nil {
+				return nil, err
+			}
+		default:
+			return nil, p.errf(kindTok, "unknown functor %q (have shift, window, ring)", fn)
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, p.errf(kindTok, "unknown partition operator %q (have block, image)", kind)
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	return pd, nil
+}
+
+// task NAME(a: region writes(f) reads(g), s: scalar) { ... }
+func (p *parser) taskDecl() (*astTask, error) {
+	line := p.cur().line
+	p.pos++ // "task"
+	name, _, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	tk := &astTask{name: name, line: line}
+	if !p.accept(")") {
+		for {
+			prm, err := p.param()
+			if err != nil {
+				return nil, err
+			}
+			tk.params = append(tk.params, prm)
+			if !p.accept(",") {
+				break
+			}
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+	}
+	body, err := p.kernelBlock()
+	if err != nil {
+		return nil, err
+	}
+	tk.body = body
+	return tk, nil
+}
+
+func (p *parser) param() (astParam, error) {
+	name, line, err := p.ident()
+	if err != nil {
+		return astParam{}, err
+	}
+	prm := astParam{name: name, line: line}
+	if err := p.expect(":"); err != nil {
+		return astParam{}, err
+	}
+	k, _, err := p.ident()
+	if err != nil {
+		return astParam{}, err
+	}
+	if k == "scalar" {
+		prm.isScalar = true
+		return prm, nil
+	}
+	if k != "region" {
+		return astParam{}, p.errf(p.cur(), "parameter kind must be region or scalar, found %q", k)
+	}
+	for {
+		t := p.cur()
+		switch t.text {
+		case "reads":
+			p.pos++
+			fs, err := p.fieldList()
+			if err != nil {
+				return astParam{}, err
+			}
+			prm.reads = append(prm.reads, fs...)
+		case "writes":
+			p.pos++
+			fs, err := p.fieldList()
+			if err != nil {
+				return astParam{}, err
+			}
+			prm.writes = append(prm.writes, fs...)
+		case "reduces":
+			p.pos++
+			opTok := p.next()
+			switch opTok.text {
+			case "+", "min", "max":
+				prm.reduceOp = opTok.text
+			default:
+				return astParam{}, p.errf(opTok, "reduction operator must be +, min, or max")
+			}
+			fs, err := p.fieldList()
+			if err != nil {
+				return astParam{}, err
+			}
+			prm.reduces = append(prm.reduces, fs...)
+		default:
+			if len(prm.reads)+len(prm.writes)+len(prm.reduces) == 0 {
+				return astParam{}, p.errf(t, "region parameter needs at least one privilege")
+			}
+			return prm, nil
+		}
+	}
+}
+
+func (p *parser) fieldList() ([]string, error) {
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	var fs []string
+	for {
+		f, _, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		fs = append(fs, f)
+		if !p.accept(",") {
+			break
+		}
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	return fs, nil
+}
+
+func (p *parser) kernelBlock() ([]astKStmt, error) {
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	var out []astKStmt
+	for !p.accept("}") {
+		s, err := p.kernelStmt()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+func (p *parser) kernelStmt() (astKStmt, error) {
+	t := p.cur()
+	switch {
+	case t.text == "for":
+		line := t.line
+		p.pos++
+		v, _, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("in"); err != nil {
+			return nil, err
+		}
+		over, _, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		body, err := p.kernelBlock()
+		if err != nil {
+			return nil, err
+		}
+		return &astKFor{v: v, over: over, body: body, line: line}, nil
+	case t.text == "result":
+		line := t.line
+		p.pos++
+		opTok := p.next()
+		op := ""
+		switch opTok.text {
+		case "+=":
+			op = "+"
+		case "min", "max":
+			op = opTok.text
+			if err := p.expect("="); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, p.errf(opTok, "result accumulation must be +=, min=, or max=")
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &astKResult{op: op, expr: e, line: line}, nil
+	default:
+		line := t.line
+		acc, err := p.access()
+		if err != nil {
+			return nil, err
+		}
+		opTok := p.next()
+		var op string
+		switch opTok.text {
+		case "=":
+			op = "="
+		case "+=":
+			op = "+="
+		default:
+			return nil, p.errf(opTok, "expected = or += after access")
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &astKAssign{dst: acc, op: op, expr: e, line: line}, nil
+	}
+}
+
+// access := IDENT . IDENT [ index ]
+func (p *parser) access() (astAccess, error) {
+	prm, line, err := p.ident()
+	if err != nil {
+		return astAccess{}, err
+	}
+	if err := p.expect("."); err != nil {
+		return astAccess{}, err
+	}
+	field, _, err := p.ident()
+	if err != nil {
+		return astAccess{}, err
+	}
+	if err := p.expect("["); err != nil {
+		return astAccess{}, err
+	}
+	idx, err := p.index()
+	if err != nil {
+		return astAccess{}, err
+	}
+	if err := p.expect("]"); err != nil {
+		return astAccess{}, err
+	}
+	return astAccess{param: prm, field: field, idx: idx, line: line}, nil
+}
+
+// index := IDENT (("+"|"-") INT ("mod" INT)?)?
+func (p *parser) index() (astIndex, error) {
+	v, _, err := p.ident()
+	if err != nil {
+		return astIndex{}, err
+	}
+	idx := astIndex{v: v}
+	if p.accept("+") {
+		idx.off, err = p.intLit()
+		if err != nil {
+			return astIndex{}, err
+		}
+	} else if p.accept("-") {
+		off, err := p.intLit()
+		if err != nil {
+			return astIndex{}, err
+		}
+		idx.off = -off
+	}
+	if p.accept("mod") {
+		idx.mod, err = p.intLit()
+		if err != nil {
+			return astIndex{}, err
+		}
+		if idx.mod <= 0 {
+			return astIndex{}, fmt.Errorf("lang: mod must be positive")
+		}
+	}
+	return idx, nil
+}
+
+// Expression grammar: expr := term (("+"|"-") term)*; term := factor
+// (("*"|"/") factor)*; factor := NUMBER | access | IDENT | (expr) | -factor.
+func (p *parser) parseExpr() (astExpr, error) {
+	l, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		if p.accept("+") {
+			r, err := p.parseTerm()
+			if err != nil {
+				return nil, err
+			}
+			l = astBin{op: '+', l: l, r: r}
+		} else if p.accept("-") {
+			r, err := p.parseTerm()
+			if err != nil {
+				return nil, err
+			}
+			l = astBin{op: '-', l: l, r: r}
+		} else {
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) parseTerm() (astExpr, error) {
+	l, err := p.parseFactor()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		if p.accept("*") {
+			r, err := p.parseFactor()
+			if err != nil {
+				return nil, err
+			}
+			l = astBin{op: '*', l: l, r: r}
+		} else if p.accept("/") {
+			r, err := p.parseFactor()
+			if err != nil {
+				return nil, err
+			}
+			l = astBin{op: '/', l: l, r: r}
+		} else {
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) parseFactor() (astExpr, error) {
+	t := p.cur()
+	switch {
+	case t.text == "(":
+		p.pos++
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case t.text == "-":
+		p.pos++
+		e, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		return astNeg{e: e}, nil
+	case t.kind == tNumber:
+		v, err := p.numLit()
+		if err != nil {
+			return nil, err
+		}
+		return astNum{v: v}, nil
+	case t.kind == tIdent:
+		// Either an access (IDENT '.' ...) or a scalar/loop-var reference.
+		if p.toks[p.pos+1].text == "." {
+			acc, err := p.access()
+			if err != nil {
+				return nil, err
+			}
+			return astAcc{a: acc}, nil
+		}
+		name, line, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		return astRef{name: name, line: line}, nil
+	default:
+		return nil, p.errf(t, "expected expression, found %s", t)
+	}
+}
+
+// Main-level statements.
+func (p *parser) mainStmt() (astStmt, error) {
+	t := p.cur()
+	switch t.text {
+	case "fill":
+		line := t.line
+		p.pos++
+		region, _, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("."); err != nil {
+			return nil, err
+		}
+		field, _, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("="); err != nil {
+			return nil, err
+		}
+		if p.accept("idx") {
+			return &astFill{region: region, field: field, idx: true, line: line}, nil
+		}
+		v, err := p.numLit()
+		if err != nil {
+			return nil, err
+		}
+		return &astFill{region: region, field: field, value: v, line: line}, nil
+	case "var":
+		line := t.line
+		p.pos++
+		name, _, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("="); err != nil {
+			return nil, err
+		}
+		v, err := p.numLit()
+		if err != nil {
+			return nil, err
+		}
+		return &astVar{name: name, value: v, line: line}, nil
+	case "for":
+		line := t.line
+		p.pos++
+		v, _, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("="); err != nil {
+			return nil, err
+		}
+		lo, err := p.intLit()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(","); err != nil {
+			return nil, err
+		}
+		hi, err := p.intLit()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("{"); err != nil {
+			return nil, err
+		}
+		var body []astStmt
+		for !p.accept("}") {
+			s, err := p.mainStmt()
+			if err != nil {
+				return nil, err
+			}
+			body = append(body, s)
+		}
+		return &astLoop{v: v, lo: lo, hi: hi, body: body, line: line}, nil
+	case "launch":
+		return p.launchStmt("", "")
+	case "reduce":
+		line := t.line
+		p.pos++
+		opTok := p.next()
+		switch opTok.text {
+		case "+", "min", "max":
+		default:
+			return nil, p.errf(opTok, "reduce operator must be +, min, or max")
+		}
+		into, _, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("="); err != nil {
+			return nil, err
+		}
+		if p.cur().text != "launch" {
+			return nil, p.errf(p.cur(), "expected launch after reduce %s %s =", opTok.text, into)
+		}
+		l, err := p.launchStmt(opTok.text, into)
+		if err != nil {
+			return nil, err
+		}
+		l.(*astLaunch).line = line
+		return l, nil
+	default:
+		return nil, p.errf(t, "expected statement, found %s", t)
+	}
+}
+
+// launch TASK(P[i], Q[i]; s1, 2.0)
+func (p *parser) launchStmt(reduceOp, reduceInto string) (astStmt, error) {
+	line := p.cur().line
+	p.pos++ // "launch"
+	task, _, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	l := &astLaunch{task: task, reduceOp: reduceOp, reduceInto: reduceInto, line: line}
+	for p.cur().text != ")" && p.cur().text != ";" {
+		part, _, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("["); err != nil {
+			return nil, err
+		}
+		if err := p.expect("i"); err != nil {
+			return nil, err
+		}
+		if err := p.expect("]"); err != nil {
+			return nil, err
+		}
+		l.args = append(l.args, part)
+		if !p.accept(",") {
+			break
+		}
+	}
+	if p.accept(";") {
+		for {
+			t := p.cur()
+			if t.kind == tNumber || t.text == "-" {
+				v, err := p.numLit()
+				if err != nil {
+					return nil, err
+				}
+				l.scalarArgs = append(l.scalarArgs, astNum{v: v})
+			} else {
+				name, ln, err := p.ident()
+				if err != nil {
+					return nil, err
+				}
+				l.scalarArgs = append(l.scalarArgs, astRef{name: name, line: ln})
+			}
+			if !p.accept(",") {
+				break
+			}
+		}
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	return l, nil
+}

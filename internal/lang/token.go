@@ -1,0 +1,139 @@
+// Package lang is a textual frontend for the Regent subset this repository
+// targets: a lexer, recursive-descent parser, and semantic analysis that
+// turn source text into an ir.Program — regions, partitions (block and
+// image), tasks with privileges whose bodies are interpreted kernels, and
+// main loops of index launches with scalar reductions. The paper's Figure 2
+// can be written directly:
+//
+//	program figure2
+//	region A[0..63] fields { val }
+//	region B[0..63] fields { val }
+//	partition PA = block(A, 8)
+//	partition PB = block(B, 8)
+//	partition QB = image(B, PB, shift(3))
+//
+//	task TF(b: region writes(val) reads(val), a: region reads(val)) {
+//	  for p in b { b.val[p] = a.val[p] + 1 }
+//	}
+//	task TG(a: region writes(val) reads(val), b: region reads(val)) {
+//	  for p in a { a.val[p] = 2 * b.val[p + 3 mod 64] }
+//	}
+//
+//	fill A.val = idx
+//	fill B.val = 0
+//	for t = 0, 4 {
+//	  launch TF(PB[i], PA[i])
+//	  launch TG(PA[i], QB[i])
+//	}
+//
+// Compiled programs run on every engine (sequential, implicit, control-
+// replicated) like any other ir.Program.
+package lang
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// kind is a token kind.
+type kind int
+
+const (
+	tEOF kind = iota
+	tIdent
+	tNumber
+	tPunct // single/multi-char punctuation, stored in text
+)
+
+// token is one lexeme with its position.
+type token struct {
+	kind kind
+	text string
+	line int
+	col  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tEOF:
+		return "end of input"
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+// lex splits source text into tokens. Comments run from '#' to end of line.
+func lex(src string) ([]token, error) {
+	var toks []token
+	line, col := 1, 1
+	i := 0
+	emit := func(k kind, text string, startCol int) {
+		toks = append(toks, token{kind: k, text: text, line: line, col: startCol})
+	}
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			col = 1
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+			col++
+		case c == '#':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case unicode.IsLetter(rune(c)) || c == '_':
+			start, startCol := i, col
+			for i < len(src) && (unicode.IsLetter(rune(src[i])) || unicode.IsDigit(rune(src[i])) || src[i] == '_') {
+				i++
+				col++
+			}
+			emit(tIdent, src[start:i], startCol)
+		case unicode.IsDigit(rune(c)) || (c == '.' && i+1 < len(src) && unicode.IsDigit(rune(src[i+1]))):
+			start, startCol := i, col
+			seenDot := false
+			for i < len(src) {
+				ch := src[i]
+				if unicode.IsDigit(rune(ch)) {
+					i++
+					col++
+					continue
+				}
+				// A '.' starts a fraction only if not part of the '..' range
+				// operator and followed by a digit.
+				if ch == '.' && !seenDot && i+1 < len(src) && unicode.IsDigit(rune(src[i+1])) {
+					seenDot = true
+					i++
+					col++
+					continue
+				}
+				break
+			}
+			emit(tNumber, src[start:i], startCol)
+		default:
+			startCol := col
+			// Multi-char operators first.
+			two := ""
+			if i+1 < len(src) {
+				two = src[i : i+2]
+			}
+			switch {
+			case two == "..", two == "+=", two == "==", two == "!=", two == "<=", two == ">=":
+				emit(tPunct, two, startCol)
+				i += 2
+				col += 2
+			case strings.ContainsRune("()[]{}.,:;=+-*/%<>", rune(c)):
+				emit(tPunct, string(c), startCol)
+				i++
+				col++
+			default:
+				return nil, fmt.Errorf("lang: line %d:%d: unexpected character %q", line, col, c)
+			}
+		}
+	}
+	toks = append(toks, token{kind: tEOF, line: line, col: col})
+	return toks, nil
+}

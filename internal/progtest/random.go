@@ -1,0 +1,176 @@
+package progtest
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/geometry"
+	"repro/internal/ir"
+	"repro/internal/region"
+)
+
+// RandomProgram generates a random but well-formed implicitly parallel
+// program for cross-engine equivalence testing: one region with two fields,
+// a disjoint block partition and two random image partitions, and a loop of
+// randomly chosen launches — writers (write the block partition, read an
+// image), reducers (sum-reduce into an image), and scalar folds. The
+// returned program is valid for sequential, implicit, and control-
+// replicated execution, and all three must produce bitwise-identical
+// results.
+func RandomProgram(seed int64) (*ir.Program, []*region.Region, []region.FieldID) {
+	rng := rand.New(rand.NewSource(seed))
+	p := ir.NewProgram(fmt.Sprintf("random-%d", seed))
+	fs := region.NewFieldSpace("x", "y")
+	x, y := fs.Field("x"), fs.Field("y")
+
+	n := int64(24 + rng.Intn(4)*8)
+	nt := int64(3 + rng.Intn(4)) // 3..6 colors: uneven shard ownership
+	r := p.Tree.NewRegion("R", geometry.NewIndexSpace(geometry.R1(0, n-1)))
+	p.FieldSpaces[r] = fs
+	pr := r.Block("PR", nt)
+
+	images := make([]*region.Partition, 2)
+	for i := range images {
+		shift := int64(rng.Intn(int(n)))
+		fan := 1 + rng.Intn(2)
+		images[i] = region.Image(r, pr, fmt.Sprintf("Q%d", i), func(pt geometry.Point) []geometry.Point {
+			out := make([]geometry.Point, 0, fan)
+			for k := 0; k < fan; k++ {
+				out = append(out, geometry.Pt1((pt.X()+shift+int64(k)*3)%n))
+			}
+			return out
+		})
+	}
+
+	fields := []region.FieldID{x, y}
+	pick := func(fs []region.FieldID) region.FieldID { return fs[rng.Intn(len(fs))] }
+
+	newWriter := func(id int) *ir.Launch {
+		// Write one field while reading the other through the aliased image:
+		// reading the written field through an aliased partition within one
+		// launch would make the forall tasks genuinely conflict (the engines
+		// reject that), so a two-field ping-pong is the well-formed shape,
+		// exactly like PRK stencil's separate in/out arrays.
+		wf := pick(fields)
+		rf := x
+		if wf == x {
+			rf = y
+		}
+		img := images[rng.Intn(len(images))]
+		c1 := 0.5 + float64(rng.Intn(3))*0.25
+		c2 := 0.125 * float64(1+rng.Intn(3))
+		task := &ir.TaskDecl{
+			Name: fmt.Sprintf("writer%d", id),
+			Params: []ir.Param{
+				{Priv: ir.PrivReadWrite, Fields: []region.FieldID{wf}},
+				{Priv: ir.PrivRead, Fields: []region.FieldID{rf}},
+			},
+			NumScalars: 1,
+			Kernel: func(tc *ir.TaskCtx) {
+				own, ghost := &tc.Args[0], &tc.Args[1]
+				sum := 0.0
+				ghost.Each(func(pt geometry.Point) bool {
+					sum += ghost.Get(rf, pt)
+					return true
+				})
+				s := tc.Scalars[0]
+				own.Each(func(pt geometry.Point) bool {
+					own.Set(wf, pt, own.Get(wf, pt)*c1+sum*c2*0.001+float64(pt.X())*0.25+s*0.125)
+					return true
+				})
+			},
+			CostPerElem: 50,
+		}
+		return &ir.Launch{
+			Task: task, Domain: ir.Colors1D(nt),
+			Args:       []ir.RegionArg{{Part: pr}, {Part: img}},
+			ScalarArgs: []ir.ScalarExpr{ir.VarExpr("s")},
+			Label:      task.Name,
+		}
+	}
+
+	newReducer := func(id int) *ir.Launch {
+		rf := pick(fields)
+		img := images[rng.Intn(len(images))]
+		task := &ir.TaskDecl{
+			Name:   fmt.Sprintf("reducer%d", id),
+			Params: []ir.Param{{Priv: ir.PrivReduce, Op: region.ReduceSum, Fields: []region.FieldID{rf}}},
+			Kernel: func(tc *ir.TaskCtx) {
+				a := &tc.Args[0]
+				a.Each(func(pt geometry.Point) bool {
+					a.Reduce(rf, region.ReduceSum, pt, 0.25+float64(pt.X())*0.0625)
+					return true
+				})
+			},
+			CostPerElem: 50,
+		}
+		return &ir.Launch{Task: task, Domain: ir.Colors1D(nt), Args: []ir.RegionArg{{Part: img}}, Label: task.Name}
+	}
+
+	newScalarFold := func(id int) *ir.Launch {
+		rf := pick(fields)
+		task := &ir.TaskDecl{
+			Name:   fmt.Sprintf("fold%d", id),
+			Params: []ir.Param{{Priv: ir.PrivRead, Fields: []region.FieldID{rf}}},
+			Kernel: func(tc *ir.TaskCtx) {
+				a := &tc.Args[0]
+				a.Each(func(pt geometry.Point) bool {
+					tc.Return += a.Get(rf, pt) * 0.0625
+					return true
+				})
+			},
+			CostPerElem: 50,
+		}
+		return &ir.Launch{
+			Task: task, Domain: ir.Colors1D(nt),
+			Args:   []ir.RegionArg{{Part: pr}},
+			Reduce: &ir.ScalarReduce{Into: "s", Op: region.ReduceSum},
+			Label:  task.Name,
+		}
+	}
+
+	// Body: a random mix of writers, reducers, and scalar folds; the first
+	// statement is random too, so ghost instances are sometimes consumed
+	// before the first in-loop write (exercising the initialization copies).
+	mk := func(i int) ir.Stmt {
+		switch rng.Intn(3) {
+		case 0:
+			return newWriter(i)
+		case 1:
+			return newReducer(i)
+		default:
+			return newScalarFold(i)
+		}
+	}
+	// Each loop must use the disjoint partition through at least one launch
+	// (a writer or a fold): reductions into aliased images need a disjoint
+	// finalization home, and the compiler rejects loops without one.
+	mkBody := func(base, n int) []ir.Stmt {
+		var body []ir.Stmt
+		if rng.Intn(2) == 0 {
+			body = append(body, newWriter(base))
+		} else {
+			body = append(body, newScalarFold(base))
+		}
+		for i := 1; i < n; i++ {
+			body = append(body, mk(base+i))
+		}
+		// Shuffle so the disjoint-using launch isn't always first.
+		rng.Shuffle(len(body), func(i, j int) { body[i], body[j] = body[j], body[i] })
+		return body
+	}
+	body := mkBody(0, 2+rng.Intn(4))
+
+	p.Scalars["s"] = 1
+	p.Add(
+		&ir.FillFunc{Target: r, Field: x, Fn: func(pt geometry.Point) float64 { return float64(pt.X()) * 0.5 }},
+		&ir.FillFunc{Target: r, Field: y, Fn: func(pt geometry.Point) float64 { return 2 - float64(pt.X())*0.25 }},
+		&ir.Loop{Var: "t", Trip: 1 + rng.Intn(3), Body: body},
+	)
+	// Sometimes a second, independently replicated loop follows (§2.2: CR
+	// applies to different parts of the program independently).
+	if rng.Intn(2) == 0 {
+		p.Add(&ir.Loop{Var: "u", Trip: 1 + rng.Intn(2), Body: mkBody(100, 1+rng.Intn(3))})
+	}
+	return p, []*region.Region{r}, fields
+}

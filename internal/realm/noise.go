@@ -1,0 +1,33 @@
+package realm
+
+// NoiseFn scales a task's duration for a given (node, iteration) pair,
+// modeling OS noise and load imbalance — the phenomenon that makes bulk-
+// synchronous codes lose efficiency at scale (every iteration waits for the
+// slowest node). Implementations must be deterministic.
+type NoiseFn func(node, iter int) float64
+
+// SpikeNoise returns a NoiseFn where a deterministic pseudo-random prob
+// fraction of (node, iteration) pairs run ampl slower (factor 1+ampl), the
+// heavy-tail noise profile of real clusters. salt decorrelates different
+// runs' spike placement.
+func SpikeNoise(prob, ampl float64, salt uint64) NoiseFn {
+	if prob <= 0 || ampl <= 0 {
+		return nil
+	}
+	threshold := uint64(prob * (1 << 32))
+	return func(node, iter int) float64 {
+		h := splitmix(uint64(node)*0x9e3779b97f4a7c15 ^ uint64(iter)*0xbf58476d1ce4e5b9 ^ salt)
+		if h&0xffffffff < threshold {
+			return 1 + ampl
+		}
+		return 1
+	}
+}
+
+// splitmix is the splitmix64 finalizer, a fast deterministic hash.
+func splitmix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

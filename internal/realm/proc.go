@@ -1,0 +1,126 @@
+package realm
+
+// Node is one simulated compute node: a set of processors sharing a memory
+// and one network link (whose bandwidth serializes outgoing transfers).
+type Node struct {
+	sim        *Sim
+	id         int
+	procs      []*Proc
+	linkFreeAt Time
+	busy       Time // accumulated processor busy time on this node
+}
+
+// ID returns the node index.
+func (n *Node) ID() int { return n.id }
+
+// Procs returns the node's processors.
+func (n *Node) Procs() []*Proc { return n.procs }
+
+// Proc returns processor i of the node.
+func (n *Node) Proc(i int) *Proc { return n.procs[i] }
+
+// BusyTime returns the total processor-busy virtual time accumulated on the
+// node, used to compute utilization in the harness.
+func (n *Node) BusyTime() Time { return n.busy }
+
+// Proc is a single simulated processor executing work items one at a time
+// in FIFO order of readiness.
+type Proc struct {
+	node   *Node
+	id     int
+	freeAt Time
+}
+
+// Node returns the processor's node.
+func (p *Proc) Node() *Node { return p.node }
+
+// ID returns the processor index within its node.
+func (p *Proc) ID() int { return p.id }
+
+// FreeAt returns the earliest virtual time at which the processor is idle.
+func (p *Proc) FreeAt() Time { return p.freeAt }
+
+// Launch schedules a work item on the processor: once pre triggers, the
+// item occupies the processor for dur, then body (if non-nil) runs and the
+// returned completion event fires. Items are serviced in the order their
+// preconditions trigger, modeling a FIFO ready queue.
+func (p *Proc) Launch(pre Event, dur Time, body func()) Event {
+	s := p.node.sim
+	done := s.NewUserEvent()
+	s.OnTrigger(pre, func() {
+		start := p.freeAt
+		if s.now > start {
+			start = s.now
+		}
+		p.freeAt = start + dur
+		p.node.busy += dur
+		s.stats.TasksRun++
+		if s.tracer != nil && dur > 0 {
+			s.tracer.task(p.node.id, p.id, start, start+dur)
+		}
+		s.at(p.freeAt, func() {
+			if body != nil {
+				body()
+			}
+			s.Trigger(done)
+		})
+	})
+	return done
+}
+
+// LaunchAuto schedules a work item on whichever of the node's processors
+// becomes free earliest (ties broken by processor index), the mapping
+// strategy of a default mapper distributing a shard's tasks across the
+// node's cores.
+func (n *Node) LaunchAuto(pre Event, dur Time, body func()) Event {
+	s := n.sim
+	done := s.NewUserEvent()
+	s.OnTrigger(pre, func() {
+		best := n.procs[0]
+		for _, p := range n.procs[1:] {
+			if p.freeAt < best.freeAt {
+				best = p
+			}
+		}
+		inner := best.Launch(NoEvent, dur, body)
+		s.OnTrigger(inner, func() { s.Trigger(done) })
+	})
+	return done
+}
+
+// Copy models a data transfer of the given size from node src to node dst:
+// after pre triggers, the transfer waits for the sender's link, pays
+// latency plus size/bandwidth, then body runs at the destination and the
+// returned event fires. Copies within a node pay the (cheaper) local
+// latency and bandwidth and do not occupy the link.
+func (s *Sim) Copy(src, dst *Node, bytes int64, pre Event, body func()) Event {
+	done := s.NewUserEvent()
+	s.OnTrigger(pre, func() {
+		var arrive Time
+		if src == dst {
+			cost := s.cfg.LocalLatency + Time(float64(bytes)/s.cfg.LocalBW)
+			arrive = s.now + cost
+			s.stats.LocalCopies++
+		} else {
+			start := src.linkFreeAt
+			if s.now > start {
+				start = s.now
+			}
+			xfer := Time(float64(bytes) / s.cfg.NetBandwidth)
+			src.linkFreeAt = start + xfer
+			arrive = start + xfer + s.cfg.NetLatency
+			s.stats.Messages++
+			s.stats.BytesSent += bytes
+			if s.tracer != nil {
+				s.tracer.message(src.id, dst.id, bytes, start, arrive)
+			}
+		}
+		s.at(arrive, func() {
+			if body != nil {
+				body()
+			}
+			s.Trigger(done)
+		})
+	})
+	return done
+}

@@ -1,0 +1,283 @@
+// Package realm is a deterministic discrete-event simulation (DES) of a
+// distributed-memory machine, standing in for the Realm low-level runtime
+// and the Piz Daint hardware of the paper's evaluation (see DESIGN.md §1
+// for the substitution argument). It provides the primitives Legion-style
+// runtimes are built from: processors with FIFO work queues, Legion-style
+// deferred events, a network with per-message latency and per-link
+// bandwidth serialization, phase barriers, point-to-point synchronization,
+// dynamic collectives (§4.4), and cooperatively scheduled simulated threads
+// for long-running control code.
+//
+// Everything advances a single virtual clock; the simulation is
+// deterministic: events at equal times are processed in creation order, and
+// at most one simulated thread runs at any moment.
+package realm
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Time is virtual time in nanoseconds.
+type Time int64
+
+// Time constructors and accessors.
+func Nanoseconds(n int64) Time       { return Time(n) }
+func Microseconds(f float64) Time    { return Time(f * 1e3) }
+func Milliseconds(f float64) Time    { return Time(f * 1e6) }
+func SecondsT(f float64) Time        { return Time(f * 1e9) }
+func (t Time) Seconds() float64      { return float64(t) / 1e9 }
+func (t Time) Microseconds() float64 { return float64(t) / 1e3 }
+
+// Event is a handle on a one-shot condition, in the style of Realm events:
+// it is either not yet triggered or triggered, and consumers register
+// continuations. The zero Event (NoEvent) is permanently triggered.
+type Event int32
+
+// NoEvent is the already-triggered event used for operations with no
+// preconditions.
+const NoEvent Event = 0
+
+// Config describes the simulated machine.
+type Config struct {
+	Nodes        int     // node count
+	CoresPerNode int     // processors per node
+	NetLatency   Time    // end-to-end latency per remote message
+	NetBandwidth float64 // bytes per nanosecond per link
+	LocalLatency Time    // latency of a node-local copy
+	LocalBW      float64 // bytes per nanosecond for node-local copies
+	HopLatency   Time    // per-tree-level latency of barriers/collectives
+}
+
+// DefaultConfig returns machine parameters loosely calibrated to a Cray
+// XC-class system: ~1.5 us network latency, ~10 GB/s per-link bandwidth,
+// 12 cores per node.
+func DefaultConfig(nodes int) Config {
+	return Config{
+		Nodes:        nodes,
+		CoresPerNode: 12,
+		NetLatency:   Microseconds(1.5),
+		NetBandwidth: 10.0, // 10 bytes/ns = 10 GB/s
+		LocalLatency: Microseconds(0.1),
+		LocalBW:      50.0,
+		HopLatency:   Microseconds(1.0),
+	}
+}
+
+// Stats accumulates machine-wide counters during a run.
+type Stats struct {
+	Messages    int64 // remote copies issued
+	BytesSent   int64 // remote bytes moved
+	LocalCopies int64
+	TasksRun    int64
+	Events      int64 // events processed by the scheduler
+}
+
+// Sim is the simulator: the event heap, virtual clock, machine state, and
+// statistics.
+type Sim struct {
+	cfg   Config
+	now   Time
+	seq   int64
+	queue eventQueue
+	evs   []eventState // index = Event-1
+	nodes []*Node
+	stats Stats
+
+	running     bool
+	activeYield chan struct{} // signaled when the active thread yields
+	tracer      *Tracer
+	liveThreads map[*Thread]bool
+}
+
+type eventState struct {
+	triggered bool
+	waiters   []func()
+}
+
+type queued struct {
+	at  Time
+	seq int64
+	fn  func()
+}
+
+type eventQueue []queued
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(queued)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	item := old[n-1]
+	*q = old[:n-1]
+	return item
+}
+
+// NewSim builds a simulator for the given machine.
+func NewSim(cfg Config) *Sim {
+	if cfg.Nodes <= 0 || cfg.CoresPerNode <= 0 {
+		panic("realm: config requires at least one node and one core")
+	}
+	s := &Sim{cfg: cfg, activeYield: make(chan struct{}), liveThreads: map[*Thread]bool{}}
+	s.nodes = make([]*Node, cfg.Nodes)
+	for i := range s.nodes {
+		n := &Node{sim: s, id: i}
+		n.procs = make([]*Proc, cfg.CoresPerNode)
+		for j := range n.procs {
+			n.procs[j] = &Proc{node: n, id: j}
+		}
+		s.nodes[i] = n
+	}
+	return s
+}
+
+// Config returns the machine configuration.
+func (s *Sim) Config() Config { return s.cfg }
+
+// Now returns the current virtual time.
+func (s *Sim) Now() Time { return s.now }
+
+// Stats returns a copy of the counters accumulated so far.
+func (s *Sim) Stats() Stats { return s.stats }
+
+// Node returns node i.
+func (s *Sim) Node(i int) *Node { return s.nodes[i] }
+
+// Nodes returns the node count.
+func (s *Sim) Nodes() int { return len(s.nodes) }
+
+// at schedules fn at absolute virtual time t (>= now).
+func (s *Sim) at(t Time, fn func()) {
+	if t < s.now {
+		t = s.now
+	}
+	s.seq++
+	heap.Push(&s.queue, queued{at: t, seq: s.seq, fn: fn})
+}
+
+// After schedules fn d nanoseconds from now.
+func (s *Sim) After(d Time, fn func()) { s.at(s.now+d, fn) }
+
+// NewUserEvent creates an untriggered event.
+func (s *Sim) NewUserEvent() Event {
+	s.evs = append(s.evs, eventState{})
+	return Event(len(s.evs))
+}
+
+// Trigger fires a user event; continuations run immediately (at the current
+// virtual time) in registration order. Triggering twice panics: event
+// handles are one-shot.
+func (s *Sim) Trigger(e Event) {
+	if e == NoEvent {
+		panic("realm: cannot trigger NoEvent")
+	}
+	st := &s.evs[e-1]
+	if st.triggered {
+		panic(fmt.Sprintf("realm: event %d triggered twice", e))
+	}
+	st.triggered = true
+	waiters := st.waiters
+	st.waiters = nil
+	for _, fn := range waiters {
+		fn()
+	}
+}
+
+// Triggered reports whether e has fired.
+func (s *Sim) Triggered(e Event) bool {
+	return e == NoEvent || s.evs[e-1].triggered
+}
+
+// OnTrigger runs fn when e fires (immediately if it already has).
+func (s *Sim) OnTrigger(e Event, fn func()) {
+	if s.Triggered(e) {
+		fn()
+		return
+	}
+	st := &s.evs[e-1]
+	st.waiters = append(st.waiters, fn)
+}
+
+// Merge returns an event that triggers once all inputs have triggered
+// (Realm's event merger).
+func (s *Sim) Merge(evs ...Event) Event {
+	pending := 0
+	for _, e := range evs {
+		if !s.Triggered(e) {
+			pending++
+		}
+	}
+	if pending == 0 {
+		return NoEvent
+	}
+	out := s.NewUserEvent()
+	remaining := pending
+	for _, e := range evs {
+		if s.Triggered(e) {
+			continue
+		}
+		s.OnTrigger(e, func() {
+			remaining--
+			if remaining == 0 {
+				s.Trigger(out)
+			}
+		})
+	}
+	return out
+}
+
+// AfterEvent returns an event that fires d nanoseconds after e does.
+func (s *Sim) AfterEvent(e Event, d Time) Event {
+	if d == 0 {
+		return e
+	}
+	out := s.NewUserEvent()
+	s.OnTrigger(e, func() {
+		s.After(d, func() { s.Trigger(out) })
+	})
+	return out
+}
+
+// Run processes events until the queue is empty and all threads have
+// finished, returning the final virtual time.
+func (s *Sim) Run() Time {
+	if s.running {
+		panic("realm: Run is not reentrant")
+	}
+	s.running = true
+	defer func() { s.running = false }()
+	for s.queue.Len() > 0 {
+		item := heap.Pop(&s.queue).(queued)
+		s.now = item.at
+		s.stats.Events++
+		item.fn()
+	}
+	if len(s.liveThreads) > 0 {
+		names := make([]string, 0, len(s.liveThreads))
+		for t := range s.liveThreads {
+			names = append(names, t.name)
+		}
+		sort.Strings(names)
+		panic(fmt.Sprintf("realm: deadlock — no events pending but %d threads are blocked: %v", len(names), names))
+	}
+	return s.now
+}
+
+// CollectiveLatency returns the modeled latency of an n-participant
+// tree-structured collective operation.
+func (s *Sim) CollectiveLatency(n int) Time {
+	if n <= 1 {
+		return 0
+	}
+	levels := int(math.Ceil(math.Log2(float64(n))))
+	return Time(levels) * s.cfg.HopLatency
+}

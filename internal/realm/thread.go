@@ -1,0 +1,179 @@
+package realm
+
+// Thread is a cooperatively scheduled simulated thread of control: the
+// vehicle for long-running control logic (the implicit program's main task,
+// a CR shard's control loop, an MPI rank). A thread runs real Go code in
+// its own goroutine, but the simulator guarantees at most one thread (or
+// event continuation) executes at a time, so the simulation stays
+// deterministic and data-race free.
+//
+// A thread interacts with virtual time through Elapse (charge busy time on
+// its processor) and WaitEvent (sleep until an event fires).
+type Thread struct {
+	sim    *Sim
+	proc   *Proc
+	name   string
+	resume chan struct{}
+}
+
+// Spawn starts fn as a simulated thread bound to proc, beginning at the
+// current virtual time. Spawn may be called before Run or from any running
+// thread or event continuation.
+func (s *Sim) Spawn(name string, proc *Proc, fn func(*Thread)) {
+	t := &Thread{sim: s, proc: proc, name: name, resume: make(chan struct{})}
+	s.liveThreads[t] = true
+	go func() {
+		<-t.resume // wait for first scheduling
+		fn(t)
+		delete(s.liveThreads, t)
+		s.activeYield <- struct{}{} // final yield: thread is done
+	}()
+	s.at(s.now, func() { t.run() })
+}
+
+// run transfers control to the thread until it yields.
+func (t *Thread) run() {
+	t.resume <- struct{}{}
+	<-t.sim.activeYield
+}
+
+// yield returns control to the scheduler and blocks until resumed.
+func (t *Thread) yield() {
+	t.sim.activeYield <- struct{}{}
+	<-t.resume
+}
+
+// Sim returns the simulator the thread runs in.
+func (t *Thread) Sim() *Sim { return t.sim }
+
+// Proc returns the processor the thread is bound to.
+func (t *Thread) Proc() *Proc { return t.proc }
+
+// Node returns the node the thread runs on.
+func (t *Thread) Node() *Node { return t.proc.node }
+
+// Name returns the thread's diagnostic name.
+func (t *Thread) Name() string { return t.name }
+
+// Now returns the current virtual time.
+func (t *Thread) Now() Time { return t.sim.now }
+
+// WaitEvent blocks the thread until e triggers.
+func (t *Thread) WaitEvent(e Event) {
+	if t.sim.Triggered(e) {
+		return
+	}
+	t.sim.OnTrigger(e, func() { t.wake() })
+	t.yield()
+}
+
+// wake schedules the thread to resume at the current virtual time.
+func (t *Thread) wake() {
+	t.sim.at(t.sim.now, func() { t.run() })
+}
+
+// Elapse charges d of busy time on the thread's processor and advances the
+// thread past it, serializing with any other work queued on the processor.
+func (t *Thread) Elapse(d Time) {
+	if d == 0 {
+		return
+	}
+	t.WaitEvent(t.proc.Launch(NoEvent, d, nil))
+}
+
+// Sleep advances the thread by d without occupying the processor.
+func (t *Thread) Sleep(d Time) {
+	ev := t.sim.NewUserEvent()
+	t.sim.After(d, func() { t.sim.Trigger(ev) })
+	t.WaitEvent(ev)
+}
+
+// Barrier is a single-use phase barrier: it fires its completion event,
+// after the modeled collective latency, once the expected number of
+// arrivals have been registered. The CR compiler initially synchronizes
+// copies with barriers (§3.4) before lowering to point-to-point sync.
+type Barrier struct {
+	sim      *Sim
+	expected int
+	arrived  int
+	done     Event
+}
+
+// NewBarrier creates a barrier expecting n arrivals.
+func (s *Sim) NewBarrier(n int) *Barrier {
+	return &Barrier{sim: s, expected: n, done: s.NewUserEvent()}
+}
+
+// Arrive registers an arrival once pre triggers.
+func (b *Barrier) Arrive(pre Event) {
+	b.sim.OnTrigger(pre, func() {
+		b.arrived++
+		if b.arrived == b.expected {
+			lat := b.sim.CollectiveLatency(b.expected)
+			b.sim.After(lat, func() { b.sim.Trigger(b.done) })
+		}
+	})
+}
+
+// Done returns the event that fires when the barrier completes.
+func (b *Barrier) Done() Event { return b.done }
+
+// Collective is a Legion-style dynamic collective (§4.4): participants
+// contribute scalar values; once all expected contributions are in, they
+// are folded in participant-index order (so the result is bitwise
+// deterministic and matches a sequential fold), the modeled
+// reduce+broadcast latency is charged, and the completion event fires with
+// the result available to all.
+type Collective struct {
+	sim      *Sim
+	identity float64
+	fold     func(acc, v float64) float64
+	values   []float64
+	present  []bool
+	arrived  int
+	done     Event
+}
+
+// NewCollective creates a dynamic collective over n participants with the
+// given fold and identity.
+func (s *Sim) NewCollective(n int, identity float64, fold func(acc, v float64) float64) *Collective {
+	return &Collective{
+		sim:      s,
+		identity: identity,
+		fold:     fold,
+		values:   make([]float64, n),
+		present:  make([]bool, n),
+		done:     s.NewUserEvent(),
+	}
+}
+
+// Contribute registers participant idx's value once pre triggers; value is
+// evaluated at that moment. Each participant contributes exactly once.
+func (c *Collective) Contribute(idx int, pre Event, value func() float64) {
+	c.sim.OnTrigger(pre, func() {
+		if c.present[idx] {
+			panic("realm: duplicate collective contribution")
+		}
+		c.present[idx] = true
+		c.values[idx] = value()
+		c.arrived++
+		if c.arrived == len(c.values) {
+			// Reduce and broadcast trees.
+			lat := 2 * c.sim.CollectiveLatency(c.arrived)
+			c.sim.After(lat, func() { c.sim.Trigger(c.done) })
+		}
+	})
+}
+
+// Done returns the completion event.
+func (c *Collective) Done() Event { return c.done }
+
+// Result returns the values folded in index order; valid once Done has
+// triggered.
+func (c *Collective) Result() float64 {
+	acc := c.identity
+	for _, v := range c.values {
+		acc = c.fold(acc, v)
+	}
+	return acc
+}

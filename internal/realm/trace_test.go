@@ -1,0 +1,47 @@
+package realm
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestTracerRecordsTasksAndMessages(t *testing.T) {
+	s := NewSim(smallConfig(2))
+	tr := NewTracer()
+	s.SetTracer(tr)
+	s.Node(0).Proc(0).Launch(NoEvent, Microseconds(10), nil)
+	s.Copy(s.Node(0), s.Node(1), 4096, NoEvent, nil)
+	s.Run()
+	if tr.Spans() != 1 {
+		t.Errorf("spans = %d, want 1", tr.Spans())
+	}
+	if tr.Messages() != 1 {
+		t.Errorf("messages = %d, want 1", tr.Messages())
+	}
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]interface{} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid trace JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 2 {
+		t.Fatalf("trace events = %d", len(doc.TraceEvents))
+	}
+	if !strings.Contains(buf.String(), `"cat":"net"`) || !strings.Contains(buf.String(), `"cat":"task"`) {
+		t.Error("trace missing categories")
+	}
+}
+
+func TestTracerDetached(t *testing.T) {
+	s := NewSim(smallConfig(1))
+	s.SetTracer(nil) // no-op
+	s.Node(0).Proc(0).Launch(NoEvent, Microseconds(1), nil)
+	s.Run() // must not panic
+}

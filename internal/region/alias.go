@@ -1,0 +1,110 @@
+package region
+
+// This file implements the region-tree aliasing analysis of paper §2.3:
+// to determine whether two regions may alias, find their least common
+// ancestor in the region tree; if that ancestor is a disjoint partition and
+// the paths to the two regions descend through distinct subregions, the
+// regions are guaranteed disjoint; otherwise they may alias.
+//
+// The same walk answers the partition-level question (§3.1) that data
+// replication needs: may any subregion of P overlap any subregion of Q?
+
+// treeNode is either a *Region or a *Partition; the path machinery treats
+// both uniformly.
+type treeNode interface{ nodeParent() treeNode }
+
+func (r *Region) nodeParent() treeNode {
+	if r.parent == nil {
+		return nil
+	}
+	return r.parent
+}
+
+func (p *Partition) nodeParent() treeNode { return p.parent }
+
+// pathToRoot returns the chain of nodes from n up to (and including) the
+// root region, n first.
+func pathToRoot(n treeNode) []treeNode {
+	var path []treeNode
+	for cur := n; cur != nil; cur = cur.nodeParent() {
+		path = append(path, cur)
+	}
+	return path
+}
+
+// lcaSplit finds the least common ancestor of a and b and the immediate
+// children of the LCA along each path (nil if the node itself is the LCA).
+func lcaSplit(a, b treeNode) (lca, childA, childB treeNode) {
+	pa, pb := pathToRoot(a), pathToRoot(b)
+	ia, ib := len(pa)-1, len(pb)-1
+	if pa[ia] != pb[ib] {
+		return nil, nil, nil // different trees
+	}
+	for ia > 0 && ib > 0 && pa[ia-1] == pb[ib-1] {
+		ia--
+		ib--
+	}
+	lca = pa[ia]
+	if ia > 0 {
+		childA = pa[ia-1]
+	}
+	if ib > 0 {
+		childB = pb[ib-1]
+	}
+	return lca, childA, childB
+}
+
+// MayAlias reports whether regions a and b may share elements, using only
+// the static structure of the region tree (no index-space comparisons).
+// It is conservative: a false result is a guarantee of disjointness.
+func MayAlias(a, b *Region) bool {
+	if a == b {
+		return true
+	}
+	lca, ca, cb := lcaSplit(a, b)
+	if lca == nil {
+		return false // different trees never alias
+	}
+	if ca == nil || cb == nil {
+		return true // one is an ancestor of the other
+	}
+	if p, ok := lca.(*Partition); ok && p.disjoint {
+		// Paths descend through distinct subregions of a disjoint partition
+		// (distinct is guaranteed: if they matched, the LCA would be lower).
+		return false
+	}
+	return true
+}
+
+// PartitionsMayAlias reports whether any subregion of p may overlap any
+// subregion of q (for p == q, any two distinct subregions), using only the
+// static tree structure. This is the test data replication (§3.1) uses to
+// decide which partitions require copies.
+func PartitionsMayAlias(p, q *Partition) bool {
+	if p == q {
+		return !p.disjoint
+	}
+	lca, ca, cb := lcaSplit(p, q)
+	if lca == nil {
+		return false
+	}
+	if ca == nil || cb == nil {
+		// One partition's parent chain passes through the other: e.g. q is a
+		// partition of one of p's subregions. Subregions then share elements.
+		return true
+	}
+	if d, ok := lca.(*Partition); ok && d.disjoint {
+		return false
+	}
+	return true
+}
+
+// Intersects reports whether a and b actually share elements, comparing
+// index spaces. This is the dynamic component used by the runtime; MayAlias
+// is the static approximation used by the compiler.
+func Intersects(a, b *Region) bool {
+	if !MayAlias(a, b) {
+		return false
+	}
+	return a.ispace.Overlaps(b.ispace)
+}

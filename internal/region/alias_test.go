@@ -1,0 +1,198 @@
+package region
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geometry"
+)
+
+// buildPaperTree reproduces the region tree of the paper's Figure 3:
+// A with disjoint PA; B with disjoint PB and aliased QB.
+func buildPaperTree(t *testing.T) (pa, pb, qb *Partition) {
+	t.Helper()
+	tr := NewTree()
+	n := int64(16)
+	a := tr.NewRegion("A", geometry.NewIndexSpace(geometry.R1(0, n-1)))
+	b := tr.NewRegion("B", geometry.NewIndexSpace(geometry.R1(0, n-1)))
+	pa = a.Block("PA", 4)
+	pb = b.Block("PB", 4)
+	qb = Image(b, pb, "QB", func(p geometry.Point) []geometry.Point {
+		return []geometry.Point{geometry.Pt1((p.X() + 3) % n)}
+	})
+	return pa, pb, qb
+}
+
+func TestMayAliasSiblingsOfDisjointPartition(t *testing.T) {
+	pa, _, _ := buildPaperTree(t)
+	if MayAlias(pa.Sub1(0), pa.Sub1(1)) {
+		t.Error("distinct subregions of a disjoint partition must not alias")
+	}
+	if !MayAlias(pa.Sub1(2), pa.Sub1(2)) {
+		t.Error("a region aliases itself")
+	}
+}
+
+func TestMayAliasAcrossTrees(t *testing.T) {
+	pa, pb, _ := buildPaperTree(t)
+	if MayAlias(pa.Sub1(0), pb.Sub1(0)) {
+		t.Error("regions in different trees never alias")
+	}
+	if PartitionsMayAlias(pa, pb) {
+		t.Error("partitions in different trees never alias")
+	}
+}
+
+func TestMayAliasAncestor(t *testing.T) {
+	_, pb, _ := buildPaperTree(t)
+	parent := pb.Parent()
+	if !MayAlias(parent, pb.Sub1(0)) {
+		t.Error("a region aliases its own subregions")
+	}
+}
+
+func TestMayAliasAcrossPartitionsOfSameRegion(t *testing.T) {
+	_, pb, qb := buildPaperTree(t)
+	// PB[i] and QB[j] hang under different partitions of B whose LCA is the
+	// region B itself: conservatively aliased (paper Figure 3).
+	if !MayAlias(pb.Sub1(0), qb.Sub1(0)) {
+		t.Error("subregions of different partitions of one region may alias")
+	}
+	if !PartitionsMayAlias(pb, qb) {
+		t.Error("PB and QB may alias")
+	}
+	if !PartitionsMayAlias(qb, qb) {
+		t.Error("an aliased partition aliases itself")
+	}
+	if PartitionsMayAlias(pb, pb) {
+		t.Error("a disjoint partition does not self-alias")
+	}
+}
+
+func TestPartitionsMayAliasNested(t *testing.T) {
+	// A partition of a subregion aliases the partition it came from.
+	tr := NewTree()
+	r := tr.NewRegion("A", geometry.NewIndexSpace(geometry.R1(0, 15)))
+	p := r.Block("P", 2)
+	inner := p.Sub1(0).Block("inner", 2)
+	if !PartitionsMayAlias(p, inner) {
+		t.Error("nested partition shares elements with its ancestor partition")
+	}
+}
+
+// TestHierarchicalPrivateGhost reproduces the §4.5 scenario of Figure 5:
+// after introducing a disjoint private/ghost top-level partition, the
+// compiler can prove the restricted PB disjoint from the restricted QB and
+// SB, eliminating copies for PB.
+func TestHierarchicalPrivateGhost(t *testing.T) {
+	tr := NewTree()
+	n := int64(64)
+	b := tr.NewRegion("B", geometry.NewIndexSpace(geometry.R1(0, n-1)))
+	// Elements 48..63 are involved in communication ("all_ghost").
+	top := b.BySubsets("private_v_ghost", geometry.NewIndexSpace(geometry.R1(0, 1)),
+		map[geometry.Point]geometry.IndexSpace{
+			geometry.Pt1(0): geometry.NewIndexSpace(geometry.R1(0, 47)),
+			geometry.Pt1(1): geometry.NewIndexSpace(geometry.R1(48, 63)),
+		})
+	if !top.Disjoint() {
+		t.Fatal("top-level partition should be disjoint")
+	}
+	allPrivate, allGhost := top.Sub1(0), top.Sub1(1)
+
+	flat := b.Block("flat", 4)
+	pb := Restrict(allPrivate, flat, "PB")
+	sb := Restrict(allGhost, flat, "SB")
+	qb := allGhost.BySubsets("QB", geometry.NewIndexSpace(geometry.R1(0, 3)),
+		map[geometry.Point]geometry.IndexSpace{
+			geometry.Pt1(0): geometry.NewIndexSpace(geometry.R1(48, 55)),
+			geometry.Pt1(1): geometry.NewIndexSpace(geometry.R1(52, 59)),
+			geometry.Pt1(2): geometry.NewIndexSpace(geometry.R1(56, 63)),
+			geometry.Pt1(3): geometry.NewIndexSpace(geometry.R1(48, 51)),
+		})
+
+	// The key §4.5 facts: PB provably disjoint from QB and SB, so PB needs
+	// no copies and no intersection tests.
+	if PartitionsMayAlias(pb, qb) {
+		t.Error("PB (under all_private) must be provably disjoint from QB (under all_ghost)")
+	}
+	if PartitionsMayAlias(pb, sb) {
+		t.Error("PB must be provably disjoint from SB")
+	}
+	// SB and QB both live under all_ghost: they may alias.
+	if !PartitionsMayAlias(sb, qb) {
+		t.Error("SB and QB may alias")
+	}
+}
+
+// Property: MayAlias is conservative — whenever two regions actually share
+// an element, MayAlias must be true.
+func TestMayAliasSoundRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for iter := 0; iter < 30; iter++ {
+		tr := NewTree()
+		n := int64(rng.Intn(40) + 10)
+		root := tr.NewRegion("R", geometry.NewIndexSpace(geometry.R1(0, n-1)))
+		// Build a random two-level tree with a mix of operators.
+		var regions []*Region
+		regions = append(regions, root)
+		p1 := root.Block("p1", int64(rng.Intn(3)+2))
+		p1.Each(func(_ geometry.Point, s *Region) bool { regions = append(regions, s); return true })
+		p2 := Image(root, p1, "p2", func(p geometry.Point) []geometry.Point {
+			return []geometry.Point{geometry.Pt1((p.X() + int64(rng.Intn(5))) % n)}
+		})
+		p2.Each(func(_ geometry.Point, s *Region) bool { regions = append(regions, s); return true })
+		sub := p1.Sub1(0)
+		if sub.Volume() > 1 {
+			p3 := sub.Block("p3", 2)
+			p3.Each(func(_ geometry.Point, s *Region) bool { regions = append(regions, s); return true })
+		}
+		for _, a := range regions {
+			for _, b := range regions {
+				actual := a.IndexSpace().Overlaps(b.IndexSpace())
+				if actual && !MayAlias(a, b) {
+					t.Fatalf("iter %d: %s and %s overlap but MayAlias is false", iter, a, b)
+				}
+				if Intersects(a, b) != actual {
+					t.Fatalf("iter %d: Intersects(%s,%s) = %v, actual %v", iter, a, b, !actual, actual)
+				}
+			}
+		}
+	}
+}
+
+// Property: PartitionsMayAlias is conservative against brute force.
+func TestPartitionsMayAliasSoundRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for iter := 0; iter < 30; iter++ {
+		tr := NewTree()
+		n := int64(rng.Intn(40) + 10)
+		root := tr.NewRegion("R", geometry.NewIndexSpace(geometry.R1(0, n-1)))
+		parts := []*Partition{
+			root.Block("b", int64(rng.Intn(3)+2)),
+			Image(root, root.Block("b2", 3), "img", func(p geometry.Point) []geometry.Point {
+				return []geometry.Point{geometry.Pt1((p.X() * 2) % n)}
+			}),
+		}
+		for _, p := range parts {
+			for _, q := range parts {
+				overlap := false
+				p.Each(func(cp geometry.Point, sp *Region) bool {
+					q.Each(func(cq geometry.Point, sq *Region) bool {
+						if p == q && cp == cq {
+							return true
+						}
+						if sp.IndexSpace().Overlaps(sq.IndexSpace()) {
+							overlap = true
+							return false
+						}
+						return true
+					})
+					return !overlap
+				})
+				if overlap && !PartitionsMayAlias(p, q) {
+					t.Fatalf("iter %d: %s/%s overlap but PartitionsMayAlias is false", iter, p, q)
+				}
+			}
+		}
+	}
+}

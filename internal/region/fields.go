@@ -1,0 +1,120 @@
+package region
+
+import (
+	"fmt"
+	"math"
+)
+
+// FieldID identifies a field within a field space.
+type FieldID int32
+
+// FieldSpace names the set of fields stored for each element of a region.
+// All fields hold float64 values; vector quantities use one field per
+// component, and mesh topology lives in application data structures (the
+// compiler analysis never inspects element values, only privileges).
+type FieldSpace struct {
+	names []string
+}
+
+// NewFieldSpace creates a field space with the given field names.
+func NewFieldSpace(names ...string) *FieldSpace {
+	fs := &FieldSpace{names: append([]string(nil), names...)}
+	return fs
+}
+
+// Add appends a field and returns its ID.
+func (fs *FieldSpace) Add(name string) FieldID {
+	fs.names = append(fs.names, name)
+	return FieldID(len(fs.names) - 1)
+}
+
+// NumFields returns the number of fields.
+func (fs *FieldSpace) NumFields() int { return len(fs.names) }
+
+// Name returns the name of field f.
+func (fs *FieldSpace) Name(f FieldID) string { return fs.names[f] }
+
+// Field returns the ID of the named field, panicking if absent.
+func (fs *FieldSpace) Field(name string) FieldID {
+	for i, n := range fs.names {
+		if n == name {
+			return FieldID(i)
+		}
+	}
+	panic(fmt.Sprintf("region: no field named %q", name))
+}
+
+// Fields returns all field IDs in declaration order.
+func (fs *FieldSpace) Fields() []FieldID {
+	out := make([]FieldID, len(fs.names))
+	for i := range out {
+		out[i] = FieldID(i)
+	}
+	return out
+}
+
+// ReductionOp identifies an associative and commutative reduction operator,
+// the only loop-carried dependencies control replication admits (§2.2,
+// §4.3, §4.4).
+type ReductionOp int8
+
+// The supported reduction operators.
+const (
+	ReduceNone ReductionOp = iota
+	ReduceSum
+	ReduceMin
+	ReduceMax
+)
+
+// Identity returns the operator's identity element (the value reduction
+// instances are initialized to, §4.3).
+func (op ReductionOp) Identity() float64 {
+	switch op {
+	case ReduceSum:
+		return 0
+	case ReduceMin:
+		return inf
+	case ReduceMax:
+		return -inf
+	default:
+		panic("region: Identity on ReduceNone")
+	}
+}
+
+// Fold combines an accumulated value with a new contribution.
+func (op ReductionOp) Fold(acc, v float64) float64 {
+	switch op {
+	case ReduceSum:
+		return acc + v
+	case ReduceMin:
+		if v < acc {
+			return v
+		}
+		return acc
+	case ReduceMax:
+		if v > acc {
+			return v
+		}
+		return acc
+	default:
+		panic("region: Fold on ReduceNone")
+	}
+}
+
+// String names the operator.
+func (op ReductionOp) String() string {
+	switch op {
+	case ReduceNone:
+		return "none"
+	case ReduceSum:
+		return "+"
+	case ReduceMin:
+		return "min"
+	case ReduceMax:
+		return "max"
+	default:
+		return fmt.Sprintf("ReductionOp(%d)", int8(op))
+	}
+}
+
+var inf = math.Inf(1)

@@ -1,0 +1,284 @@
+package region
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geometry"
+)
+
+func TestBlockPartitionBalancedDisjointComplete(t *testing.T) {
+	tr := NewTree()
+	r := tr.NewRegion("A", geometry.NewIndexSpace(geometry.R1(0, 99)))
+	p := r.Block("PA", 7)
+	if !p.Disjoint() || !p.Complete() {
+		t.Fatal("block partition must be disjoint and complete")
+	}
+	var total int64
+	var minV, maxV int64 = 1 << 62, -1
+	p.Each(func(c geometry.Point, sub *Region) bool {
+		v := sub.Volume()
+		total += v
+		if v < minV {
+			minV = v
+		}
+		if v > maxV {
+			maxV = v
+		}
+		return true
+	})
+	if total != 100 {
+		t.Errorf("total volume %d, want 100", total)
+	}
+	if maxV-minV > 1 {
+		t.Errorf("imbalanced block partition: min %d max %d", minV, maxV)
+	}
+	// Subregions are contiguous, consecutive ranges.
+	if p.Sub1(0).IndexSpace().Bounds() != geometry.R1(0, 14) {
+		t.Errorf("first block = %v", p.Sub1(0).IndexSpace())
+	}
+}
+
+func TestBlockOnSparseRegion(t *testing.T) {
+	tr := NewTree()
+	is := geometry.FromRects(1, []geometry.Rect{geometry.R1(0, 9), geometry.R1(100, 109)})
+	r := tr.NewRegion("S", is)
+	p := r.Block("PS", 4)
+	if !p.Disjoint() || !p.Complete() {
+		t.Fatal("block must be disjoint and complete on sparse regions")
+	}
+	var total int64
+	p.Each(func(_ geometry.Point, sub *Region) bool { total += sub.Volume(); return true })
+	if total != 20 {
+		t.Errorf("total %d", total)
+	}
+	// Chunk spanning the gap: color 1 gets elements 5..9, color 2 gets 100..104.
+	if !p.Sub1(1).IndexSpace().Contains(geometry.Pt1(9)) {
+		t.Error("expected element 9 in block 1")
+	}
+}
+
+func TestBlock2D(t *testing.T) {
+	tr := NewTree()
+	r := tr.NewRegion("G", geometry.NewIndexSpace(geometry.R2(0, 0, 99, 99)))
+	p := r.Block2D("PG", 4, 4)
+	if !p.Disjoint() || !p.Complete() {
+		t.Fatal("grid blocks must be disjoint and complete")
+	}
+	if len(p.Colors()) != 16 {
+		t.Fatalf("colors = %d", len(p.Colors()))
+	}
+	var total int64
+	p.Each(func(_ geometry.Point, sub *Region) bool { total += sub.Volume(); return true })
+	if total != 100*100 {
+		t.Errorf("total %d", total)
+	}
+	if got := p.Sub(geometry.Pt2(0, 0)).IndexSpace().Bounds(); got != geometry.R2(0, 0, 24, 24) {
+		t.Errorf("tile(0,0) = %v", got)
+	}
+	if got := p.Sub(geometry.Pt2(3, 3)).IndexSpace().Bounds(); got != geometry.R2(75, 75, 99, 99) {
+		t.Errorf("tile(3,3) = %v", got)
+	}
+}
+
+func TestBlock3D(t *testing.T) {
+	tr := NewTree()
+	r := tr.NewRegion("G", geometry.NewIndexSpace(geometry.R3(0, 0, 0, 7, 7, 7)))
+	p := r.Block3D("PG", 2, 2, 2)
+	if len(p.Colors()) != 8 || !p.Disjoint() || !p.Complete() {
+		t.Fatal("bad 3-D block")
+	}
+	var total int64
+	p.Each(func(_ geometry.Point, sub *Region) bool { total += sub.Volume(); return true })
+	if total != 512 {
+		t.Errorf("total %d", total)
+	}
+}
+
+func TestByColor(t *testing.T) {
+	tr := NewTree()
+	r := tr.NewRegion("A", geometry.NewIndexSpace(geometry.R1(0, 19)))
+	p := r.ByColor("even-odd", geometry.NewIndexSpace(geometry.R1(0, 1)), func(pt geometry.Point) geometry.Point {
+		return geometry.Pt1(pt.X() % 2)
+	})
+	if !p.Disjoint() || !p.Complete() {
+		t.Fatal("coloring must be disjoint and complete")
+	}
+	if p.Sub1(0).Volume() != 10 || p.Sub1(1).Volume() != 10 {
+		t.Error("wrong bucket sizes")
+	}
+	if !p.Sub1(1).IndexSpace().Contains(geometry.Pt1(7)) {
+		t.Error("7 should be odd")
+	}
+}
+
+func TestBySubsetsDetectsAliasing(t *testing.T) {
+	tr := NewTree()
+	r := tr.NewRegion("A", geometry.NewIndexSpace(geometry.R1(0, 9)))
+	cs := geometry.NewIndexSpace(geometry.R1(0, 1))
+
+	dis := r.BySubsets("dis", cs, map[geometry.Point]geometry.IndexSpace{
+		geometry.Pt1(0): geometry.NewIndexSpace(geometry.R1(0, 4)),
+		geometry.Pt1(1): geometry.NewIndexSpace(geometry.R1(5, 9)),
+	})
+	if !dis.Disjoint() || !dis.Complete() {
+		t.Error("non-overlapping covering subsets should be disjoint+complete")
+	}
+
+	ali := r.BySubsets("ali", cs, map[geometry.Point]geometry.IndexSpace{
+		geometry.Pt1(0): geometry.NewIndexSpace(geometry.R1(0, 5)),
+		geometry.Pt1(1): geometry.NewIndexSpace(geometry.R1(5, 9)),
+	})
+	if ali.Disjoint() {
+		t.Error("overlapping subsets should be aliased")
+	}
+
+	partial := r.BySubsets("partial", cs, map[geometry.Point]geometry.IndexSpace{
+		geometry.Pt1(0): geometry.NewIndexSpace(geometry.R1(0, 3)),
+		geometry.Pt1(1): geometry.NewIndexSpace(geometry.R1(5, 9)),
+	})
+	if !partial.Disjoint() || partial.Complete() {
+		t.Error("partial cover should be disjoint but incomplete")
+	}
+}
+
+func TestImagePartition(t *testing.T) {
+	// The paper's QB = image(B, PB, h) with h(j) = j+1 mod N.
+	tr := NewTree()
+	n := int64(12)
+	b := tr.NewRegion("B", geometry.NewIndexSpace(geometry.R1(0, n-1)))
+	pb := b.Block("PB", 3)
+	qb := Image(b, pb, "QB", func(p geometry.Point) []geometry.Point {
+		return []geometry.Point{geometry.Pt1((p.X() + 1) % n)}
+	})
+	if qb.Disjoint() {
+		t.Error("image partitions are conservatively aliased")
+	}
+	// PB[0] = 0..3, so QB[0] = 1..4.
+	if !qb.Sub1(0).IndexSpace().Equal(geometry.NewIndexSpace(geometry.R1(1, 4))) {
+		t.Errorf("QB[0] = %v", qb.Sub1(0).IndexSpace())
+	}
+	// PB[2] = 8..11, so QB[2] = {9,10,11,0}.
+	want := geometry.FromRects(1, []geometry.Rect{geometry.R1(9, 11), geometry.R1(0, 0)})
+	if !qb.Sub1(2).IndexSpace().Equal(want) {
+		t.Errorf("QB[2] = %v", qb.Sub1(2).IndexSpace())
+	}
+}
+
+func TestImageRects(t *testing.T) {
+	tr := NewTree()
+	g := tr.NewRegion("G", geometry.NewIndexSpace(geometry.R2(0, 0, 9, 9)))
+	p := g.Block2D("P", 2, 1)
+	// Halo of radius 1 around each tile.
+	q := ImageRects(g, p, "Q", func(is geometry.IndexSpace) []geometry.Rect {
+		b := is.Bounds()
+		b.Lo = b.Lo.Add(geometry.Pt2(-1, -1))
+		b.Hi = b.Hi.Add(geometry.Pt2(1, 1))
+		return []geometry.Rect{b}
+	})
+	// Tile (0,0) is [0,0..4,9]; halo clamps to [0,0..5,9].
+	if got := q.Sub(geometry.Pt2(0, 0)).IndexSpace().Bounds(); got != geometry.R2(0, 0, 5, 9) {
+		t.Errorf("halo bounds = %v", got)
+	}
+}
+
+func TestPreimagePartition(t *testing.T) {
+	tr := NewTree()
+	src := tr.NewRegion("S", geometry.NewIndexSpace(geometry.R1(0, 9)))
+	dst := tr.NewRegion("D", geometry.NewIndexSpace(geometry.R1(0, 19)))
+	ps := src.Block("PS", 2) // 0..4, 5..9
+	// f(p) = p/2: D elements 0..9 map into PS[0], 10..19 into PS[1].
+	pd := Preimage(dst, ps, "PD", func(p geometry.Point) geometry.Point {
+		return geometry.Pt1(p.X() / 2)
+	})
+	if !pd.Disjoint() {
+		t.Error("preimage of a disjoint partition under a function is disjoint")
+	}
+	if !pd.Sub1(0).IndexSpace().Equal(geometry.NewIndexSpace(geometry.R1(0, 9))) {
+		t.Errorf("PD[0] = %v", pd.Sub1(0).IndexSpace())
+	}
+	if !pd.Sub1(1).IndexSpace().Equal(geometry.NewIndexSpace(geometry.R1(10, 19))) {
+		t.Errorf("PD[1] = %v", pd.Sub1(1).IndexSpace())
+	}
+}
+
+// Property: image/preimage adjunction — p lands in Preimage[c] exactly when
+// f(p) is in src[c].
+func TestPreimageAdjunctionRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for iter := 0; iter < 20; iter++ {
+		tr := NewTree()
+		n := int64(rng.Intn(30) + 10)
+		src := tr.NewRegion("S", geometry.NewIndexSpace(geometry.R1(0, n-1)))
+		dst := tr.NewRegion("D", geometry.NewIndexSpace(geometry.R1(0, n-1)))
+		ps := src.Block("PS", int64(rng.Intn(4)+1))
+		perm := rng.Perm(int(n))
+		f := func(p geometry.Point) geometry.Point { return geometry.Pt1(int64(perm[p.X()])) }
+		pd := Preimage(dst, ps, "PD", f)
+		pd.Each(func(c geometry.Point, sub *Region) bool {
+			srcSub := ps.Sub(c).IndexSpace()
+			dst.IndexSpace().Each(func(p geometry.Point) bool {
+				inPre := sub.IndexSpace().Contains(p)
+				inSrc := srcSub.Contains(f(p))
+				if inPre != inSrc {
+					t.Fatalf("iter %d: adjunction violated at %v (pre=%v src=%v)", iter, p, inPre, inSrc)
+				}
+				return true
+			})
+			return true
+		})
+	}
+}
+
+func TestPartitionSetOps(t *testing.T) {
+	tr := NewTree()
+	r := tr.NewRegion("A", geometry.NewIndexSpace(geometry.R1(0, 9)))
+	cs := geometry.NewIndexSpace(geometry.R1(0, 1))
+	a := r.BySubsets("a", cs, map[geometry.Point]geometry.IndexSpace{
+		geometry.Pt1(0): geometry.NewIndexSpace(geometry.R1(0, 5)),
+		geometry.Pt1(1): geometry.NewIndexSpace(geometry.R1(4, 9)),
+	})
+	b := r.BySubsets("b", cs, map[geometry.Point]geometry.IndexSpace{
+		geometry.Pt1(0): geometry.NewIndexSpace(geometry.R1(3, 7)),
+		geometry.Pt1(1): geometry.NewIndexSpace(geometry.R1(0, 2)),
+	})
+	u := PUnion("u", a, b)
+	if u.Sub1(0).Volume() != 8 { // 0..7
+		t.Errorf("union[0] = %v", u.Sub1(0).IndexSpace())
+	}
+	i := PIntersection("i", a, b)
+	if !i.Sub1(0).IndexSpace().Equal(geometry.NewIndexSpace(geometry.R1(3, 5))) {
+		t.Errorf("intersection[0] = %v", i.Sub1(0).IndexSpace())
+	}
+	d := PDifference("d", a, b)
+	if !d.Sub1(0).IndexSpace().Equal(geometry.NewIndexSpace(geometry.R1(0, 2))) {
+		t.Errorf("difference[0] = %v", d.Sub1(0).IndexSpace())
+	}
+	if !d.Sub1(1).IndexSpace().Equal(geometry.NewIndexSpace(geometry.R1(4, 9))) {
+		t.Errorf("difference[1] = %v", d.Sub1(1).IndexSpace())
+	}
+}
+
+func TestRestrict(t *testing.T) {
+	tr := NewTree()
+	r := tr.NewRegion("B", geometry.NewIndexSpace(geometry.R1(0, 9)))
+	top := r.BySubsets("pvg", geometry.NewIndexSpace(geometry.R1(0, 1)), map[geometry.Point]geometry.IndexSpace{
+		geometry.Pt1(0): geometry.NewIndexSpace(geometry.R1(0, 6)), // private
+		geometry.Pt1(1): geometry.NewIndexSpace(geometry.R1(7, 9)), // ghost
+	})
+	pb := r.Block("PB", 2)
+	priv := top.Sub1(0)
+	restricted := Restrict(priv, pb, "PB_priv")
+	if !restricted.Disjoint() {
+		t.Error("restriction of a disjoint partition is disjoint")
+	}
+	if !restricted.Sub1(0).IndexSpace().Equal(geometry.NewIndexSpace(geometry.R1(0, 4))) {
+		t.Errorf("restricted[0] = %v", restricted.Sub1(0).IndexSpace())
+	}
+	if !restricted.Sub1(1).IndexSpace().Equal(geometry.NewIndexSpace(geometry.R1(5, 6))) {
+		t.Errorf("restricted[1] = %v", restricted.Sub1(1).IndexSpace())
+	}
+	if restricted.Parent() != priv {
+		t.Error("restricted partition should hang under the subregion")
+	}
+}

@@ -1,0 +1,168 @@
+package region
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/geometry"
+)
+
+// Layout maps the points of an index space to dense storage slots. Spans
+// are sorted by lexicographic lower bound and laid out consecutively, each
+// span row-major internally, so the slot order is deterministic.
+type Layout struct {
+	ispace geometry.IndexSpace
+	spans  []geometry.Rect
+	bases  []int64 // slot of spans[i].Lo
+	total  int64
+}
+
+// NewLayout builds a layout for the given index space.
+func NewLayout(is geometry.IndexSpace) *Layout {
+	spans := append([]geometry.Rect(nil), is.Spans()...)
+	sort.Slice(spans, func(i, j int) bool { return spans[i].Lo.Less(spans[j].Lo) })
+	l := &Layout{ispace: is, spans: spans, bases: make([]int64, len(spans))}
+	for i, sp := range spans {
+		l.bases[i] = l.total
+		l.total += sp.Volume()
+	}
+	return l
+}
+
+// Size returns the number of slots.
+func (l *Layout) Size() int64 { return l.total }
+
+// IndexSpace returns the index space the layout covers.
+func (l *Layout) IndexSpace() geometry.IndexSpace { return l.ispace }
+
+// Slot returns the storage slot for point p, panicking if p is outside the
+// layout's index space.
+func (l *Layout) Slot(p geometry.Point) int64 {
+	// Binary search over span lower bounds, then scan back for containment;
+	// spans are disjoint so at most a couple of candidates precede p.
+	i := sort.Search(len(l.spans), func(i int) bool { return p.Less(l.spans[i].Lo) })
+	for j := i - 1; j >= 0; j-- {
+		if l.spans[j].Contains(p) {
+			return l.bases[j] + l.spans[j].Index(p)
+		}
+		// A span whose Lo is on a strictly earlier row can still contain p
+		// in multi-dimensional layouts, so keep scanning; in practice span
+		// counts are small.
+	}
+	panic(fmt.Sprintf("region: point %v not in layout %v", p, l.ispace))
+}
+
+// Each calls fn with each (point, slot) pair in slot order.
+func (l *Layout) Each(fn func(geometry.Point, int64) bool) {
+	for i, sp := range l.spans {
+		base := l.bases[i]
+		off := int64(0)
+		stop := false
+		sp.Each(func(p geometry.Point) bool {
+			if !fn(p, base+off) {
+				stop = true
+				return false
+			}
+			off++
+			return true
+		})
+		if stop {
+			return
+		}
+	}
+}
+
+// Store is a physical instance: field storage for one region's index space.
+// In the distributed-memory execution every region and subregion has its
+// own Store (paper §3: "the first stage of control replication is to
+// rewrite the program so that every region and subregion has its own
+// storage").
+type Store struct {
+	layout *Layout
+	fs     *FieldSpace
+	data   [][]float64 // indexed by FieldID, then slot
+}
+
+// NewStore allocates zeroed storage for all fields of fs over is.
+func NewStore(is geometry.IndexSpace, fs *FieldSpace) *Store {
+	l := NewLayout(is)
+	data := make([][]float64, fs.NumFields())
+	for i := range data {
+		data[i] = make([]float64, l.Size())
+	}
+	return &Store{layout: l, fs: fs, data: data}
+}
+
+// Layout returns the store's layout.
+func (s *Store) Layout() *Layout { return s.layout }
+
+// FieldSpace returns the store's field space.
+func (s *Store) FieldSpace() *FieldSpace { return s.fs }
+
+// IndexSpace returns the index space the store covers.
+func (s *Store) IndexSpace() geometry.IndexSpace { return s.layout.ispace }
+
+// Get returns field f at point p.
+func (s *Store) Get(f FieldID, p geometry.Point) float64 {
+	return s.data[f][s.layout.Slot(p)]
+}
+
+// Set assigns field f at point p.
+func (s *Store) Set(f FieldID, p geometry.Point, v float64) {
+	s.data[f][s.layout.Slot(p)] = v
+}
+
+// Reduce folds v into field f at point p with the given operator.
+func (s *Store) Reduce(f FieldID, op ReductionOp, p geometry.Point, v float64) {
+	slot := s.layout.Slot(p)
+	s.data[f][slot] = op.Fold(s.data[f][slot], v)
+}
+
+// Raw returns the backing slice for field f (slot-indexed); kernels that
+// iterate a dense region use it with Layout.Each for speed.
+func (s *Store) Raw(f FieldID) []float64 { return s.data[f] }
+
+// Fill sets field f to v at every point.
+func (s *Store) Fill(f FieldID, v float64) {
+	d := s.data[f]
+	for i := range d {
+		d[i] = v
+	}
+}
+
+// CopyFieldFrom copies field f values from src at every point of the given
+// index space, which must be contained in both stores. This is the explicit
+// region-to-region assignment dst ← src of §3.1, restricted to an
+// intersection. Points are visited in dst slot order, so the operation is
+// deterministic.
+func (s *Store) CopyFieldFrom(src *Store, f FieldID, over geometry.IndexSpace) {
+	over.Each(func(p geometry.Point) bool {
+		s.data[f][s.layout.Slot(p)] = src.data[f][src.layout.Slot(p)]
+		return true
+	})
+}
+
+// ReduceFieldFrom folds src's field values into s with op at every point of
+// over — the "reduction copy" of §4.3 that applies a reduction instance's
+// partial results to a destination region.
+func (s *Store) ReduceFieldFrom(src *Store, f FieldID, op ReductionOp, over geometry.IndexSpace) {
+	over.Each(func(p geometry.Point) bool {
+		slot := s.layout.Slot(p)
+		s.data[f][slot] = op.Fold(s.data[f][slot], src.data[f][src.layout.Slot(p)])
+		return true
+	})
+}
+
+// EqualOn reports whether two stores agree on field f at every point of
+// over; it is the comparison the equivalence tests use.
+func (s *Store) EqualOn(other *Store, f FieldID, over geometry.IndexSpace) bool {
+	equal := true
+	over.Each(func(p geometry.Point) bool {
+		if s.Get(f, p) != other.Get(f, p) {
+			equal = false
+			return false
+		}
+		return true
+	})
+	return equal
+}

@@ -1,0 +1,190 @@
+package rt
+
+import (
+	"repro/internal/geometry"
+	"repro/internal/intersect"
+	"repro/internal/ir"
+	"repro/internal/realm"
+	"repro/internal/region"
+)
+
+// use records one region argument of a previously issued launch for
+// dependence analysis: which partition it touched, with what privilege and
+// fields, and the per-color completion events and executing nodes. These
+// are the runtime's epoch lists, kept at launch/partition granularity
+// rather than per element — the coarsening that language-level partitions
+// make sound (paper §6, comparison with inspector/executor).
+type use struct {
+	part   *region.Partition
+	priv   ir.Privilege
+	op     region.ReductionOp
+	fields map[region.FieldID]bool
+	// full reports whether the launch covered the partition's whole color
+	// space; only full writers can dominate (absorb) older uses.
+	full bool
+	done map[geometry.Point]realm.Event
+	node map[geometry.Point]int
+}
+
+type pairKey struct {
+	a, b region.PartitionID
+}
+
+// pairInfo is a cached color-pair overlap between two partitions.
+type pairInfo struct {
+	src, dst geometry.Point
+	vol      int64
+}
+
+// dep is one dependence of a new task on a prior one: the event to wait
+// for, plus data-movement parameters when the edge carries data (RAW).
+type dep struct {
+	ev      realm.Event
+	srcNode int
+	bytes   int64 // >0 when the edge moves data between nodes
+}
+
+// pairsBetween returns (and caches) the exact color-pair overlaps between
+// two partitions, the dynamic half of the analysis (§3.3).
+func (e *Engine) pairsBetween(src, dst *region.Partition) []pairInfo {
+	key := pairKey{src.ID(), dst.ID()}
+	if ps, ok := e.pairCache[key]; ok {
+		return ps
+	}
+	pairs := intersect.Pairs(src, dst)
+	out := make([]pairInfo, len(pairs))
+	for i, p := range pairs {
+		out[i] = pairInfo{src: p.Src, dst: p.Dst, vol: p.Overlap.Volume()}
+	}
+	e.pairCache[key] = out
+	return out
+}
+
+// unionSpace returns (and caches) the union of a partition's subregions.
+func (e *Engine) unionSpace(p *region.Partition) geometry.IndexSpace {
+	if is, ok := e.unionCache[p]; ok {
+		return is
+	}
+	var is geometry.IndexSpace
+	if p.Complete() {
+		is = p.Parent().IndexSpace()
+	} else {
+		is = geometry.EmptyIndexSpace(p.Parent().IndexSpace().Dim())
+		p.Each(func(_ geometry.Point, sub *region.Region) bool {
+			is = is.Union(sub.IndexSpace())
+			return true
+		})
+	}
+	e.unionCache[p] = is
+	return is
+}
+
+func fieldsOverlapCount(a, b map[region.FieldID]bool) int {
+	n := 0
+	for f := range a {
+		if b[f] {
+			n++
+		}
+	}
+	return n
+}
+
+func fieldsSubset(a, b map[region.FieldID]bool) bool {
+	for f := range a {
+		if !b[f] {
+			return false
+		}
+	}
+	return true
+}
+
+// depsForArg computes, for each color of the new launch's domain, the
+// dependencies the new use (not yet registered) has on prior uses of the
+// same region tree. The static partition-level aliasing test prunes pairs
+// of partitions that provably cannot interfere; surviving pairs are refined
+// to exact task-level edges with the cached dynamic intersections.
+func (e *Engine) depsForArg(newUse *use, domain []geometry.Point) map[geometry.Point][]dep {
+	root := newUse.part.Parent().Root()
+	out := make(map[geometry.Point][]dep, len(domain))
+	inDomain := make(map[geometry.Point]bool, len(domain))
+	for _, c := range domain {
+		inDomain[c] = true
+	}
+	for _, u := range e.users[root] {
+		nf := fieldsOverlapCount(u.fields, newUse.fields)
+		if nf == 0 || !ir.Conflicts(u.priv, u.op, newUse.priv, newUse.op) {
+			continue
+		}
+		if !region.PartitionsMayAlias(u.part, newUse.part) && u.part != newUse.part {
+			continue
+		}
+		raw := u.priv != ir.PrivRead // the prior use produced data the new one consumes
+		if u.part == newUse.part && u.part.Disjoint() {
+			// Identity pairs: subregions of a disjoint partition interfere
+			// only with themselves. Iterate the domain slice (not the map)
+			// to keep dependence order — and thus the simulation —
+			// deterministic.
+			for _, c := range domain {
+				ev, ok := u.done[c]
+				if !ok {
+					continue
+				}
+				d := dep{ev: ev, srcNode: u.node[c]}
+				if raw {
+					d.bytes = int64(nf) * e.Over.EltBytes * u.part.Sub(c).Volume()
+				}
+				out[c] = append(out[c], d)
+			}
+			continue
+		}
+		for _, p := range e.pairsBetween(u.part, newUse.part) {
+			ev, ok := u.done[p.src]
+			if !ok || !inDomain[p.dst] {
+				continue
+			}
+			d := dep{ev: ev, srcNode: u.node[p.src]}
+			if raw {
+				d.bytes = int64(nf) * e.Over.EltBytes * p.vol
+			}
+			out[p.dst] = append(out[p.dst], d)
+		}
+	}
+	return out
+}
+
+// coversPartition reports (and caches) whether partition a's union of
+// subregions covers partition b's; the containment test over large span
+// lists is expensive, and launch loops re-ask the same question every
+// iteration.
+func (e *Engine) coversPartition(a, b *region.Partition) bool {
+	if a == b {
+		return true
+	}
+	key := pairKey{a.ID(), b.ID()}
+	if v, ok := e.coverCache[key]; ok {
+		return v
+	}
+	v := e.unionSpace(a).ContainsAll(e.unionSpace(b))
+	e.coverCache[key] = v
+	return v
+}
+
+// registerUse appends the new use and, when it is a full-domain writer,
+// prunes older uses it dominates: any prior use whose touched elements and
+// fields are covered is transitively ordered behind the writer, so future
+// conflicts with it are implied by conflicts with the writer (Legion's
+// epoch-list advance).
+func (e *Engine) registerUse(u *use) {
+	root := u.part.Parent().Root()
+	if u.priv == ir.PrivReadWrite && u.full {
+		kept := e.users[root][:0]
+		for _, old := range e.users[root] {
+			if fieldsSubset(old.fields, u.fields) && e.coversPartition(u.part, old.part) {
+				continue // dominated
+			}
+			kept = append(kept, old)
+		}
+		e.users[root] = kept
+	}
+	e.users[root] = append(e.users[root], u)
+}

@@ -1,0 +1,25 @@
+package rt
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/progtest"
+	"repro/internal/realm"
+)
+
+// TestKernelPanicSurfacesAsError mirrors the spmd test for the implicit
+// runtime: a privilege violation inside a kernel becomes an error.
+func TestKernelPanicSurfacesAsError(t *testing.T) {
+	f := progtest.NewFigure2(24, 4, 1)
+	tf := f.Loop.Body[0].(*ir.Launch)
+	tf.Task.Kernel = func(tc *ir.TaskCtx) {
+		tc.Args[1].Set(f.Val, tc.Args[1].Region.IndexSpace().Bounds().Lo, 1)
+	}
+	sim := realm.NewSim(testConfig(2))
+	_, err := New(sim, f.Prog, Real).Run()
+	if err == nil || !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("expected kernel panic to surface as error, got %v", err)
+	}
+}

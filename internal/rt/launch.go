@@ -1,0 +1,235 @@
+package rt
+
+import (
+	"fmt"
+
+	"repro/internal/geometry"
+	"repro/internal/ir"
+	"repro/internal/realm"
+	"repro/internal/region"
+)
+
+// issueLaunch performs an index launch: dynamic dependence analysis, the
+// per-task control-thread overhead, task-start messages to remote nodes,
+// RAW data movement, deferred task execution, region-reduction instance
+// application (§4.3), and launch-level scalar reduction into a future
+// (§4.4).
+func (e *Engine) issueLaunch(l *ir.Launch) {
+	e.checkIntraLaunchConflicts(l)
+
+	env := e.ctlEnv()
+	scalars := make([]float64, len(l.ScalarArgs))
+	for i, ex := range l.ScalarArgs {
+		scalars[i] = ex(env) // forces future-valued scalars
+	}
+
+	numColors := len(l.Domain)
+	nodes := e.Sim.Nodes()
+
+	// Analysis: one new use per region argument; task-level dependencies
+	// refined from partition-level aliasing.
+	uses := make([]*use, len(l.Args))
+	deps := make([]map[geometry.Point][]dep, len(l.Args))
+	for ai, a := range l.Args {
+		param := l.Task.Params[ai]
+		u := &use{
+			part:   a.Part,
+			priv:   param.Priv,
+			op:     param.Op,
+			fields: fieldSet(param.Fields),
+			full:   numColors == len(a.Part.Colors()),
+			done:   make(map[geometry.Point]realm.Event, numColors),
+			node:   make(map[geometry.Point]int, numColors),
+		}
+		deps[ai] = e.depsForArg(u, l.Domain)
+		uses[ai] = u
+	}
+
+	taskDone := make([]realm.Event, numColors)
+	taskNode := make([]int, numColors)
+	ctxs := make([]*ir.TaskCtx, numColors)
+	// Reduction buffers per (arg, color) for Real-mode reduce privileges.
+	redBufs := make([][]*region.Store, len(l.Args))
+	for ai, param := range l.Task.Params {
+		if param.Priv == ir.PrivReduce {
+			redBufs[ai] = make([]*region.Store, numColors)
+		}
+	}
+
+	for idx, c := range l.Domain {
+		target := e.Map.NodeFor(idx, numColors, nodes)
+		node := e.Sim.Node(target)
+		taskNode[idx] = target
+
+		// Gather preconditions and cross-node data movement.
+		var pres []realm.Event
+		nDeps := 0
+		for ai := range l.Args {
+			for _, d := range deps[ai][c] {
+				nDeps++
+				if d.bytes > 0 && d.srcNode != target {
+					pres = append(pres, e.Sim.Copy(e.Sim.Node(d.srcNode), node, d.bytes, d.ev, nil))
+				} else {
+					pres = append(pres, d.ev)
+				}
+			}
+		}
+
+		// The control thread pays the per-task analysis and launch cost —
+		// the O(N) serial overhead that caps implicit scaling (§1) — plus
+		// the region-tree analysis component that grows with subregion
+		// count.
+		e.ctl.Elapse(e.Over.LaunchBase +
+			realm.Time(nDeps)*e.Over.LaunchPerDep +
+			realm.Time(numColors)*e.Over.LaunchPerSub)
+
+		if target != 0 {
+			pres = append(pres, e.Sim.Copy(e.Sim.Node(0), node, e.Over.RemoteStartBytes, realm.NoEvent, nil))
+		}
+
+		vol := l.Args[l.Task.CostArg].At(c).Volume()
+		dur := realm.Time(l.Task.Cost(vol) / float64(e.Over.KernelCores))
+		if e.Over.Noise != nil {
+			dur = realm.Time(float64(dur) * e.Over.Noise(target, e.curIter))
+		}
+
+		var body func()
+		if e.Mode == Real {
+			ctx := e.buildCtx(l, idx, c, scalars, redBufs)
+			ctxs[idx] = ctx
+			if l.Task.Kernel != nil {
+				body = func() { l.Task.Kernel(ctx) }
+			}
+		}
+		taskDone[idx] = node.LaunchAuto(e.Sim.Merge(pres...), dur, body)
+	}
+
+	// Apply reduction instances: argument-major, per reduce argument in
+	// ascending color order (§4.3), with one chain across the whole launch
+	// so applications from different arguments to the same element keep the
+	// canonical order (see ir.ExecLaunchSeq).
+	prev := realm.NoEvent
+	for ai, param := range l.Task.Params {
+		u := uses[ai]
+		if param.Priv != ir.PrivReduce {
+			for idx, c := range l.Domain {
+				u.done[c] = taskDone[idx]
+				u.node[c] = taskNode[idx]
+			}
+			continue
+		}
+		for idx, c := range l.Domain {
+			idx, c := idx, c
+			sub := l.Args[ai].At(c)
+			bytes := sub.Volume() * e.Over.EltBytes * int64(len(param.Fields))
+			var body func()
+			if e.Mode == Real {
+				buf := redBufs[ai][idx]
+				global := e.stores[sub.Root()]
+				op := param.Op
+				fields := param.Fields
+				body = func() {
+					for _, f := range fields {
+						global.ReduceFieldFrom(buf, f, op, sub.IndexSpace())
+					}
+				}
+			}
+			pre := e.Sim.Merge(taskDone[idx], prev)
+			applied := e.Sim.Copy(e.Sim.Node(taskNode[idx]), e.Sim.Node(taskNode[idx]), bytes, pre, body)
+			u.done[c] = applied
+			u.node[c] = taskNode[idx]
+			prev = applied
+		}
+	}
+
+	for _, u := range uses {
+		e.registerUse(u)
+		for _, c := range l.Domain {
+			e.iterEvents = append(e.iterEvents, u.done[c])
+		}
+	}
+
+	// Launch-level scalar reduction: bind the destination variable to a
+	// future resolved when all task returns are in, folded in color order.
+	if l.Reduce != nil {
+		all := e.Sim.Merge(taskDone...)
+		op := l.Reduce.Op
+		e.env[l.Reduce.Into] = &scalarVal{
+			ev: all,
+			val: func() float64 {
+				acc := op.Identity()
+				for _, ctx := range ctxs {
+					if ctx != nil {
+						acc = op.Fold(acc, ctx.Return)
+					}
+				}
+				return acc
+			},
+		}
+		e.iterEvents = append(e.iterEvents, all)
+	}
+}
+
+// buildCtx constructs the Real-mode execution context for one task
+// instance: global stores for read/write arguments, fresh
+// identity-initialized buffers for reduce arguments.
+func (e *Engine) buildCtx(l *ir.Launch, idx int, c geometry.Point, scalars []float64, redBufs [][]*region.Store) *ir.TaskCtx {
+	ctx := &ir.TaskCtx{Color: c, Scalars: scalars}
+	for ai, a := range l.Args {
+		param := l.Task.Params[ai]
+		sub := a.At(c)
+		if param.Priv == ir.PrivReduce {
+			buf := region.NewStore(sub.IndexSpace(), e.Prog.FieldSpaceOf(sub))
+			for _, f := range param.Fields {
+				buf.Fill(f, param.Op.Identity())
+			}
+			redBufs[ai][idx] = buf
+			ctx.Args = append(ctx.Args, ir.NewPhysArg(sub, buf, param))
+		} else {
+			ctx.Args = append(ctx.Args, ir.NewPhysArg(sub, e.stores[sub.Root()], param))
+		}
+	}
+	return ctx
+}
+
+// checkIntraLaunchConflicts rejects launches whose own arguments conflict
+// with each other on aliased data; the engine's analysis orders launches
+// against prior launches, and tasks within one launch must be independent
+// (the §2.2 target form: forall loops with no loop-carried dependencies).
+// The single allowed exception is two arguments naming the same disjoint
+// partition with the identity projection: each task then sees the same
+// subregion through both arguments, which is internally sequential.
+func (e *Engine) checkIntraLaunchConflicts(l *ir.Launch) {
+	for i, a := range l.Args {
+		if l.Task.Params[i].Priv == ir.PrivReadWrite && !a.Part.Disjoint() {
+			panic(fmt.Sprintf("rt: launch %s writes aliased partition %s; tasks of one launch must be independent (use a reduction)", l.Task.Name, a.Part.Name()))
+		}
+	}
+	for i := range l.Args {
+		for j := i + 1; j < len(l.Args); j++ {
+			pi, pj := l.Task.Params[i], l.Task.Params[j]
+			if fieldsOverlapCount(fieldSet(pi.Fields), fieldSet(pj.Fields)) == 0 {
+				continue
+			}
+			if !ir.Conflicts(pi.Priv, pi.Op, pj.Priv, pj.Op) {
+				continue
+			}
+			ai, aj := l.Args[i], l.Args[j]
+			if ai.Part == aj.Part && ai.Part.Disjoint() && ai.Identity() && aj.Identity() {
+				continue
+			}
+			if !region.PartitionsMayAlias(ai.Part, aj.Part) {
+				continue
+			}
+			panic(fmt.Sprintf("rt: launch %s has conflicting aliased arguments %d and %d", l.Task.Name, i, j))
+		}
+	}
+}
+
+func fieldSet(fs []region.FieldID) map[region.FieldID]bool {
+	m := make(map[region.FieldID]bool, len(fs))
+	for _, f := range fs {
+		m[f] = true
+	}
+	return m
+}

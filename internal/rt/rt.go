@@ -1,0 +1,279 @@
+// Package rt is a Legion-like dynamic tasking runtime executing implicitly
+// parallel ir programs on the simulated machine: a single control thread
+// interprets the program, performing dynamic dependence analysis between
+// task launches from privileges and region aliasing (§2.1, §4.1), issuing
+// tasks to nodes through a mapper (§4.2), charging the per-task control
+// overhead that motivates control replication (§1), and modeling the data
+// movement the runtime performs between producers and consumers.
+//
+// Execution is deferred, as in Legion: the control thread issues launches
+// without waiting for completion (up to a bounded scheduling window), so
+// worker execution overlaps analysis. In Real mode task kernels actually
+// execute and the final region contents must match ir.ExecSequential
+// bitwise; in Modeled mode only the control plane runs and kernels are
+// represented by their cost model.
+package rt
+
+import (
+	"fmt"
+
+	"repro/internal/geometry"
+	"repro/internal/ir"
+	"repro/internal/realm"
+	"repro/internal/region"
+)
+
+// Mode selects real kernel execution or cost-model-only execution.
+type Mode = ir.ExecMode
+
+// Execution modes.
+const (
+	Real    = ir.ExecReal
+	Modeled = ir.ExecModeled
+)
+
+// Overheads are the runtime's control-plane cost parameters. A "task" here
+// is node-granular (one task per node per launch, standing for a node's
+// worth of the paper's per-core tasks), so per-task costs are calibrated as
+// cores x the per-task cost of the real runtime; see DESIGN.md.
+type Overheads struct {
+	// LaunchBase is the control-thread time to analyze and issue one task.
+	LaunchBase realm.Time
+	// LaunchPerDep is the added analysis time per dependence edge found.
+	LaunchPerDep realm.Time
+	// LaunchPerSub is the added analysis time per subregion of the launch's
+	// partitions (per task): the dynamic region-tree walks and epoch lists
+	// the central runtime maintains grow with the number of subregions, so
+	// implicit-mode control cost is superlinear in node count. Zero by
+	// default; the benchmark harness calibrates it per application.
+	LaunchPerSub realm.Time
+	// RemoteStartBytes is the size of the task-start message sent to a
+	// remote node.
+	RemoteStartBytes int64
+	// Window is the scheduling window in loop iterations the control thread
+	// may run ahead of completion.
+	Window int
+	// KernelCores divides task kernel durations, modeling intra-node
+	// parallel execution of a node-granular task.
+	KernelCores int
+	// EltBytes is the storage size of one field of one element.
+	EltBytes int64
+	// Noise optionally scales task durations per (node, iteration) to model
+	// load imbalance and OS noise (nil = none).
+	Noise realm.NoiseFn
+}
+
+// DefaultOverheads returns overheads calibrated for a machine with the
+// given cores per node.
+func DefaultOverheads(cores int) Overheads {
+	return Overheads{
+		LaunchBase:       realm.Microseconds(float64(cores) * 40),
+		LaunchPerDep:     realm.Microseconds(2),
+		RemoteStartBytes: 256,
+		Window:           2,
+		KernelCores:      cores,
+		EltBytes:         8,
+	}
+}
+
+// Mapper assigns each task of an index launch to a node (§4.2).
+type Mapper interface {
+	// NodeFor maps the colorIdx-th of numColors tasks onto one of nodes.
+	NodeFor(colorIdx, numColors, nodes int) int
+}
+
+// BlockMapper distributes a launch's tasks in contiguous blocks over nodes,
+// the typical strategy of Legion's default mapper.
+type BlockMapper struct{}
+
+// NodeFor implements Mapper.
+func (BlockMapper) NodeFor(colorIdx, numColors, nodes int) int {
+	return colorIdx * nodes / numColors
+}
+
+// CyclicMapper deals a launch's tasks round-robin across nodes. With block
+// partitions it scatters neighboring subregions onto different nodes, which
+// multiplies communication — a useful foil for mapping experiments (§4.2:
+// the techniques are agnostic to the mapping used).
+type CyclicMapper struct{}
+
+// NodeFor implements Mapper.
+func (CyclicMapper) NodeFor(colorIdx, numColors, nodes int) int {
+	return colorIdx % nodes
+}
+
+// Result is the outcome of an engine run.
+type Result struct {
+	Stores    map[*region.Region]*region.Store
+	Env       ir.MapEnv
+	IterTimes map[*ir.Loop][]realm.Time // completion virtual time per iteration
+	Elapsed   realm.Time
+	Stats     realm.Stats
+}
+
+// Engine executes one program on one simulated machine.
+type Engine struct {
+	Sim  *realm.Sim
+	Prog *ir.Program
+	Mode Mode
+	Over Overheads
+	Map  Mapper
+
+	stores     map[*region.Region]*region.Store
+	users      map[*region.Region][]*use
+	env        map[string]*scalarVal
+	ctl        *realm.Thread
+	pairCache  map[pairKey][]pairInfo
+	unionCache map[*region.Partition]geometry.IndexSpace
+	coverCache map[pairKey]bool
+	iterTimes  map[*ir.Loop][]realm.Time
+	iterEvents []realm.Event // events of the current loop iteration
+	curIter    int           // current innermost-loop iteration (for noise)
+}
+
+// New creates an engine with default mapper.
+func New(sim *realm.Sim, prog *ir.Program, mode Mode) *Engine {
+	return &Engine{
+		Sim:  sim,
+		Prog: prog,
+		Mode: mode,
+		Over: DefaultOverheads(sim.Config().CoresPerNode),
+		Map:  BlockMapper{},
+	}
+}
+
+// Run validates, normalizes projections, interprets the program on a
+// control thread bound to node 0, and drives the simulation to completion.
+func (e *Engine) Run() (*Result, error) {
+	if err := e.Prog.Validate(); err != nil {
+		return nil, err
+	}
+	ir.NormalizeProjections(e.Prog)
+
+	e.stores = make(map[*region.Region]*region.Store)
+	if e.Mode == Real {
+		for root, fs := range e.Prog.FieldSpaces {
+			e.stores[root] = region.NewStore(root.IndexSpace(), fs)
+		}
+	}
+	e.users = make(map[*region.Region][]*use)
+	e.env = make(map[string]*scalarVal)
+	for k, v := range e.Prog.Scalars {
+		e.env[k] = resolvedScalar(v)
+	}
+	e.pairCache = make(map[pairKey][]pairInfo)
+	e.unionCache = make(map[*region.Partition]geometry.IndexSpace)
+	e.coverCache = make(map[pairKey]bool)
+	e.iterTimes = make(map[*ir.Loop][]realm.Time)
+
+	var runErr error
+	e.Sim.Spawn("control", e.Sim.Node(0).Proc(0), func(t *realm.Thread) {
+		defer func() {
+			if r := recover(); r != nil {
+				runErr = fmt.Errorf("rt: %v", r)
+			}
+		}()
+		e.ctl = t
+		e.execStmts(e.Prog.Stmts)
+	})
+	elapsed, err := runSim(e.Sim)
+	if err != nil {
+		return nil, err
+	}
+	if runErr != nil {
+		return nil, runErr
+	}
+
+	res := &Result{
+		Stores:    e.stores,
+		Env:       ir.MapEnv{},
+		IterTimes: e.iterTimes,
+		Elapsed:   elapsed,
+		Stats:     e.Sim.Stats(),
+	}
+	for k, sv := range e.env {
+		res.Env[k] = sv.val()
+	}
+	return res, nil
+}
+
+// execStmts interprets statements on the control thread.
+func (e *Engine) execStmts(stmts []ir.Stmt) {
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *ir.Fill:
+			if st := e.stores[s.Target.Root()]; st != nil {
+				s.Target.IndexSpace().Each(func(p geometry.Point) bool {
+					st.Set(s.Field, p, s.Value)
+					return true
+				})
+			}
+		case *ir.FillFunc:
+			if st := e.stores[s.Target.Root()]; st != nil {
+				s.Target.IndexSpace().Each(func(p geometry.Point) bool {
+					st.Set(s.Field, p, s.Fn(p))
+					return true
+				})
+			}
+		case *ir.SetScalar:
+			e.env[s.Name] = resolvedScalar(s.Expr(e.ctlEnv()))
+		case *ir.Loop:
+			e.execLoop(s)
+		case *ir.Launch:
+			e.issueLaunch(s)
+		default:
+			panic(fmt.Sprintf("rt: unknown statement %T", s))
+		}
+	}
+}
+
+// execLoop runs a sequential loop with a bounded scheduling window: the
+// control thread may issue iteration t while iterations t-1..t-Window are
+// still executing, mirroring Legion's deferred execution.
+func (e *Engine) execLoop(l *ir.Loop) {
+	window := e.Over.Window
+	if window < 1 {
+		window = 1
+	}
+	iterDone := make([]realm.Event, l.Trip)
+	times := make([]realm.Time, l.Trip)
+	savedEvents := e.iterEvents
+	for t := 0; t < l.Trip; t++ {
+		if t >= window {
+			e.ctl.WaitEvent(iterDone[t-window])
+		}
+		e.env[l.Var] = resolvedScalar(float64(t))
+		e.curIter = t
+		e.iterEvents = nil
+		e.execStmts(l.Body)
+		done := e.Sim.Merge(e.iterEvents...)
+		iterDone[t] = done
+		t := t
+		e.Sim.OnTrigger(done, func() { times[t] = e.Sim.Now() })
+	}
+	// Drain the loop before code after it runs.
+	for t := maxInt(0, l.Trip-window); t < l.Trip; t++ {
+		e.ctl.WaitEvent(iterDone[t])
+	}
+	e.iterEvents = savedEvents
+	e.iterTimes[l] = times
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// runSim drives the simulation, converting panics from task kernels (which
+// execute inside the event loop) into errors so a faulty application
+// cannot crash the host process.
+func runSim(sim *realm.Sim) (elapsed realm.Time, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("rt: task execution panicked: %v", r)
+		}
+	}()
+	return sim.Run(), nil
+}

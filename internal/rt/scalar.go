@@ -1,0 +1,40 @@
+package rt
+
+import (
+	"fmt"
+
+	"repro/internal/realm"
+)
+
+// scalarVal is a possibly future-valued scalar binding: an event that must
+// trigger before the value is available, and a thunk producing the value
+// once it has. Concrete values use NoEvent. This models Legion futures:
+// a launch's scalar reduction binds its destination variable immediately,
+// and readers force the future (§4.4).
+type scalarVal struct {
+	ev  realm.Event
+	val func() float64
+}
+
+func resolvedScalar(v float64) *scalarVal {
+	return &scalarVal{ev: realm.NoEvent, val: func() float64 { return v }}
+}
+
+// ctlEnv adapts the engine's scalar table to ir.Env for the control thread:
+// reading an unresolved future blocks the control thread until it resolves,
+// which is the pipeline stall dynamic time-stepping introduces.
+type ctlEnv struct{ e *Engine }
+
+func (e *Engine) ctlEnv() ctlEnv { return ctlEnv{e} }
+
+// Get implements ir.Env.
+func (c ctlEnv) Get(name string) float64 {
+	sv, ok := c.e.env[name]
+	if !ok {
+		panic(fmt.Sprintf("rt: unbound scalar %q", name))
+	}
+	if !c.e.Sim.Triggered(sv.ev) {
+		c.e.ctl.WaitEvent(sv.ev)
+	}
+	return sv.val()
+}

@@ -1,0 +1,75 @@
+package spmd
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ir"
+	"repro/internal/realm"
+)
+
+// shardEnv is a shard's replicated scalar environment. Control replication
+// replicates scalar state across shards (§4.4): every shard executes the
+// same scalar statements on the same values, so the bindings stay
+// identical. Scalar-reduction results are future-valued; reading one makes
+// the shard thread wait for the collective (its value is then identical on
+// every shard because the collective folds in participant order).
+type shardEnv struct {
+	th   *realm.Thread
+	vals map[string]float64
+	futs map[string]futVal
+}
+
+type futVal struct {
+	ev  realm.Event
+	val func() float64
+}
+
+func newShardEnv(th *realm.Thread, base ir.MapEnv) *shardEnv {
+	vals := make(map[string]float64, len(base))
+	for k, v := range base {
+		vals[k] = v
+	}
+	return &shardEnv{th: th, vals: vals, futs: make(map[string]futVal)}
+}
+
+// Get implements ir.Env, forcing futures.
+func (e *shardEnv) Get(name string) float64 {
+	if f, ok := e.futs[name]; ok {
+		e.th.WaitEvent(f.ev)
+		e.vals[name] = f.val()
+		delete(e.futs, name)
+	}
+	v, ok := e.vals[name]
+	if !ok {
+		panic(fmt.Sprintf("spmd: unbound scalar %q", name))
+	}
+	return v
+}
+
+func (e *shardEnv) set(name string, v float64) {
+	delete(e.futs, name)
+	e.vals[name] = v
+}
+
+func (e *shardEnv) setFuture(name string, ev realm.Event, val func() float64) {
+	e.futs[name] = futVal{ev: ev, val: val}
+}
+
+// snapshot forces all pending futures (in sorted name order, keeping the
+// simulation schedule deterministic) and returns the concrete bindings.
+func (e *shardEnv) snapshot() ir.MapEnv {
+	names := make([]string, 0, len(e.futs))
+	for name := range e.futs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		e.Get(name)
+	}
+	out := make(ir.MapEnv, len(e.vals))
+	for k, v := range e.vals {
+		out[k] = v
+	}
+	return out
+}

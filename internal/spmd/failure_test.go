@@ -1,0 +1,33 @@
+package spmd
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cr"
+	"repro/internal/ir"
+	"repro/internal/progtest"
+	"repro/internal/realm"
+)
+
+// TestKernelPanicSurfacesAsError: a faulty task kernel (out-of-privilege
+// access, bad index, application bug) must surface as an error from Run,
+// not crash the process.
+func TestKernelPanicSurfacesAsError(t *testing.T) {
+	f := progtest.NewFigure2(24, 4, 1)
+	// Sabotage TF's kernel to violate its privileges.
+	tf := f.Loop.Body[0].(*ir.Launch)
+	tf.Task.Kernel = func(tc *ir.TaskCtx) {
+		// Write through the read-only argument: strict privileges panic.
+		tc.Args[1].Set(f.Val, tc.Args[1].Region.IndexSpace().Bounds().Lo, 1)
+	}
+	plans, err := CompileAll(f.Prog, cr.Options{NumShards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := realm.NewSim(testConfig(2))
+	_, err = New(sim, f.Prog, ir.ExecReal, plans).Run()
+	if err == nil || !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("expected kernel panic to surface as error, got %v", err)
+	}
+}

@@ -1,0 +1,497 @@
+package spmd
+
+import (
+	"fmt"
+
+	"repro/internal/cr"
+	"repro/internal/geometry"
+	"repro/internal/intersect"
+	"repro/internal/ir"
+	"repro/internal/realm"
+	"repro/internal/region"
+)
+
+// runReplicated executes one compiled loop: initialization copies (Figure
+// 4b lines 2-4), hoisted loop-invariant copies, the shard tasks themselves,
+// and finalization copies back to the parent regions (lines 14-15).
+func (e *Engine) runReplicated(ctl *realm.Thread, plan *cr.Compiled) {
+	st := newRunState(e, plan, plan.Loop.Trip)
+
+	// Initialization: every used partition's every subregion instance is
+	// populated from the parent region's data, placed on its owner node.
+	var initEvs []realm.Event
+	for _, part := range plan.UsedParts {
+		fields := plan.InstFields[part]
+		for _, col := range plan.Domain {
+			sub := part.Sub(col)
+			key := instKey{part.ID(), col}
+			owner := st.ownerNode(col)
+			if e.Mode == ir.ExecReal {
+				store := region.NewStore(sub.IndexSpace(), e.Prog.FieldSpaceOf(sub))
+				for _, f := range fields {
+					store.CopyFieldFrom(e.global[sub.Root()], f, sub.IndexSpace())
+				}
+				st.inst[key] = store
+			}
+			bytes := sub.Volume() * e.Over.EltBytes * int64(len(fields))
+			initEvs = append(initEvs, e.Sim.Copy(e.Sim.Node(0), e.Sim.Node(owner), bytes, realm.NoEvent, nil))
+		}
+	}
+	ctl.WaitEvent(e.Sim.Merge(initEvs...))
+
+	// Hoisted loop-invariant copies run once before the shards start.
+	for _, cp := range plan.InitCopies {
+		var evs []realm.Event
+		for _, pr := range cp.Pairs {
+			bytes := pr.Overlap.Volume() * e.Over.EltBytes * int64(len(cp.Fields))
+			var body func()
+			if e.Mode == ir.ExecReal {
+				src := st.inst[instKey{cp.Src.ID(), pr.Src}]
+				dst := st.inst[instKey{cp.Dst.ID(), pr.Dst}]
+				fields, overlap := cp.Fields, pr.Overlap
+				body = func() {
+					for _, f := range fields {
+						dst.CopyFieldFrom(src, f, overlap)
+					}
+				}
+			}
+			evs = append(evs, e.Sim.Copy(
+				e.Sim.Node(st.ownerNode(pr.Src)), e.Sim.Node(st.ownerNode(pr.Dst)),
+				bytes, realm.NoEvent, body))
+		}
+		ctl.WaitEvent(e.Sim.Merge(evs...))
+	}
+
+	// Launch the shard tasks (§3.5).
+	for s := 0; s < plan.Opts.NumShards; s++ {
+		s := s
+		proc := e.Sim.Node(st.nodeOfShard(s)).Proc(0)
+		e.Sim.Spawn(fmt.Sprintf("shard-%d", s), proc, func(th *realm.Thread) {
+			sh := &shard{st: st, me: s, th: th, table: st.tables[s]}
+			sh.run()
+			e.Sim.Trigger(st.shardDone[s])
+		})
+	}
+	ctl.WaitEvent(e.Sim.Merge(st.shardDone...))
+
+	// Finalization: copy the disjoint written partitions' instances back to
+	// the parent regions on node 0.
+	var finEvs []realm.Event
+	for _, part := range plan.WrittenDisjoint {
+		fields := plan.InstFields[part]
+		for _, col := range plan.Domain {
+			sub := part.Sub(col)
+			var body func()
+			if e.Mode == ir.ExecReal {
+				src := st.inst[instKey{part.ID(), col}]
+				dst := e.global[sub.Root()]
+				ispace := sub.IndexSpace()
+				fs := fields
+				body = func() {
+					for _, f := range fs {
+						dst.CopyFieldFrom(src, f, ispace)
+					}
+				}
+			}
+			bytes := sub.Volume() * e.Over.EltBytes * int64(len(fields))
+			finEvs = append(finEvs, e.Sim.Copy(e.Sim.Node(st.ownerNode(col)), e.Sim.Node(0), bytes, realm.NoEvent, body))
+		}
+	}
+	ctl.WaitEvent(e.Sim.Merge(finEvs...))
+
+	e.iterTimes[plan.Loop] = st.iterTimes
+
+	// Replicated scalar state converges across shards; fold the last
+	// shard's bindings back into the control environment.
+	if plan.Opts.NumShards > 0 {
+		for k, v := range st.finalEnv {
+			e.env[k] = v
+		}
+	}
+}
+
+// shard is the per-shard execution state: the thread, the shard's block of
+// the domain, its instance table, and its replicated scalar environment.
+type shard struct {
+	st    *runState
+	me    int
+	th    *realm.Thread
+	table *shardTable
+	env   *shardEnv
+	// ops collects the events of the current iteration.
+	ops []realm.Event
+}
+
+// run replicates the loop's control flow over the shard's owned colors.
+func (sh *shard) run() {
+	st := sh.st
+	plan := st.plan
+	e := st.e
+	sh.env = newShardEnv(sh.th, e.env)
+
+	window := e.Over.Window
+	if window < 1 {
+		window = 1
+	}
+	trip := plan.Loop.Trip
+	iterDone := make([]realm.Event, trip)
+	for t := 0; t < trip; t++ {
+		if t >= window {
+			sh.th.WaitEvent(iterDone[t-window])
+		}
+		sh.env.set(plan.Loop.Var, float64(t))
+		sh.ops = nil
+		for _, op := range plan.Body {
+			switch {
+			case op.Set != nil:
+				sh.env.set(op.Set.Name, op.Set.Expr(sh.env))
+			case op.Launch != nil:
+				sh.doLaunch(op.Launch, t)
+			case op.Copy != nil:
+				if plan.Opts.Sync == cr.BarrierSync {
+					sh.doCopyBarrier(op.Copy, t)
+				} else {
+					sh.doCopyP2P(op.Copy, t)
+				}
+			}
+		}
+		iterDone[t] = e.Sim.Merge(sh.ops...)
+		st.recordIter(t, iterDone[t])
+	}
+	for t := maxInt(0, trip-window); t < trip; t++ {
+		sh.th.WaitEvent(iterDone[t])
+	}
+	if sh.me == 0 {
+		st.finalEnv = sh.env.snapshot()
+	}
+}
+
+// doLaunch issues the shard's owned tasks of one index launch. Shard-local
+// issue cost replaces the central control thread's — the core of the
+// optimization.
+func (sh *shard) doLaunch(l *ir.Launch, iter int) {
+	st := sh.st
+	e := st.e
+	owned := st.plan.Owned[sh.me]
+	node := e.Sim.Node(st.nodeOfShard(sh.me))
+
+	scalars := make([]float64, len(l.ScalarArgs))
+	for i, ex := range l.ScalarArgs {
+		scalars[i] = ex(sh.env) // forces future-valued scalars on this shard
+	}
+
+	var localDone []realm.Event
+	var ctxs []*ir.TaskCtx
+	for _, col := range owned {
+		sh.th.Elapse(e.Over.ShardLaunchBase)
+		var pres []realm.Event
+		for ai, a := range l.Args {
+			param := l.Task.Params[ai]
+			switch param.Priv {
+			case ir.PrivRead:
+				pres = append(pres, sh.table.get(instKey{a.Part.ID(), col}).lastWrite)
+			case ir.PrivReadWrite:
+				s := sh.table.get(instKey{a.Part.ID(), col})
+				pres = append(pres, s.lastWrite)
+				pres = append(pres, s.readers...)
+			case ir.PrivReduce:
+				s := sh.table.getTemp(tempKey{l, ai, col})
+				pres = append(pres, s.lastWrite)
+				pres = append(pres, s.readers...)
+			}
+		}
+		vol := l.Args[l.Task.CostArg].At(col).Volume()
+		dur := realm.Time(l.Task.Cost(vol) / float64(e.Over.KernelCores))
+		if e.Over.Noise != nil {
+			dur = realm.Time(float64(dur) * e.Over.Noise(st.nodeOfShard(sh.me), iter))
+		}
+
+		var body func()
+		var ctx *ir.TaskCtx
+		if e.Mode == ir.ExecReal {
+			ctx = sh.buildCtx(l, col, scalars)
+			kernel := l.Task.Kernel
+			reinits := sh.tempReinits(l, col)
+			body = func() {
+				for _, re := range reinits {
+					re()
+				}
+				if kernel != nil {
+					kernel(ctx)
+				}
+			}
+		}
+		done := node.LaunchAuto(e.Sim.Merge(pres...), dur, body)
+
+		for ai, a := range l.Args {
+			param := l.Task.Params[ai]
+			switch param.Priv {
+			case ir.PrivRead:
+				s := sh.table.get(instKey{a.Part.ID(), col})
+				s.readers = append(s.readers, done)
+			case ir.PrivReadWrite:
+				s := sh.table.get(instKey{a.Part.ID(), col})
+				s.lastWrite = done
+				s.readers = nil
+			case ir.PrivReduce:
+				s := sh.table.getTemp(tempKey{l, ai, col})
+				s.lastWrite = done
+				s.readers = nil
+			}
+		}
+		localDone = append(localDone, done)
+		ctxs = append(ctxs, ctx)
+		sh.ops = append(sh.ops, done)
+	}
+
+	if l.Reduce != nil {
+		// One contribution per task color (not per shard): the collective
+		// folds values in participant-index order, so indexing by global
+		// color keeps the fold order — and hence the floating-point result —
+		// bitwise identical to the sequential semantics.
+		coll := st.collFor(l, iter, l.Reduce.Op)
+		op := l.Reduce.Op
+		for k, col := range owned {
+			ctx := ctxs[k]
+			coll.Contribute(st.plan.ColorIdx[col], localDone[k], func() float64 {
+				if ctx == nil {
+					return op.Identity()
+				}
+				return ctx.Return
+			})
+		}
+		sh.env.setFuture(l.Reduce.Into, coll.Done(), coll.Result)
+		sh.ops = append(sh.ops, coll.Done())
+	}
+}
+
+// buildCtx assembles the Real-mode task context over instance stores;
+// reduce arguments get persistent per-(op,arg,color) temporaries that the
+// task body re-initializes to the identity each iteration.
+func (sh *shard) buildCtx(l *ir.Launch, col geometry.Point, scalars []float64) *ir.TaskCtx {
+	st := sh.st
+	ctx := &ir.TaskCtx{Color: col, Scalars: scalars}
+	for ai, a := range l.Args {
+		param := l.Task.Params[ai]
+		sub := a.Part.Sub(col)
+		if param.Priv == ir.PrivReduce {
+			tk := tempKey{l, ai, col}
+			buf, ok := st.temps[tk]
+			if !ok {
+				buf = region.NewStore(sub.IndexSpace(), st.e.Prog.FieldSpaceOf(sub))
+				st.temps[tk] = buf
+			}
+			ctx.Args = append(ctx.Args, ir.NewPhysArg(sub, buf, param))
+		} else {
+			ctx.Args = append(ctx.Args, ir.NewPhysArg(sub, st.inst[instKey{a.Part.ID(), col}], param))
+		}
+	}
+	return ctx
+}
+
+// tempReinits returns closures re-initializing the launch's reduce
+// temporaries to the identity (run at task start, §4.3).
+func (sh *shard) tempReinits(l *ir.Launch, col geometry.Point) []func() {
+	var out []func()
+	for ai := range l.Args {
+		param := l.Task.Params[ai]
+		if param.Priv != ir.PrivReduce {
+			continue
+		}
+		tk := tempKey{l, ai, col}
+		st := sh.st
+		fields, op := param.Fields, param.Op
+		out = append(out, func() {
+			buf := st.temps[tk]
+			for _, f := range fields {
+				buf.Fill(f, op.Identity())
+			}
+		})
+	}
+	return out
+}
+
+// doCopyP2P executes one copy op under point-to-point synchronization
+// (§3.4). The shard acts as consumer for pair groups whose destination it
+// owns (computing the write-after-read release and registering arrivals)
+// and as producer for pairs whose source it owns (issuing the actual
+// transfers). Reduction applications to one destination chain in source
+// order for deterministic folding. Each shard walks only its precomputed
+// slice of the pair list.
+func (sh *shard) doCopyP2P(cp *cr.CopyOp, iter int) {
+	st := sh.st
+	e := st.e
+	pairs := cp.Pairs
+	for _, work := range st.copySched[cp.ID][sh.me] {
+		g := work.group
+		if work.consumer {
+			dstCol := pairs[g.start].Dst
+			s := sh.table.get(instKey{cp.Dst.ID(), dstCol})
+			release := e.Sim.Merge(append(append([]realm.Event(nil), s.readers...), s.lastWrite)...)
+			newWrites := []realm.Event{s.lastWrite}
+			for k := g.start; k < g.end; k++ {
+				ps := st.pairSyncFor(cp.ID, k, iter)
+				st.connect(release, ps.war)
+				newWrites = append(newWrites, ps.done)
+				sh.ops = append(sh.ops, ps.done)
+			}
+			s.lastWrite = e.Sim.Merge(newWrites...)
+			s.readers = nil
+		}
+		for _, k := range work.prodPairs {
+			pr := pairs[k]
+			ps := st.pairSyncFor(cp.ID, k, iter)
+			sh.th.Elapse(e.Over.CopySetup)
+			pres := []realm.Event{ps.war}
+			var body func()
+			if cp.Reduce == region.ReduceNone {
+				s := sh.table.get(instKey{cp.Src.ID(), pr.Src})
+				pres = append(pres, s.lastWrite)
+				if e.Mode == ir.ExecReal {
+					src := st.inst[instKey{cp.Src.ID(), pr.Src}]
+					dst := st.inst[instKey{cp.Dst.ID(), pr.Dst}]
+					fields, overlap := cp.Fields, pr.Overlap
+					body = func() {
+						for _, f := range fields {
+							dst.CopyFieldFrom(src, f, overlap)
+						}
+					}
+				}
+				ev := sh.issueCopy(pr, cp, pres, body)
+				s.readers = append(s.readers, ev)
+				st.connect(ev, ps.done)
+			} else {
+				ts := sh.table.getTemp(tempKey{cp.SrcLaunch, cp.SrcArg, pr.Src})
+				pres = append(pres, ts.lastWrite)
+				if k > g.start {
+					// Chain folds into this destination in source order;
+					// the predecessor may belong to another shard — the
+					// done event is shared state.
+					pres = append(pres, st.pairSyncFor(cp.ID, k-1, iter).done)
+				}
+				if e.Mode == ir.ExecReal {
+					buf := st.temps[tempKey{cp.SrcLaunch, cp.SrcArg, pr.Src}]
+					dst := st.inst[instKey{cp.Dst.ID(), pr.Dst}]
+					fields, op, overlap := cp.Fields, cp.Reduce, pr.Overlap
+					body = func() {
+						for _, f := range fields {
+							dst.ReduceFieldFrom(buf, f, op, overlap)
+						}
+					}
+				}
+				ev := sh.issueCopy(pr, cp, pres, body)
+				ts.readers = append(ts.readers, ev)
+				st.connect(ev, ps.done)
+			}
+			sh.ops = append(sh.ops, ps.done)
+		}
+	}
+}
+
+// issueCopy models and (in Real mode) performs one pair's data movement.
+func (sh *shard) issueCopy(pr intersect.Pair, cp *cr.CopyOp, pres []realm.Event, body func()) realm.Event {
+	st := sh.st
+	e := st.e
+	bytes := pr.Overlap.Volume() * e.Over.EltBytes * int64(len(cp.Fields))
+	return e.Sim.Copy(
+		e.Sim.Node(st.ownerNode(pr.Src)), e.Sim.Node(st.ownerNode(pr.Dst)),
+		bytes, e.Sim.Merge(pres...), body)
+}
+
+// doCopyBarrier executes one copy op under the naive barrier lowering of
+// Figure 4c: a global barrier protects write-after-read, the copies run,
+// and a second barrier protects read-after-write. Kept as the ablation
+// baseline for the point-to-point optimization.
+func (sh *shard) doCopyBarrier(cp *cr.CopyOp, iter int) {
+	st := sh.st
+	e := st.e
+	b1 := st.barrierFor(cp.ID, iter, 0)
+	b2 := st.barrierFor(cp.ID, iter, 1)
+	pairs := cp.Pairs
+	work := st.copySched[cp.ID][sh.me]
+
+	// Arrive at the first barrier once everything this shard has issued so
+	// far in the iteration has completed, plus all outstanding consumers of
+	// our destination instances (deferred execution means prior-iteration
+	// readers may still be in flight).
+	arr := append([]realm.Event(nil), sh.ops...)
+	for _, w := range work {
+		if !w.consumer {
+			continue
+		}
+		s := sh.table.get(instKey{cp.Dst.ID(), pairs[w.group.start].Dst})
+		arr = append(arr, s.lastWrite)
+		arr = append(arr, s.readers...)
+	}
+	b1.Arrive(e.Sim.Merge(arr...))
+
+	var copyEvs []realm.Event
+	isReduce := cp.Reduce != region.ReduceNone
+	for _, w := range work {
+		for _, k := range w.prodPairs {
+			pr := pairs[k]
+			sh.th.Elapse(e.Over.CopySetup)
+			pres := []realm.Event{b1.Done()}
+			var body func()
+			if !isReduce {
+				s := sh.table.get(instKey{cp.Src.ID(), pr.Src})
+				pres = append(pres, s.lastWrite)
+				if e.Mode == ir.ExecReal {
+					src := st.inst[instKey{cp.Src.ID(), pr.Src}]
+					dst := st.inst[instKey{cp.Dst.ID(), pr.Dst}]
+					fields, overlap := cp.Fields, pr.Overlap
+					body = func() {
+						for _, f := range fields {
+							dst.CopyFieldFrom(src, f, overlap)
+						}
+					}
+				}
+				ev := sh.issueCopy(pr, cp, pres, body)
+				s.readers = append(s.readers, ev)
+				copyEvs = append(copyEvs, ev)
+			} else {
+				ts := sh.table.getTemp(tempKey{cp.SrcLaunch, cp.SrcArg, pr.Src})
+				pres = append(pres, ts.lastWrite)
+				// Chain folds into one destination in source order across
+				// all producing shards via the shared per-pair done events,
+				// so the fold order is deterministic even under barriers.
+				if k > w.group.start {
+					pres = append(pres, st.pairSyncFor(cp.ID, k-1, iter).done)
+				}
+				if e.Mode == ir.ExecReal {
+					buf := st.temps[tempKey{cp.SrcLaunch, cp.SrcArg, pr.Src}]
+					dst := st.inst[instKey{cp.Dst.ID(), pr.Dst}]
+					fields, op, overlap := cp.Fields, cp.Reduce, pr.Overlap
+					body = func() {
+						for _, f := range fields {
+							dst.ReduceFieldFrom(buf, f, op, overlap)
+						}
+					}
+				}
+				ev := sh.issueCopy(pr, cp, pres, body)
+				st.connect(ev, st.pairSyncFor(cp.ID, k, iter).done)
+				ts.readers = append(ts.readers, ev)
+				copyEvs = append(copyEvs, ev)
+			}
+		}
+	}
+
+	b2.Arrive(e.Sim.Merge(append(copyEvs, b1.Done())...))
+	// All our destination instances become valid after the second barrier.
+	for _, w := range work {
+		if !w.consumer {
+			continue
+		}
+		s := sh.table.get(instKey{cp.Dst.ID(), pairs[w.group.start].Dst})
+		s.lastWrite = e.Sim.Merge(s.lastWrite, b2.Done())
+		s.readers = nil
+	}
+	sh.ops = append(sh.ops, b2.Done())
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

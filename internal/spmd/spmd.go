@@ -1,0 +1,205 @@
+// Package spmd executes control-replicated programs: the runtime support
+// of §4.1 for the code the cr compiler emits. Each shard is a long-running
+// thread replicating the loop's control flow over its block of the launch
+// domain (§3.5). Every partition subregion has its own physical instance on
+// its owner's node (the distributed-memory implementation of region
+// semantics, §3); compiler-inserted copies move exactly the non-empty
+// intersections between instances; synchronization is point-to-point
+// between the producers and consumers of each pair (§3.4) — or global
+// barriers in the naive lowering of Figure 4c — and never blocks the shard
+// thread, preserving deferred execution. Region reductions fold temporary
+// reduction instances into destinations with reduction copies chained in
+// deterministic order (§4.3); scalar reductions use dynamic collectives
+// whose results are future-valued scalars (§4.4).
+package spmd
+
+import (
+	"fmt"
+
+	"repro/internal/cr"
+	"repro/internal/geometry"
+	"repro/internal/ir"
+	"repro/internal/realm"
+	"repro/internal/region"
+)
+
+// Overheads are the shard-side control costs. Shard-local task issue is
+// dramatically cheaper than the implicit runtime's central analysis — that
+// asymmetry is the entire point of control replication.
+type Overheads struct {
+	// ShardLaunchBase is the shard-thread cost to issue one local task.
+	ShardLaunchBase realm.Time
+	// CopySetup is the shard-thread cost to issue one copy pair.
+	CopySetup realm.Time
+	// Window is the scheduling window in iterations for shard run-ahead.
+	Window int
+	// KernelCores divides kernel durations (node-granular tasks).
+	KernelCores int
+	// EltBytes is the storage size of one field of one element.
+	EltBytes int64
+	// Noise optionally scales task durations per (node, iteration) to model
+	// load imbalance and OS noise (nil = none).
+	Noise realm.NoiseFn
+}
+
+// DefaultOverheads returns shard overheads for the given cores per node.
+func DefaultOverheads(cores int) Overheads {
+	return Overheads{
+		ShardLaunchBase: realm.Microseconds(float64(cores) * 2),
+		CopySetup:       realm.Microseconds(1),
+		Window:          2,
+		KernelCores:     cores,
+		EltBytes:        8,
+	}
+}
+
+// Result is the outcome of an SPMD run.
+type Result struct {
+	Stores    map[*region.Region]*region.Store
+	Env       ir.MapEnv
+	IterTimes map[*ir.Loop][]realm.Time
+	Elapsed   realm.Time
+	Stats     realm.Stats
+}
+
+// Engine executes a program whose loops have been control-replicated.
+type Engine struct {
+	Sim   *realm.Sim
+	Prog  *ir.Program
+	Mode  ir.ExecMode
+	Over  Overheads
+	Plans map[*ir.Loop]*cr.Compiled
+
+	global    map[*region.Region]*region.Store
+	env       ir.MapEnv
+	iterTimes map[*ir.Loop][]realm.Time
+}
+
+// New creates an engine executing prog with the given compiled plans.
+func New(sim *realm.Sim, prog *ir.Program, mode ir.ExecMode, plans map[*ir.Loop]*cr.Compiled) *Engine {
+	return &Engine{
+		Sim:   sim,
+		Prog:  prog,
+		Mode:  mode,
+		Over:  DefaultOverheads(sim.Config().CoresPerNode),
+		Plans: plans,
+	}
+}
+
+// CompileAll compiles every loop of the program that is a control
+// replication target, returning the plan map for New.
+func CompileAll(prog *ir.Program, opts cr.Options) (map[*ir.Loop]*cr.Compiled, error) {
+	plans := make(map[*ir.Loop]*cr.Compiled)
+	for _, s := range prog.Stmts {
+		loop, ok := s.(*ir.Loop)
+		if !ok {
+			continue
+		}
+		plan, err := cr.Compile(prog, loop, opts)
+		if err != nil {
+			return nil, err
+		}
+		plans[loop] = plan
+	}
+	if len(plans) == 0 {
+		return nil, fmt.Errorf("spmd: program has no top-level loops to replicate")
+	}
+	return plans, nil
+}
+
+// Run executes the program: setup statements run sequentially on the
+// control thread; each planned loop runs as SPMD shards.
+func (e *Engine) Run() (*Result, error) {
+	if err := e.Prog.Validate(); err != nil {
+		return nil, err
+	}
+	e.global = make(map[*region.Region]*region.Store)
+	if e.Mode == ir.ExecReal {
+		for root, fs := range e.Prog.FieldSpaces {
+			e.global[root] = region.NewStore(root.IndexSpace(), fs)
+		}
+	}
+	e.env = ir.MapEnv{}
+	for k, v := range e.Prog.Scalars {
+		e.env[k] = v
+	}
+	e.iterTimes = make(map[*ir.Loop][]realm.Time)
+
+	var runErr error
+	e.Sim.Spawn("spmd-control", e.Sim.Node(0).Proc(0), func(t *realm.Thread) {
+		defer func() {
+			if r := recover(); r != nil {
+				runErr = fmt.Errorf("spmd: %v", r)
+			}
+		}()
+		e.execStmts(t, e.Prog.Stmts)
+	})
+	elapsed, err := runSim(e.Sim)
+	if err != nil {
+		return nil, err
+	}
+	if runErr != nil {
+		return nil, runErr
+	}
+	return &Result{
+		Stores:    e.global,
+		Env:       e.env,
+		IterTimes: e.iterTimes,
+		Elapsed:   elapsed,
+		Stats:     e.Sim.Stats(),
+	}, nil
+}
+
+// runSim drives the simulation, converting panics from task kernels (which
+// execute inside the event loop) into errors so a faulty application
+// cannot crash the host process.
+func runSim(sim *realm.Sim) (elapsed realm.Time, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("spmd: task execution panicked: %v", r)
+		}
+	}()
+	return sim.Run(), nil
+}
+
+func (e *Engine) execStmts(ctl *realm.Thread, stmts []ir.Stmt) {
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *ir.Fill:
+			if st := e.global[s.Target.Root()]; st != nil {
+				s.Target.IndexSpace().Each(func(p geometry.Point) bool {
+					st.Set(s.Field, p, s.Value)
+					return true
+				})
+			}
+		case *ir.FillFunc:
+			if st := e.global[s.Target.Root()]; st != nil {
+				s.Target.IndexSpace().Each(func(p geometry.Point) bool {
+					st.Set(s.Field, p, s.Fn(p))
+					return true
+				})
+			}
+		case *ir.SetScalar:
+			e.env[s.Name] = s.Expr(e.env)
+		case *ir.Launch:
+			// Setup launches outside replicated loops run with sequential
+			// semantics on the control thread (untimed: benchmarks measure
+			// the replicated loops).
+			if e.Mode == ir.ExecReal {
+				ir.ExecLaunchSeq(e.global, e.env, s)
+			}
+		case *ir.Loop:
+			if plan, ok := e.Plans[s]; ok {
+				e.runReplicated(ctl, plan)
+			} else if e.Mode == ir.ExecReal {
+				// Unplanned loops also run sequentially.
+				for t := 0; t < s.Trip; t++ {
+					e.env[s.Var] = float64(t)
+					e.execStmts(ctl, s.Body)
+				}
+			}
+		default:
+			panic(fmt.Sprintf("spmd: unknown statement %T", s))
+		}
+	}
+}

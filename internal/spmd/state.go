@@ -1,0 +1,261 @@
+package spmd
+
+import (
+	"repro/internal/cr"
+	"repro/internal/geometry"
+	"repro/internal/ir"
+	"repro/internal/realm"
+	"repro/internal/region"
+)
+
+// instKey identifies a partition subregion instance.
+type instKey struct {
+	part  region.PartitionID
+	color geometry.Point
+}
+
+// tempKey identifies a reduce-temporary instance: the reducing launch, the
+// argument slot, and the task color. (Keyed by launch identity, not body
+// position: the placement passes reorder the body.)
+type tempKey struct {
+	launch *ir.Launch
+	arg    int
+	color  geometry.Point
+}
+
+// instState is the shard-local dependence state of one instance: the event
+// after which its contents are valid, and the readers issued since.
+type instState struct {
+	lastWrite realm.Event
+	readers   []realm.Event
+}
+
+// shardTable is one shard's instance-state table. Only the owning shard's
+// thread touches it (consumer-side copy processing happens on the shard
+// owning the destination), so no synchronization is needed beyond the
+// simulator's single-threaded execution.
+type shardTable struct {
+	inst map[instKey]*instState
+	temp map[tempKey]*instState
+}
+
+func newShardTable() *shardTable {
+	return &shardTable{inst: make(map[instKey]*instState), temp: make(map[tempKey]*instState)}
+}
+
+func (t *shardTable) get(k instKey) *instState {
+	s, ok := t.inst[k]
+	if !ok {
+		s = &instState{lastWrite: realm.NoEvent}
+		t.inst[k] = s
+	}
+	return s
+}
+
+func (t *shardTable) getTemp(k tempKey) *instState {
+	s, ok := t.temp[k]
+	if !ok {
+		s = &instState{lastWrite: realm.NoEvent}
+		t.temp[k] = s
+	}
+	return s
+}
+
+// syncKey identifies the synchronization of one copy pair in one iteration.
+type syncKey struct {
+	copyID, pairIdx, iter int
+}
+
+// pairSync is the point-to-point synchronization pair of §3.4: war is the
+// consumer's release (write-after-read: prior consumers of the destination
+// have finished), done is the producer's completion (read-after-write: the
+// copy has landed). Both are plain events attached as task pre/post
+// conditions, so neither side's control thread ever blocks on them.
+type pairSync struct {
+	war, done realm.Event
+}
+
+// barKey identifies one of the two barriers around a copy op in one
+// iteration under the naive barrier lowering (Figure 4c).
+type barKey struct {
+	copyID, iter, which int
+}
+
+// collKey identifies the dynamic collective of a scalar reduction in one
+// iteration.
+type collKey struct {
+	launch *ir.Launch
+	iter   int
+}
+
+// runState is the state shared by the shards of one replicated loop
+// execution. All access happens under the simulator's deterministic
+// single-threaded schedule.
+type runState struct {
+	e    *Engine
+	plan *cr.Compiled
+
+	inst   map[instKey]*region.Store // Real mode instances
+	temps  map[tempKey]*region.Store // Real mode reduce temporaries
+	tables []*shardTable
+
+	sync  map[syncKey]*pairSync
+	bars  map[barKey]*realm.Barrier
+	colls map[collKey]*realm.Collective
+
+	iterCount []int
+	iterTimes []realm.Time
+	shardDone []realm.Event
+
+	// copySched maps CopyOp.ID to each shard's precomputed work list.
+	copySched map[int][][]shardCopyWork
+
+	// finalEnv is shard 0's scalar environment at loop exit; scalars are
+	// replicated, so any shard's bindings are the program's.
+	finalEnv ir.MapEnv
+}
+
+func newRunState(e *Engine, plan *cr.Compiled, trip int) *runState {
+	ns := plan.Opts.NumShards
+	st := &runState{
+		e:         e,
+		plan:      plan,
+		inst:      make(map[instKey]*region.Store),
+		temps:     make(map[tempKey]*region.Store),
+		tables:    make([]*shardTable, ns),
+		sync:      make(map[syncKey]*pairSync),
+		bars:      make(map[barKey]*realm.Barrier),
+		colls:     make(map[collKey]*realm.Collective),
+		iterCount: make([]int, trip),
+		iterTimes: make([]realm.Time, trip),
+		shardDone: make([]realm.Event, ns),
+	}
+	for s := range st.tables {
+		st.tables[s] = newShardTable()
+		st.shardDone[s] = e.Sim.NewUserEvent()
+	}
+	st.buildCopySchedules()
+	return st
+}
+
+// pairSyncFor lazily creates the sync pair for (copy, pair, iteration);
+// producer and consumer may ask in either order.
+func (st *runState) pairSyncFor(copyID, pairIdx, iter int) *pairSync {
+	k := syncKey{copyID, pairIdx, iter}
+	ps, ok := st.sync[k]
+	if !ok {
+		ps = &pairSync{war: st.e.Sim.NewUserEvent(), done: st.e.Sim.NewUserEvent()}
+		st.sync[k] = ps
+	}
+	return ps
+}
+
+// barrierFor lazily creates one of a copy op's two global barriers.
+func (st *runState) barrierFor(copyID, iter, which int) *realm.Barrier {
+	k := barKey{copyID, iter, which}
+	b, ok := st.bars[k]
+	if !ok {
+		b = st.e.Sim.NewBarrier(st.plan.Opts.NumShards)
+		st.bars[k] = b
+	}
+	return b
+}
+
+// collFor lazily creates the dynamic collective for a scalar reduction.
+func (st *runState) collFor(l *ir.Launch, iter int, op region.ReductionOp) *realm.Collective {
+	k := collKey{l, iter}
+	c, ok := st.colls[k]
+	if !ok {
+		c = st.e.Sim.NewCollective(len(st.plan.Domain), op.Identity(), op.Fold)
+		st.colls[k] = c
+	}
+	return c
+}
+
+// connect triggers dst when src fires.
+func (st *runState) connect(src, dst realm.Event) {
+	sim := st.e.Sim
+	sim.OnTrigger(src, func() { sim.Trigger(dst) })
+}
+
+// recordIter counts shard completions of iteration t and stamps the time
+// when the last one lands.
+func (st *runState) recordIter(t int, ev realm.Event) {
+	sim := st.e.Sim
+	sim.OnTrigger(ev, func() {
+		st.iterCount[t]++
+		if st.iterCount[t] == st.plan.Opts.NumShards {
+			st.iterTimes[t] = sim.Now()
+		}
+	})
+}
+
+// nodeOfShard maps shard s to its node: shards are distributed blockwise
+// over nodes (one shard per node in the typical configuration, §4.2).
+func (st *runState) nodeOfShard(s int) int {
+	return s * st.e.Sim.Nodes() / st.plan.Opts.NumShards
+}
+
+// ownerNode returns the node owning a domain color's instances.
+func (st *runState) ownerNode(c geometry.Point) int {
+	return st.nodeOfShard(st.plan.ShardOf[c])
+}
+
+// copyGroup is a contiguous run of a copy op's pairs sharing one
+// destination color.
+type copyGroup struct {
+	dstShard   int
+	start, end int // pair index range within CopyOp.Pairs
+}
+
+// shardCopyWork is the precomputed slice of a copy op one shard executes:
+// the groups in which it is the consumer, and its produced pairs per group.
+type shardCopyWork struct {
+	group copyGroup
+	// prodPairs are the pair indices (within the group) this shard owns as
+	// producer.
+	prodPairs []int
+	consumer  bool
+}
+
+// buildCopySchedules indexes every copy op's pairs by shard so each shard
+// touches only its own work instead of scanning all pairs (O(pairs) total
+// instead of O(shards x pairs) per iteration).
+func (st *runState) buildCopySchedules() {
+	st.copySched = make(map[int][][]shardCopyWork)
+	sched := func(cp *cr.CopyOp) {
+		perShard := make([][]shardCopyWork, st.plan.Opts.NumShards)
+		pairs := cp.Pairs
+		i := 0
+		for i < len(pairs) {
+			j := i
+			for j < len(pairs) && pairs[j].Dst == pairs[i].Dst {
+				j++
+			}
+			g := copyGroup{dstShard: st.plan.ShardOf[pairs[i].Dst], start: i, end: j}
+			touched := map[int]*shardCopyWork{}
+			get := func(s int) *shardCopyWork {
+				w, ok := touched[s]
+				if !ok {
+					perShard[s] = append(perShard[s], shardCopyWork{group: g})
+					w = &perShard[s][len(perShard[s])-1]
+					touched[s] = w
+				}
+				return w
+			}
+			get(g.dstShard).consumer = true
+			for k := i; k < j; k++ {
+				ps := st.plan.ShardOf[pairs[k].Src]
+				w := get(ps)
+				w.prodPairs = append(w.prodPairs, k)
+			}
+			i = j
+		}
+		st.copySched[cp.ID] = perShard
+	}
+	for _, op := range st.plan.Body {
+		if op.Copy != nil {
+			sched(op.Copy)
+		}
+	}
+}

@@ -1,0 +1,39 @@
+# A 1-D periodic heat-diffusion program in the textual Regent-subset
+# frontend: compile and run with
+#
+#   go run ./cmd/crlang -engine cr -nodes 4 testdata/heat.cr
+#
+program heat
+
+region T[0..63]    fields { cur }
+region TNEW[0..63] fields { next }
+
+partition PT   = block(T, 8)
+partition PNEW = block(TNEW, 8)
+partition HALO = image(T, PT, ring(-1, 1))
+
+task diffuse(out: region writes(next), in: region reads(cur)) {
+  for p in out {
+    out.next[p] = 0.25 * in.cur[p - 1 mod 64]
+                + 0.5  * in.cur[p]
+                + 0.25 * in.cur[p + 1 mod 64]
+  }
+}
+
+task commit(t: region writes(cur), n: region reads(next), source: scalar) {
+  for p in t { t.cur[p] = n.next[p] + source }
+}
+
+task energy(t: region reads(cur)) {
+  for p in t { result += t.cur[p] }
+}
+
+fill T.cur     = idx
+fill TNEW.next = 0
+var heating = 0.01
+
+for step = 0, 6 {
+  launch diffuse(PNEW[i], HALO[i])
+  launch commit(PT[i], PNEW[i]; heating)
+  reduce + total = launch energy(PT[i])
+}
