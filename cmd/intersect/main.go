@@ -5,13 +5,14 @@
 //
 // Usage:
 //
-//	intersect [-nodes 64,1024] [-csv]
+//	intersect [-nodes 64,1024] [-j workers] [-csv]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -20,6 +21,7 @@ import (
 
 func main() {
 	nodesFlag := flag.String("nodes", "64,1024", "comma-separated node counts")
+	workers := flag.Int("j", runtime.GOMAXPROCS(0), "measurement cells to run in parallel (output rows are identical at any width)")
 	csv := flag.Bool("csv", false, "emit CSV instead of a table")
 	flag.Parse()
 
@@ -33,7 +35,7 @@ func main() {
 		nodes = append(nodes, n)
 	}
 
-	rows, err := harness.Table1(nodes)
+	rows, err := harness.Table1Parallel(nodes, *workers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "intersect:", err)
 		os.Exit(1)

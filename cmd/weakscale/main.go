@@ -6,13 +6,16 @@
 // Usage:
 //
 //	weakscale [-app stencil|miniaero|pennant|circuit|all] [-nodes 1,2,...]
-//	          [-iters N] [-csv] [-v]
+//	          [-iters N] [-j workers] [-csv] [-v]
+//	          [-cpuprofile file] [-memprofile file]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -23,9 +26,39 @@ func main() {
 	appName := flag.String("app", "all", "application to run (stencil, miniaero, pennant, circuit, all)")
 	nodesFlag := flag.String("nodes", "", "comma-separated node counts (default: the paper's 1..1024 sweep)")
 	iters := flag.Int("iters", 0, "iterations per measurement (0 = app default)")
+	workers := flag.Int("j", runtime.GOMAXPROCS(0), "measurement cells to run in parallel (output is identical at any width)")
 	csv := flag.Bool("csv", false, "emit CSV instead of a table")
 	verbose := flag.Bool("v", false, "print per-measurement progress")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "weakscale:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "weakscale:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "weakscale:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "weakscale:", err)
+			}
+		}()
+	}
 
 	nodes := harness.DefaultNodes
 	if *nodesFlag != "" {
@@ -61,7 +94,7 @@ func main() {
 		if *iters > 0 {
 			app.Iters = *iters
 		}
-		series, err := harness.RunFigure(app, nodes, progress)
+		series, err := harness.RunFigureParallel(app, nodes, *workers, progress)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "weakscale:", err)
 			os.Exit(1)

@@ -108,5 +108,5 @@ func measureMPI(cfg Config, openmp bool) (realm.Time, error) {
 	if err != nil {
 		return 0, err
 	}
-	return res.PerIteration(cfg.Iters / 4), nil
+	return res.PerIteration(cfg.Iters / 4)
 }

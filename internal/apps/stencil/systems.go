@@ -66,7 +66,7 @@ func measureMPI(cfg Config, openmp bool) (realm.Time, error) {
 	if err != nil {
 		return 0, err
 	}
-	return res.PerIteration(cfg.Iters / 4), nil
+	return res.PerIteration(cfg.Iters / 4)
 }
 
 // gridNeighbors returns the 4-neighborhood halo exchanges of a gx-by-gy

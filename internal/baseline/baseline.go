@@ -133,12 +133,19 @@ func Run(sim *realm.Sim, spec Spec) (*Result, error) {
 	return &Result{IterTimes: iterTimes, Elapsed: elapsed}, nil
 }
 
-// PerIteration returns the steady-state per-iteration time, skipping warm-up
-// iterations.
-func (r *Result) PerIteration(skip int) realm.Time {
+// PerIteration returns the steady-state per-iteration time, skipping
+// warm-up iterations. Like bench.steadyState, a warm-up leaving fewer than
+// two samples is a loud error rather than a silent measurement from
+// iteration 0 (which would fold startup effects into the steady rate, or
+// divide by zero on a single-iteration run).
+func (r *Result) PerIteration(skip int) (realm.Time, error) {
 	n := len(r.IterTimes)
-	if n-skip < 2 {
-		skip = 0
+	if n < 2 {
+		return 0, fmt.Errorf("baseline: need at least 2 iterations, got %d", n)
 	}
-	return (r.IterTimes[n-1] - r.IterTimes[skip]) / realm.Time(n-1-skip)
+	if n-skip < 2 {
+		return 0, fmt.Errorf("baseline: warm-up of %d iterations leaves %d of %d samples for steady state (need at least 2); increase the iteration count",
+			skip, n-skip, n)
+	}
+	return (r.IterTimes[n-1] - r.IterTimes[skip]) / realm.Time(n-1-skip), nil
 }

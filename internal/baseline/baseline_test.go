@@ -28,7 +28,10 @@ func TestBaselineSingleNodeIsKernelBound(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	per := res.PerIteration(1)
+	per, err := res.PerIteration(1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if per != realm.Milliseconds(10) {
 		t.Errorf("per iteration = %v, want 10ms", per)
 	}
@@ -44,7 +47,10 @@ func TestBaselineHaloExchangeSynchronizes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	per := res.PerIteration(1)
+	per, err := res.PerIteration(1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Kernel plus at least one message transfer time.
 	if per <= realm.Milliseconds(5) {
 		t.Errorf("per iteration %v should exceed pure kernel time", per)
@@ -72,7 +78,11 @@ func TestBaselineRankPerCoreCostsMoreMessages(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		return res.PerIteration(1)
+		per, err := res.PerIteration(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return per
 	}
 	if run(12) <= run(1) {
 		t.Error("rank-per-core should pay more per-message overhead than rank-per-node")
@@ -91,7 +101,11 @@ func TestBaselineAllreduceAddsLatency(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		return res.PerIteration(1)
+		per, err := res.PerIteration(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return per
 	}
 	if run(true) <= run(false) {
 		t.Error("allreduce should add per-iteration latency")

@@ -56,13 +56,17 @@ func DefaultTuning(cores int) Tuning {
 }
 
 // steadyState returns the mean per-iteration time of the recorded
-// completion times, skipping warm-up iterations.
+// completion times, skipping warm-up iterations. A warm-up that leaves
+// fewer than two samples is an error: silently measuring from iteration 0
+// would fold first-iteration startup (instance creation, cold caches in the
+// modeled runtime) into the steady-state rate and misreport it.
 func steadyState(times []realm.Time, skip int) (realm.Time, error) {
-	if len(times)-skip < 2 {
-		skip = 0
-	}
 	if len(times) < 2 {
 		return 0, fmt.Errorf("bench: need at least 2 iterations, got %d", len(times))
+	}
+	if len(times)-skip < 2 {
+		return 0, fmt.Errorf("bench: warm-up of %d iterations leaves %d of %d samples for steady state (need at least 2); increase the iteration count",
+			skip, len(times)-skip, len(times))
 	}
 	return (times[len(times)-1] - times[skip]) / realm.Time(len(times)-1-skip), nil
 }

@@ -1,0 +1,70 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/realm"
+)
+
+func TestSteadyState(t *testing.T) {
+	// Completion times 10, 20, 30, 40: steady per-iteration time is 10
+	// regardless of where the warm-up cut falls.
+	times := []realm.Time{10, 20, 30, 40}
+	got, err := steadyState(times, 1)
+	if err != nil {
+		t.Fatalf("steadyState: %v", err)
+	}
+	if got != 10 {
+		t.Errorf("steadyState = %d, want 10", got)
+	}
+
+	// Warm-up covers a genuinely slow first iteration.
+	got, err = steadyState([]realm.Time{100, 110, 120, 130}, 1)
+	if err != nil {
+		t.Fatalf("steadyState: %v", err)
+	}
+	if got != 10 {
+		t.Errorf("steadyState with slow warm-up = %d, want 10", got)
+	}
+}
+
+func TestSteadyStateTooFewIterations(t *testing.T) {
+	if _, err := steadyState([]realm.Time{10}, 0); err == nil {
+		t.Error("steadyState with 1 sample: want error, got nil")
+	}
+	if _, err := steadyState(nil, 0); err == nil {
+		t.Error("steadyState with 0 samples: want error, got nil")
+	}
+}
+
+func TestSteadyStateWarmupConsumesSamples(t *testing.T) {
+	// Two iterations with one warm-up iteration leaves a single sample;
+	// this must be a loud error, not a silent measurement from iteration 0.
+	_, err := steadyState([]realm.Time{10, 20}, 1)
+	if err == nil {
+		t.Fatal("steadyState with warm-up consuming all but one sample: want error, got nil")
+	}
+	if !strings.Contains(err.Error(), "warm-up") {
+		t.Errorf("error %q does not mention warm-up", err)
+	}
+
+	// Boundary: warm-up leaving exactly two samples is fine.
+	got, err := steadyState([]realm.Time{7, 20, 30}, 1)
+	if err != nil {
+		t.Fatalf("steadyState leaving 2 samples: %v", err)
+	}
+	if got != 10 {
+		t.Errorf("steadyState = %d, want 10", got)
+	}
+}
+
+func TestWarmup(t *testing.T) {
+	for _, tc := range []struct{ trip, want int }{
+		{1, 1}, {2, 1}, {3, 1}, {4, 1}, {8, 2}, {10, 2}, {12, 3}, {100, 25},
+	} {
+		if got := warmup(tc.trip); got != tc.want {
+			t.Errorf("warmup(%d) = %d, want %d", tc.trip, got, tc.want)
+		}
+	}
+}

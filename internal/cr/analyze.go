@@ -2,6 +2,7 @@ package cr
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/geometry"
 	"repro/internal/ir"
@@ -34,15 +35,11 @@ func (info *loopInfo) partFieldList() map[*region.Partition][]region.FieldID {
 }
 
 func sortedFields(set map[region.FieldID]bool) []region.FieldID {
-	var fs []region.FieldID
+	fs := make([]region.FieldID, 0, len(set))
 	for f := range set {
 		fs = append(fs, f)
 	}
-	for i := 1; i < len(fs); i++ {
-		for j := i; j > 0 && fs[j] < fs[j-1]; j-- {
-			fs[j], fs[j-1] = fs[j-1], fs[j]
-		}
-	}
+	sort.Slice(fs, func(i, j int) bool { return fs[i] < fs[j] })
 	return fs
 }
 

@@ -223,19 +223,27 @@ func Compile(prog *ir.Program, loop *ir.Loop, opts Options) (*Compiled, error) {
 // finalization recovers them.
 func (c *Compiled) computeInstFields() {
 	c.InstFields = make(map[*region.Partition][]region.FieldID, len(c.PartFields))
+	// seen mirrors each partition's InstFields as a set so dedup is O(1) per
+	// field instead of a rescan of the accumulated list; append order (and
+	// therefore the emitted field order) is unchanged.
+	seen := make(map[*region.Partition]map[region.FieldID]bool, len(c.PartFields))
 	for p, fs := range c.PartFields {
 		c.InstFields[p] = append([]region.FieldID(nil), fs...)
+		set := make(map[region.FieldID]bool, len(fs))
+		for _, f := range fs {
+			set[f] = true
+		}
+		seen[p] = set
 	}
 	add := func(p *region.Partition, fs []region.FieldID) {
+		set := seen[p]
+		if set == nil {
+			set = make(map[region.FieldID]bool)
+			seen[p] = set
+		}
 		for _, f := range fs {
-			dup := false
-			for _, g := range c.InstFields[p] {
-				if f == g {
-					dup = true
-					break
-				}
-			}
-			if !dup {
+			if !set[f] {
+				set[f] = true
 				c.InstFields[p] = append(c.InstFields[p], f)
 			}
 		}
@@ -383,24 +391,5 @@ func (c *Compiled) planFinalization(info *loopInfo) error {
 }
 
 func unionOf(p *region.Partition) geometry.IndexSpace {
-	if p.Complete() {
-		return p.Parent().IndexSpace()
-	}
-	dim := p.Parent().IndexSpace().Dim()
-	if p.Disjoint() {
-		// Children are pairwise disjoint: concatenating their spans is the
-		// union, with no quadratic de-overlapping pass.
-		var spans []geometry.Rect
-		p.Each(func(_ geometry.Point, sub *region.Region) bool {
-			spans = append(spans, sub.IndexSpace().Spans()...)
-			return true
-		})
-		return geometry.FromDisjointRects(dim, spans)
-	}
-	var spaces []geometry.IndexSpace
-	p.Each(func(_ geometry.Point, sub *region.Region) bool {
-		spaces = append(spaces, sub.IndexSpace())
-		return true
-	})
-	return geometry.UnionMany(dim, spaces)
+	return p.Union()
 }

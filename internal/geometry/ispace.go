@@ -242,15 +242,51 @@ func (s IndexSpace) Subtract(t IndexSpace) IndexSpace {
 	if s.dim == 1 && len(s.spans)+len(t.spans) > sweepThreshold {
 		return s.subtract1D(t)
 	}
-	spans := s.spans
+	// Carve with double buffering and a bounding-box guard: a subtrahend
+	// span that overlaps nothing leaves the list untouched (no rebuild), and
+	// overlap tests are four integer compares instead of constructing the
+	// intersection. Span order is identical to the naive rebuild, so results
+	// are representation-identical, not just set-equal.
+	cur := s.spans
+	owned := false // cur is a scratch buffer of ours, not s.spans
+	var spare []Rect
 	for _, b := range t.spans {
-		var next []Rect
-		for _, a := range spans {
-			next = append(next, subtractRect(a, b)...)
+		touched := false
+		for i := range cur {
+			if cur[i].Overlaps(b) {
+				touched = true
+				break
+			}
 		}
-		spans = next
+		if !touched {
+			continue
+		}
+		next := spare[:0]
+		for _, a := range cur {
+			if a.Overlaps(b) {
+				next = appendSubtractRect(next, a, b)
+			} else {
+				next = append(next, a)
+			}
+		}
+		if owned {
+			spare = cur
+		} else {
+			spare = nil
+		}
+		cur, owned = next, true
 	}
-	out := IndexSpace{dim: s.dim, spans: spans}
+	if !owned {
+		// Nothing was carved: the result is s itself. coalesce and the 1-D
+		// sort mutate the span list, so take a copy first — but only when
+		// they would actually run (coalesce skips large lists, and 1-D spans
+		// are already sorted by invariant).
+		if len(cur) > coalesceLimit {
+			return IndexSpace{dim: s.dim, spans: cur}
+		}
+		cur = append([]Rect(nil), cur...)
+	}
+	out := IndexSpace{dim: s.dim, spans: cur}
 	out.coalesce()
 	if s.dim == 1 {
 		sortSpans1D(out.spans)
@@ -310,9 +346,59 @@ func (s IndexSpace) Equal(t IndexSpace) bool {
 	return s.Subtract(t).Empty() && t.Subtract(s).Empty()
 }
 
-// ContainsAll reports whether every point of t is in s.
+// ContainsAll reports whether every point of t is in s. Each span of t is
+// carved independently against only the spans of s it overlaps, with an
+// early exit on the first uncovered point — for large span lists this is
+// dramatically cheaper than materializing t.Subtract(s), which rebuilds the
+// whole difference even when the answer is an early "no" (or a trivially
+// empty "yes").
 func (s IndexSpace) ContainsAll(t IndexSpace) bool {
-	return t.Subtract(s).Empty()
+	t.mustMatch(s)
+	if s.dim == 1 && len(s.spans)+len(t.spans) > sweepThreshold {
+		return t.subtract1D(s).Empty()
+	}
+	for _, b := range t.spans {
+		if !s.coversRect(b) {
+			return false
+		}
+	}
+	return true
+}
+
+// coversRect reports whether r is entirely within s, by carving r with s's
+// spans until nothing remains (covered) or the span list is exhausted.
+func (s IndexSpace) coversRect(r Rect) bool {
+	if r.Empty() {
+		return true
+	}
+	var bufA, bufB [16]Rect
+	work := append(bufA[:0], r)
+	spare := bufB[:0]
+	for _, a := range s.spans {
+		touched := false
+		for i := range work {
+			if work[i].Overlaps(a) {
+				touched = true
+				break
+			}
+		}
+		if !touched {
+			continue
+		}
+		next := spare[:0]
+		for _, w := range work {
+			if w.Overlaps(a) {
+				next = appendSubtractRect(next, w, a)
+			} else {
+				next = append(next, w)
+			}
+		}
+		work, spare = next, work
+		if len(work) == 0 {
+			return true
+		}
+	}
+	return len(work) == 0
 }
 
 // String renders the span list.
@@ -333,16 +419,17 @@ func (s IndexSpace) mustMatch(t IndexSpace) {
 	}
 }
 
-// subtractRect returns a minus b as a list of disjoint rectangles. The
+// appendSubtractRect appends a minus b to out as disjoint rectangles. The
 // standard axis-by-axis carve: for each axis, peel off the slabs of a that
 // lie strictly below and strictly above b on that axis, then narrow a to
-// b's extent on that axis and continue with the next axis.
-func subtractRect(a, b Rect) []Rect {
+// b's extent on that axis and continue with the next axis. Appending into a
+// caller-owned buffer keeps the Subtract/ContainsAll hot loops free of the
+// per-pair slice allocation a return-by-value carve forces.
+func appendSubtractRect(out []Rect, a, b Rect) []Rect {
 	c := a.Intersect(b)
 	if c.Empty() {
-		return []Rect{a}
+		return append(out, a)
 	}
-	var out []Rect
 	rem := a
 	for i := 0; i < int(a.Dim()); i++ {
 		if rem.Lo.C[i] < c.Lo.C[i] {
@@ -420,13 +507,49 @@ func tryMerge(a, b Rect) (Rect, bool) {
 // UnionMany returns the union of many index spaces. For 1-D inputs it is a
 // single sort-and-sweep over all spans (O(n log n)), the constructor for
 // unions of many sparse subregions (e.g. an aliased ghost partition's
-// footprint); other dimensions fall back to iterative union.
+// footprint). Other dimensions carve each incoming span against the
+// accumulated union in one growing buffer — unlike the iterative
+// out.Union(s) formulation, the accumulated span list is never copied, so
+// a union over n mostly-disjoint spans costs O(n²) cheap bounding-box
+// tests instead of O(n²) span-list rebuilds with their allocations.
 func UnionMany(dim int8, spaces []IndexSpace) IndexSpace {
 	if dim != 1 {
-		out := EmptyIndexSpace(dim)
-		for _, s := range spaces {
-			out = out.Union(s)
+		var acc []Rect
+		var work, spare []Rect
+		for _, sp := range spaces {
+			for _, r := range sp.spans {
+				// Carve r down to the pieces not already covered, then keep
+				// them. acc stays pairwise disjoint throughout.
+				work = append(work[:0], r)
+				for _, a := range acc {
+					touched := false
+					for i := range work {
+						if work[i].Overlaps(a) {
+							touched = true
+							break
+						}
+					}
+					if !touched {
+						continue
+					}
+					next := spare[:0]
+					for _, w := range work {
+						if w.Overlaps(a) {
+							next = appendSubtractRect(next, w, a)
+						} else {
+							next = append(next, w)
+						}
+					}
+					work, spare = next, work
+					if len(work) == 0 {
+						break
+					}
+				}
+				acc = append(acc, work...)
+			}
 		}
+		out := IndexSpace{dim: dim, spans: acc}
+		out.coalesce()
 		return out
 	}
 	var all []Rect

@@ -6,8 +6,11 @@ package harness
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/apps/circuit"
@@ -112,30 +115,100 @@ type Series struct {
 	Points []Point
 }
 
-// RunFigure sweeps every system of the app across the node counts.
-func RunFigure(app App, nodes []int, progress func(string)) ([]Series, error) {
-	var out []Series
-	for _, sys := range app.Systems {
-		s := Series{System: sys}
-		for _, n := range nodes {
-			t0 := time.Now()
-			per, err := app.Measure(sys, n, app.Iters)
-			if err != nil {
-				return nil, fmt.Errorf("%s/%s@%d: %w", app.Name, sys, n, err)
-			}
-			p := Point{
-				Nodes:      n,
-				PerIter:    per,
-				Throughput: app.UnitsPerNode / per.Seconds() / app.UnitScale,
-				Wall:       time.Since(t0),
-			}
-			s.Points = append(s.Points, p)
-			if progress != nil {
-				progress(fmt.Sprintf("%-10s %-16s nodes=%-5d thr/node=%10.1f %s (sim wall %v)",
-					app.Name, sys, n, p.Throughput, app.Unit, p.Wall.Round(time.Millisecond)))
-			}
+// runCells runs fn(0..n-1) on a pool of at most `workers` goroutines
+// (workers < 1 means one per available CPU). With one worker the calls run
+// inline, in order, with no goroutines — the sequential path is the
+// parallel path at width 1, not separate code.
+func runCells(n, workers int, fn func(i int)) {
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
 		}
-		out = append(out, s)
+		return
+	}
+	next := int64(-1)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// RunFigure sweeps every system of the app across the node counts,
+// sequentially. It is RunFigureParallel at width 1.
+func RunFigure(app App, nodes []int, progress func(string)) ([]Series, error) {
+	return RunFigureParallel(app, nodes, 1, progress)
+}
+
+// RunFigureParallel sweeps every (system, node count) cell of the app over
+// a worker pool of the given width (workers < 1 means one per CPU). Each
+// cell builds its own program and simulator, so cells share no mutable
+// state; results are collected by cell index, which makes the returned
+// series — and therefore FormatFigure's output — byte-identical to the
+// sequential sweep. Only the interleaving of progress lines (serialized by
+// a mutex) and the per-point Wall clock depend on the schedule. On error
+// the first failing cell in sequential order is reported.
+func RunFigureParallel(app App, nodes []int, workers int, progress func(string)) ([]Series, error) {
+	type cellKey struct{ si, ni int }
+	cells := make([]cellKey, 0, len(app.Systems)*len(nodes))
+	for si := range app.Systems {
+		for ni := range nodes {
+			cells = append(cells, cellKey{si, ni})
+		}
+	}
+	points := make([]Point, len(cells))
+	errs := make([]error, len(cells))
+	var progressMu sync.Mutex
+	runCells(len(cells), workers, func(i int) {
+		sys, n := app.Systems[cells[i].si], nodes[cells[i].ni]
+		t0 := time.Now()
+		per, err := app.Measure(sys, n, app.Iters)
+		if err != nil {
+			errs[i] = fmt.Errorf("%s/%s@%d: %w", app.Name, sys, n, err)
+			return
+		}
+		p := Point{
+			Nodes:      n,
+			PerIter:    per,
+			Throughput: app.UnitsPerNode / per.Seconds() / app.UnitScale,
+			Wall:       time.Since(t0),
+		}
+		points[i] = p
+		if progress != nil {
+			progressMu.Lock()
+			progress(fmt.Sprintf("%-10s %-16s nodes=%-5d thr/node=%10.1f %s (sim wall %v)",
+				app.Name, sys, n, p.Throughput, app.Unit, p.Wall.Round(time.Millisecond)))
+			progressMu.Unlock()
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	out := make([]Series, len(app.Systems))
+	for i, c := range cells {
+		if out[c.si].System == "" {
+			out[c.si].System = app.Systems[c.si]
+			out[c.si].Points = make([]Point, 0, len(nodes))
+		}
+		out[c.si].Points = append(out[c.si].Points, points[i])
 	}
 	return out, nil
 }
@@ -182,24 +255,47 @@ type Table1Row struct {
 
 // Table1 measures the dynamic intersection phases for every app at the
 // given node counts by compiling each application's main loop and reading
-// the compiler's phase timings.
+// the compiler's phase timings. It is Table1Parallel at width 1.
 func Table1(nodeCounts []int) ([]Table1Row, error) {
-	var rows []Table1Row
-	for _, app := range Apps() {
-		for _, n := range nodeCounts {
-			prog, loop := app.BuildProgram(n)
-			plan, err := bench.CompileForTimings(prog, loop, n)
-			if err != nil {
-				return nil, fmt.Errorf("%s@%d: %w", app.Name, n, err)
-			}
-			rows = append(rows, Table1Row{
-				App:        app.Name,
-				Nodes:      n,
-				ShallowMs:  float64(plan.Timings.Shallow.Microseconds()) / 1000,
-				CompleteMs: float64(plan.Timings.Complete.Microseconds()) / 1000 / float64(n),
-				Candidates: plan.Timings.Candidates,
-				FinalPairs: plan.Timings.Pairs,
-			})
+	return Table1Parallel(nodeCounts, 1)
+}
+
+// Table1Parallel measures the (app, node count) cells over a worker pool of
+// the given width (workers < 1 means one per CPU). Rows are collected by
+// cell index and stably sorted by app name, so the output is identical to
+// the sequential run; the measured phase timings themselves are wall-clock
+// and vary run to run either way.
+func Table1Parallel(nodeCounts []int, workers int) ([]Table1Row, error) {
+	apps := Apps()
+	type cellKey struct{ ai, ni int }
+	cells := make([]cellKey, 0, len(apps)*len(nodeCounts))
+	for ai := range apps {
+		for ni := range nodeCounts {
+			cells = append(cells, cellKey{ai, ni})
+		}
+	}
+	rows := make([]Table1Row, len(cells))
+	errs := make([]error, len(cells))
+	runCells(len(cells), workers, func(i int) {
+		app, n := apps[cells[i].ai], nodeCounts[cells[i].ni]
+		prog, loop := app.BuildProgram(n)
+		plan, err := bench.CompileForTimings(prog, loop, n)
+		if err != nil {
+			errs[i] = fmt.Errorf("%s@%d: %w", app.Name, n, err)
+			return
+		}
+		rows[i] = Table1Row{
+			App:        app.Name,
+			Nodes:      n,
+			ShallowMs:  float64(plan.Timings.Shallow.Microseconds()) / 1000,
+			CompleteMs: float64(plan.Timings.Complete.Microseconds()) / 1000 / float64(n),
+			Candidates: plan.Timings.Candidates,
+			FinalPairs: plan.Timings.Pairs,
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
 		}
 	}
 	sort.SliceStable(rows, func(i, j int) bool { return rows[i].App < rows[j].App })

@@ -1,0 +1,103 @@
+package harness
+
+import (
+	"reflect"
+	"testing"
+)
+
+// stripWall zeroes the wall-clock field, the only part of a measurement
+// that legitimately varies between runs.
+func stripWall(series []Series) {
+	for si := range series {
+		for pi := range series[si].Points {
+			series[si].Points[pi].Wall = 0
+		}
+	}
+}
+
+// TestRunFigureParallelDeterministic checks the tentpole guarantee of the
+// parallel harness: a parallel sweep returns exactly the sequential sweep's
+// results — same virtual times, same throughputs, same ordering — so the
+// formatted figures are byte-identical at any worker count.
+func TestRunFigureParallelDeterministic(t *testing.T) {
+	app, err := AppByName("stencil")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := []int{1, 2, 4}
+
+	seq, err := RunFigure(app, nodes, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunFigureParallel(app, nodes, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stripWall(seq)
+	stripWall(par)
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("parallel sweep differs from sequential:\nseq: %+v\npar: %+v", seq, par)
+	}
+	if a, b := FormatFigure(app, seq), FormatFigure(app, par); a != b {
+		t.Fatalf("formatted figures differ:\nseq:\n%s\npar:\n%s", a, b)
+	}
+
+	// Progress still fires once per cell, serialized.
+	count := 0
+	if _, err := RunFigureParallel(app, []int{1, 2}, 4, func(string) { count++ }); err != nil {
+		t.Fatal(err)
+	}
+	if want := 2 * len(app.Systems); count != want {
+		t.Errorf("progress fired %d times, want %d", count, want)
+	}
+}
+
+// TestTable1ParallelDeterministic checks the parallel Table 1 sweep returns
+// the sequential rows (the intersection phase timings themselves are wall
+// clock and vary either way, so they are zeroed before comparison).
+func TestTable1ParallelDeterministic(t *testing.T) {
+	strip := func(rows []Table1Row) {
+		for i := range rows {
+			rows[i].ShallowMs, rows[i].CompleteMs = 0, 0
+		}
+	}
+	seq, err := Table1([]int{4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Table1Parallel([]int{4}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	strip(seq)
+	strip(par)
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("parallel Table 1 differs from sequential:\nseq: %+v\npar: %+v", seq, par)
+	}
+}
+
+// TestRunFigureParallelError checks that a failing cell surfaces the same
+// first-in-sequential-order error regardless of schedule.
+func TestRunFigureParallelError(t *testing.T) {
+	app, err := AppByName("stencil")
+	if err != nil {
+		t.Fatal(err)
+	}
+	app.Iters = 1 // steadyState requires at least 2 iterations
+	seqErr := func() error {
+		_, err := RunFigure(app, []int{1, 2}, nil)
+		return err
+	}()
+	parErr := func() error {
+		_, err := RunFigureParallel(app, []int{1, 2}, 4, nil)
+		return err
+	}()
+	if seqErr == nil || parErr == nil {
+		t.Fatalf("want errors from 1-iteration sweep, got seq=%v par=%v", seqErr, parErr)
+	}
+	if seqErr.Error() != parErr.Error() {
+		t.Errorf("parallel error %q differs from sequential %q", parErr, seqErr)
+	}
+}

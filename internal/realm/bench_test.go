@@ -1,0 +1,67 @@
+package realm
+
+import "testing"
+
+// TestScheduleTriggerAllocs pins the allocation behavior of the DES hot
+// path: once the waiter pool and the pre-sized event table are warm,
+// creating a user event, registering a continuation, scheduling a timer,
+// and triggering must not allocate. This is the path every simulated task
+// launch and copy goes through millions of times per weak-scaling sweep; a
+// regression here (e.g. reintroducing per-waiter slice allocations or
+// interface boxing in the event queue) shows up as a nonzero average.
+func TestScheduleTriggerAllocs(t *testing.T) {
+	s := NewSim(DefaultConfig(1))
+	sink := 0
+	fn := func() { sink++ }
+
+	// Warm the waiter pool with one trip through the path.
+	e0 := s.NewUserEvent()
+	s.OnTrigger(e0, fn)
+	s.Trigger(e0)
+
+	avg := testing.AllocsPerRun(200, func() {
+		e := s.NewUserEvent()
+		s.OnTrigger(e, fn)
+		s.After(5, fn)
+		s.Trigger(e)
+	})
+	if avg > 0 {
+		t.Errorf("schedule/trigger path allocates %.2f objects per op, want 0", avg)
+	}
+	if sink == 0 {
+		t.Fatal("continuations never ran")
+	}
+}
+
+// BenchmarkSimEventThroughput measures raw DES event throughput on the
+// pattern the runtime engines generate: user events merged pairwise, timer
+// callbacks triggering them, and a continuation chaining the next round.
+// Run with -benchmem to watch the per-event allocation count.
+func BenchmarkSimEventThroughput(b *testing.B) {
+	b.ReportAllocs()
+	const chunk = 1 << 16 // bound the event table: one Sim per chunk
+	done := 0
+	for done < b.N {
+		n := b.N - done
+		if n > chunk {
+			n = chunk
+		}
+		done += n
+		s := NewSim(DefaultConfig(1))
+		left := n
+		var step func()
+		step = func() {
+			if left == 0 {
+				return
+			}
+			left--
+			a := s.NewUserEvent()
+			c := s.NewUserEvent()
+			s.OnTrigger(s.Merge(a, c), step)
+			s.After(3, func() { s.Trigger(a) })
+			s.After(7, func() { s.Trigger(c) })
+		}
+		step()
+		s.Run()
+	}
+}

@@ -14,7 +14,6 @@
 package realm
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"sort"
@@ -90,6 +89,11 @@ type Sim struct {
 	activeYield chan struct{} // signaled when the active thread yields
 	tracer      *Tracer
 	liveThreads map[*Thread]bool
+
+	// waiterPool recycles the waiter slices of triggered events; DES runs
+	// create and retire millions of events, and reusing the slices keeps the
+	// schedule/trigger hot path allocation-free at steady state.
+	waiterPool [][]func()
 }
 
 type eventState struct {
@@ -103,23 +107,75 @@ type queued struct {
 	fn  func()
 }
 
-type eventQueue []queued
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
+// eventQueue is a typed 4-ary min-heap ordered by (at, seq). A hand-rolled
+// heap avoids container/heap's interface{} boxing of every element on
+// Push/Pop — the single hottest allocation site of the simulator — and the
+// 4-ary layout halves the tree depth, trading cheap sibling comparisons for
+// expensive cache-missing level hops. (at, seq) is a strict total order
+// (seq increments on every insert), so pop order — and thus the entire
+// simulation — is identical to the old binary heap's.
+type eventQueue struct {
+	items []queued
 }
-func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(queued)) }
-func (q *eventQueue) Pop() interface{} {
-	old := *q
-	n := len(old)
-	item := old[n-1]
-	*q = old[:n-1]
-	return item
+
+func (q *eventQueue) Len() int { return len(q.items) }
+
+// less orders by time, then insertion sequence.
+func (q *eventQueue) less(a, b *queued) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (q *eventQueue) push(it queued) {
+	q.items = append(q.items, it)
+	i := len(q.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !q.less(&q.items[i], &q.items[parent]) {
+			break
+		}
+		q.items[i], q.items[parent] = q.items[parent], q.items[i]
+		i = parent
+	}
+}
+
+func (q *eventQueue) pop() queued {
+	items := q.items
+	top := items[0]
+	n := len(items) - 1
+	items[0] = items[n]
+	items[n] = queued{} // release the closure
+	q.items = items[:n]
+	q.siftDown(0)
+	return top
+}
+
+func (q *eventQueue) siftDown(i int) {
+	items := q.items
+	n := len(items)
+	for {
+		first := 4*i + 1
+		if first >= n {
+			return
+		}
+		min := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if q.less(&items[c], &items[min]) {
+				min = c
+			}
+		}
+		if !q.less(&items[min], &items[i]) {
+			return
+		}
+		items[i], items[min] = items[min], items[i]
+		i = min
+	}
 }
 
 // NewSim builds a simulator for the given machine.
@@ -128,6 +184,11 @@ func NewSim(cfg Config) *Sim {
 		panic("realm: config requires at least one node and one core")
 	}
 	s := &Sim{cfg: cfg, activeYield: make(chan struct{}), liveThreads: map[*Thread]bool{}}
+	// Pre-size the event table and heap: simulations allocate events at a
+	// furious rate, and starting from a real capacity avoids the first dozen
+	// grow-and-copy cycles of append.
+	s.evs = make([]eventState, 0, 4096)
+	s.queue.items = make([]queued, 0, 1024)
 	s.nodes = make([]*Node, cfg.Nodes)
 	for i := range s.nodes {
 		n := &Node{sim: s, id: i}
@@ -161,7 +222,7 @@ func (s *Sim) at(t Time, fn func()) {
 		t = s.now
 	}
 	s.seq++
-	heap.Push(&s.queue, queued{at: t, seq: s.seq, fn: fn})
+	s.queue.push(queued{at: t, seq: s.seq, fn: fn})
 }
 
 // After schedules fn d nanoseconds from now.
@@ -187,8 +248,12 @@ func (s *Sim) Trigger(e Event) {
 	st.triggered = true
 	waiters := st.waiters
 	st.waiters = nil
-	for _, fn := range waiters {
+	for i, fn := range waiters {
+		waiters[i] = nil // release the closure before recycling
 		fn()
+	}
+	if cap(waiters) > 0 {
+		s.waiterPool = append(s.waiterPool, waiters[:0])
 	}
 }
 
@@ -204,11 +269,33 @@ func (s *Sim) OnTrigger(e Event, fn func()) {
 		return
 	}
 	st := &s.evs[e-1]
+	if st.waiters == nil {
+		if n := len(s.waiterPool); n > 0 {
+			st.waiters = s.waiterPool[n-1]
+			s.waiterPool = s.waiterPool[:n-1]
+		}
+	}
 	st.waiters = append(st.waiters, fn)
 }
 
+// merger is the counter state of one Merge: a single arrival callback
+// shared by all pending inputs, instead of one captured closure per input.
+type merger struct {
+	s         *Sim
+	remaining int
+	out       Event
+}
+
+func (m *merger) arrive() {
+	m.remaining--
+	if m.remaining == 0 {
+		m.s.Trigger(m.out)
+	}
+}
+
 // Merge returns an event that triggers once all inputs have triggered
-// (Realm's event merger).
+// (Realm's event merger). The inputs slice is not retained, so callers may
+// reuse scratch buffers across calls.
 func (s *Sim) Merge(evs ...Event) Event {
 	pending := 0
 	for _, e := range evs {
@@ -220,17 +307,12 @@ func (s *Sim) Merge(evs ...Event) Event {
 		return NoEvent
 	}
 	out := s.NewUserEvent()
-	remaining := pending
+	m := &merger{s: s, remaining: pending, out: out}
+	cb := m.arrive
 	for _, e := range evs {
-		if s.Triggered(e) {
-			continue
+		if !s.Triggered(e) {
+			s.OnTrigger(e, cb)
 		}
-		s.OnTrigger(e, func() {
-			remaining--
-			if remaining == 0 {
-				s.Trigger(out)
-			}
-		})
 	}
 	return out
 }
@@ -256,7 +338,7 @@ func (s *Sim) Run() Time {
 	s.running = true
 	defer func() { s.running = false }()
 	for s.queue.Len() > 0 {
-		item := heap.Pop(&s.queue).(queued)
+		item := s.queue.pop()
 		s.now = item.at
 		s.stats.Events++
 		item.fn()

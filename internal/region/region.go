@@ -194,6 +194,34 @@ func (p *Partition) Each(fn func(geometry.Point, *Region) bool) {
 	}
 }
 
+// Union returns the union of the partition's subregion index spaces. It
+// exploits the partition's static properties: complete partitions cover the
+// parent exactly, and disjoint partitions' spans concatenate with no
+// quadratic de-overlapping pass — only aliased incomplete partitions pay
+// for a real union. Shared by the CR compiler's finalization planning and
+// the implicit runtime's domination analysis, both of which re-ask this
+// question for partitions with thousands of subregions.
+func (p *Partition) Union() geometry.IndexSpace {
+	if p.complete {
+		return p.parent.IndexSpace()
+	}
+	dim := p.parent.IndexSpace().Dim()
+	if p.disjoint {
+		var spans []geometry.Rect
+		p.Each(func(_ geometry.Point, sub *Region) bool {
+			spans = append(spans, sub.IndexSpace().Spans()...)
+			return true
+		})
+		return geometry.FromDisjointRects(dim, spans)
+	}
+	var spaces []geometry.IndexSpace
+	p.Each(func(_ geometry.Point, sub *Region) bool {
+		spaces = append(spaces, sub.IndexSpace())
+		return true
+	})
+	return geometry.UnionMany(dim, spaces)
+}
+
 // String formats the partition for diagnostics.
 func (p *Partition) String() string {
 	kind := "aliased"

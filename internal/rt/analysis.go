@@ -22,8 +22,15 @@ type use struct {
 	// full reports whether the launch covered the partition's whole color
 	// space; only full writers can dominate (absorb) older uses.
 	full bool
-	done map[geometry.Point]realm.Event
-	node map[geometry.Point]int
+	// domIdx maps a color of the issuing launch's domain to its index; it is
+	// shared between all uses of that launch (cached per *ir.Launch), and
+	// done/node are dense slices indexed by it. Colors absent from domIdx
+	// were not covered by the launch. This replaces the two per-use
+	// map[Point] allocations the Modeled-mode hot path used to pay on every
+	// launch of every iteration.
+	domIdx map[geometry.Point]int
+	done   []realm.Event
+	node   []int
 }
 
 type pairKey struct {
@@ -61,20 +68,15 @@ func (e *Engine) pairsBetween(src, dst *region.Partition) []pairInfo {
 }
 
 // unionSpace returns (and caches) the union of a partition's subregions.
+// Partition.Union exploits disjointness/completeness so that only aliased
+// incomplete partitions pay for a real union — the incremental
+// union-per-subregion this used to do was the dominant cost of the whole
+// Modeled-mode analysis at large node counts.
 func (e *Engine) unionSpace(p *region.Partition) geometry.IndexSpace {
 	if is, ok := e.unionCache[p]; ok {
 		return is
 	}
-	var is geometry.IndexSpace
-	if p.Complete() {
-		is = p.Parent().IndexSpace()
-	} else {
-		is = geometry.EmptyIndexSpace(p.Parent().IndexSpace().Dim())
-		p.Each(func(_ geometry.Point, sub *region.Region) bool {
-			is = is.Union(sub.IndexSpace())
-			return true
-		})
-	}
+	is := p.Union()
 	e.unionCache[p] = is
 	return is
 }
@@ -98,18 +100,17 @@ func fieldsSubset(a, b map[region.FieldID]bool) bool {
 	return true
 }
 
-// depsForArg computes, for each color of the new launch's domain, the
-// dependencies the new use (not yet registered) has on prior uses of the
-// same region tree. The static partition-level aliasing test prunes pairs
-// of partitions that provably cannot interfere; surviving pairs are refined
-// to exact task-level edges with the cached dynamic intersections.
-func (e *Engine) depsForArg(newUse *use, domain []geometry.Point) map[geometry.Point][]dep {
+// depsForArg computes, for each color of the new launch's domain (indexed
+// by position in the domain slice), the dependencies the new use (not yet
+// registered) has on prior uses of the same region tree. The static
+// partition-level aliasing test prunes pairs of partitions that provably
+// cannot interfere; surviving pairs are refined to exact task-level edges
+// with the cached dynamic intersections. domIdx is the launch's cached
+// domain index (color -> position), which doubles as the domain-membership
+// test the old map-keyed implementation rebuilt on every call.
+func (e *Engine) depsForArg(newUse *use, domain []geometry.Point, domIdx map[geometry.Point]int) [][]dep {
 	root := newUse.part.Parent().Root()
-	out := make(map[geometry.Point][]dep, len(domain))
-	inDomain := make(map[geometry.Point]bool, len(domain))
-	for _, c := range domain {
-		inDomain[c] = true
-	}
+	out := make([][]dep, len(domain))
 	for _, u := range e.users[root] {
 		nf := fieldsOverlapCount(u.fields, newUse.fields)
 		if nf == 0 || !ir.Conflicts(u.priv, u.op, newUse.priv, newUse.op) {
@@ -121,32 +122,35 @@ func (e *Engine) depsForArg(newUse *use, domain []geometry.Point) map[geometry.P
 		raw := u.priv != ir.PrivRead // the prior use produced data the new one consumes
 		if u.part == newUse.part && u.part.Disjoint() {
 			// Identity pairs: subregions of a disjoint partition interfere
-			// only with themselves. Iterate the domain slice (not the map)
-			// to keep dependence order — and thus the simulation —
-			// deterministic.
-			for _, c := range domain {
-				ev, ok := u.done[c]
+			// only with themselves. Iterate the domain slice to keep
+			// dependence order — and thus the simulation — deterministic.
+			for di, c := range domain {
+				ui, ok := u.domIdx[c]
 				if !ok {
 					continue
 				}
-				d := dep{ev: ev, srcNode: u.node[c]}
+				d := dep{ev: u.done[ui], srcNode: u.node[ui]}
 				if raw {
 					d.bytes = int64(nf) * e.Over.EltBytes * u.part.Sub(c).Volume()
 				}
-				out[c] = append(out[c], d)
+				out[di] = append(out[di], d)
 			}
 			continue
 		}
 		for _, p := range e.pairsBetween(u.part, newUse.part) {
-			ev, ok := u.done[p.src]
-			if !ok || !inDomain[p.dst] {
+			ui, ok := u.domIdx[p.src]
+			if !ok {
 				continue
 			}
-			d := dep{ev: ev, srcNode: u.node[p.src]}
+			di, ok := domIdx[p.dst]
+			if !ok {
+				continue
+			}
+			d := dep{ev: u.done[ui], srcNode: u.node[ui]}
 			if raw {
 				d.bytes = int64(nf) * e.Over.EltBytes * p.vol
 			}
-			out[p.dst] = append(out[p.dst], d)
+			out[di] = append(out[di], d)
 		}
 	}
 	return out

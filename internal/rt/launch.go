@@ -15,7 +15,12 @@ import (
 // application (§4.3), and launch-level scalar reduction into a future
 // (§4.4).
 func (e *Engine) issueLaunch(l *ir.Launch) {
-	e.checkIntraLaunchConflicts(l)
+	// The intra-launch conflict check depends only on the launch's static
+	// declaration, so it runs once per launch site, not once per iteration.
+	if !e.checkedLaunch[l] {
+		e.checkIntraLaunchConflicts(l)
+		e.checkedLaunch[l] = true
+	}
 
 	env := e.ctlEnv()
 	scalars := make([]float64, len(l.ScalarArgs))
@@ -25,34 +30,51 @@ func (e *Engine) issueLaunch(l *ir.Launch) {
 
 	numColors := len(l.Domain)
 	nodes := e.Sim.Nodes()
+	domIdx := e.domainIndex(l)
+	fsets := e.fieldSetsFor(l.Task)
 
 	// Analysis: one new use per region argument; task-level dependencies
-	// refined from partition-level aliasing.
+	// refined from partition-level aliasing. The uses are retained in the
+	// epoch lists, so they are real allocations; everything else in this
+	// function is per-launch scratch.
 	uses := make([]*use, len(l.Args))
-	deps := make([]map[geometry.Point][]dep, len(l.Args))
+	deps := make([][][]dep, len(l.Args))
 	for ai, a := range l.Args {
 		param := l.Task.Params[ai]
 		u := &use{
 			part:   a.Part,
 			priv:   param.Priv,
 			op:     param.Op,
-			fields: fieldSet(param.Fields),
+			fields: fsets[ai],
 			full:   numColors == len(a.Part.Colors()),
-			done:   make(map[geometry.Point]realm.Event, numColors),
-			node:   make(map[geometry.Point]int, numColors),
+			domIdx: domIdx,
+			done:   make([]realm.Event, numColors),
+			node:   make([]int, numColors),
 		}
-		deps[ai] = e.depsForArg(u, l.Domain)
+		deps[ai] = e.depsForArg(u, l.Domain, domIdx)
 		uses[ai] = u
 	}
 
-	taskDone := make([]realm.Event, numColors)
-	taskNode := make([]int, numColors)
-	ctxs := make([]*ir.TaskCtx, numColors)
-	// Reduction buffers per (arg, color) for Real-mode reduce privileges.
-	redBufs := make([][]*region.Store, len(l.Args))
-	for ai, param := range l.Task.Params {
-		if param.Priv == ir.PrivReduce {
-			redBufs[ai] = make([]*region.Store, numColors)
+	// taskDone/taskNode are recycled across launches: their values are
+	// copied into the retained uses before the next launch runs.
+	if cap(e.taskDoneBuf) < numColors {
+		e.taskDoneBuf = make([]realm.Event, numColors)
+		e.taskNodeBuf = make([]int, numColors)
+	}
+	taskDone := e.taskDoneBuf[:numColors]
+	taskNode := e.taskNodeBuf[:numColors]
+	// Real-mode-only state: task contexts (retained by the reduce future's
+	// fold closure) and reduction buffers per (arg, color). Modeled mode
+	// never touches either, so it skips the allocations.
+	var ctxs []*ir.TaskCtx
+	var redBufs [][]*region.Store
+	if e.Mode == Real {
+		ctxs = make([]*ir.TaskCtx, numColors)
+		redBufs = make([][]*region.Store, len(l.Args))
+		for ai, param := range l.Task.Params {
+			if param.Priv == ir.PrivReduce {
+				redBufs[ai] = make([]*region.Store, numColors)
+			}
 		}
 	}
 
@@ -61,11 +83,12 @@ func (e *Engine) issueLaunch(l *ir.Launch) {
 		node := e.Sim.Node(target)
 		taskNode[idx] = target
 
-		// Gather preconditions and cross-node data movement.
-		var pres []realm.Event
+		// Gather preconditions and cross-node data movement. The scratch
+		// slice is safe to recycle because Merge does not retain its inputs.
+		pres := e.presBuf[:0]
 		nDeps := 0
 		for ai := range l.Args {
-			for _, d := range deps[ai][c] {
+			for _, d := range deps[ai][idx] {
 				nDeps++
 				if d.bytes > 0 && d.srcNode != target {
 					pres = append(pres, e.Sim.Copy(e.Sim.Node(d.srcNode), node, d.bytes, d.ev, nil))
@@ -102,6 +125,7 @@ func (e *Engine) issueLaunch(l *ir.Launch) {
 			}
 		}
 		taskDone[idx] = node.LaunchAuto(e.Sim.Merge(pres...), dur, body)
+		e.presBuf = pres[:0]
 	}
 
 	// Apply reduction instances: argument-major, per reduce argument in
@@ -112,10 +136,8 @@ func (e *Engine) issueLaunch(l *ir.Launch) {
 	for ai, param := range l.Task.Params {
 		u := uses[ai]
 		if param.Priv != ir.PrivReduce {
-			for idx, c := range l.Domain {
-				u.done[c] = taskDone[idx]
-				u.node[c] = taskNode[idx]
-			}
+			copy(u.done, taskDone)
+			copy(u.node, taskNode)
 			continue
 		}
 		for idx, c := range l.Domain {
@@ -136,17 +158,15 @@ func (e *Engine) issueLaunch(l *ir.Launch) {
 			}
 			pre := e.Sim.Merge(taskDone[idx], prev)
 			applied := e.Sim.Copy(e.Sim.Node(taskNode[idx]), e.Sim.Node(taskNode[idx]), bytes, pre, body)
-			u.done[c] = applied
-			u.node[c] = taskNode[idx]
+			u.done[idx] = applied
+			u.node[idx] = taskNode[idx]
 			prev = applied
 		}
 	}
 
 	for _, u := range uses {
 		e.registerUse(u)
-		for _, c := range l.Domain {
-			e.iterEvents = append(e.iterEvents, u.done[c])
-		}
+		e.iterEvents = append(e.iterEvents, u.done...)
 	}
 
 	// Launch-level scalar reduction: bind the destination variable to a
@@ -205,10 +225,11 @@ func (e *Engine) checkIntraLaunchConflicts(l *ir.Launch) {
 			panic(fmt.Sprintf("rt: launch %s writes aliased partition %s; tasks of one launch must be independent (use a reduction)", l.Task.Name, a.Part.Name()))
 		}
 	}
+	fsets := e.fieldSetsFor(l.Task)
 	for i := range l.Args {
 		for j := i + 1; j < len(l.Args); j++ {
 			pi, pj := l.Task.Params[i], l.Task.Params[j]
-			if fieldsOverlapCount(fieldSet(pi.Fields), fieldSet(pj.Fields)) == 0 {
+			if fieldsOverlapCount(fsets[i], fsets[j]) == 0 {
 				continue
 			}
 			if !ir.Conflicts(pi.Priv, pi.Op, pj.Priv, pj.Op) {
@@ -232,4 +253,33 @@ func fieldSet(fs []region.FieldID) map[region.FieldID]bool {
 		m[f] = true
 	}
 	return m
+}
+
+// domainIndex returns (and caches per launch site) the color -> position
+// index of the launch's domain. Launch domains are static IR, so every
+// iteration of a loop re-issues the same *ir.Launch with the same domain.
+func (e *Engine) domainIndex(l *ir.Launch) map[geometry.Point]int {
+	if m, ok := e.domIdxCache[l]; ok {
+		return m
+	}
+	m := make(map[geometry.Point]int, len(l.Domain))
+	for i, c := range l.Domain {
+		m[c] = i
+	}
+	e.domIdxCache[l] = m
+	return m
+}
+
+// fieldSetsFor returns (and caches per task declaration) each parameter's
+// field set. The sets are read-only and shared between all uses of the task.
+func (e *Engine) fieldSetsFor(t *ir.TaskDecl) []map[region.FieldID]bool {
+	if fs, ok := e.fieldSets[t]; ok {
+		return fs
+	}
+	fs := make([]map[region.FieldID]bool, len(t.Params))
+	for i, p := range t.Params {
+		fs[i] = fieldSet(p.Fields)
+	}
+	e.fieldSets[t] = fs
+	return fs
 }

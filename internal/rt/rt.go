@@ -129,6 +129,15 @@ type Engine struct {
 	iterTimes  map[*ir.Loop][]realm.Time
 	iterEvents []realm.Event // events of the current loop iteration
 	curIter    int           // current innermost-loop iteration (for noise)
+
+	// Per-launch-site caches and scratch buffers for the issueLaunch hot
+	// path; see launch.go. The buffers hold no state between launches.
+	domIdxCache   map[*ir.Launch]map[geometry.Point]int
+	fieldSets     map[*ir.TaskDecl][]map[region.FieldID]bool
+	checkedLaunch map[*ir.Launch]bool
+	presBuf       []realm.Event
+	taskDoneBuf   []realm.Event
+	taskNodeBuf   []int
 }
 
 // New creates an engine with default mapper.
@@ -165,6 +174,9 @@ func (e *Engine) Run() (*Result, error) {
 	e.unionCache = make(map[*region.Partition]geometry.IndexSpace)
 	e.coverCache = make(map[pairKey]bool)
 	e.iterTimes = make(map[*ir.Loop][]realm.Time)
+	e.domIdxCache = make(map[*ir.Launch]map[geometry.Point]int)
+	e.fieldSets = make(map[*ir.TaskDecl][]map[region.FieldID]bool)
+	e.checkedLaunch = make(map[*ir.Launch]bool)
 
 	var runErr error
 	e.Sim.Spawn("control", e.Sim.Node(0).Proc(0), func(t *realm.Thread) {

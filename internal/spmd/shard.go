@@ -120,6 +120,14 @@ type shard struct {
 	env   *shardEnv
 	// ops collects the events of the current iteration.
 	ops []realm.Event
+	// Scratch buffers recycled across the shard's issue loops. Merge does
+	// not retain its inputs, so a buffer can be reused as soon as the Merge
+	// consuming it returns.
+	presBuf []realm.Event
+	evBuf   []realm.Event
+	wrBuf   []realm.Event
+	doneBuf []realm.Event
+	ctxBuf  []*ir.TaskCtx
 }
 
 // run replicates the loop's control flow over the shard's owned colors.
@@ -140,7 +148,7 @@ func (sh *shard) run() {
 			sh.th.WaitEvent(iterDone[t-window])
 		}
 		sh.env.set(plan.Loop.Var, float64(t))
-		sh.ops = nil
+		sh.ops = sh.ops[:0]
 		for _, op := range plan.Body {
 			switch {
 			case op.Set != nil:
@@ -180,11 +188,14 @@ func (sh *shard) doLaunch(l *ir.Launch, iter int) {
 		scalars[i] = ex(sh.env) // forces future-valued scalars on this shard
 	}
 
-	var localDone []realm.Event
-	var ctxs []*ir.TaskCtx
+	// localDone/ctxs feed only the launch-level scalar reduction; skip the
+	// bookkeeping entirely for launches without one.
+	reduce := l.Reduce != nil
+	localDone := sh.doneBuf[:0]
+	ctxs := sh.ctxBuf[:0]
 	for _, col := range owned {
 		sh.th.Elapse(e.Over.ShardLaunchBase)
-		var pres []realm.Event
+		pres := sh.presBuf[:0]
 		for ai, a := range l.Args {
 			param := l.Task.Params[ai]
 			switch param.Priv {
@@ -222,6 +233,7 @@ func (sh *shard) doLaunch(l *ir.Launch, iter int) {
 			}
 		}
 		done := node.LaunchAuto(e.Sim.Merge(pres...), dur, body)
+		sh.presBuf = pres[:0]
 
 		for ai, a := range l.Args {
 			param := l.Task.Params[ai]
@@ -232,17 +244,20 @@ func (sh *shard) doLaunch(l *ir.Launch, iter int) {
 			case ir.PrivReadWrite:
 				s := sh.table.get(instKey{a.Part.ID(), col})
 				s.lastWrite = done
-				s.readers = nil
+				s.readers = s.readers[:0]
 			case ir.PrivReduce:
 				s := sh.table.getTemp(tempKey{l, ai, col})
 				s.lastWrite = done
-				s.readers = nil
+				s.readers = s.readers[:0]
 			}
 		}
-		localDone = append(localDone, done)
-		ctxs = append(ctxs, ctx)
+		if reduce {
+			localDone = append(localDone, done)
+			ctxs = append(ctxs, ctx)
+		}
 		sh.ops = append(sh.ops, done)
 	}
+	sh.doneBuf, sh.ctxBuf = localDone[:0], ctxs[:0]
 
 	if l.Reduce != nil {
 		// One contribution per task color (not per shard): the collective
@@ -327,8 +342,10 @@ func (sh *shard) doCopyP2P(cp *cr.CopyOp, iter int) {
 		if work.consumer {
 			dstCol := pairs[g.start].Dst
 			s := sh.table.get(instKey{cp.Dst.ID(), dstCol})
-			release := e.Sim.Merge(append(append([]realm.Event(nil), s.readers...), s.lastWrite)...)
-			newWrites := []realm.Event{s.lastWrite}
+			rel := append(sh.evBuf[:0], s.readers...)
+			rel = append(rel, s.lastWrite)
+			release := e.Sim.Merge(rel...)
+			newWrites := append(sh.wrBuf[:0], s.lastWrite)
 			for k := g.start; k < g.end; k++ {
 				ps := st.pairSyncFor(cp.ID, k, iter)
 				st.connect(release, ps.war)
@@ -336,13 +353,14 @@ func (sh *shard) doCopyP2P(cp *cr.CopyOp, iter int) {
 				sh.ops = append(sh.ops, ps.done)
 			}
 			s.lastWrite = e.Sim.Merge(newWrites...)
-			s.readers = nil
+			s.readers = s.readers[:0]
+			sh.evBuf, sh.wrBuf = rel[:0], newWrites[:0]
 		}
 		for _, k := range work.prodPairs {
 			pr := pairs[k]
 			ps := st.pairSyncFor(cp.ID, k, iter)
 			sh.th.Elapse(e.Over.CopySetup)
-			pres := []realm.Event{ps.war}
+			pres := append(sh.presBuf[:0], ps.war)
 			var body func()
 			if cp.Reduce == region.ReduceNone {
 				s := sh.table.get(instKey{cp.Src.ID(), pr.Src})
@@ -383,6 +401,7 @@ func (sh *shard) doCopyP2P(cp *cr.CopyOp, iter int) {
 				ts.readers = append(ts.readers, ev)
 				st.connect(ev, ps.done)
 			}
+			sh.presBuf = pres[:0]
 			sh.ops = append(sh.ops, ps.done)
 		}
 	}
@@ -414,7 +433,7 @@ func (sh *shard) doCopyBarrier(cp *cr.CopyOp, iter int) {
 	// far in the iteration has completed, plus all outstanding consumers of
 	// our destination instances (deferred execution means prior-iteration
 	// readers may still be in flight).
-	arr := append([]realm.Event(nil), sh.ops...)
+	arr := append(sh.evBuf[:0], sh.ops...)
 	for _, w := range work {
 		if !w.consumer {
 			continue
@@ -424,6 +443,7 @@ func (sh *shard) doCopyBarrier(cp *cr.CopyOp, iter int) {
 		arr = append(arr, s.readers...)
 	}
 	b1.Arrive(e.Sim.Merge(arr...))
+	sh.evBuf = arr[:0]
 
 	var copyEvs []realm.Event
 	isReduce := cp.Reduce != region.ReduceNone
@@ -484,7 +504,7 @@ func (sh *shard) doCopyBarrier(cp *cr.CopyOp, iter int) {
 		}
 		s := sh.table.get(instKey{cp.Dst.ID(), pairs[w.group.start].Dst})
 		s.lastWrite = e.Sim.Merge(s.lastWrite, b2.Done())
-		s.readers = nil
+		s.readers = s.readers[:0]
 	}
 	sh.ops = append(sh.ops, b2.Done())
 }
