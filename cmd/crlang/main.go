@@ -53,7 +53,11 @@ func main() {
 		env = res.Env
 		fmt.Println("sequential execution complete")
 	case "implicit":
-		sim := realm.NewSim(realm.DefaultConfig(*nodes))
+		sim, err := realm.NewSim(realm.DefaultConfig(*nodes))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "crlang:", err)
+			os.Exit(1)
+		}
 		res, err := rt.New(sim, prog, rt.Real).Run()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "crlang:", err)
@@ -79,7 +83,11 @@ func main() {
 				}
 			}
 		}
-		sim := realm.NewSim(realm.DefaultConfig(*nodes))
+		sim, err := realm.NewSim(realm.DefaultConfig(*nodes))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "crlang:", err)
+			os.Exit(1)
+		}
 		res, err := spmd.New(sim, prog, ir.ExecReal, plans).Run()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "crlang:", err)

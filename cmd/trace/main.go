@@ -40,7 +40,11 @@ func main() {
 	prog, loop := app.BuildProgram(*nodes)
 	loop.Trip = *iters
 
-	sim := realm.NewSim(realm.DefaultConfig(*nodes))
+	sim, err := realm.NewSim(realm.DefaultConfig(*nodes))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "trace:", err)
+		os.Exit(1)
+	}
 	tr := realm.NewTracer()
 	sim.SetTracer(tr)
 

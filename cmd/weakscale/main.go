@@ -6,8 +6,15 @@
 // Usage:
 //
 //	weakscale [-app stencil|miniaero|pennant|circuit|all] [-nodes 1,2,...]
-//	          [-iters N] [-j workers] [-csv] [-v]
+//	          [-iters N] [-j workers] [-csv] [-v] [-faults seed:rate]
 //	          [-cpuprofile file] [-memprofile file]
+//
+// -faults injects deterministic node crashes into every measurement cell:
+// seed is the base fault seed (each cell derives its own), rate is the
+// expected crashes per second of virtual time. Regent-CR cells recover via
+// checkpoint/restart; systems without recovery (the MPI baselines, the
+// implicit runtime) record an error for cells where a crash lands, and the
+// sweep continues.
 package main
 
 import (
@@ -20,7 +27,33 @@ import (
 	"strings"
 
 	"repro/internal/harness"
+	"repro/internal/realm"
 )
+
+// parseFaults parses the -faults argument, "seed:rate".
+func parseFaults(arg string) (*realm.FaultPlan, error) {
+	seedStr, rateStr, ok := strings.Cut(arg, ":")
+	if !ok {
+		return nil, fmt.Errorf("bad -faults %q (want seed:rate, e.g. 42:0.5)", arg)
+	}
+	seed, err := strconv.ParseUint(strings.TrimSpace(seedStr), 0, 64)
+	if err != nil {
+		return nil, fmt.Errorf("bad -faults seed %q: %v", seedStr, err)
+	}
+	rate, err := strconv.ParseFloat(strings.TrimSpace(rateStr), 64)
+	if err != nil || rate < 0 {
+		return nil, fmt.Errorf("bad -faults rate %q (want crashes per simulated second >= 0)", rateStr)
+	}
+	return &realm.FaultPlan{Seed: seed, CrashRate: rate}, nil
+}
+
+// csvQuote renders an error message as a CSV field.
+func csvQuote(s string) string {
+	if s == "" {
+		return ""
+	}
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+}
 
 func main() {
 	appName := flag.String("app", "all", "application to run (stencil, miniaero, pennant, circuit, all)")
@@ -29,6 +62,7 @@ func main() {
 	workers := flag.Int("j", runtime.GOMAXPROCS(0), "measurement cells to run in parallel (output is identical at any width)")
 	csv := flag.Bool("csv", false, "emit CSV instead of a table")
 	verbose := flag.Bool("v", false, "print per-measurement progress")
+	faults := flag.String("faults", "", "inject faults: seed:rate (crash rate in crashes per simulated second)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -73,6 +107,15 @@ func main() {
 		}
 	}
 
+	var fp *realm.FaultPlan
+	if *faults != "" {
+		var err error
+		if fp, err = parseFaults(*faults); err != nil {
+			fmt.Fprintln(os.Stderr, "weakscale:", err)
+			os.Exit(1)
+		}
+	}
+
 	var apps []harness.App
 	if *appName == "all" {
 		apps = harness.Apps()
@@ -94,16 +137,17 @@ func main() {
 		if *iters > 0 {
 			app.Iters = *iters
 		}
+		app.Faults = fp
 		series, err := harness.RunFigureParallel(app, nodes, *workers, progress)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "weakscale:", err)
 			os.Exit(1)
 		}
 		if *csv {
-			fmt.Printf("app,system,nodes,per_iter_s,throughput_per_node_%s\n", strings.ReplaceAll(app.Unit, " ", "_"))
+			fmt.Printf("app,system,nodes,per_iter_s,throughput_per_node_%s,error\n", strings.ReplaceAll(app.Unit, " ", "_"))
 			for _, s := range series {
 				for _, p := range s.Points {
-					fmt.Printf("%s,%s,%d,%g,%g\n", app.Name, s.System, p.Nodes, p.PerIter.Seconds(), p.Throughput)
+					fmt.Printf("%s,%s,%d,%g,%g,%s\n", app.Name, s.System, p.Nodes, p.PerIter.Seconds(), p.Throughput, csvQuote(p.Err))
 				}
 			}
 		} else {

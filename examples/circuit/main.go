@@ -57,7 +57,7 @@ func main() {
 		}
 	}
 
-	simCR := realm.NewSim(realm.DefaultConfig(pieces))
+	simCR := realm.MustNewSim(realm.DefaultConfig(pieces))
 	resCR, err := spmd.New(simCR, app.Prog, ir.ExecReal, map[*ir.Loop]*cr.Compiled{app.Loop: plan}).Run()
 	if err != nil {
 		log.Fatal(err)
@@ -65,7 +65,7 @@ func main() {
 
 	// Implicit execution of the same graph.
 	app2 := circuit.Build(cfg)
-	simImp := realm.NewSim(realm.DefaultConfig(pieces))
+	simImp := realm.MustNewSim(realm.DefaultConfig(pieces))
 	resImp, err := rt.New(simImp, app2.Prog, rt.Real).Run()
 	if err != nil {
 		log.Fatal(err)

@@ -89,7 +89,7 @@ func main() {
 		}
 	}
 
-	sim := realm.NewSim(realm.DefaultConfig(nodes))
+	sim := realm.MustNewSim(realm.DefaultConfig(nodes))
 	res, err := spmd.New(sim, prog, ir.ExecReal, plans).Run()
 	if err != nil {
 		log.Fatal(err)

@@ -51,7 +51,7 @@ func main() {
 		}
 	}
 
-	sim := realm.NewSim(realm.DefaultConfig(pieces))
+	sim := realm.MustNewSim(realm.DefaultConfig(pieces))
 	res, err := spmd.New(sim, app.Prog, ir.ExecReal, map[*ir.Loop]*cr.Compiled{app.Loop: plan}).Run()
 	if err != nil {
 		log.Fatal(err)

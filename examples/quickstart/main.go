@@ -116,7 +116,7 @@ func main() {
 	// 2. Implicit parallel execution: a single control thread performs
 	// dynamic dependence analysis and launches tasks across the nodes.
 	progImp, _, aImp, _, _ := buildProgram(n, nt, trip)
-	simImp := realm.NewSim(realm.DefaultConfig(nodes))
+	simImp := realm.MustNewSim(realm.DefaultConfig(nodes))
 	resImp, err := rt.New(simImp, progImp, rt.Real).Run()
 	if err != nil {
 		log.Fatal(err)
@@ -141,7 +141,7 @@ func main() {
 	}
 	fmt.Printf("shards: %d, each owning %d launch points\n\n", plan.Opts.NumShards, len(plan.Owned[0]))
 
-	simCR := realm.NewSim(realm.DefaultConfig(nodes))
+	simCR := realm.MustNewSim(realm.DefaultConfig(nodes))
 	resCR, err := spmd.New(simCR, progCR, ir.ExecReal, map[*ir.Loop]*cr.Compiled{loopCR: plan}).Run()
 	if err != nil {
 		log.Fatal(err)

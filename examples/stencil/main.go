@@ -56,7 +56,7 @@ func main() {
 		haloVolume, total, 100*float64(haloVolume)/float64(total))
 
 	// Execute for real on the simulated machine.
-	sim := realm.NewSim(realm.DefaultConfig(nodes))
+	sim := realm.MustNewSim(realm.DefaultConfig(nodes))
 	res, err := spmd.New(sim, app.Prog, ir.ExecReal, map[*ir.Loop]*cr.Compiled{app.Loop: plan}).Run()
 	if err != nil {
 		log.Fatal(err)
@@ -75,7 +75,7 @@ func main() {
 	for _, n := range []int{1, 4, 16} {
 		fmt.Printf("%-8d", n)
 		for _, sys := range stencil.Systems {
-			per, err := stencil.Measure(sys, n, 8)
+			per, err := stencil.Measure(sys, n, 8, nil)
 			if err != nil {
 				log.Fatal(err)
 			}

@@ -120,7 +120,10 @@ func runConfig(prog *ir.Program, loop *ir.Loop, nodes int, opts cr.Options, wind
 	}
 	m.Candidates = plan.Timings.Candidates
 
-	sim := realm.NewSim(realm.DefaultConfig(nodes))
+	sim, err := realm.NewSim(realm.DefaultConfig(nodes))
+	if err != nil {
+		return Metrics{}, err
+	}
 	eng := spmd.New(sim, prog, ir.ExecModeled, map[*ir.Loop]*cr.Compiled{loop: plan})
 	if window > 0 {
 		eng.Over.Window = window

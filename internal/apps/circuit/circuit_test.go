@@ -123,7 +123,7 @@ func TestCRMatchesSequential(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		sim := realm.NewSim(realm.DefaultConfig(tc.pieces))
+		sim := realm.MustNewSim(realm.DefaultConfig(tc.pieces))
 		res, err := spmd.New(sim, app2.Prog, ir.ExecReal, plans).Run()
 		if err != nil {
 			t.Fatal(err)
@@ -143,7 +143,7 @@ func TestImplicitMatchesSequential(t *testing.T) {
 	app := Build(Small(4))
 	seq := ir.ExecSequential(app.Prog)
 	app2 := Build(Small(4))
-	sim := realm.NewSim(realm.DefaultConfig(4))
+	sim := realm.MustNewSim(realm.DefaultConfig(4))
 	res, err := rt.New(sim, app2.Prog, rt.Real).Run()
 	if err != nil {
 		t.Fatal(err)
@@ -189,7 +189,7 @@ func TestCompiledShape(t *testing.T) {
 
 func TestMeasureBothSystems(t *testing.T) {
 	for _, sys := range Systems {
-		per, err := Measure(sys, 4, 6)
+		per, err := Measure(sys, 4, 6, nil)
 		if err != nil {
 			t.Fatalf("%s: %v", sys, err)
 		}

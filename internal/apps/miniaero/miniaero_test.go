@@ -167,7 +167,7 @@ func TestCRMatchesSequential(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		sim := realm.NewSim(realm.DefaultConfig(pieces))
+		sim := realm.MustNewSim(realm.DefaultConfig(pieces))
 		res, err := spmd.New(sim, app2.Prog, ir.ExecReal, plans).Run()
 		if err != nil {
 			t.Fatal(err)
@@ -182,7 +182,7 @@ func TestImplicitMatchesSequential(t *testing.T) {
 	app := Build(Small(4))
 	seq := ir.ExecSequential(app.Prog)
 	app2 := Build(Small(4))
-	sim := realm.NewSim(realm.DefaultConfig(4))
+	sim := realm.MustNewSim(realm.DefaultConfig(4))
 	res, err := rt.New(sim, app2.Prog, rt.Real).Run()
 	if err != nil {
 		t.Fatal(err)
@@ -222,7 +222,7 @@ func TestCompiledShape(t *testing.T) {
 
 func TestMeasureAllSystems(t *testing.T) {
 	for _, sys := range Systems {
-		per, err := Measure(sys, 4, 6)
+		per, err := Measure(sys, 4, 6, nil)
 		if err != nil {
 			t.Fatalf("%s: %v", sys, err)
 		}
@@ -240,7 +240,7 @@ func TestBarrierSyncMatchesSequential(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sim := realm.NewSim(realm.DefaultConfig(8))
+	sim := realm.MustNewSim(realm.DefaultConfig(8))
 	res, err := spmd.New(sim, app2.Prog, ir.ExecReal, plans).Run()
 	if err != nil {
 		t.Fatal(err)

@@ -30,7 +30,7 @@ const (
 
 // Measure runs MiniAero under one system at the given node count and
 // returns the steady-state per-timestep time.
-func Measure(system string, nodes, iters int) (realm.Time, error) {
+func Measure(system string, nodes, iters int, fp *realm.FaultPlan) (realm.Time, error) {
 	cfg := Default(nodes)
 	if iters > 0 {
 		cfg.Iters = iters
@@ -43,9 +43,9 @@ func Measure(system string, nodes, iters int) (realm.Time, error) {
 		tune := bench.DefaultTuning(cores)
 		tune.Noise = realm.SpikeNoise(noiseProb, noiseAmplCore, noiseSalt)
 		if system == "regent-cr" {
-			return bench.MeasureCR(app.Prog, app.Loop, nodes, cr.PointToPoint, tune)
+			return bench.MeasureCR(app.Prog, app.Loop, nodes, cr.PointToPoint, tune, fp)
 		}
-		return bench.MeasureImplicit(app.Prog, app.Loop, nodes, tune)
+		return bench.MeasureImplicit(app.Prog, app.Loop, nodes, tune, fp)
 	case "mpi-kokkos-core", "mpi-kokkos-node":
 		return measureMPI(cfg, system == "mpi-kokkos-node")
 	default:
@@ -102,7 +102,10 @@ func measureMPI(cfg Config, perNode bool) (realm.Time, error) {
 		PerMessageCPU: realm.Microseconds(1),
 		Noise:         noise,
 	}
-	sim := realm.NewSim(machine)
+	sim, err := realm.NewSim(machine)
+	if err != nil {
+		return 0, err
+	}
 	res, err := baseline.Run(sim, spec)
 	if err != nil {
 		return 0, err

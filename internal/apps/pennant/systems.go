@@ -33,7 +33,7 @@ const mpiCostPerZoneNs = 616.0
 
 // Measure runs PENNANT under one system at the given node count and
 // returns the steady-state per-cycle time.
-func Measure(system string, nodes, iters int) (realm.Time, error) {
+func Measure(system string, nodes, iters int, fp *realm.FaultPlan) (realm.Time, error) {
 	cfg := Default(nodes)
 	if iters > 0 {
 		cfg.Iters = iters
@@ -46,9 +46,9 @@ func Measure(system string, nodes, iters int) (realm.Time, error) {
 		tune := bench.DefaultTuning(cores)
 		tune.Noise = realm.SpikeNoise(noiseProb, noiseAmpl, noiseSalt)
 		if system == "regent-cr" {
-			return bench.MeasureCR(app.Prog, app.Loop, nodes, cr.PointToPoint, tune)
+			return bench.MeasureCR(app.Prog, app.Loop, nodes, cr.PointToPoint, tune, fp)
 		}
-		return bench.MeasureImplicit(app.Prog, app.Loop, nodes, tune)
+		return bench.MeasureImplicit(app.Prog, app.Loop, nodes, tune, fp)
 	case "mpi", "mpi-openmp":
 		return measureMPI(cfg, system == "mpi-openmp")
 	default:
@@ -103,7 +103,10 @@ func measureMPI(cfg Config, openmp bool) (realm.Time, error) {
 		spec.SerialOverhead = kernel / 12 // serialized pack/exchange section
 		spec.Noise = realm.SpikeNoise(noiseProb, noiseAmplOMP, noiseSalt)
 	}
-	sim := realm.NewSim(machine)
+	sim, err := realm.NewSim(machine)
+	if err != nil {
+		return 0, err
+	}
 	res, err := baseline.Run(sim, spec)
 	if err != nil {
 		return 0, err

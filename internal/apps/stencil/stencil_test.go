@@ -95,7 +95,7 @@ func TestCRMatchesSequential(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		sim := realm.NewSim(realm.DefaultConfig(nodes))
+		sim := realm.MustNewSim(realm.DefaultConfig(nodes))
 		res, err := spmd.New(sim, app2.Prog, ir.ExecReal, plans).Run()
 		if err != nil {
 			t.Fatal(err)
@@ -115,7 +115,7 @@ func TestImplicitMatchesSequential(t *testing.T) {
 	seq := ir.ExecSequential(app.Prog)
 
 	app2 := Build(cfg)
-	sim := realm.NewSim(realm.DefaultConfig(4))
+	sim := realm.MustNewSim(realm.DefaultConfig(4))
 	res, err := rt.New(sim, app2.Prog, rt.Real).Run()
 	if err != nil {
 		t.Fatal(err)
@@ -181,7 +181,7 @@ func TestHaloVolumeMatchesExpectation(t *testing.T) {
 
 func TestMeasureAllSystemsSmallScale(t *testing.T) {
 	for _, sys := range Systems {
-		per, err := Measure(sys, 4, 6)
+		per, err := Measure(sys, 4, 6, nil)
 		if err != nil {
 			t.Fatalf("%s: %v", sys, err)
 		}
@@ -199,7 +199,7 @@ func TestWeakScalingShape(t *testing.T) {
 		t.Skip("weak scaling shape test is slow")
 	}
 	perNode := func(sys string, nodes int) float64 {
-		per, err := Measure(sys, nodes, 8)
+		per, err := Measure(sys, nodes, 8, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -235,12 +235,54 @@ func TestBarrierSyncMatchesSequential(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sim := realm.NewSim(realm.DefaultConfig(4))
+	sim := realm.MustNewSim(realm.DefaultConfig(4))
 	res, err := spmd.New(sim, app2.Prog, ir.ExecReal, plans).Run()
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !res.Stores[app2.Out].EqualOn(seq.Stores[app.Out], app.XOut, app.Out.IndexSpace()) {
 		t.Fatal("barrier-sync stencil diverged")
+	}
+}
+
+// TestCrashRecoveryMatchesGolden: a stencil run with an injected node
+// crash, recovered through the SPMD executor's checkpoint/restart, must
+// produce region contents bitwise-identical to the fault-free golden run.
+func TestCrashRecoveryMatchesGolden(t *testing.T) {
+	nodes := 4
+	cfg := Small(nodes)
+	cfg.Iters = 6 // several checkpoint epochs
+
+	run := func(fp *realm.FaultPlan) (*spmd.Result, *App) {
+		app := Build(cfg)
+		plans, err := spmd.CompileAll(app.Prog, cr.Options{NumShards: nodes})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim := realm.MustNewSim(realm.DefaultConfig(nodes))
+		if fp != nil {
+			if err := sim.InjectFaults(*fp); err != nil {
+				t.Fatal(err)
+			}
+		}
+		eng := spmd.New(sim, app.Prog, ir.ExecReal, plans)
+		eng.Recov = spmd.Recovery{CheckpointEvery: 2, MaxRetries: 3, Backoff: realm.Microseconds(50)}
+		res, err := eng.Run()
+		if err != nil {
+			t.Fatalf("run failed (faults=%v): %v", fp != nil, err)
+		}
+		return res, app
+	}
+
+	golden, gapp := run(nil)
+	res, app := run(&realm.FaultPlan{Crashes: []realm.NodeCrash{{Node: 2, At: golden.Elapsed / 2}}})
+	if res.Faults == nil || len(res.Faults.Crashes) != 1 || res.Faults.Restarts < 1 || res.Faults.Unrecovered {
+		t.Fatalf("fault report = %+v, want one recovered crash", res.Faults)
+	}
+	if !res.Stores[app.In].EqualOn(golden.Stores[gapp.In], app.XIn, app.In.IndexSpace()) {
+		t.Fatal("IN differs from the fault-free golden after recovery")
+	}
+	if !res.Stores[app.Out].EqualOn(golden.Stores[gapp.Out], app.XOut, app.Out.IndexSpace()) {
+		t.Fatal("OUT differs from the fault-free golden after recovery")
 	}
 }

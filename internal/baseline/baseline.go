@@ -129,7 +129,10 @@ func Run(sim *realm.Sim, spec Spec) (*Result, error) {
 			}
 		})
 	}
-	elapsed := sim.Run()
+	elapsed, err := sim.Run()
+	if err != nil {
+		return nil, err
+	}
 	return &Result{IterTimes: iterTimes, Elapsed: elapsed}, nil
 }
 

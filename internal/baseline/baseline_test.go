@@ -19,7 +19,7 @@ func ringNeighbors(nodes int, bytes int64) func(int) []Neighbor {
 }
 
 func TestBaselineSingleNodeIsKernelBound(t *testing.T) {
-	sim := realm.NewSim(realm.DefaultConfig(1))
+	sim := realm.MustNewSim(realm.DefaultConfig(1))
 	res, err := Run(sim, Spec{
 		Nodes: 1, Iters: 5, RanksPerNode: 1,
 		KernelTime: realm.Milliseconds(10),
@@ -38,7 +38,7 @@ func TestBaselineSingleNodeIsKernelBound(t *testing.T) {
 }
 
 func TestBaselineHaloExchangeSynchronizes(t *testing.T) {
-	sim := realm.NewSim(realm.DefaultConfig(4))
+	sim := realm.MustNewSim(realm.DefaultConfig(4))
 	res, err := Run(sim, Spec{
 		Nodes: 4, Iters: 6, RanksPerNode: 1,
 		KernelTime: realm.Milliseconds(5),
@@ -68,7 +68,7 @@ func TestBaselineHaloExchangeSynchronizes(t *testing.T) {
 
 func TestBaselineRankPerCoreCostsMoreMessages(t *testing.T) {
 	run := func(rpn int) realm.Time {
-		sim := realm.NewSim(realm.DefaultConfig(4))
+		sim := realm.MustNewSim(realm.DefaultConfig(4))
 		res, err := Run(sim, Spec{
 			Nodes: 4, Iters: 6, RanksPerNode: rpn,
 			KernelTime:    realm.Milliseconds(2),
@@ -91,7 +91,7 @@ func TestBaselineRankPerCoreCostsMoreMessages(t *testing.T) {
 
 func TestBaselineAllreduceAddsLatency(t *testing.T) {
 	run := func(allreduce bool) realm.Time {
-		sim := realm.NewSim(realm.DefaultConfig(8))
+		sim := realm.MustNewSim(realm.DefaultConfig(8))
 		res, err := Run(sim, Spec{
 			Nodes: 8, Iters: 6, RanksPerNode: 1,
 			KernelTime: realm.Milliseconds(1),
@@ -114,7 +114,7 @@ func TestBaselineAllreduceAddsLatency(t *testing.T) {
 
 func TestBaselineDeterministic(t *testing.T) {
 	run := func() realm.Time {
-		sim := realm.NewSim(realm.DefaultConfig(4))
+		sim := realm.MustNewSim(realm.DefaultConfig(4))
 		res, err := Run(sim, Spec{
 			Nodes: 4, Iters: 5, RanksPerNode: 2,
 			KernelTime: realm.Milliseconds(3),
@@ -135,7 +135,7 @@ func TestBaselineDeterministic(t *testing.T) {
 }
 
 func TestBaselineRejectsOversizedSpec(t *testing.T) {
-	sim := realm.NewSim(realm.DefaultConfig(2))
+	sim := realm.MustNewSim(realm.DefaultConfig(2))
 	_, err := Run(sim, Spec{Nodes: 4, Iters: 1, Neighbors: ringNeighbors(4, 0)})
 	if err == nil {
 		t.Error("expected error for spec larger than machine")

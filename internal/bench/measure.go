@@ -73,9 +73,20 @@ func steadyState(times []realm.Time, skip int) (realm.Time, error) {
 
 // MeasureImplicit runs the program on the implicit (non-CR) runtime in
 // Modeled mode and returns the steady-state per-iteration time of the
-// given loop.
-func MeasureImplicit(prog *ir.Program, loop *ir.Loop, nodes int, tune Tuning) (realm.Time, error) {
-	sim := realm.NewSim(realm.DefaultConfig(nodes))
+// given loop. A non-nil fault plan injects faults into the simulated
+// machine; the implicit runtime has no recovery, so an injected crash
+// surfaces as an error (typically a *realm.DeadlockError naming the
+// blocked threads).
+func MeasureImplicit(prog *ir.Program, loop *ir.Loop, nodes int, tune Tuning, fp *realm.FaultPlan) (realm.Time, error) {
+	sim, err := realm.NewSim(realm.DefaultConfig(nodes))
+	if err != nil {
+		return 0, err
+	}
+	if fp != nil {
+		if err := sim.InjectFaults(*fp); err != nil {
+			return 0, err
+		}
+	}
 	eng := rt.New(sim, prog, rt.Modeled)
 	eng.Over.LaunchBase = tune.ImplicitLaunchBase
 	eng.Over.LaunchPerSub = tune.ImplicitLaunchPerSub
@@ -91,14 +102,26 @@ func MeasureImplicit(prog *ir.Program, loop *ir.Loop, nodes int, tune Tuning) (r
 
 // MeasureCR compiles the loop with control replication (one shard per
 // node), runs it in Modeled mode, and returns the steady-state
-// per-iteration time.
-func MeasureCR(prog *ir.Program, loop *ir.Loop, nodes int, sync cr.SyncMode, tune Tuning) (realm.Time, error) {
+// per-iteration time. A non-nil fault plan injects faults and enables the
+// SPMD executor's default checkpoint/restart recovery; a run that
+// degrades (recovery budget exhausted) is reported as an error since its
+// timings are not a valid steady-state measurement.
+func MeasureCR(prog *ir.Program, loop *ir.Loop, nodes int, sync cr.SyncMode, tune Tuning, fp *realm.FaultPlan) (realm.Time, error) {
 	plan, err := cr.Compile(prog, loop, cr.Options{NumShards: nodes, Sync: sync})
 	if err != nil {
 		return 0, err
 	}
-	sim := realm.NewSim(realm.DefaultConfig(nodes))
+	sim, err := realm.NewSim(realm.DefaultConfig(nodes))
+	if err != nil {
+		return 0, err
+	}
 	eng := spmd.New(sim, prog, ir.ExecModeled, map[*ir.Loop]*cr.Compiled{loop: plan})
+	if fp != nil {
+		if err := sim.InjectFaults(*fp); err != nil {
+			return 0, err
+		}
+		eng.Recov = spmd.DefaultRecovery()
+	}
 	eng.Over.ShardLaunchBase = tune.ShardLaunchBase
 	eng.Over.KernelCores = tune.KernelCores
 	eng.Over.Window = tune.Window
@@ -106,6 +129,9 @@ func MeasureCR(prog *ir.Program, loop *ir.Loop, nodes int, sync cr.SyncMode, tun
 	res, err := eng.Run()
 	if err != nil {
 		return 0, err
+	}
+	if res.Faults != nil && res.Faults.Unrecovered {
+		return 0, fmt.Errorf("bench: %s", res.Faults.Reason)
 	}
 	return steadyState(res.IterTimes[loop], warmup(loop.Trip))
 }

@@ -36,7 +36,7 @@ func TestGoldenStencilMeasure(t *testing.T) {
 	}
 	for _, sys := range stencil.Systems {
 		for _, n := range []int{1, 4} {
-			per, err := stencil.Measure(sys, n, 10)
+			per, err := stencil.Measure(sys, n, 10, nil)
 			if err != nil {
 				t.Fatalf("measure %s@%d: %v", sys, n, err)
 			}
@@ -52,7 +52,7 @@ func TestGoldenEngineRuns(t *testing.T) {
 	cores := realm.DefaultConfig(4).CoresPerNode
 	tune := bench.DefaultTuning(cores)
 
-	sim := realm.NewSim(realm.DefaultConfig(4))
+	sim := realm.MustNewSim(realm.DefaultConfig(4))
 	eng := rt.New(sim, app.Prog, rt.Modeled)
 	eng.Over.LaunchBase = tune.ImplicitLaunchBase
 	eng.Over.LaunchPerSub = tune.ImplicitLaunchPerSub
@@ -73,7 +73,7 @@ func TestGoldenEngineRuns(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sim2 := realm.NewSim(realm.DefaultConfig(4))
+	sim2 := realm.MustNewSim(realm.DefaultConfig(4))
 	eng2 := spmd.New(sim2, app.Prog, ir.ExecModeled, map[*ir.Loop]*cr.Compiled{app.Loop: plan})
 	eng2.Over.ShardLaunchBase = tune.ShardLaunchBase
 	eng2.Over.KernelCores = tune.KernelCores

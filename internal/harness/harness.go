@@ -28,8 +28,13 @@ type App struct {
 	Figure  int
 	Systems []string
 	// Measure returns the steady-state per-iteration time for one system at
-	// one node count.
-	Measure func(system string, nodes, iters int) (realm.Time, error)
+	// one node count. The fault plan is nil for a fault-free sweep.
+	Measure func(system string, nodes, iters int, fp *realm.FaultPlan) (realm.Time, error)
+	// Faults optionally injects deterministic faults into every cell of the
+	// sweep (nil = fault-free). Fault seeds are derived per cell from
+	// Faults.Seed, the system index, and the node count, so each cell's
+	// trace is independent yet reproducible.
+	Faults *realm.FaultPlan
 	// UnitsPerNode is the per-node work per iteration; Unit/UnitScale name
 	// and scale the throughput axis exactly as the paper's figures do.
 	UnitsPerNode float64
@@ -101,12 +106,16 @@ func AppByName(name string) (App, error) {
 // DefaultNodes is the paper's weak-scaling node sweep.
 var DefaultNodes = []int{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
 
-// Point is one measurement.
+// Point is one measurement. A cell whose measurement failed (the
+// simulated run errored — e.g. an injected crash the system under test
+// could not recover from) carries the error text in Err and zero values
+// elsewhere; the rest of the sweep is unaffected.
 type Point struct {
 	Nodes      int
 	PerIter    realm.Time
 	Throughput float64 // units/s per node, divided by UnitScale
 	Wall       time.Duration
+	Err        string
 }
 
 // Series is one system's curve.
@@ -162,8 +171,10 @@ func RunFigure(app App, nodes []int, progress func(string)) ([]Series, error) {
 // state; results are collected by cell index, which makes the returned
 // series — and therefore FormatFigure's output — byte-identical to the
 // sequential sweep. Only the interleaving of progress lines (serialized by
-// a mutex) and the per-point Wall clock depend on the schedule. On error
-// the first failing cell in sequential order is reported.
+// a mutex) and the per-point Wall clock depend on the schedule. A failing
+// cell does not abort the sweep: its error is recorded in the cell's
+// Point.Err and every other cell still runs (under fault injection some
+// cells are expected to die — the MPI baselines have no recovery).
 func RunFigureParallel(app App, nodes []int, workers int, progress func(string)) ([]Series, error) {
 	type cellKey struct{ si, ni int }
 	cells := make([]cellKey, 0, len(app.Systems)*len(nodes))
@@ -173,14 +184,21 @@ func RunFigureParallel(app App, nodes []int, workers int, progress func(string))
 		}
 	}
 	points := make([]Point, len(cells))
-	errs := make([]error, len(cells))
 	var progressMu sync.Mutex
 	runCells(len(cells), workers, func(i int) {
 		sys, n := app.Systems[cells[i].si], nodes[cells[i].ni]
 		t0 := time.Now()
-		per, err := app.Measure(sys, n, app.Iters)
+		per, err := app.Measure(sys, n, app.Iters, app.cellFaults(cells[i].si, n))
+		note := func(line string) {
+			if progress != nil {
+				progressMu.Lock()
+				progress(line)
+				progressMu.Unlock()
+			}
+		}
 		if err != nil {
-			errs[i] = fmt.Errorf("%s/%s@%d: %w", app.Name, sys, n, err)
+			points[i] = Point{Nodes: n, Wall: time.Since(t0), Err: err.Error()}
+			note(fmt.Sprintf("%-10s %-16s nodes=%-5d ERROR: %v", app.Name, sys, n, err))
 			return
 		}
 		p := Point{
@@ -190,18 +208,9 @@ func RunFigureParallel(app App, nodes []int, workers int, progress func(string))
 			Wall:       time.Since(t0),
 		}
 		points[i] = p
-		if progress != nil {
-			progressMu.Lock()
-			progress(fmt.Sprintf("%-10s %-16s nodes=%-5d thr/node=%10.1f %s (sim wall %v)",
-				app.Name, sys, n, p.Throughput, app.Unit, p.Wall.Round(time.Millisecond)))
-			progressMu.Unlock()
-		}
+		note(fmt.Sprintf("%-10s %-16s nodes=%-5d thr/node=%10.1f %s (sim wall %v)",
+			app.Name, sys, n, p.Throughput, app.Unit, p.Wall.Round(time.Millisecond)))
 	})
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
 	out := make([]Series, len(app.Systems))
 	for i, c := range cells {
 		if out[c.si].System == "" {
@@ -213,8 +222,23 @@ func RunFigureParallel(app App, nodes []int, workers int, progress func(string))
 	return out, nil
 }
 
+// cellFaults derives the fault plan for one sweep cell. Each cell gets
+// its own seed, mixed from the sweep seed, the system index, and the node
+// count, so cells see independent fault sequences yet every cell stays
+// individually reproducible. Nil when the sweep is fault-free.
+func (a App) cellFaults(si, nodes int) *realm.FaultPlan {
+	if a.Faults == nil {
+		return nil
+	}
+	fp := *a.Faults
+	fp.Seed ^= uint64(si+1)*0x9e3779b97f4a7c15 ^ uint64(nodes)*0xbf58476d1ce4e5b9
+	return &fp
+}
+
 // FormatFigure renders the series as the paper's figure data: throughput
 // per node by node count, plus parallel efficiencies at the largest count.
+// Failed cells render as "err"; an efficiency whose endpoints include a
+// failed cell renders as "n/a".
 func FormatFigure(app App, series []Series) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Figure %d: %s weak scaling — throughput per node (%s)\n", app.Figure, app.Name, app.Unit)
@@ -229,14 +253,22 @@ func FormatFigure(app App, series []Series) string {
 	for i := range series[0].Points {
 		fmt.Fprintf(&b, "%-8d", series[0].Points[i].Nodes)
 		for _, s := range series {
-			fmt.Fprintf(&b, "%18.1f", s.Points[i].Throughput)
+			if s.Points[i].Err != "" {
+				fmt.Fprintf(&b, "%18s", "err")
+			} else {
+				fmt.Fprintf(&b, "%18.1f", s.Points[i].Throughput)
+			}
 		}
 		b.WriteString("\n")
 	}
 	last := len(series[0].Points) - 1
 	fmt.Fprintf(&b, "parallel efficiency at %d nodes:", series[0].Points[last].Nodes)
 	for _, s := range series {
-		fmt.Fprintf(&b, "  %s %.1f%%", s.System, 100*s.Points[last].Throughput/s.Points[0].Throughput)
+		if s.Points[0].Err != "" || s.Points[last].Err != "" {
+			fmt.Fprintf(&b, "  %s n/a", s.System)
+		} else {
+			fmt.Fprintf(&b, "  %s %.1f%%", s.System, 100*s.Points[last].Throughput/s.Points[0].Throughput)
+		}
 	}
 	b.WriteString("\n")
 	return b.String()

@@ -1,8 +1,12 @@
 package harness
 
 import (
+	"fmt"
 	"reflect"
+	"strings"
 	"testing"
+
+	"repro/internal/realm"
 )
 
 // stripWall zeroes the wall-clock field, the only part of a measurement
@@ -78,26 +82,101 @@ func TestTable1ParallelDeterministic(t *testing.T) {
 	}
 }
 
-// TestRunFigureParallelError checks that a failing cell surfaces the same
-// first-in-sequential-order error regardless of schedule.
+// TestRunFigureParallelError checks per-cell error isolation: a failing
+// cell records its error in the cell's Point and the rest of the sweep
+// still runs, identically under sequential and parallel schedules.
 func TestRunFigureParallelError(t *testing.T) {
 	app, err := AppByName("stencil")
 	if err != nil {
 		t.Fatal(err)
 	}
-	app.Iters = 1 // steadyState requires at least 2 iterations
-	seqErr := func() error {
-		_, err := RunFigure(app, []int{1, 2}, nil)
-		return err
-	}()
-	parErr := func() error {
-		_, err := RunFigureParallel(app, []int{1, 2}, 4, nil)
-		return err
-	}()
-	if seqErr == nil || parErr == nil {
-		t.Fatalf("want errors from 1-iteration sweep, got seq=%v par=%v", seqErr, parErr)
+	// Fail exactly the mpi cells; the regent cells must still measure.
+	inner := app.Measure
+	app.Measure = func(system string, nodes, iters int, fp *realm.FaultPlan) (realm.Time, error) {
+		if system == "mpi" || system == "mpi-openmp" {
+			return 0, fmt.Errorf("boom %s@%d", system, nodes)
+		}
+		return inner(system, nodes, iters, fp)
 	}
-	if seqErr.Error() != parErr.Error() {
-		t.Errorf("parallel error %q differs from sequential %q", parErr, seqErr)
+	check := func(series []Series, err error, label string) {
+		t.Helper()
+		if err != nil {
+			t.Fatalf("%s: sweep aborted: %v", label, err)
+		}
+		for _, s := range series {
+			for _, p := range s.Points {
+				bad := s.System == "mpi" || s.System == "mpi-openmp"
+				if bad && p.Err == "" {
+					t.Errorf("%s: %s@%d: want recorded error", label, s.System, p.Nodes)
+				}
+				if !bad && (p.Err != "" || p.PerIter <= 0) {
+					t.Errorf("%s: %s@%d: want clean measurement, got err=%q per=%v", label, s.System, p.Nodes, p.Err, p.PerIter)
+				}
+			}
+		}
+	}
+	seq, seqErr := RunFigure(app, []int{1, 2}, nil)
+	par, parErr := RunFigureParallel(app, []int{1, 2}, 4, nil)
+	check(seq, seqErr, "seq")
+	check(par, parErr, "par")
+	stripWall(seq)
+	stripWall(par)
+	if !reflect.DeepEqual(seq, par) {
+		t.Errorf("parallel sweep with failing cells differs from sequential:\nseq: %+v\npar: %+v", seq, par)
+	}
+	// The rendered figure marks the failed columns rather than crashing.
+	out := FormatFigure(app, seq)
+	if !strings.Contains(out, "err") || !strings.Contains(out, "n/a") {
+		t.Errorf("FormatFigure should mark failed cells and efficiencies:\n%s", out)
+	}
+}
+
+// TestFaultSweepDeterministicIsolation is the fault-sweep smoke test: a
+// stencil sweep with injected node crashes completes cell-by-cell — the
+// CR cells recover via checkpoint/restart and measure cleanly, the
+// implicit-runtime cells (no recovery) record their deadlocks as per-cell
+// errors — and the whole thing is deterministic across schedules.
+func TestFaultSweepDeterministicIsolation(t *testing.T) {
+	app, err := AppByName("stencil")
+	if err != nil {
+		t.Fatal(err)
+	}
+	app.Iters = 8
+	app.Faults = &realm.FaultPlan{Seed: 42, CrashRate: 2000}
+	seq, err := RunFigure(app, []int{2, 4}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunFigureParallel(app, []int{2, 4}, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stripWall(seq)
+	stripWall(par)
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("fault sweep differs across schedules:\nseq: %+v\npar: %+v", seq, par)
+	}
+	nocrErrs := 0
+	for _, s := range seq {
+		for _, p := range s.Points {
+			switch s.System {
+			case "regent-cr", "mpi", "mpi-openmp":
+				// CR recovers from the crashes; the MPI baselines are measured
+				// fault-free (no recovery model exists for them).
+				if p.Err != "" || p.PerIter <= 0 {
+					t.Errorf("%s@%d: want clean measurement, got err=%q per=%v", s.System, p.Nodes, p.Err, p.PerIter)
+				}
+			case "regent-nocr":
+				if p.Err != "" {
+					nocrErrs++
+					if !strings.Contains(p.Err, "deadlock") {
+						t.Errorf("regent-nocr@%d: want a deadlock diagnosis, got %q", p.Nodes, p.Err)
+					}
+				}
+			}
+		}
+	}
+	if nocrErrs == 0 {
+		t.Error("expected the implicit runtime to die on at least one faulted cell (seed 42 is pinned)")
 	}
 }

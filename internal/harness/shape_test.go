@@ -24,7 +24,7 @@ func TestFigureShapesAt64Nodes(t *testing.T) {
 		for _, sys := range app.Systems {
 			out[sys] = map[int]float64{}
 			for _, n := range nodes {
-				per, err := app.Measure(sys, n, app.Iters)
+				per, err := app.Measure(sys, n, app.Iters, nil)
 				if err != nil {
 					t.Fatalf("%s/%s@%d: %v", name, sys, n, err)
 				}

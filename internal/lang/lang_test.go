@@ -122,7 +122,7 @@ func TestCompiledProgramControlReplicates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sim := realm.NewSim(realm.DefaultConfig(4))
+	sim := realm.MustNewSim(realm.DefaultConfig(4))
 	res, err := spmd.New(sim, prog2, ir.ExecReal, plans).Run()
 	if err != nil {
 		t.Fatal(err)
@@ -149,7 +149,7 @@ func TestCompiledProgramControlReplicates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sim2 := realm.NewSim(realm.DefaultConfig(4))
+	sim2 := realm.MustNewSim(realm.DefaultConfig(4))
 	if _, err := rt.New(sim2, prog3, rt.Real).Run(); err != nil {
 		t.Fatal(err)
 	}
@@ -204,7 +204,7 @@ func TestCompileReductionsAndScalarFold(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sim := realm.NewSim(realm.DefaultConfig(4))
+	sim := realm.MustNewSim(realm.DefaultConfig(4))
 	res, err := spmd.New(sim, prog2, ir.ExecReal, plans).Run()
 	if err != nil {
 		t.Fatal(err)

@@ -10,7 +10,7 @@ import "testing"
 // regression here (e.g. reintroducing per-waiter slice allocations or
 // interface boxing in the event queue) shows up as a nonzero average.
 func TestScheduleTriggerAllocs(t *testing.T) {
-	s := NewSim(DefaultConfig(1))
+	s := MustNewSim(DefaultConfig(1))
 	sink := 0
 	fn := func() { sink++ }
 
@@ -47,7 +47,7 @@ func BenchmarkSimEventThroughput(b *testing.B) {
 			n = chunk
 		}
 		done += n
-		s := NewSim(DefaultConfig(1))
+		s := MustNewSim(DefaultConfig(1))
 		left := n
 		var step func()
 		step = func() {
@@ -62,6 +62,6 @@ func BenchmarkSimEventThroughput(b *testing.B) {
 			s.After(7, func() { s.Trigger(c) })
 		}
 		step()
-		s.Run()
+		s.MustRun()
 	}
 }

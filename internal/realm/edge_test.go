@@ -1,7 +1,7 @@
 package realm
 
 import (
-	"fmt"
+	"errors"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -28,29 +28,50 @@ func TestTimeHelpers(t *testing.T) {
 	}
 }
 
-func TestBadConfigPanics(t *testing.T) {
+func TestBadConfigErrors(t *testing.T) {
+	bad := []Config{
+		{Nodes: 0, CoresPerNode: 1, NetBandwidth: 1, LocalBW: 1},
+		{Nodes: 1, CoresPerNode: 0, NetBandwidth: 1, LocalBW: 1},
+		{Nodes: 1, CoresPerNode: 1, NetBandwidth: 0, LocalBW: 1},
+		{Nodes: 1, CoresPerNode: 1, NetBandwidth: -2, LocalBW: 1},
+		{Nodes: 1, CoresPerNode: 1, NetBandwidth: 1, LocalBW: 0},
+		{Nodes: 1, CoresPerNode: 1, NetBandwidth: 1, LocalBW: 1, NetLatency: -1},
+		{Nodes: 1, CoresPerNode: 1, NetBandwidth: 1, LocalBW: 1, LocalLatency: -1},
+		{Nodes: 1, CoresPerNode: 1, NetBandwidth: 1, LocalBW: 1, HopLatency: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := NewSim(cfg); err == nil {
+			t.Errorf("config %d (%+v): want error, got nil", i, cfg)
+		}
+	}
+	if _, err := NewSim(smallConfig(1)); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+func TestMustNewSimPanicsOnBadConfig(t *testing.T) {
 	defer func() {
 		if recover() == nil {
 			t.Error("expected panic for zero-node config")
 		}
 	}()
-	NewSim(Config{Nodes: 0, CoresPerNode: 1})
+	MustNewSim(Config{Nodes: 0, CoresPerNode: 1})
 }
 
 func TestCopyZeroBytes(t *testing.T) {
 	cfg := smallConfig(2)
 	cfg.NetLatency = Microseconds(3)
-	s := NewSim(cfg)
+	s := MustNewSim(cfg)
 	var at Time
 	s.Copy(s.Node(0), s.Node(1), 0, NoEvent, func() { at = s.Now() })
-	s.Run()
+	s.MustRun()
 	if at != Microseconds(3) {
 		t.Errorf("zero-byte copy should cost pure latency, got %v", at)
 	}
 }
 
 func TestSpawnFromWithinThread(t *testing.T) {
-	s := NewSim(smallConfig(2))
+	s := MustNewSim(smallConfig(2))
 	var order []string
 	s.Spawn("outer", s.Node(0).Proc(0), func(th *Thread) {
 		th.Elapse(Microseconds(5))
@@ -62,7 +83,7 @@ func TestSpawnFromWithinThread(t *testing.T) {
 		th.Elapse(Microseconds(10))
 		order = append(order, "outer-done")
 	})
-	s.Run()
+	s.MustRun()
 	want := []string{"outer-mid", "inner-done", "outer-done"}
 	if len(order) != 3 {
 		t.Fatalf("order = %v", order)
@@ -75,14 +96,14 @@ func TestSpawnFromWithinThread(t *testing.T) {
 }
 
 func TestMergeNoInputs(t *testing.T) {
-	s := NewSim(smallConfig(1))
+	s := MustNewSim(smallConfig(1))
 	if s.Merge() != NoEvent {
 		t.Error("empty merge should be NoEvent")
 	}
 }
 
 func TestThreadSleepDoesNotOccupyProc(t *testing.T) {
-	s := NewSim(smallConfig(1))
+	s := MustNewSim(smallConfig(1))
 	p := s.Node(0).Proc(0)
 	var taskAt Time
 	s.Spawn("sleeper", p, func(th *Thread) {
@@ -90,14 +111,14 @@ func TestThreadSleepDoesNotOccupyProc(t *testing.T) {
 		p.Launch(NoEvent, Microseconds(10), func() { taskAt = s.Now() })
 		th.Sleep(Microseconds(100))
 	})
-	s.Run()
+	s.MustRun()
 	if taskAt != Microseconds(10) {
 		t.Errorf("task ran at %v; sleeping thread must not hold the processor", taskAt)
 	}
 }
 
 func TestCollectiveDuplicateContributionPanics(t *testing.T) {
-	s := NewSim(smallConfig(1))
+	s := MustNewSim(smallConfig(1))
 	c := s.NewCollective(2, 0, func(a, v float64) float64 { return a + v })
 	c.Contribute(0, NoEvent, func() float64 { return 1 })
 	defer func() {
@@ -153,14 +174,14 @@ func TestCollectiveFoldProperty(t *testing.T) {
 		if len(vals) == 0 || len(vals) > 32 {
 			return true
 		}
-		s := NewSim(smallConfig(1))
+		s := MustNewSim(smallConfig(1))
 		c := s.NewCollective(len(vals), 0, func(a, v float64) float64 { return a + v })
 		// Contribute in reverse order; fold must still be index order.
 		for i := len(vals) - 1; i >= 0; i-- {
 			i := i
 			c.Contribute(i, NoEvent, func() float64 { return vals[i] })
 		}
-		s.Run()
+		s.MustRun()
 		want := 0.0
 		for _, v := range vals {
 			want += v
@@ -173,19 +194,26 @@ func TestCollectiveFoldProperty(t *testing.T) {
 }
 
 func TestDeadlockDetection(t *testing.T) {
-	s := NewSim(smallConfig(1))
+	s := MustNewSim(smallConfig(1))
 	never := s.NewUserEvent()
 	s.Spawn("stuck", s.Node(0).Proc(0), func(th *Thread) {
 		th.WaitEvent(never) // never triggered
 	})
-	defer func() {
-		r := recover()
-		if r == nil {
-			t.Fatal("expected deadlock panic")
-		}
-		if !strings.Contains(fmt.Sprint(r), "stuck") {
-			t.Errorf("deadlock message should name the blocked thread: %v", r)
-		}
-	}()
-	s.Run()
+	_, err := s.Run()
+	if err == nil {
+		t.Fatal("expected deadlock error")
+	}
+	var derr *DeadlockError
+	if !errors.As(err, &derr) {
+		t.Fatalf("want *DeadlockError, got %T: %v", err, err)
+	}
+	if len(derr.Blocked) != 1 || derr.Blocked[0].Name != "stuck" {
+		t.Errorf("blocked threads = %+v, want the thread named \"stuck\"", derr.Blocked)
+	}
+	if derr.Blocked[0].Waiting != never {
+		t.Errorf("blocked on event %d, want %d", derr.Blocked[0].Waiting, never)
+	}
+	if !strings.Contains(err.Error(), "stuck") {
+		t.Errorf("deadlock message should name the blocked thread: %v", err)
+	}
 }

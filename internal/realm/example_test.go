@@ -9,14 +9,14 @@ import (
 // Example simulates two nodes: a task on node 0, whose completion releases
 // a copy to node 1, whose arrival a thread on node 1 waits for.
 func Example() {
-	sim := realm.NewSim(realm.DefaultConfig(2))
+	sim := realm.MustNewSim(realm.DefaultConfig(2))
 	done := sim.Node(0).Proc(0).Launch(realm.NoEvent, realm.Milliseconds(2), nil)
 	arrived := sim.Copy(sim.Node(0), sim.Node(1), 1<<20, done, nil)
 	sim.Spawn("consumer", sim.Node(1).Proc(0), func(th *realm.Thread) {
 		th.WaitEvent(arrived)
 		fmt.Printf("data arrived at %.3f ms\n", float64(th.Now())/1e6)
 	})
-	sim.Run()
+	sim.MustRun()
 	// Output:
 	// data arrived at 2.106 ms
 }

@@ -1,0 +1,195 @@
+package realm
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// This file is the deterministic fault-injection layer of the DES. All
+// randomness is derived from FaultPlan.Seed through the splitmix finalizer
+// and a per-sim draw counter, and every fault decision is made at a point
+// that is itself deterministic (a scheduled crash time, a copy issue, a
+// task start), so two runs with the same plan produce byte-identical
+// schedules, stats, and traces. A fault-free run consumes no randomness and
+// takes none of these code paths.
+
+// NodeCrash is a whole-node fail-stop failure at a virtual time.
+type NodeCrash struct {
+	Node int
+	At   Time
+}
+
+// FaultPlan describes the faults to inject into a simulation. The zero
+// value injects nothing. Rates are probabilities per opportunity (per
+// remote message for DropRate/DupRate, per work item for StragglerRate)
+// except CrashRate, which is a Poisson rate in crashes per simulated
+// second.
+type FaultPlan struct {
+	Seed uint64 // root of all fault randomness
+
+	Crashes    []NodeCrash // explicit fail-stop crashes at fixed times
+	CrashRate  float64     // additional random crashes per simulated second
+	CrashNode0 bool        // allow random crashes to hit node 0 (the head node)
+
+	DropRate          float64 // per-message probability of a drop + retransmit
+	RetransmitTimeout Time    // redelivery delay per drop (default 20x NetLatency)
+	DupRate           float64 // per-message probability of a duplicate send
+
+	StragglerRate   float64 // per-work-item probability of a slowdown
+	StragglerFactor float64 // duration multiplier for straggling items (> 1)
+}
+
+// Validate checks the plan against the machine it will be injected into.
+func (fp *FaultPlan) Validate(cfg Config) error {
+	switch {
+	case fp.CrashRate < 0:
+		return fmt.Errorf("realm: negative CrashRate %v", fp.CrashRate)
+	case fp.DropRate < 0 || fp.DropRate > 0.9:
+		return fmt.Errorf("realm: DropRate %v outside [0, 0.9]", fp.DropRate)
+	case fp.DupRate < 0 || fp.DupRate > 1:
+		return fmt.Errorf("realm: DupRate %v outside [0, 1]", fp.DupRate)
+	case fp.StragglerRate < 0 || fp.StragglerRate > 1:
+		return fmt.Errorf("realm: StragglerRate %v outside [0, 1]", fp.StragglerRate)
+	case fp.StragglerRate > 0 && fp.StragglerFactor <= 1:
+		return fmt.Errorf("realm: StragglerFactor must exceed 1 (got %v)", fp.StragglerFactor)
+	case fp.RetransmitTimeout < 0:
+		return fmt.Errorf("realm: negative RetransmitTimeout %d", fp.RetransmitTimeout)
+	}
+	for _, c := range fp.Crashes {
+		if c.Node < 0 || c.Node >= cfg.Nodes {
+			return fmt.Errorf("realm: crash targets node %d of a %d-node machine", c.Node, cfg.Nodes)
+		}
+		if c.At < 0 {
+			return fmt.Errorf("realm: crash of node %d at negative time %d", c.Node, c.At)
+		}
+	}
+	return nil
+}
+
+// FaultStats counts the faults actually injected during a run.
+type FaultStats struct {
+	Crashes    int
+	Drops      int64
+	Dups       int64
+	Stragglers int64
+}
+
+// InjectFaults installs a fault plan on the simulator. It must be called
+// before Run and at most once. The plan is copied; later mutation of the
+// caller's value has no effect.
+func (s *Sim) InjectFaults(fp FaultPlan) error {
+	if s.faults != nil {
+		return fmt.Errorf("realm: a fault plan is already installed")
+	}
+	if err := fp.Validate(s.cfg); err != nil {
+		return err
+	}
+	if fp.RetransmitTimeout <= 0 {
+		fp.RetransmitTimeout = 20 * s.cfg.NetLatency
+		if fp.RetransmitTimeout <= 0 {
+			fp.RetransmitTimeout = Microseconds(30)
+		}
+	}
+	s.faults = &fp
+	// Sort planned crashes by time so equal-time behavior does not depend
+	// on the caller's slice order.
+	crashes := append([]NodeCrash(nil), fp.Crashes...)
+	sort.SliceStable(crashes, func(i, j int) bool { return crashes[i].At < crashes[j].At })
+	for _, c := range crashes {
+		node := c.Node
+		s.atWeak(c.At, func() { s.crashNode(node) })
+	}
+	if fp.CrashRate > 0 {
+		s.scheduleNextCrash()
+	}
+	return nil
+}
+
+// FaultStats returns the counters of faults injected so far.
+func (s *Sim) FaultStats() FaultStats { return s.faultStats }
+
+// Crashes returns the node crashes that actually occurred, in time order.
+func (s *Sim) Crashes() []NodeCrash {
+	return append([]NodeCrash(nil), s.crashLog...)
+}
+
+// faultRand draws the next 64 deterministic pseudo-random bits of the
+// installed plan.
+func (s *Sim) faultRand() uint64 {
+	s.faultSeq++
+	return splitmix(s.faults.Seed + s.faultSeq*0x9e3779b97f4a7c15)
+}
+
+// faultRoll returns true with probability p, consuming one draw iff a plan
+// is installed and p > 0 (so rate-zero faults cost nothing and perturb no
+// other fault's stream).
+func (s *Sim) faultRoll(p float64) bool {
+	if s.faults == nil || p <= 0 {
+		return false
+	}
+	return float64(s.faultRand()>>11)/(1<<53) < p
+}
+
+// scheduleNextCrash arms the Poisson crash process: exponential
+// inter-arrival gaps at CrashRate crashes per simulated second, each firing
+// as a weak event (pending crashes never keep the simulation alive).
+func (s *Sim) scheduleNextCrash() {
+	rate := s.faults.CrashRate
+	u := (float64(s.faultRand()>>11) + 1) / (1 << 53) // uniform in (0, 1]
+	gap := Time(-math.Log(u)*1e9/rate) + 1
+	s.atWeak(s.now+gap, func() {
+		victims := s.crashableNodes()
+		if len(victims) == 0 {
+			return // everything that may crash already has
+		}
+		v := victims[int(s.faultRand()%uint64(len(victims)))]
+		s.crashNode(v)
+		s.scheduleNextCrash()
+	})
+}
+
+// crashableNodes lists live nodes eligible for a random crash. Node 0 is
+// the head node — it hosts the control thread and stable storage — and is
+// spared unless the plan explicitly opts in.
+func (s *Sim) crashableNodes() []int {
+	var out []int
+	for i, n := range s.nodes {
+		if n.failed || (i == 0 && !s.faults.CrashNode0) {
+			continue
+		}
+		out = append(out, i)
+	}
+	return out
+}
+
+// crashNode fail-stops a node at the current virtual time: all threads on
+// it are killed (in spawn order, for determinism), in-flight work and
+// traffic touching it is lost, and its FailEvent fires. Crashing a dead
+// node is a no-op.
+func (s *Sim) crashNode(id int) {
+	n := s.nodes[id]
+	if n.failed {
+		return
+	}
+	n.failed = true
+	s.faultStats.Crashes++
+	s.crashLog = append(s.crashLog, NodeCrash{Node: id, At: s.now})
+	if s.tracer != nil {
+		s.tracer.crash(id, s.now)
+	}
+	if n.failEv == NoEvent {
+		n.failEv = s.NewUserEvent()
+	}
+	s.Trigger(n.failEv)
+	var ts []*Thread
+	for t := range s.liveThreads {
+		if t.proc.node == n {
+			ts = append(ts, t)
+		}
+	}
+	sort.Slice(ts, func(i, j int) bool { return ts[i].id < ts[j].id })
+	for _, t := range ts {
+		s.Kill(t)
+	}
+}

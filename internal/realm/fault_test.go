@@ -1,0 +1,254 @@
+package realm
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestFaultPlanValidate checks the plan validator against its documented
+// ranges.
+func TestFaultPlanValidate(t *testing.T) {
+	cfg := DefaultConfig(4)
+	bad := []FaultPlan{
+		{CrashRate: -1},
+		{DropRate: -0.1},
+		{DropRate: 0.95},
+		{DupRate: 1.5},
+		{StragglerRate: -0.2},
+		{StragglerRate: 0.5},                       // rate without a factor > 1
+		{StragglerRate: 0.5, StragglerFactor: 0.5}, // factor <= 1
+		{RetransmitTimeout: -1},
+		{Crashes: []NodeCrash{{Node: 4, At: 0}}},  // out of range
+		{Crashes: []NodeCrash{{Node: 1, At: -5}}}, // negative time
+	}
+	for i, fp := range bad {
+		if err := fp.Validate(cfg); err == nil {
+			t.Errorf("plan %d (%+v): want validation error", i, fp)
+		}
+	}
+	good := FaultPlan{Seed: 7, CrashRate: 0.5, DropRate: 0.1, DupRate: 0.1,
+		StragglerRate: 0.2, StragglerFactor: 3, Crashes: []NodeCrash{{Node: 3, At: 100}}}
+	if err := good.Validate(cfg); err != nil {
+		t.Errorf("valid plan rejected: %v", err)
+	}
+}
+
+// TestInjectFaultsOnce checks that a second plan is refused.
+func TestInjectFaultsOnce(t *testing.T) {
+	s := MustNewSim(DefaultConfig(2))
+	if err := s.InjectFaults(FaultPlan{Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.InjectFaults(FaultPlan{Seed: 2}); err == nil {
+		t.Fatal("second InjectFaults should fail")
+	}
+}
+
+// TestCrashKillsNodeWork: a planned crash kills the threads on the node,
+// drops its in-flight tasks, and still lets the run finish cleanly —
+// killed threads and lost work must not deadlock the simulation.
+func TestCrashKillsNodeWork(t *testing.T) {
+	s := MustNewSim(DefaultConfig(2))
+	if err := s.InjectFaults(FaultPlan{Crashes: []NodeCrash{{Node: 1, At: Microseconds(50)}}}); err != nil {
+		t.Fatal(err)
+	}
+	victimSteps, survivorSteps := 0, 0
+	s.Spawn("victim", s.Node(1).Proc(0), func(th *Thread) {
+		for i := 0; i < 10; i++ {
+			th.Elapse(Microseconds(20))
+			victimSteps++
+		}
+	})
+	s.Spawn("survivor", s.Node(0).Proc(0), func(th *Thread) {
+		for i := 0; i < 10; i++ {
+			th.Elapse(Microseconds(20))
+			survivorSteps++
+		}
+	})
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if survivorSteps != 10 {
+		t.Errorf("survivor ran %d of 10 steps", survivorSteps)
+	}
+	if victimSteps >= 10 {
+		t.Errorf("victim ran all %d steps despite crashing at t=50us", victimSteps)
+	}
+	if !s.Node(1).Failed() || s.Node(0).Failed() {
+		t.Errorf("failed flags wrong: node0=%v node1=%v", s.Node(0).Failed(), s.Node(1).Failed())
+	}
+	if got := s.Crashes(); len(got) != 1 || got[0].Node != 1 {
+		t.Errorf("crash log = %+v, want one crash of node 1", got)
+	}
+	if !s.Triggered(s.Node(1).FailEvent()) {
+		t.Error("FailEvent of the crashed node should have fired")
+	}
+}
+
+// TestCrashDropsTraffic: copies into and out of a dead node never deliver.
+func TestCrashDropsTraffic(t *testing.T) {
+	s := MustNewSim(DefaultConfig(3))
+	if err := s.InjectFaults(FaultPlan{Crashes: []NodeCrash{{Node: 1, At: 0}}}); err != nil {
+		t.Fatal(err)
+	}
+	delivered := 0
+	s.Spawn("ctl", s.Node(0).Proc(0), func(th *Thread) {
+		th.Sleep(Microseconds(1)) // let the crash land first
+		s.Copy(s.Node(0), s.Node(1), 1024, NoEvent, func() { delivered++ })
+		s.Copy(s.Node(1), s.Node(2), 1024, NoEvent, func() { delivered++ })
+		ok := s.Copy(s.Node(0), s.Node(2), 1024, NoEvent, func() { delivered++ })
+		th.WaitEvent(ok)
+	})
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if delivered != 1 {
+		t.Errorf("delivered %d copies, want only the live-to-live one", delivered)
+	}
+}
+
+// TestKillUnblocksWaiter: killing a thread parked on an event retires it
+// without wedging the scheduler, and the event can still fire later.
+func TestKillUnblocksWaiter(t *testing.T) {
+	s := MustNewSim(DefaultConfig(1))
+	ev := s.NewUserEvent()
+	reached := false
+	th := s.Spawn("waiter", s.Node(0).Proc(0), func(th *Thread) {
+		th.WaitEvent(ev)
+		reached = true
+	})
+	s.After(Microseconds(10), func() { s.Kill(th) })
+	s.After(Microseconds(20), func() { s.Trigger(ev) })
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if reached {
+		t.Error("killed thread ran past its wait")
+	}
+}
+
+// faultTrafficRun drives a fixed communication pattern under a plan and
+// returns (stats, faultStats, crashes).
+func faultTrafficRun(t *testing.T, fp FaultPlan) (Stats, FaultStats, []NodeCrash) {
+	t.Helper()
+	s := MustNewSim(DefaultConfig(4))
+	if err := s.InjectFaults(fp); err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < 4; n++ {
+		n := n
+		s.Spawn("rank", s.Node(n).Proc(0), func(th *Thread) {
+			for i := 0; i < 20; i++ {
+				th.Elapse(Microseconds(5))
+				ev := s.Copy(s.Node(n), s.Node((n+1)%4), 4096, NoEvent, nil)
+				th.WaitEvent(ev)
+			}
+		})
+	}
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return s.Stats(), s.FaultStats(), s.Crashes()
+}
+
+// TestFaultDeterminism: the same seed gives byte-identical stats, fault
+// counts, and crash logs; a different seed gives a different schedule.
+func TestFaultDeterminism(t *testing.T) {
+	fp := FaultPlan{Seed: 99, DropRate: 0.2, DupRate: 0.1, StragglerRate: 0.3, StragglerFactor: 4}
+	st1, fs1, cr1 := faultTrafficRun(t, fp)
+	st2, fs2, cr2 := faultTrafficRun(t, fp)
+	if st1 != st2 || fs1 != fs2 || !reflect.DeepEqual(cr1, cr2) {
+		t.Errorf("same seed diverged:\n%+v %+v %+v\n%+v %+v %+v", st1, fs1, cr1, st2, fs2, cr2)
+	}
+	if fs1.Drops == 0 || fs1.Dups == 0 || fs1.Stragglers == 0 {
+		t.Errorf("expected some of every fault kind, got %+v", fs1)
+	}
+	fp.Seed = 100
+	st3, fs3, _ := faultTrafficRun(t, fp)
+	if st1 == st3 && fs1 == fs3 {
+		t.Errorf("different seeds gave identical stats %+v / %+v", st1, fs1)
+	}
+}
+
+// TestDropsDelayAndRecount: every drop retransmits — the payload is
+// eventually delivered but later, and the wire carries the payload again.
+func TestDropsDelayAndRecount(t *testing.T) {
+	clean, _, _ := faultTrafficRun(t, FaultPlan{Seed: 5})
+	faulty, fs, _ := faultTrafficRun(t, FaultPlan{Seed: 5, DropRate: 0.3})
+	if fs.Drops == 0 {
+		t.Fatal("expected drops at rate 0.3")
+	}
+	if faulty.BytesSent != clean.BytesSent+4096*fs.Drops {
+		t.Errorf("BytesSent = %d, want clean %d + %d retransmissions x 4096",
+			faulty.BytesSent, clean.BytesSent, fs.Drops)
+	}
+	if faulty.Messages != clean.Messages+fs.Drops {
+		t.Errorf("Messages = %d, want clean %d + %d", faulty.Messages, clean.Messages, fs.Drops)
+	}
+}
+
+// TestRandomCrashesAreSeeded: Poisson crashes land at seed-determined
+// times, never on node 0 without opt-in, and every node can eventually die
+// without hanging the run.
+func TestRandomCrashesAreSeeded(t *testing.T) {
+	// Fire-and-forget workload: crashes lose work but nobody waits on the
+	// dead (that coordination is the SPMD executor's job, tested there).
+	run := func(fp FaultPlan) []NodeCrash {
+		s := MustNewSim(DefaultConfig(4))
+		if err := s.InjectFaults(fp); err != nil {
+			t.Fatal(err)
+		}
+		for n := 0; n < 4; n++ {
+			n := n
+			s.Spawn("rank", s.Node(n).Proc(0), func(th *Thread) {
+				for i := 0; i < 20; i++ {
+					th.Elapse(Microseconds(5))
+					s.Copy(s.Node(n), s.Node((n+1)%4), 4096, NoEvent, nil)
+				}
+			})
+		}
+		if _, err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return s.Crashes()
+	}
+	fp := FaultPlan{Seed: 13, CrashRate: 50000} // ~50 crashes/ms of virtual time
+	cr1 := run(fp)
+	cr2 := run(fp)
+	if len(cr1) == 0 {
+		t.Fatal("expected at least one random crash")
+	}
+	if !reflect.DeepEqual(cr1, cr2) {
+		t.Errorf("crash logs diverged under one seed:\n%+v\n%+v", cr1, cr2)
+	}
+	for _, c := range cr1 {
+		if c.Node == 0 {
+			t.Errorf("random crash hit node 0 without CrashNode0: %+v", c)
+		}
+	}
+}
+
+// TestCrashTraceEvents: crashes are visible in the Chrome trace output.
+func TestCrashTraceEvents(t *testing.T) {
+	s := MustNewSim(DefaultConfig(2))
+	tr := NewTracer()
+	s.SetTracer(tr)
+	if err := s.InjectFaults(FaultPlan{Crashes: []NodeCrash{{Node: 1, At: Microseconds(5)}}}); err != nil {
+		t.Fatal(err)
+	}
+	s.Spawn("w", s.Node(0).Proc(0), func(th *Thread) { th.Elapse(Microseconds(10)) })
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Crashes() != 1 {
+		t.Fatalf("tracer recorded %d crashes, want 1", tr.Crashes())
+	}
+	var b strings.Builder
+	if err := tr.WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `"crash"`) {
+		t.Error("Chrome trace is missing the crash instant event")
+	}
+}

@@ -8,10 +8,29 @@ type Node struct {
 	procs      []*Proc
 	linkFreeAt Time
 	busy       Time // accumulated processor busy time on this node
+
+	failed bool  // node has crashed; it runs nothing and drops all traffic
+	failEv Event // lazily created, fires when the node crashes
 }
 
 // ID returns the node index.
 func (n *Node) ID() int { return n.id }
+
+// Failed reports whether the node has crashed.
+func (n *Node) Failed() bool { return n.failed }
+
+// FailEvent returns an event that fires when the node crashes (already
+// triggered if it has). Recovery layers watch it to race completion events
+// against failures.
+func (n *Node) FailEvent() Event {
+	if n.failEv == NoEvent {
+		n.failEv = n.sim.NewUserEvent()
+		if n.failed {
+			n.sim.Trigger(n.failEv)
+		}
+	}
+	return n.failEv
+}
 
 // Procs returns the node's processors.
 func (n *Node) Procs() []*Proc { return n.procs }
@@ -48,6 +67,13 @@ func (p *Proc) Launch(pre Event, dur Time, body func()) Event {
 	s := p.node.sim
 	done := s.NewUserEvent()
 	s.OnTrigger(pre, func() {
+		if p.node.failed {
+			return // lost work: a crashed node never starts the item
+		}
+		if s.faults != nil && dur > 0 && s.faultRoll(s.faults.StragglerRate) {
+			dur = Time(float64(dur) * s.faults.StragglerFactor)
+			s.faultStats.Stragglers++
+		}
 		start := p.freeAt
 		if s.now > start {
 			start = s.now
@@ -59,6 +85,9 @@ func (p *Proc) Launch(pre Event, dur Time, body func()) Event {
 			s.tracer.task(p.node.id, p.id, start, start+dur)
 		}
 		s.at(p.freeAt, func() {
+			if p.node.failed {
+				return // node crashed mid-item; completion never fires
+			}
 			if body != nil {
 				body()
 			}
@@ -76,6 +105,9 @@ func (n *Node) LaunchAuto(pre Event, dur Time, body func()) Event {
 	s := n.sim
 	done := s.NewUserEvent()
 	s.OnTrigger(pre, func() {
+		if n.failed {
+			return
+		}
 		best := n.procs[0]
 		for _, p := range n.procs[1:] {
 			if p.freeAt < best.freeAt {
@@ -96,6 +128,9 @@ func (n *Node) LaunchAuto(pre Event, dur Time, body func()) Event {
 func (s *Sim) Copy(src, dst *Node, bytes int64, pre Event, body func()) Event {
 	done := s.NewUserEvent()
 	s.OnTrigger(pre, func() {
+		if src.failed || dst.failed {
+			return // either endpoint crashed: the transfer is lost
+		}
 		var arrive Time
 		if src == dst {
 			cost := s.cfg.LocalLatency + Time(float64(bytes)/s.cfg.LocalBW)
@@ -107,8 +142,32 @@ func (s *Sim) Copy(src, dst *Node, bytes int64, pre Event, body func()) Event {
 				start = s.now
 			}
 			xfer := Time(float64(bytes) / s.cfg.NetBandwidth)
-			src.linkFreeAt = start + xfer
-			arrive = start + xfer + s.cfg.NetLatency
+			serialize := xfer
+			var delay Time
+			if s.faults != nil {
+				// Faults are rolled in a fixed order (duplicate, then drops)
+				// so the consumed randomness — and thus the whole schedule —
+				// is a pure function of the plan seed.
+				if s.faultRoll(s.faults.DupRate) {
+					// The link carries the payload twice; the receiver keeps
+					// the first arrival.
+					serialize += xfer
+					s.stats.Messages++
+					s.stats.BytesSent += bytes
+					s.faultStats.Dups++
+				}
+				for s.faultRoll(s.faults.DropRate) {
+					// Reliable transport: a dropped message is retransmitted
+					// after a timeout, paying the wire again each attempt.
+					delay += s.faults.RetransmitTimeout + xfer
+					serialize += xfer
+					s.stats.Messages++
+					s.stats.BytesSent += bytes
+					s.faultStats.Drops++
+				}
+			}
+			src.linkFreeAt = start + serialize
+			arrive = start + xfer + s.cfg.NetLatency + delay
 			s.stats.Messages++
 			s.stats.BytesSent += bytes
 			if s.tracer != nil {
@@ -116,6 +175,9 @@ func (s *Sim) Copy(src, dst *Node, bytes int64, pre Event, body func()) Event {
 			}
 		}
 		s.at(arrive, func() {
+			if dst.failed {
+				return // destination crashed in flight; delivery never happens
+			}
 			if body != nil {
 				body()
 			}

@@ -50,6 +50,30 @@ type Config struct {
 	HopLatency   Time    // per-tree-level latency of barriers/collectives
 }
 
+// Validate reports whether the configuration describes a usable machine.
+// Non-positive bandwidths or negative latencies would silently produce
+// absurd virtual times (divisions by zero, time running backwards), so they
+// are rejected up front.
+func (c Config) Validate() error {
+	switch {
+	case c.Nodes <= 0:
+		return fmt.Errorf("realm: config requires at least one node (got %d)", c.Nodes)
+	case c.CoresPerNode <= 0:
+		return fmt.Errorf("realm: config requires at least one core per node (got %d)", c.CoresPerNode)
+	case c.NetLatency < 0:
+		return fmt.Errorf("realm: negative NetLatency %d", c.NetLatency)
+	case c.LocalLatency < 0:
+		return fmt.Errorf("realm: negative LocalLatency %d", c.LocalLatency)
+	case c.HopLatency < 0:
+		return fmt.Errorf("realm: negative HopLatency %d", c.HopLatency)
+	case !(c.NetBandwidth > 0):
+		return fmt.Errorf("realm: NetBandwidth must be positive (got %v)", c.NetBandwidth)
+	case !(c.LocalBW > 0):
+		return fmt.Errorf("realm: LocalBW must be positive (got %v)", c.LocalBW)
+	}
+	return nil
+}
+
 // DefaultConfig returns machine parameters loosely calibrated to a Cray
 // XC-class system: ~1.5 us network latency, ~10 GB/s per-link bandwidth,
 // 12 cores per node.
@@ -86,9 +110,17 @@ type Sim struct {
 	stats Stats
 
 	running     bool
+	strong      int           // count of non-weak queued items
 	activeYield chan struct{} // signaled when the active thread yields
 	tracer      *Tracer
 	liveThreads map[*Thread]bool
+	threadSeq   int64 // spawn counter, gives threads a deterministic order
+
+	// Fault-injection state (nil faults = fault-free run).
+	faults     *FaultPlan
+	faultSeq   uint64
+	faultStats FaultStats
+	crashLog   []NodeCrash
 
 	// waiterPool recycles the waiter slices of triggered events; DES runs
 	// create and retire millions of events, and reusing the slices keeps the
@@ -102,9 +134,10 @@ type eventState struct {
 }
 
 type queued struct {
-	at  Time
-	seq int64
-	fn  func()
+	at   Time
+	seq  int64
+	fn   func()
+	weak bool // weak items do not keep the simulation alive (fault generators)
 }
 
 // eventQueue is a typed 4-ary min-heap ordered by (at, seq). A hand-rolled
@@ -178,10 +211,11 @@ func (q *eventQueue) siftDown(i int) {
 	}
 }
 
-// NewSim builds a simulator for the given machine.
-func NewSim(cfg Config) *Sim {
-	if cfg.Nodes <= 0 || cfg.CoresPerNode <= 0 {
-		panic("realm: config requires at least one node and one core")
+// NewSim builds a simulator for the given machine, rejecting configurations
+// that would produce nonsensical times (see Config.Validate).
+func NewSim(cfg Config) (*Sim, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	s := &Sim{cfg: cfg, activeYield: make(chan struct{}), liveThreads: map[*Thread]bool{}}
 	// Pre-size the event table and heap: simulations allocate events at a
@@ -197,6 +231,16 @@ func NewSim(cfg Config) *Sim {
 			n.procs[j] = &Proc{node: n, id: j}
 		}
 		s.nodes[i] = n
+	}
+	return s, nil
+}
+
+// MustNewSim is NewSim for configurations known statically valid (tests,
+// examples); it panics on a bad Config.
+func MustNewSim(cfg Config) *Sim {
+	s, err := NewSim(cfg)
+	if err != nil {
+		panic(err)
 	}
 	return s
 }
@@ -222,7 +266,20 @@ func (s *Sim) at(t Time, fn func()) {
 		t = s.now
 	}
 	s.seq++
+	s.strong++
 	s.queue.push(queued{at: t, seq: s.seq, fn: fn})
+}
+
+// atWeak schedules fn at absolute time t without keeping the simulation
+// alive: Run exits once only weak items remain. Fault generators are weak —
+// a crash planned for a time the program never reaches must not prevent
+// termination.
+func (s *Sim) atWeak(t Time, fn func()) {
+	if t < s.now {
+		t = s.now
+	}
+	s.seq++
+	s.queue.push(queued{at: t, seq: s.seq, fn: fn, weak: true})
 }
 
 // After schedules fn d nanoseconds from now.
@@ -329,29 +386,77 @@ func (s *Sim) AfterEvent(e Event, d Time) Event {
 	return out
 }
 
-// Run processes events until the queue is empty and all threads have
-// finished, returning the final virtual time.
-func (s *Sim) Run() Time {
+// BlockedThread describes one stuck thread in a DeadlockError: its
+// diagnostic name and the event it is waiting on (NoEvent if it is blocked
+// for another reason, e.g. mid-handshake).
+type BlockedThread struct {
+	Name    string
+	Waiting Event
+}
+
+// DeadlockError is returned by Run when the event queue drains while
+// simulated threads are still blocked: every blocked thread waits on an
+// event nothing pending can ever trigger.
+type DeadlockError struct {
+	Now     Time
+	Blocked []BlockedThread
+}
+
+func (e *DeadlockError) Error() string {
+	var b []byte
+	b = fmt.Appendf(b, "realm: deadlock at t=%d — no events pending but %d threads are blocked:", e.Now, len(e.Blocked))
+	for _, t := range e.Blocked {
+		if t.Waiting != NoEvent {
+			b = fmt.Appendf(b, " %s(waiting on event %d)", t.Name, t.Waiting)
+		} else {
+			b = fmt.Appendf(b, " %s", t.Name)
+		}
+	}
+	return string(b)
+}
+
+// Run processes events until no strong items remain and all threads have
+// finished, returning the final virtual time. If threads are still blocked
+// when the queue drains, the error is a *DeadlockError naming them and the
+// events they wait on.
+func (s *Sim) Run() (Time, error) {
 	if s.running {
-		panic("realm: Run is not reentrant")
+		return s.now, fmt.Errorf("realm: Run is not reentrant")
 	}
 	s.running = true
 	defer func() { s.running = false }()
-	for s.queue.Len() > 0 {
+	for s.strong > 0 {
 		item := s.queue.pop()
+		if !item.weak {
+			s.strong--
+		}
 		s.now = item.at
 		s.stats.Events++
 		item.fn()
 	}
 	if len(s.liveThreads) > 0 {
-		names := make([]string, 0, len(s.liveThreads))
+		blocked := make([]*Thread, 0, len(s.liveThreads))
 		for t := range s.liveThreads {
-			names = append(names, t.name)
+			blocked = append(blocked, t)
 		}
-		sort.Strings(names)
-		panic(fmt.Sprintf("realm: deadlock — no events pending but %d threads are blocked: %v", len(names), names))
+		sort.Slice(blocked, func(i, j int) bool { return blocked[i].id < blocked[j].id })
+		derr := &DeadlockError{Now: s.now}
+		for _, t := range blocked {
+			derr.Blocked = append(derr.Blocked, BlockedThread{Name: t.name, Waiting: t.blockedOn})
+		}
+		return s.now, derr
 	}
-	return s.now
+	return s.now, nil
+}
+
+// MustRun is Run for simulations known to terminate cleanly (tests,
+// examples); it panics on error.
+func (s *Sim) MustRun() Time {
+	t, err := s.Run()
+	if err != nil {
+		panic(err)
+	}
+	return t
 }
 
 // CollectiveLatency returns the modeled latency of an n-participant

@@ -9,7 +9,7 @@ func smallConfig(nodes int) Config {
 }
 
 func TestEventBasics(t *testing.T) {
-	s := NewSim(smallConfig(1))
+	s := MustNewSim(smallConfig(1))
 	e := s.NewUserEvent()
 	if s.Triggered(e) {
 		t.Fatal("fresh event should be untriggered")
@@ -32,7 +32,7 @@ func TestEventBasics(t *testing.T) {
 }
 
 func TestTriggerTwicePanics(t *testing.T) {
-	s := NewSim(smallConfig(1))
+	s := MustNewSim(smallConfig(1))
 	e := s.NewUserEvent()
 	s.Trigger(e)
 	defer func() {
@@ -44,7 +44,7 @@ func TestTriggerTwicePanics(t *testing.T) {
 }
 
 func TestMerge(t *testing.T) {
-	s := NewSim(smallConfig(1))
+	s := MustNewSim(smallConfig(1))
 	a, b := s.NewUserEvent(), s.NewUserEvent()
 	m := s.Merge(a, b, NoEvent)
 	if s.Triggered(m) {
@@ -64,10 +64,10 @@ func TestMerge(t *testing.T) {
 }
 
 func TestVirtualClockAdvances(t *testing.T) {
-	s := NewSim(smallConfig(1))
+	s := MustNewSim(smallConfig(1))
 	var tAt Time
 	s.After(Microseconds(10), func() { tAt = s.Now() })
-	end := s.Run()
+	end := s.MustRun()
 	if tAt != Microseconds(10) {
 		t.Errorf("callback at %v, want 10us", tAt)
 	}
@@ -77,13 +77,13 @@ func TestVirtualClockAdvances(t *testing.T) {
 }
 
 func TestDeterministicTieBreak(t *testing.T) {
-	s := NewSim(smallConfig(1))
+	s := MustNewSim(smallConfig(1))
 	var order []int
 	for i := 0; i < 10; i++ {
 		i := i
 		s.After(Microseconds(5), func() { order = append(order, i) })
 	}
-	s.Run()
+	s.MustRun()
 	for i, v := range order {
 		if v != i {
 			t.Fatalf("events at equal time ran out of order: %v", order)
@@ -92,40 +92,40 @@ func TestDeterministicTieBreak(t *testing.T) {
 }
 
 func TestProcFIFOSerialization(t *testing.T) {
-	s := NewSim(smallConfig(1))
+	s := MustNewSim(smallConfig(1))
 	p := s.Node(0).Proc(0)
 	var times []Time
 	e1 := p.Launch(NoEvent, Microseconds(10), func() { times = append(times, s.Now()) })
 	p.Launch(NoEvent, Microseconds(5), func() { times = append(times, s.Now()) })
 	_ = e1
-	s.Run()
+	s.MustRun()
 	if len(times) != 2 || times[0] != Microseconds(10) || times[1] != Microseconds(15) {
 		t.Errorf("times = %v, want [10us 15us]", times)
 	}
 }
 
 func TestLaunchWaitsForPrecondition(t *testing.T) {
-	s := NewSim(smallConfig(1))
+	s := MustNewSim(smallConfig(1))
 	p := s.Node(0).Proc(0)
 	gate := s.NewUserEvent()
 	var ran Time = -1
 	p.Launch(gate, Microseconds(1), func() { ran = s.Now() })
 	s.After(Microseconds(100), func() { s.Trigger(gate) })
-	s.Run()
+	s.MustRun()
 	if ran != Microseconds(101) {
 		t.Errorf("task ran at %v, want 101us", ran)
 	}
 }
 
 func TestLaunchAutoBalances(t *testing.T) {
-	s := NewSim(smallConfig(1))
+	s := MustNewSim(smallConfig(1))
 	n := s.Node(0)
 	// 4 equal tasks on 2 cores should finish in 2 task-times, not 4.
 	var done []Time
 	for i := 0; i < 4; i++ {
 		n.LaunchAuto(NoEvent, Microseconds(10), func() { done = append(done, s.Now()) })
 	}
-	end := s.Run()
+	end := s.MustRun()
 	if end != Microseconds(20) {
 		t.Errorf("end = %v, want 20us on 2 cores", end)
 	}
@@ -138,10 +138,10 @@ func TestCopyRemoteChargesLatencyAndBandwidth(t *testing.T) {
 	cfg := smallConfig(2)
 	cfg.NetLatency = Microseconds(2)
 	cfg.NetBandwidth = 1 // 1 byte/ns
-	s := NewSim(cfg)
+	s := MustNewSim(cfg)
 	var arrive Time
 	s.Copy(s.Node(0), s.Node(1), 1000, NoEvent, func() { arrive = s.Now() })
-	s.Run()
+	s.MustRun()
 	want := Microseconds(2) + Time(1000)
 	if arrive != want {
 		t.Errorf("arrival %v, want %v", arrive, want)
@@ -156,12 +156,12 @@ func TestCopyLinkSerialization(t *testing.T) {
 	cfg := smallConfig(3)
 	cfg.NetLatency = 0
 	cfg.NetBandwidth = 1
-	s := NewSim(cfg)
+	s := MustNewSim(cfg)
 	var t1, t2 Time
 	// Two copies out of node 0 serialize on its link.
 	s.Copy(s.Node(0), s.Node(1), 1000, NoEvent, func() { t1 = s.Now() })
 	s.Copy(s.Node(0), s.Node(2), 1000, NoEvent, func() { t2 = s.Now() })
-	s.Run()
+	s.MustRun()
 	if t1 != Time(1000) || t2 != Time(2000) {
 		t.Errorf("arrivals %v %v, want 1000ns 2000ns", t1, t2)
 	}
@@ -171,10 +171,10 @@ func TestCopyLocalCheap(t *testing.T) {
 	cfg := smallConfig(1)
 	cfg.LocalLatency = Microseconds(0.1)
 	cfg.LocalBW = 100
-	s := NewSim(cfg)
+	s := MustNewSim(cfg)
 	var at Time
 	s.Copy(s.Node(0), s.Node(0), 10000, NoEvent, func() { at = s.Now() })
-	s.Run()
+	s.MustRun()
 	want := Microseconds(0.1) + Time(100)
 	if at != want {
 		t.Errorf("local copy at %v, want %v", at, want)
@@ -185,7 +185,7 @@ func TestCopyLocalCheap(t *testing.T) {
 }
 
 func TestThreadElapseAndWait(t *testing.T) {
-	s := NewSim(smallConfig(1))
+	s := MustNewSim(smallConfig(1))
 	var checkpoints []Time
 	s.Spawn("main", s.Node(0).Proc(0), func(th *Thread) {
 		checkpoints = append(checkpoints, th.Now())
@@ -197,7 +197,7 @@ func TestThreadElapseAndWait(t *testing.T) {
 		th.Sleep(Microseconds(100))
 		checkpoints = append(checkpoints, th.Now())
 	})
-	s.Run()
+	s.MustRun()
 	want := []Time{0, Microseconds(10), Microseconds(15), Microseconds(115)}
 	if len(checkpoints) != len(want) {
 		t.Fatalf("checkpoints = %v", checkpoints)
@@ -211,7 +211,7 @@ func TestThreadElapseAndWait(t *testing.T) {
 
 func TestTwoThreadsInterleaveDeterministically(t *testing.T) {
 	run := func() []string {
-		s := NewSim(smallConfig(2))
+		s := MustNewSim(smallConfig(2))
 		var log []string
 		for i := 0; i < 2; i++ {
 			i := i
@@ -223,7 +223,7 @@ func TestTwoThreadsInterleaveDeterministically(t *testing.T) {
 				}
 			})
 		}
-		s.Run()
+		s.MustRun()
 		return log
 	}
 	first := run()
@@ -241,7 +241,7 @@ func TestTwoThreadsInterleaveDeterministically(t *testing.T) {
 }
 
 func TestThreadMessagePingPong(t *testing.T) {
-	s := NewSim(smallConfig(2))
+	s := MustNewSim(smallConfig(2))
 	ready := s.NewUserEvent()
 	reply := s.NewUserEvent()
 	var order []string
@@ -257,7 +257,7 @@ func TestThreadMessagePingPong(t *testing.T) {
 		ev := s.Copy(s.Node(1), s.Node(0), 8, NoEvent, nil)
 		s.OnTrigger(ev, func() { s.Trigger(reply) })
 	})
-	s.Run()
+	s.MustRun()
 	want := []string{"deliver", "received", "got-reply"}
 	if len(order) != 3 {
 		t.Fatalf("order = %v", order)
@@ -270,7 +270,7 @@ func TestThreadMessagePingPong(t *testing.T) {
 }
 
 func TestBarrier(t *testing.T) {
-	s := NewSim(smallConfig(4))
+	s := MustNewSim(smallConfig(4))
 	b := s.NewBarrier(4)
 	count := 0
 	for i := 0; i < 4; i++ {
@@ -285,14 +285,14 @@ func TestBarrier(t *testing.T) {
 			}
 		})
 	}
-	s.Run()
+	s.MustRun()
 	if count != 4 {
 		t.Errorf("released %d threads", count)
 	}
 }
 
 func TestCollectiveDeterministicFold(t *testing.T) {
-	s := NewSim(smallConfig(3))
+	s := MustNewSim(smallConfig(3))
 	c := s.NewCollective(3, 0, func(a, v float64) float64 { return a + v })
 	// Contribute out of order in time; result must fold in index order.
 	vals := []float64{1, 2, 4}
@@ -305,14 +305,14 @@ func TestCollectiveDeterministicFold(t *testing.T) {
 	}
 	var got float64
 	s.OnTrigger(c.Done(), func() { got = c.Result() })
-	s.Run()
+	s.MustRun()
 	if got != 7 {
 		t.Errorf("result = %v", got)
 	}
 }
 
 func TestCollectiveMin(t *testing.T) {
-	s := NewSim(smallConfig(2))
+	s := MustNewSim(smallConfig(2))
 	c := s.NewCollective(2, 1e300, func(a, v float64) float64 {
 		if v < a {
 			return v
@@ -321,7 +321,7 @@ func TestCollectiveMin(t *testing.T) {
 	})
 	c.Contribute(0, NoEvent, func() float64 { return 5 })
 	c.Contribute(1, NoEvent, func() float64 { return 3 })
-	s.Run()
+	s.MustRun()
 	if !s.Triggered(c.Done()) || c.Result() != 3 {
 		t.Errorf("min = %v", c.Result())
 	}
@@ -330,7 +330,7 @@ func TestCollectiveMin(t *testing.T) {
 func TestCollectiveLatencyModel(t *testing.T) {
 	cfg := smallConfig(8)
 	cfg.HopLatency = Microseconds(1)
-	s := NewSim(cfg)
+	s := MustNewSim(cfg)
 	if got := s.CollectiveLatency(1); got != 0 {
 		t.Errorf("1-node collective latency = %v", got)
 	}
@@ -343,13 +343,13 @@ func TestCollectiveLatencyModel(t *testing.T) {
 }
 
 func TestAfterEvent(t *testing.T) {
-	s := NewSim(smallConfig(1))
+	s := MustNewSim(smallConfig(1))
 	e := s.NewUserEvent()
 	d := s.AfterEvent(e, Microseconds(7))
 	var at Time = -1
 	s.OnTrigger(d, func() { at = s.Now() })
 	s.After(Microseconds(3), func() { s.Trigger(e) })
-	s.Run()
+	s.MustRun()
 	if at != Microseconds(10) {
 		t.Errorf("delayed event at %v", at)
 	}
@@ -359,11 +359,11 @@ func TestAfterEvent(t *testing.T) {
 }
 
 func TestNodeBusyAccounting(t *testing.T) {
-	s := NewSim(smallConfig(1))
+	s := MustNewSim(smallConfig(1))
 	n := s.Node(0)
 	n.Proc(0).Launch(NoEvent, Microseconds(10), nil)
 	n.Proc(1).Launch(NoEvent, Microseconds(5), nil)
-	s.Run()
+	s.MustRun()
 	if n.BusyTime() != Microseconds(15) {
 		t.Errorf("busy = %v", n.BusyTime())
 	}

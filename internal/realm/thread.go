@@ -10,29 +10,75 @@ package realm
 // A thread interacts with virtual time through Elapse (charge busy time on
 // its processor) and WaitEvent (sleep until an event fires).
 type Thread struct {
-	sim    *Sim
-	proc   *Proc
-	name   string
-	resume chan struct{}
+	sim       *Sim
+	proc      *Proc
+	name      string
+	id        int64 // spawn order, used for deterministic iteration
+	resume    chan struct{}
+	killed    bool  // Kill was requested; unwind at the next scheduling point
+	dead      bool  // goroutine has finished (normally or by kill)
+	blockedOn Event // event a WaitEvent is parked on, for deadlock reports
+}
+
+// killPanic is the sentinel a killed thread unwinds with. It must cross any
+// user-level recover blocks, so engines embedding threads re-panic it (see
+// IsThreadKilled).
+type killPanic struct{ name string }
+
+// IsThreadKilled reports whether a recovered panic value is the simulator's
+// thread-kill sentinel. Code that recovers panics inside simulated threads
+// must re-panic such values so the scheduler can retire the thread.
+func IsThreadKilled(r interface{}) bool {
+	_, ok := r.(killPanic)
+	return ok
 }
 
 // Spawn starts fn as a simulated thread bound to proc, beginning at the
 // current virtual time. Spawn may be called before Run or from any running
 // thread or event continuation.
-func (s *Sim) Spawn(name string, proc *Proc, fn func(*Thread)) {
-	t := &Thread{sim: s, proc: proc, name: name, resume: make(chan struct{})}
+func (s *Sim) Spawn(name string, proc *Proc, fn func(*Thread)) *Thread {
+	s.threadSeq++
+	t := &Thread{sim: s, proc: proc, name: name, id: s.threadSeq, resume: make(chan struct{})}
 	s.liveThreads[t] = true
 	go func() {
 		<-t.resume // wait for first scheduling
-		fn(t)
+		func() {
+			defer func() {
+				if r := recover(); r != nil && !IsThreadKilled(r) {
+					panic(r) // real bug: propagate
+				}
+			}()
+			if !t.killed {
+				fn(t)
+			}
+		}()
+		t.dead = true
 		delete(s.liveThreads, t)
 		s.activeYield <- struct{}{} // final yield: thread is done
 	}()
+	s.at(s.now, func() { t.run() })
+	return t
+}
+
+// Kill deterministically terminates a simulated thread at the current
+// virtual time: it unwinds at its next scheduling point and never runs
+// again. Killing a finished or already-killed thread is a no-op. The
+// thread's in-flight work items are unaffected (their completion events may
+// still fire); only the control flow stops, as when a node loses the
+// processor running it.
+func (s *Sim) Kill(t *Thread) {
+	if t.dead || t.killed {
+		return
+	}
+	t.killed = true
 	s.at(s.now, func() { t.run() })
 }
 
 // run transfers control to the thread until it yields.
 func (t *Thread) run() {
+	if t.dead {
+		return // stale wake-up of a retired thread
+	}
 	t.resume <- struct{}{}
 	<-t.sim.activeYield
 }
@@ -41,6 +87,9 @@ func (t *Thread) run() {
 func (t *Thread) yield() {
 	t.sim.activeYield <- struct{}{}
 	<-t.resume
+	if t.killed {
+		panic(killPanic{t.name})
+	}
 }
 
 // Sim returns the simulator the thread runs in.
@@ -63,12 +112,19 @@ func (t *Thread) WaitEvent(e Event) {
 	if t.sim.Triggered(e) {
 		return
 	}
+	t.blockedOn = e
 	t.sim.OnTrigger(e, func() { t.wake() })
 	t.yield()
+	t.blockedOn = NoEvent
 }
 
-// wake schedules the thread to resume at the current virtual time.
+// wake schedules the thread to resume at the current virtual time. Killed
+// threads are not woken: the kill has already scheduled their final
+// unwinding resume, and a second handshake would wedge the scheduler.
 func (t *Thread) wake() {
+	if t.dead || t.killed {
+		return
+	}
 	t.sim.at(t.sim.now, func() { t.run() })
 }
 

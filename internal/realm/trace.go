@@ -10,8 +10,9 @@ import (
 // processor and message transfers — for visualization in Chrome's
 // about:tracing or Perfetto. Attach with Sim.SetTracer before Run.
 type Tracer struct {
-	spans []traceSpan
-	flows []traceFlow
+	spans   []traceSpan
+	flows   []traceFlow
+	crashes []NodeCrash
 }
 
 type traceSpan struct {
@@ -40,8 +41,15 @@ func (t *Tracer) message(src, dst int, bytes int64, start, end Time) {
 	t.flows = append(t.flows, traceFlow{src: src, dst: dst, bytes: bytes, start: start, end: end})
 }
 
+func (t *Tracer) crash(node int, at Time) {
+	t.crashes = append(t.crashes, NodeCrash{Node: node, At: at})
+}
+
 // Spans returns the number of recorded task spans.
 func (t *Tracer) Spans() int { return len(t.spans) }
+
+// Crashes returns the number of recorded node crashes.
+func (t *Tracer) Crashes() int { return len(t.crashes) }
 
 // Messages returns the number of recorded transfers.
 func (t *Tracer) Messages() int { return len(t.flows) }
@@ -76,6 +84,14 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 			Ts: fl.start.Microseconds(), Dur: fl.end.Microseconds() - fl.start.Microseconds(),
 			Pid: fl.src, Tid: -1,
 			Args: map[string]string{"bytes": fmt.Sprint(fl.bytes), "dst": fmt.Sprint(fl.dst)},
+		})
+	}
+	for _, cr := range t.crashes {
+		events = append(events, chromeEvent{
+			Name: "crash", Cat: "fault", Ph: "i",
+			Ts:  cr.At.Microseconds(),
+			Pid: cr.Node, Tid: -1,
+			Args: map[string]string{"s": "p"},
 		})
 	}
 	enc := json.NewEncoder(w)

@@ -8,12 +8,12 @@ import (
 )
 
 func TestTracerRecordsTasksAndMessages(t *testing.T) {
-	s := NewSim(smallConfig(2))
+	s := MustNewSim(smallConfig(2))
 	tr := NewTracer()
 	s.SetTracer(tr)
 	s.Node(0).Proc(0).Launch(NoEvent, Microseconds(10), nil)
 	s.Copy(s.Node(0), s.Node(1), 4096, NoEvent, nil)
-	s.Run()
+	s.MustRun()
 	if tr.Spans() != 1 {
 		t.Errorf("spans = %d, want 1", tr.Spans())
 	}
@@ -40,8 +40,8 @@ func TestTracerRecordsTasksAndMessages(t *testing.T) {
 }
 
 func TestTracerDetached(t *testing.T) {
-	s := NewSim(smallConfig(1))
+	s := MustNewSim(smallConfig(1))
 	s.SetTracer(nil) // no-op
 	s.Node(0).Proc(0).Launch(NoEvent, Microseconds(1), nil)
-	s.Run() // must not panic
+	s.MustRun() // must not panic
 }

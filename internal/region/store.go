@@ -93,6 +93,17 @@ func NewStore(is geometry.IndexSpace, fs *FieldSpace) *Store {
 	return &Store{layout: l, fs: fs, data: data}
 }
 
+// Clone returns a deep copy of the store: same layout and field space
+// (both immutable, so shared), private copies of all field data. It is the
+// building block of the SPMD executor's checkpoints.
+func (s *Store) Clone() *Store {
+	data := make([][]float64, len(s.data))
+	for i, d := range s.data {
+		data[i] = append(make([]float64, 0, len(d)), d...)
+	}
+	return &Store{layout: s.layout, fs: s.fs, data: data}
+}
+
 // Layout returns the store's layout.
 func (s *Store) Layout() *Layout { return s.layout }
 

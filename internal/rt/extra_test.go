@@ -22,7 +22,7 @@ func TestCustomMapperPreservesSemantics(t *testing.T) {
 	seq := ir.ExecSequential(f.Prog)
 
 	f2 := progtest.NewFigure2(48, 8, 3)
-	sim := realm.NewSim(testConfig(4))
+	sim := realm.MustNewSim(testConfig(4))
 	eng := New(sim, f2.Prog, Real)
 	eng.Map = reverseMapper{}
 	res, err := eng.Run()
@@ -63,7 +63,7 @@ func TestNestedLoops(t *testing.T) {
 			}},
 		}},
 	)
-	sim := realm.NewSim(testConfig(2))
+	sim := realm.MustNewSim(testConfig(2))
 	res, err := New(sim, p, Real).Run()
 	if err != nil {
 		t.Fatal(err)
@@ -77,7 +77,7 @@ func TestSetScalarForcesFuture(t *testing.T) {
 	// A SetScalar reading a launch-reduced scalar must force the future on
 	// the control thread and compute from the resolved value.
 	f := progtest.NewScalarSum(40, 8)
-	sim := realm.NewSim(testConfig(4))
+	sim := realm.MustNewSim(testConfig(4))
 	res, err := New(sim, f.Prog, Real).Run()
 	if err != nil {
 		t.Fatal(err)
@@ -93,7 +93,7 @@ func TestSetScalarForcesFuture(t *testing.T) {
 func TestRtNoiseSlowsAndStaysDeterministic(t *testing.T) {
 	run := func(noise realm.NoiseFn) realm.Time {
 		f := progtest.NewFigure2(48, 8, 5)
-		sim := realm.NewSim(testConfig(4))
+		sim := realm.MustNewSim(testConfig(4))
 		eng := New(sim, f.Prog, Modeled)
 		eng.Over.Noise = noise
 		res, err := eng.Run()
@@ -115,7 +115,7 @@ func TestRtNoiseSlowsAndStaysDeterministic(t *testing.T) {
 func TestCyclicMapperCostsMoreCommunication(t *testing.T) {
 	run := func(m Mapper) int64 {
 		f := progtest.NewFigure2(96, 8, 3)
-		sim := realm.NewSim(testConfig(4))
+		sim := realm.MustNewSim(testConfig(4))
 		eng := New(sim, f.Prog, Modeled)
 		eng.Map = m
 		if _, err := eng.Run(); err != nil {

@@ -1,6 +1,7 @@
 package rt
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -17,9 +18,66 @@ func TestKernelPanicSurfacesAsError(t *testing.T) {
 	tf.Task.Kernel = func(tc *ir.TaskCtx) {
 		tc.Args[1].Set(f.Val, tc.Args[1].Region.IndexSpace().Bounds().Lo, 1)
 	}
-	sim := realm.NewSim(testConfig(2))
+	sim := realm.MustNewSim(testConfig(2))
 	_, err := New(sim, f.Prog, Real).Run()
 	if err == nil || !strings.Contains(err.Error(), "panicked") {
 		t.Fatalf("expected kernel panic to surface as error, got %v", err)
+	}
+}
+
+// TestMidLoopKernelPanicSurfacesAsError: a kernel that fails only on a
+// later iteration still comes back as an error.
+func TestMidLoopKernelPanicSurfacesAsError(t *testing.T) {
+	f := progtest.NewFigure2(24, 4, 4)
+	tf := f.Loop.Body[0].(*ir.Launch)
+	good := tf.Task.Kernel
+	calls := 0
+	tf.Task.Kernel = func(tc *ir.TaskCtx) {
+		calls++
+		if calls > 6 { // 4 colors per iteration: fail during iteration 1
+			panic("mid-loop kernel bug")
+		}
+		good(tc)
+	}
+	sim := realm.MustNewSim(testConfig(2))
+	_, err := New(sim, f.Prog, Real).Run()
+	if err == nil || !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("expected mid-loop kernel panic to surface as error, got %v", err)
+	}
+	if calls <= 6 {
+		t.Fatalf("kernel ran %d times; the panic never fired", calls)
+	}
+}
+
+// TestInjectedCrashSurfacesAsDeadlock: the implicit runtime has no
+// recovery, so a node crash that swallows a task's completion leaves the
+// control thread blocked — and that must surface as a structured deadlock
+// error naming the blocked thread, not a panic or a hang.
+func TestInjectedCrashSurfacesAsDeadlock(t *testing.T) {
+	run := func(fp *realm.FaultPlan) (realm.Time, error) {
+		f := progtest.NewFigure2(48, 8, 4)
+		sim := realm.MustNewSim(testConfig(4))
+		if fp != nil {
+			if err := sim.InjectFaults(*fp); err != nil {
+				t.Fatal(err)
+			}
+		}
+		res, err := New(sim, f.Prog, Real).Run()
+		if err != nil {
+			return 0, err
+		}
+		return res.Elapsed, nil
+	}
+	elapsed, err := run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = run(&realm.FaultPlan{Crashes: []realm.NodeCrash{{Node: 2, At: elapsed / 2}}})
+	var derr *realm.DeadlockError
+	if !errors.As(err, &derr) {
+		t.Fatalf("want *realm.DeadlockError from a mid-run crash, got %v", err)
+	}
+	if len(derr.Blocked) == 0 || derr.Blocked[0].Name != "control" {
+		t.Errorf("deadlock report should name the blocked control thread: %+v", derr.Blocked)
 	}
 }

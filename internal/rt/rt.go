@@ -179,14 +179,19 @@ func (e *Engine) Run() (*Result, error) {
 	e.checkedLaunch = make(map[*ir.Launch]bool)
 
 	var runErr error
+	ctlDone := false
 	e.Sim.Spawn("control", e.Sim.Node(0).Proc(0), func(t *realm.Thread) {
 		defer func() {
 			if r := recover(); r != nil {
+				if realm.IsThreadKilled(r) {
+					panic(r) // node 0 crashed: let the scheduler retire us
+				}
 				runErr = fmt.Errorf("rt: %v", r)
 			}
 		}()
 		e.ctl = t
 		e.execStmts(e.Prog.Stmts)
+		ctlDone = true
 	})
 	elapsed, err := runSim(e.Sim)
 	if err != nil {
@@ -194,6 +199,9 @@ func (e *Engine) Run() (*Result, error) {
 	}
 	if runErr != nil {
 		return nil, runErr
+	}
+	if !ctlDone {
+		return nil, fmt.Errorf("rt: control thread was killed (node 0 crashed) before the program completed")
 	}
 
 	res := &Result{
@@ -280,12 +288,14 @@ func maxInt(a, b int) int {
 
 // runSim drives the simulation, converting panics from task kernels (which
 // execute inside the event loop) into errors so a faulty application
-// cannot crash the host process.
+// cannot crash the host process. A deadlock (e.g. an injected node crash
+// orphaning the control thread's waits — rt has no recovery layer) comes
+// back as a *realm.DeadlockError.
 func runSim(sim *realm.Sim) (elapsed realm.Time, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("rt: task execution panicked: %v", r)
 		}
 	}()
-	return sim.Run(), nil
+	return sim.Run()
 }

@@ -22,7 +22,7 @@ func testConfig(nodes int) realm.Config {
 func runBoth(t *testing.T, prog *ir.Program, nodes int) (*ir.SeqResult, *Result) {
 	t.Helper()
 	seq := ir.ExecSequential(prog)
-	sim := realm.NewSim(testConfig(nodes))
+	sim := realm.MustNewSim(testConfig(nodes))
 	eng := New(sim, prog, Real)
 	res, err := eng.Run()
 	if err != nil {
@@ -88,7 +88,7 @@ func TestImplicitRegionReductionMatchesSequential(t *testing.T) {
 func TestImplicitDeterministic(t *testing.T) {
 	run := func() (realm.Time, realm.Stats) {
 		f := progtest.NewFigure2(48, 8, 3)
-		sim := realm.NewSim(testConfig(4))
+		sim := realm.MustNewSim(testConfig(4))
 		eng := New(sim, f.Prog, Real)
 		res, err := eng.Run()
 		if err != nil {
@@ -107,7 +107,7 @@ func TestImplicitDeterministic(t *testing.T) {
 
 func TestModeledModeRunsWithoutStores(t *testing.T) {
 	f := progtest.NewFigure2(1000, 8, 5)
-	sim := realm.NewSim(testConfig(4))
+	sim := realm.MustNewSim(testConfig(4))
 	eng := New(sim, f.Prog, Modeled)
 	res, err := eng.Run()
 	if err != nil {
@@ -133,13 +133,13 @@ func TestModeledModeRunsWithoutStores(t *testing.T) {
 func TestModeledMatchesRealTiming(t *testing.T) {
 	// The virtual-time behaviour must not depend on whether kernels run.
 	f1 := progtest.NewFigure2(64, 8, 3)
-	sim1 := realm.NewSim(testConfig(4))
+	sim1 := realm.MustNewSim(testConfig(4))
 	r1, err := New(sim1, f1.Prog, Real).Run()
 	if err != nil {
 		t.Fatal(err)
 	}
 	f2 := progtest.NewFigure2(64, 8, 3)
-	sim2 := realm.NewSim(testConfig(4))
+	sim2 := realm.MustNewSim(testConfig(4))
 	r2, err := New(sim2, f2.Prog, Modeled).Run()
 	if err != nil {
 		t.Fatal(err)
@@ -151,7 +151,7 @@ func TestModeledMatchesRealTiming(t *testing.T) {
 
 func TestDataMovementOnlyAcrossNodes(t *testing.T) {
 	f1 := progtest.NewFigure2(48, 8, 2)
-	sim1 := realm.NewSim(testConfig(1))
+	sim1 := realm.MustNewSim(testConfig(1))
 	if _, err := New(sim1, f1.Prog, Real).Run(); err != nil {
 		t.Fatal(err)
 	}
@@ -160,7 +160,7 @@ func TestDataMovementOnlyAcrossNodes(t *testing.T) {
 	}
 
 	f2 := progtest.NewFigure2(48, 8, 2)
-	sim2 := realm.NewSim(testConfig(4))
+	sim2 := realm.MustNewSim(testConfig(4))
 	if _, err := New(sim2, f2.Prog, Real).Run(); err != nil {
 		t.Fatal(err)
 	}
@@ -180,7 +180,7 @@ func TestControlOverheadScalesWithTasks(t *testing.T) {
 		for _, s := range f.Loop.Body {
 			s.(*ir.Launch).Task.CostPerElem = 0.1
 		}
-		sim := realm.NewSim(testConfig(nodes))
+		sim := realm.MustNewSim(testConfig(nodes))
 		eng := New(sim, f.Prog, Modeled)
 		res, err := eng.Run()
 		if err != nil {
@@ -205,7 +205,7 @@ func TestPipelining(t *testing.T) {
 	for _, s := range f.Loop.Body {
 		s.(*ir.Launch).Task.CostPerElem = 4000 // ~4 ms per task kernel
 	}
-	sim := realm.NewSim(testConfig(4))
+	sim := realm.MustNewSim(testConfig(4))
 	eng := New(sim, f.Prog, Modeled)
 	res, err := eng.Run()
 	if err != nil {
@@ -239,7 +239,7 @@ func TestIntraLaunchConflictRejected(t *testing.T) {
 		Kernel: func(tc *ir.TaskCtx) {},
 	}
 	p.Add(&ir.Launch{Task: bad, Domain: ir.Colors1D(4), Args: []ir.RegionArg{{Part: pr}, {Part: img}}})
-	sim := realm.NewSim(testConfig(2))
+	sim := realm.MustNewSim(testConfig(2))
 	_, err := New(sim, p, Real).Run()
 	if err == nil || !strings.Contains(err.Error(), "conflicting aliased arguments") {
 		t.Errorf("expected intra-launch conflict error, got %v", err)
@@ -250,7 +250,7 @@ func TestUseDominationKeepsHistoryBounded(t *testing.T) {
 	// Iterating the figure-2 loop many times must not grow the analysis
 	// history: full-partition writers absorb earlier epochs.
 	f := progtest.NewFigure2(48, 8, 20)
-	sim := realm.NewSim(testConfig(2))
+	sim := realm.MustNewSim(testConfig(2))
 	eng := New(sim, f.Prog, Modeled)
 	if _, err := eng.Run(); err != nil {
 		t.Fatal(err)

@@ -41,7 +41,7 @@ func TestTwoReplicatedLoops(t *testing.T) {
 	if len(plans) != 2 {
 		t.Fatalf("plans = %d, want 2 (one per loop)", len(plans))
 	}
-	sim := realm.NewSim(testConfig(3))
+	sim := realm.MustNewSim(testConfig(3))
 	res, err := New(sim, pCR, ir.ExecReal, plans).Run()
 	if err != nil {
 		t.Fatal(err)
@@ -83,7 +83,7 @@ func TestInitCopiesExecute(t *testing.T) {
 	seqF := progtest.NewFigure2(48, 8, 2)
 	seq := ir.ExecSequential(seqF.Prog)
 
-	sim := realm.NewSim(testConfig(4))
+	sim := realm.MustNewSim(testConfig(4))
 	res, err := New(sim, f.Prog, ir.ExecReal, plans).Run()
 	if err != nil {
 		t.Fatal(err)
@@ -101,7 +101,7 @@ func TestShardsSpreadWhenFewerThanNodes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sim := realm.NewSim(testConfig(8)) // 8 nodes, 4 shards
+	sim := realm.MustNewSim(testConfig(8)) // 8 nodes, 4 shards
 	res, err := New(sim, f.Prog, ir.ExecReal, plans).Run()
 	if err != nil {
 		t.Fatal(err)
@@ -132,7 +132,7 @@ func TestNoiseDeterminism(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		sim := realm.NewSim(testConfig(4))
+		sim := realm.MustNewSim(testConfig(4))
 		eng := New(sim, f.Prog, ir.ExecModeled, plans)
 		eng.Over.Noise = realm.SpikeNoise(0.9, 1.0, 7)
 		res, err := eng.Run()
@@ -144,7 +144,7 @@ func TestNoiseDeterminism(t *testing.T) {
 	clean := func() realm.Time {
 		f := progtest.NewFigure2(48, 8, 5)
 		plans, _ := CompileAll(f.Prog, cr.Options{NumShards: 4})
-		sim := realm.NewSim(testConfig(4))
+		sim := realm.MustNewSim(testConfig(4))
 		res, err := New(sim, f.Prog, ir.ExecModeled, plans).Run()
 		if err != nil {
 			t.Fatal(err)

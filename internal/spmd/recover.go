@@ -1,0 +1,346 @@
+package spmd
+
+import (
+	"fmt"
+
+	"repro/internal/cr"
+	"repro/internal/ir"
+	"repro/internal/realm"
+	"repro/internal/region"
+)
+
+// This file is the recovery layer of the SPMD executor: periodic
+// barrier-consistent checkpoints of the distributed instance stores plus
+// the replicated scalar environment, shard relaunch on surviving nodes
+// after a node crash, bounded retry with exponential virtual-time backoff,
+// and graceful degradation to the last checkpoint when the budget runs
+// out.
+//
+// Correctness rests on two properties of the execution model. First, every
+// epoch boundary is quiescent: the control thread has seen every shard's
+// completion event, which a shard only triggers after all of its
+// iterations' operations (tasks, copies, collectives) have finished, so
+// cloning the instance stores there captures a consistent cut. Second,
+// results are placement-independent: scalar collectives fold in
+// participant-index order and reduction copies chain in source order, both
+// fixed by the compiled plan rather than by node assignment, so re-running
+// an epoch on a different set of nodes reproduces bitwise-identical values.
+
+// Recovery configures checkpoint/restart for replicated loops. The zero
+// value disables recovery entirely (the executor takes the exact fault-free
+// schedule, with zero extra events or copies).
+type Recovery struct {
+	// CheckpointEvery is the number of iterations per epoch; a checkpoint is
+	// taken at every epoch boundary except the last. 0 means trip/4 (at
+	// least 1).
+	CheckpointEvery int
+	// MaxRetries bounds consecutive restarts without forward progress; the
+	// counter resets every time an epoch completes. 0 disables recovery.
+	MaxRetries int
+	// Backoff is the virtual-time delay before the first restart, doubling
+	// on each consecutive retry. 0 means 1ms.
+	Backoff realm.Time
+}
+
+// DefaultRecovery returns the recovery settings used when fault injection
+// is enabled without explicit tuning.
+func DefaultRecovery() Recovery { return Recovery{MaxRetries: 3} }
+
+func (r Recovery) normalized(trip int) Recovery {
+	if r.MaxRetries <= 0 {
+		return Recovery{}
+	}
+	if r.CheckpointEvery <= 0 {
+		r.CheckpointEvery = trip / 4
+	}
+	if r.CheckpointEvery < 1 {
+		r.CheckpointEvery = 1
+	}
+	if r.Backoff <= 0 {
+		r.Backoff = realm.Milliseconds(1)
+	}
+	return r
+}
+
+// FaultReport summarizes the faults a run observed and the recovery
+// actions taken. CompletedIters/TotalIters describe the loop that degraded
+// when Unrecovered is set.
+type FaultReport struct {
+	Crashes        []realm.NodeCrash
+	Checkpoints    int
+	Restarts       int
+	Unrecovered    bool
+	Reason         string
+	CompletedIters int
+	TotalIters     int
+}
+
+func (e *Engine) rep() *FaultReport {
+	if e.report == nil {
+		e.report = &FaultReport{}
+	}
+	return e.report
+}
+
+// checkpoint is one barrier-consistent cut of a replicated loop: the
+// iteration count reached, clones of every instance store (Real mode), and
+// the replicated scalar environment. It models durable state on node 0's
+// stable storage.
+type checkpoint struct {
+	iter   int
+	stores map[instKey]*region.Store
+	env    ir.MapEnv
+}
+
+func copyEnv(src ir.MapEnv) ir.MapEnv {
+	out := make(ir.MapEnv, len(src))
+	for k, v := range src {
+		out[k] = v
+	}
+	return out
+}
+
+// liveAssign maps shards blockwise onto the live nodes; with every node
+// alive it reproduces the static placement of §4.2 (shard s on node
+// s*Nodes/NumShards). Node 0 always counts as live — it hosts the control
+// thread, so its loss ends the run regardless.
+func (e *Engine) liveAssign(ns int) []int {
+	var live []int
+	for i := 0; i < e.Sim.Nodes(); i++ {
+		if i == 0 || !e.Sim.Node(i).Failed() {
+			live = append(live, i)
+		}
+	}
+	assign := make([]int, ns)
+	for s := range assign {
+		assign[s] = live[s*len(live)/ns]
+	}
+	return assign
+}
+
+// waitOrFail blocks the control thread until ev fires or any node hosting
+// the run state fails, whichever comes first; it reports whether ev won.
+// Without this race, a crash that swallows a completion event would leave
+// the control thread blocked forever (the deadlock the fault tests pin).
+func (e *Engine) waitOrFail(ctl *realm.Thread, st *runState, ev realm.Event) bool {
+	sim := e.Sim
+	if sim.Triggered(ev) {
+		return true
+	}
+	out := sim.NewUserEvent()
+	settled, failed := false, false
+	settle := func(f bool) func() {
+		return func() {
+			if settled {
+				return
+			}
+			settled = true
+			failed = f
+			sim.Trigger(out)
+		}
+	}
+	sim.OnTrigger(ev, settle(false))
+	for _, n := range st.watch {
+		sim.OnTrigger(sim.Node(n).FailEvent(), settle(true))
+	}
+	ctl.WaitEvent(out)
+	return !failed
+}
+
+// phaseWait is waitOrFail when guarded, a plain wait otherwise — the plain
+// branch is the fault-free hot path and must stay event-identical to the
+// seed executor.
+func (e *Engine) phaseWait(ctl *realm.Thread, st *runState, ev realm.Event, guarded bool) bool {
+	if !guarded {
+		ctl.WaitEvent(ev)
+		return true
+	}
+	return e.waitOrFail(ctl, st, ev)
+}
+
+// takeCheckpoint models moving every instance's bytes to node 0's stable
+// storage and (Real mode) clones the stores. Returns nil if a node failed
+// mid-checkpoint.
+func (e *Engine) takeCheckpoint(ctl *realm.Thread, st *runState, iter int) *checkpoint {
+	plan := st.plan
+	e.rep().Checkpoints++
+	var evs []realm.Event
+	for _, part := range plan.UsedParts {
+		fields := plan.InstFields[part]
+		for _, col := range plan.Domain {
+			sub := part.Sub(col)
+			bytes := sub.Volume() * e.Over.EltBytes * int64(len(fields))
+			evs = append(evs, e.Sim.Copy(e.Sim.Node(st.ownerNode(col)), e.Sim.Node(0), bytes, realm.NoEvent, nil))
+		}
+	}
+	if !e.waitOrFail(ctl, st, e.Sim.Merge(evs...)) {
+		return nil
+	}
+	cp := &checkpoint{iter: iter, env: copyEnv(st.curEnv)}
+	if e.Mode == ir.ExecReal {
+		cp.stores = make(map[instKey]*region.Store)
+		for _, part := range plan.UsedParts {
+			for _, col := range plan.Domain {
+				key := instKey{part.ID(), col}
+				cp.stores[key] = st.inst[key].Clone()
+			}
+		}
+	}
+	return cp
+}
+
+// restorePhase builds a fresh run state on the surviving nodes, repopulates
+// every instance from the checkpoint (modeled as copies from node 0's
+// stable storage), and resets the scalar environment. ok is false if yet
+// another node failed during the restore.
+func (e *Engine) restorePhase(ctl *realm.Thread, plan *cr.Compiled, trip int, cp *checkpoint) (*runState, bool) {
+	st := newRunState(e, plan, trip, e.liveAssign(plan.Opts.NumShards))
+	st.curEnv = copyEnv(cp.env)
+	var evs []realm.Event
+	for _, part := range plan.UsedParts {
+		fields := plan.InstFields[part]
+		for _, col := range plan.Domain {
+			sub := part.Sub(col)
+			key := instKey{part.ID(), col}
+			if e.Mode == ir.ExecReal {
+				st.inst[key] = cp.stores[key].Clone()
+			}
+			bytes := sub.Volume() * e.Over.EltBytes * int64(len(fields))
+			evs = append(evs, e.Sim.Copy(e.Sim.Node(0), e.Sim.Node(st.ownerNode(col)), bytes, realm.NoEvent, nil))
+		}
+	}
+	return st, e.waitOrFail(ctl, st, e.Sim.Merge(evs...))
+}
+
+// degrade gives up on the loop: the last checkpoint (if any) becomes the
+// result — written back to the parent regions directly, since the
+// checkpoint lives on node 0 beside them — and the report records the
+// partial progress. Subsequent statements of the program do not run.
+func (e *Engine) degrade(plan *cr.Compiled, trip, retries int, cp *checkpoint, times []realm.Time) {
+	rep := e.rep()
+	rep.Unrecovered = true
+	rep.TotalIters = trip
+	done := 0
+	if cp != nil {
+		done = cp.iter
+		if e.Mode == ir.ExecReal {
+			for _, part := range plan.WrittenDisjoint {
+				fields := plan.InstFields[part]
+				for _, col := range plan.Domain {
+					sub := part.Sub(col)
+					dst := e.global[sub.Root()]
+					src := cp.stores[instKey{part.ID(), col}]
+					for _, f := range fields {
+						dst.CopyFieldFrom(src, f, sub.IndexSpace())
+					}
+				}
+			}
+		}
+		for k, v := range cp.env {
+			e.env[k] = v
+		}
+	}
+	rep.CompletedIters = done
+	rep.Reason = fmt.Sprintf("spmd: recovery budget exhausted after %d restarts with %d node crashes; degraded to the checkpoint at iteration %d of %d",
+		retries, len(e.Sim.Crashes()), done, trip)
+	e.iterTimes[plan.Loop] = times[:done]
+	e.degraded = true
+}
+
+// runRecoverable executes one replicated loop in checkpointed epochs:
+//
+//	init -> [epoch -> checkpoint]* -> epoch -> finalize
+//
+// Every phase races against node failures (waitOrFail); a failure kills
+// the surviving shard threads, backs off exponentially in virtual time,
+// remaps shards onto the live nodes, restores the last checkpoint, and
+// retries. MaxRetries consecutive failures degrade to the checkpoint.
+func (e *Engine) runRecoverable(ctl *realm.Thread, plan *cr.Compiled, rec Recovery) {
+	trip := plan.Loop.Trip
+	ns := plan.Opts.NumShards
+	times := make([]realm.Time, trip)
+	st := newRunState(e, plan, trip, e.liveAssign(ns))
+	var cp *checkpoint
+	retries := 0
+	needInit := true
+	done := 0
+
+	// restart consumes one retry, backs off, and rebuilds state from the
+	// last checkpoint (or from scratch when none exists yet). It recurses —
+	// within the same budget — if another node fails mid-restore.
+	var restart func() bool
+	restart = func() bool {
+		if retries >= rec.MaxRetries {
+			return false
+		}
+		retries++
+		e.rep().Restarts++
+		ctl.Sleep(rec.Backoff << (retries - 1))
+		if cp == nil {
+			st = newRunState(e, plan, trip, e.liveAssign(ns))
+			needInit = true
+			return true
+		}
+		nst, ok := e.restorePhase(ctl, plan, trip, cp)
+		if !ok {
+			return restart()
+		}
+		st = nst
+		needInit = false
+		done = cp.iter
+		return true
+	}
+
+	for {
+		switch {
+		case needInit:
+			if !e.initPhase(ctl, st, true) {
+				if !restart() {
+					e.degrade(plan, trip, retries, cp, times)
+					return
+				}
+				continue
+			}
+			needInit = false
+
+		case done < trip:
+			hi := done + rec.CheckpointEvery
+			if hi > trip {
+				hi = trip
+			}
+			if !e.runEpoch(ctl, st, done, hi, true) {
+				if !restart() {
+					e.degrade(plan, trip, retries, cp, times)
+					return
+				}
+				continue
+			}
+			copy(times[done:hi], st.iterTimes[done:hi])
+			done = hi
+			retries = 0
+			if done < trip {
+				ncp := e.takeCheckpoint(ctl, st, done)
+				if ncp == nil {
+					if !restart() {
+						e.degrade(plan, trip, retries, cp, times)
+						return
+					}
+					continue
+				}
+				cp = ncp
+			}
+
+		default:
+			if !e.finalizePhase(ctl, st, true) {
+				if !restart() {
+					e.degrade(plan, trip, retries, cp, times)
+					return
+				}
+				continue
+			}
+			e.iterTimes[plan.Loop] = times
+			e.mergeEnv(st)
+			return
+		}
+	}
+}

@@ -13,12 +13,31 @@ import (
 
 // runReplicated executes one compiled loop: initialization copies (Figure
 // 4b lines 2-4), hoisted loop-invariant copies, the shard tasks themselves,
-// and finalization copies back to the parent regions (lines 14-15).
+// and finalization copies back to the parent regions (lines 14-15). With
+// recovery disabled (the default) the loop runs as one unguarded epoch —
+// the exact fault-free schedule; with recovery enabled it runs in
+// checkpointed epochs under runRecoverable.
 func (e *Engine) runReplicated(ctl *realm.Thread, plan *cr.Compiled) {
-	st := newRunState(e, plan, plan.Loop.Trip)
+	rec := e.Recov.normalized(plan.Loop.Trip)
+	if rec.MaxRetries > 0 {
+		e.runRecoverable(ctl, plan, rec)
+		return
+	}
+	trip := plan.Loop.Trip
+	st := newRunState(e, plan, trip, e.liveAssign(plan.Opts.NumShards))
+	e.initPhase(ctl, st, false)
+	e.runEpoch(ctl, st, 0, trip, false)
+	e.finalizePhase(ctl, st, false)
+	e.iterTimes[plan.Loop] = st.iterTimes
+	e.mergeEnv(st)
+}
 
-	// Initialization: every used partition's every subregion instance is
-	// populated from the parent region's data, placed on its owner node.
+// initPhase populates every used partition's every subregion instance from
+// the parent region's data on its owner node, then runs the hoisted
+// loop-invariant copies. Under recovery it reports false as soon as a
+// watched node fails (the phase is idempotent and simply reruns).
+func (e *Engine) initPhase(ctl *realm.Thread, st *runState, guarded bool) bool {
+	plan := st.plan
 	var initEvs []realm.Event
 	for _, part := range plan.UsedParts {
 		fields := plan.InstFields[part]
@@ -37,7 +56,9 @@ func (e *Engine) runReplicated(ctl *realm.Thread, plan *cr.Compiled) {
 			initEvs = append(initEvs, e.Sim.Copy(e.Sim.Node(0), e.Sim.Node(owner), bytes, realm.NoEvent, nil))
 		}
 	}
-	ctl.WaitEvent(e.Sim.Merge(initEvs...))
+	if !e.phaseWait(ctl, st, e.Sim.Merge(initEvs...), guarded) {
+		return false
+	}
 
 	// Hoisted loop-invariant copies run once before the shards start.
 	for _, cp := range plan.InitCopies {
@@ -59,23 +80,48 @@ func (e *Engine) runReplicated(ctl *realm.Thread, plan *cr.Compiled) {
 				e.Sim.Node(st.ownerNode(pr.Src)), e.Sim.Node(st.ownerNode(pr.Dst)),
 				bytes, realm.NoEvent, body))
 		}
-		ctl.WaitEvent(e.Sim.Merge(evs...))
+		if !e.phaseWait(ctl, st, e.Sim.Merge(evs...), guarded) {
+			return false
+		}
 	}
+	return true
+}
 
-	// Launch the shard tasks (§3.5).
-	for s := 0; s < plan.Opts.NumShards; s++ {
+// runEpoch launches the shard threads over iterations [lo, hi) and waits
+// for them (§3.5). Under recovery a node failure aborts the wait and kills
+// the surviving shard threads so the epoch can be retried from the last
+// checkpoint.
+func (e *Engine) runEpoch(ctl *realm.Thread, st *runState, lo, hi int, guarded bool) bool {
+	plan := st.plan
+	ns := plan.Opts.NumShards
+	st.shardDone = make([]realm.Event, ns)
+	for s := range st.shardDone {
+		st.shardDone[s] = e.Sim.NewUserEvent()
+	}
+	threads := make([]*realm.Thread, ns)
+	for s := 0; s < ns; s++ {
 		s := s
 		proc := e.Sim.Node(st.nodeOfShard(s)).Proc(0)
-		e.Sim.Spawn(fmt.Sprintf("shard-%d", s), proc, func(th *realm.Thread) {
+		threads[s] = e.Sim.Spawn(fmt.Sprintf("shard-%d", s), proc, func(th *realm.Thread) {
 			sh := &shard{st: st, me: s, th: th, table: st.tables[s]}
-			sh.run()
+			sh.runRange(lo, hi)
 			e.Sim.Trigger(st.shardDone[s])
 		})
 	}
-	ctl.WaitEvent(e.Sim.Merge(st.shardDone...))
+	if e.phaseWait(ctl, st, e.Sim.Merge(st.shardDone...), guarded) {
+		return true
+	}
+	for _, th := range threads {
+		e.Sim.Kill(th)
+	}
+	return false
+}
 
-	// Finalization: copy the disjoint written partitions' instances back to
-	// the parent regions on node 0.
+// finalizePhase copies the disjoint written partitions' instances back to
+// the parent regions on node 0. The copies overwrite whole subregions, so
+// a half-finished finalization is safely redone after recovery.
+func (e *Engine) finalizePhase(ctl *realm.Thread, st *runState, guarded bool) bool {
+	plan := st.plan
 	var finEvs []realm.Event
 	for _, part := range plan.WrittenDisjoint {
 		fields := plan.InstFields[part]
@@ -97,14 +143,15 @@ func (e *Engine) runReplicated(ctl *realm.Thread, plan *cr.Compiled) {
 			finEvs = append(finEvs, e.Sim.Copy(e.Sim.Node(st.ownerNode(col)), e.Sim.Node(0), bytes, realm.NoEvent, body))
 		}
 	}
-	ctl.WaitEvent(e.Sim.Merge(finEvs...))
+	return e.phaseWait(ctl, st, e.Sim.Merge(finEvs...), guarded)
+}
 
-	e.iterTimes[plan.Loop] = st.iterTimes
-
-	// Replicated scalar state converges across shards; fold the last
-	// shard's bindings back into the control environment.
-	if plan.Opts.NumShards > 0 {
-		for k, v := range st.finalEnv {
+// mergeEnv folds the replicated scalar state back into the control
+// environment; scalars converge across shards, so shard 0's bindings are
+// the program's.
+func (e *Engine) mergeEnv(st *runState) {
+	if st.plan.Opts.NumShards > 0 {
+		for k, v := range st.curEnv {
 			e.env[k] = v
 		}
 	}
@@ -130,22 +177,27 @@ type shard struct {
 	ctxBuf  []*ir.TaskCtx
 }
 
-// run replicates the loop's control flow over the shard's owned colors.
-func (sh *shard) run() {
+// runRange replicates the loop's control flow over the shard's owned
+// colors for iterations [lo, hi) — the whole trip when recovery is off,
+// one epoch of it otherwise. The scalar environment starts from the run
+// state's current bindings (the loop entry environment, or the restored
+// checkpoint's) and shard 0 publishes them back at the end of the range.
+func (sh *shard) runRange(lo, hi int) {
 	st := sh.st
 	plan := st.plan
 	e := st.e
-	sh.env = newShardEnv(sh.th, e.env)
+	sh.env = newShardEnv(sh.th, st.curEnv)
 
 	window := e.Over.Window
 	if window < 1 {
 		window = 1
 	}
-	trip := plan.Loop.Trip
-	iterDone := make([]realm.Event, trip)
-	for t := 0; t < trip; t++ {
-		if t >= window {
-			sh.th.WaitEvent(iterDone[t-window])
+	n := hi - lo
+	iterDone := make([]realm.Event, n)
+	for i := 0; i < n; i++ {
+		t := lo + i
+		if i >= window {
+			sh.th.WaitEvent(iterDone[i-window])
 		}
 		sh.env.set(plan.Loop.Var, float64(t))
 		sh.ops = sh.ops[:0]
@@ -163,14 +215,14 @@ func (sh *shard) run() {
 				}
 			}
 		}
-		iterDone[t] = e.Sim.Merge(sh.ops...)
-		st.recordIter(t, iterDone[t])
+		iterDone[i] = e.Sim.Merge(sh.ops...)
+		st.recordIter(t, iterDone[i])
 	}
-	for t := maxInt(0, trip-window); t < trip; t++ {
-		sh.th.WaitEvent(iterDone[t])
+	for i := maxInt(0, n-window); i < n; i++ {
+		sh.th.WaitEvent(iterDone[i])
 	}
 	if sh.me == 0 {
-		st.finalEnv = sh.env.snapshot()
+		st.curEnv = sh.env.snapshot()
 	}
 }
 

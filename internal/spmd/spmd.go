@@ -53,13 +53,18 @@ func DefaultOverheads(cores int) Overheads {
 	}
 }
 
-// Result is the outcome of an SPMD run.
+// Result is the outcome of an SPMD run. Faults is nil on a fault-free run
+// with recovery disabled; otherwise it reports what was injected and what
+// the recovery layer did about it (including graceful degradation: a run
+// that exhausted its restart budget returns the last checkpoint's partial
+// results with Faults.Unrecovered set, not an error).
 type Result struct {
 	Stores    map[*region.Region]*region.Store
 	Env       ir.MapEnv
 	IterTimes map[*ir.Loop][]realm.Time
 	Elapsed   realm.Time
 	Stats     realm.Stats
+	Faults    *FaultReport
 }
 
 // Engine executes a program whose loops have been control-replicated.
@@ -70,9 +75,15 @@ type Engine struct {
 	Over  Overheads
 	Plans map[*ir.Loop]*cr.Compiled
 
+	// Recov configures checkpoint/restart; the zero value disables recovery
+	// and executes exactly the plain SPMD schedule.
+	Recov Recovery
+
 	global    map[*region.Region]*region.Store
 	env       ir.MapEnv
 	iterTimes map[*ir.Loop][]realm.Time
+	report    *FaultReport
+	degraded  bool // an unrecoverable loop ended the run early
 }
 
 // New creates an engine executing prog with the given compiled plans.
@@ -124,22 +135,35 @@ func (e *Engine) Run() (*Result, error) {
 		e.env[k] = v
 	}
 	e.iterTimes = make(map[*ir.Loop][]realm.Time)
+	e.report = nil
+	e.degraded = false
 
 	var runErr error
+	ctlDone := false
 	e.Sim.Spawn("spmd-control", e.Sim.Node(0).Proc(0), func(t *realm.Thread) {
 		defer func() {
 			if r := recover(); r != nil {
+				if realm.IsThreadKilled(r) {
+					panic(r) // node 0 crashed: let the scheduler retire us
+				}
 				runErr = fmt.Errorf("spmd: %v", r)
 			}
 		}()
 		e.execStmts(t, e.Prog.Stmts)
+		ctlDone = true
 	})
 	elapsed, err := runSim(e.Sim)
+	if crashes := e.Sim.Crashes(); len(crashes) > 0 {
+		e.rep().Crashes = crashes
+	}
 	if err != nil {
 		return nil, err
 	}
 	if runErr != nil {
 		return nil, runErr
+	}
+	if !ctlDone {
+		return nil, fmt.Errorf("spmd: control thread was killed (node 0 crashed) before the program completed")
 	}
 	return &Result{
 		Stores:    e.global,
@@ -147,23 +171,28 @@ func (e *Engine) Run() (*Result, error) {
 		IterTimes: e.iterTimes,
 		Elapsed:   elapsed,
 		Stats:     e.Sim.Stats(),
+		Faults:    e.report,
 	}, nil
 }
 
 // runSim drives the simulation, converting panics from task kernels (which
 // execute inside the event loop) into errors so a faulty application
-// cannot crash the host process.
+// cannot crash the host process. A deadlock (e.g. an injected crash with
+// recovery disabled) comes back as a *realm.DeadlockError.
 func runSim(sim *realm.Sim) (elapsed realm.Time, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("spmd: task execution panicked: %v", r)
 		}
 	}()
-	return sim.Run(), nil
+	return sim.Run()
 }
 
 func (e *Engine) execStmts(ctl *realm.Thread, stmts []ir.Stmt) {
 	for _, s := range stmts {
+		if e.degraded {
+			return // an unrecoverable loop degraded: stop at its checkpoint
+		}
 		switch s := s.(type) {
 		case *ir.Fill:
 			if st := e.global[s.Target.Root()]; st != nil {

@@ -25,7 +25,7 @@ func runCR(t *testing.T, prog *ir.Program, nodes, shards int, sync cr.SyncMode, 
 	if err != nil {
 		t.Fatal(err)
 	}
-	sim := realm.NewSim(testConfig(nodes))
+	sim := realm.MustNewSim(testConfig(nodes))
 	eng := New(sim, prog, mode, plans)
 	res, err := eng.Run()
 	if err != nil {
@@ -151,7 +151,7 @@ func TestCRBeatsImplicitAtScale(t *testing.T) {
 	}
 
 	fImp := build()
-	simImp := realm.NewSim(testConfig(nodes))
+	simImp := realm.MustNewSim(testConfig(nodes))
 	impl := rt.New(simImp, fImp.Prog, rt.Modeled)
 	resImp, err := impl.Run()
 	if err != nil {
@@ -197,7 +197,7 @@ func TestCRDataMovementScopedToHalo(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sim := realm.NewSim(testConfig(nodes))
+	sim := realm.MustNewSim(testConfig(nodes))
 	eng := New(sim, f.Prog, ir.ExecModeled, plans)
 	if _, err := eng.Run(); err != nil {
 		t.Fatal(err)
@@ -237,7 +237,7 @@ func TestRandomizedEquivalence(t *testing.T) {
 		prog, regions, fields := progtest.RandomProgram(seed)
 		seq := ir.ExecSequential(prog)
 
-		simImp := realm.NewSim(testConfig(3))
+		simImp := realm.MustNewSim(testConfig(3))
 		resImp, err := rt.New(simImp, prog, rt.Real).Run()
 		if err != nil {
 			t.Fatalf("seed %d: implicit: %v", seed, err)
@@ -255,7 +255,7 @@ func TestRandomizedEquivalence(t *testing.T) {
 			if err != nil {
 				t.Fatalf("seed %d: compile: %v", seed, err)
 			}
-			sim := realm.NewSim(testConfig(3))
+			sim := realm.MustNewSim(testConfig(3))
 			res, err := New(sim, prog, ir.ExecReal, plans).Run()
 			if err != nil {
 				t.Fatalf("seed %d: spmd: %v", seed, err)

@@ -1,6 +1,8 @@
 package spmd
 
 import (
+	"sort"
+
 	"repro/internal/cr"
 	"repro/internal/geometry"
 	"repro/internal/ir"
@@ -105,17 +107,24 @@ type runState struct {
 
 	iterCount []int
 	iterTimes []realm.Time
-	shardDone []realm.Event
+	shardDone []realm.Event // created per epoch by runEpoch
 
 	// copySched maps CopyOp.ID to each shard's precomputed work list.
 	copySched map[int][][]shardCopyWork
 
-	// finalEnv is shard 0's scalar environment at loop exit; scalars are
-	// replicated, so any shard's bindings are the program's.
-	finalEnv ir.MapEnv
+	// assign maps shard index to node; watch is the sorted set of assigned
+	// nodes, the ones whose failure aborts a guarded phase.
+	assign []int
+	watch  []int
+
+	// curEnv is the replicated scalar environment at the run state's
+	// current epoch boundary: the loop entry bindings before the first
+	// epoch, shard 0's snapshot after each one. Scalars are replicated, so
+	// any shard's bindings are the program's.
+	curEnv ir.MapEnv
 }
 
-func newRunState(e *Engine, plan *cr.Compiled, trip int) *runState {
+func newRunState(e *Engine, plan *cr.Compiled, trip int, assign []int) *runState {
 	ns := plan.Opts.NumShards
 	st := &runState{
 		e:         e,
@@ -128,12 +137,20 @@ func newRunState(e *Engine, plan *cr.Compiled, trip int) *runState {
 		colls:     make(map[collKey]*realm.Collective),
 		iterCount: make([]int, trip),
 		iterTimes: make([]realm.Time, trip),
-		shardDone: make([]realm.Event, ns),
+		assign:    assign,
+		curEnv:    copyEnv(e.env),
 	}
 	for s := range st.tables {
 		st.tables[s] = newShardTable()
-		st.shardDone[s] = e.Sim.NewUserEvent()
 	}
+	seen := make(map[int]bool, len(assign))
+	for _, n := range assign {
+		if !seen[n] {
+			seen[n] = true
+			st.watch = append(st.watch, n)
+		}
+	}
+	sort.Ints(st.watch)
 	st.buildCopySchedules()
 	return st
 }
@@ -190,10 +207,12 @@ func (st *runState) recordIter(t int, ev realm.Event) {
 	})
 }
 
-// nodeOfShard maps shard s to its node: shards are distributed blockwise
-// over nodes (one shard per node in the typical configuration, §4.2).
+// nodeOfShard maps shard s to its node. The assignment is blockwise over
+// the live nodes (one shard per node in the typical configuration, §4.2)
+// and is recomputed by the recovery layer when shards relaunch after a
+// crash.
 func (st *runState) nodeOfShard(s int) int {
-	return s * st.e.Sim.Nodes() / st.plan.Opts.NumShards
+	return st.assign[s]
 }
 
 // ownerNode returns the node owning a domain color's instances.
