@@ -20,11 +20,12 @@ import (
 // benchNodes is the condensed weak-scaling sweep used by the benchmarks.
 var benchNodes = []int{1, 4, 16, 64, 256, 1024}
 
-func runFigure(b *testing.B, name string) {
+func runFigure(b *testing.B, name string, noTrace bool) {
 	app, err := harness.AppByName(name)
 	if err != nil {
 		b.Fatal(err)
 	}
+	app.NoTrace = noTrace
 	for i := 0; i < b.N; i++ {
 		series, err := harness.RunFigure(app, benchNodes, nil)
 		if err != nil {
@@ -44,19 +45,25 @@ func runFigure(b *testing.B, name string) {
 
 // BenchmarkFigure6 regenerates Figure 6: Stencil weak scaling (Regent with
 // and without control replication vs the PRK MPI and MPI+OpenMP codes).
-func BenchmarkFigure6Stencil(b *testing.B) { runFigure(b, "stencil") }
+func BenchmarkFigure6Stencil(b *testing.B) { runFigure(b, "stencil", false) }
+
+// BenchmarkFigure6StencilNoTrace is the trace ablation of Figure 6: the
+// same sweep with runtime trace capture/replay disabled. The printed
+// figure must be byte-identical to BenchmarkFigure6Stencil (tracing never
+// changes the simulated schedule); only host wall-clock differs.
+func BenchmarkFigure6StencilNoTrace(b *testing.B) { runFigure(b, "stencil", true) }
 
 // BenchmarkFigure7 regenerates Figure 7: MiniAero weak scaling (Regent vs
 // MPI+Kokkos in rank-per-core and rank-per-node configurations).
-func BenchmarkFigure7MiniAero(b *testing.B) { runFigure(b, "miniaero") }
+func BenchmarkFigure7MiniAero(b *testing.B) { runFigure(b, "miniaero", false) }
 
 // BenchmarkFigure8 regenerates Figure 8: PENNANT weak scaling (Regent vs
 // MPI and MPI+OpenMP, with the per-cycle dt allreduce).
-func BenchmarkFigure8PENNANT(b *testing.B) { runFigure(b, "pennant") }
+func BenchmarkFigure8PENNANT(b *testing.B) { runFigure(b, "pennant", false) }
 
 // BenchmarkFigure9 regenerates Figure 9: Circuit weak scaling (Regent with
 // vs without control replication).
-func BenchmarkFigure9Circuit(b *testing.B) { runFigure(b, "circuit") }
+func BenchmarkFigure9Circuit(b *testing.B) { runFigure(b, "circuit", false) }
 
 // BenchmarkTable1 regenerates Table 1: wall-clock running times of the
 // shallow and complete region-intersection phases for each application at

@@ -5,10 +5,11 @@
 //
 // Usage:
 //
-//	intersect [-nodes 64,1024] [-j workers] [-csv]
+//	intersect [-nodes 64,1024] [-j workers] [-csv] [-benchjson file]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -19,10 +20,21 @@ import (
 	"repro/internal/harness"
 )
 
+// benchRow is one Table 1 row in the -benchjson snapshot.
+type benchRow struct {
+	App        string  `json:"app"`
+	Nodes      int     `json:"nodes"`
+	ShallowMs  float64 `json:"shallow_ms"`
+	CompleteMs float64 `json:"complete_ms"`
+	Candidates int     `json:"candidates"`
+	FinalPairs int     `json:"pairs"`
+}
+
 func main() {
 	nodesFlag := flag.String("nodes", "64,1024", "comma-separated node counts")
 	workers := flag.Int("j", runtime.GOMAXPROCS(0), "measurement cells to run in parallel (output rows are identical at any width)")
 	csv := flag.Bool("csv", false, "emit CSV instead of a table")
+	benchjson := flag.String("benchjson", "", "write the Table 1 rows as a JSON snapshot to this file")
 	flag.Parse()
 
 	var nodes []int
@@ -39,6 +51,24 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "intersect:", err)
 		os.Exit(1)
+	}
+	if *benchjson != "" {
+		out := make([]benchRow, 0, len(rows))
+		for _, r := range rows {
+			out = append(out, benchRow{
+				App: r.App, Nodes: r.Nodes, ShallowMs: r.ShallowMs,
+				CompleteMs: r.CompleteMs, Candidates: r.Candidates, FinalPairs: r.FinalPairs,
+			})
+		}
+		buf, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "intersect:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*benchjson, append(buf, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "intersect:", err)
+			os.Exit(1)
+		}
 	}
 	if *csv {
 		fmt.Println("app,nodes,shallow_ms,complete_ms,candidates,pairs")

@@ -7,7 +7,16 @@
 //
 //	weakscale [-app stencil|miniaero|pennant|circuit|all] [-nodes 1,2,...]
 //	          [-iters N] [-j workers] [-csv] [-v] [-faults seed:rate]
+//	          [-trace on|off] [-benchjson file]
 //	          [-cpuprofile file] [-memprofile file]
+//
+// -trace=off disables runtime trace capture/replay (the PR 3 ablation).
+// The printed series are identical either way — tracing only changes host
+// wall-clock — so the flag exists to demonstrate exactly that.
+//
+// -benchjson writes the sweep results to a JSON snapshot file (one object
+// with the sweep parameters and a flat result row per measurement cell);
+// see BENCH_PR3.json at the repo root for an example.
 //
 // -faults injects deterministic node crashes into every measurement cell:
 // seed is the base fault seed (each cell derives its own), rate is the
@@ -18,6 +27,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -29,6 +39,26 @@ import (
 	"repro/internal/harness"
 	"repro/internal/realm"
 )
+
+// benchRow is one measurement cell in the -benchjson snapshot.
+type benchRow struct {
+	App        string  `json:"app"`
+	System     string  `json:"system"`
+	Nodes      int     `json:"nodes"`
+	Iters      int     `json:"iters"`
+	PerIterSec float64 `json:"per_iter_s"`
+	Throughput float64 `json:"throughput_per_node"`
+	Unit       string  `json:"unit"`
+	Error      string  `json:"error,omitempty"`
+}
+
+// benchSnapshot is the top-level -benchjson document.
+type benchSnapshot struct {
+	Nodes   []int      `json:"nodes"`
+	Trace   string     `json:"trace"`
+	Faults  string     `json:"faults,omitempty"`
+	Results []benchRow `json:"results"`
+}
 
 // parseFaults parses the -faults argument, "seed:rate".
 func parseFaults(arg string) (*realm.FaultPlan, error) {
@@ -63,6 +93,8 @@ func main() {
 	csv := flag.Bool("csv", false, "emit CSV instead of a table")
 	verbose := flag.Bool("v", false, "print per-measurement progress")
 	faults := flag.String("faults", "", "inject faults: seed:rate (crash rate in crashes per simulated second)")
+	trace := flag.String("trace", "on", "runtime trace capture/replay: on or off (ablation; results are identical)")
+	benchjson := flag.String("benchjson", "", "write the sweep results as a JSON snapshot to this file")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -116,6 +148,12 @@ func main() {
 		}
 	}
 
+	if *trace != "on" && *trace != "off" {
+		fmt.Fprintf(os.Stderr, "weakscale: bad -trace %q (want on or off)\n", *trace)
+		os.Exit(1)
+	}
+	noTrace := *trace == "off"
+
 	var apps []harness.App
 	if *appName == "all" {
 		apps = harness.Apps()
@@ -133,15 +171,26 @@ func main() {
 		progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
 	}
 
+	snap := benchSnapshot{Nodes: nodes, Trace: *trace, Faults: *faults}
 	for _, app := range apps {
 		if *iters > 0 {
 			app.Iters = *iters
 		}
 		app.Faults = fp
+		app.NoTrace = noTrace
 		series, err := harness.RunFigureParallel(app, nodes, *workers, progress)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "weakscale:", err)
 			os.Exit(1)
+		}
+		for _, s := range series {
+			for _, p := range s.Points {
+				snap.Results = append(snap.Results, benchRow{
+					App: app.Name, System: s.System, Nodes: p.Nodes,
+					Iters: app.Iters, PerIterSec: p.PerIter.Seconds(),
+					Throughput: p.Throughput, Unit: app.Unit, Error: p.Err,
+				})
+			}
 		}
 		if *csv {
 			fmt.Printf("app,system,nodes,per_iter_s,throughput_per_node_%s,error\n", strings.ReplaceAll(app.Unit, " ", "_"))
@@ -153,6 +202,18 @@ func main() {
 		} else {
 			fmt.Print(harness.FormatFigure(app, series))
 			fmt.Println()
+		}
+	}
+
+	if *benchjson != "" {
+		buf, err := json.MarshalIndent(snap, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "weakscale:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*benchjson, append(buf, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "weakscale:", err)
+			os.Exit(1)
 		}
 	}
 }

@@ -16,6 +16,7 @@ import (
 	"log"
 
 	"repro/internal/apps/stencil"
+	"repro/internal/bench"
 	"repro/internal/cr"
 	"repro/internal/geometry"
 	"repro/internal/ir"
@@ -75,7 +76,7 @@ func main() {
 	for _, n := range []int{1, 4, 16} {
 		fmt.Printf("%-8d", n)
 		for _, sys := range stencil.Systems {
-			per, err := stencil.Measure(sys, n, 8, nil)
+			per, err := stencil.Measure(sys, n, 8, bench.MeasureOpts{})
 			if err != nil {
 				log.Fatal(err)
 			}

@@ -103,6 +103,13 @@ type Metrics struct {
 // runConfig compiles and runs a program in Modeled mode and collects
 // metrics.
 func runConfig(prog *ir.Program, loop *ir.Loop, nodes int, opts cr.Options, window int, noise realm.NoiseFn) (Metrics, error) {
+	return runConfigTrace(prog, loop, nodes, opts, window, noise, false)
+}
+
+// runConfigTrace is runConfig with an explicit trace switch: noTrace
+// disables shard-plan capture/replay, the -trace=off ablation. Every
+// metric except host wall-clock is identical either way.
+func runConfigTrace(prog *ir.Program, loop *ir.Loop, nodes int, opts cr.Options, window int, noise realm.NoiseFn, noTrace bool) (Metrics, error) {
 	plan, err := cr.Compile(prog, loop, opts)
 	if err != nil {
 		return Metrics{}, err
@@ -129,6 +136,7 @@ func runConfig(prog *ir.Program, loop *ir.Loop, nodes int, opts cr.Options, wind
 		eng.Over.Window = window
 	}
 	eng.Over.Noise = noise
+	eng.NoTrace = noTrace
 	res, err := eng.Run()
 	if err != nil {
 		return Metrics{}, err

@@ -3,6 +3,7 @@ package circuit
 import (
 	"testing"
 
+	"repro/internal/bench"
 	"repro/internal/cr"
 	"repro/internal/geometry"
 	"repro/internal/ir"
@@ -189,7 +190,7 @@ func TestCompiledShape(t *testing.T) {
 
 func TestMeasureBothSystems(t *testing.T) {
 	for _, sys := range Systems {
-		per, err := Measure(sys, 4, 6, nil)
+		per, err := Measure(sys, 4, 6, bench.MeasureOpts{})
 		if err != nil {
 			t.Fatalf("%s: %v", sys, err)
 		}

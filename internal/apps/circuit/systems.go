@@ -14,7 +14,7 @@ var Systems = []string{"regent-cr", "regent-nocr"}
 
 // Measure runs the circuit under one system at the given piece count and
 // returns the steady-state per-iteration time.
-func Measure(system string, nodes, iters int, fp *realm.FaultPlan) (realm.Time, error) {
+func Measure(system string, nodes, iters int, opts bench.MeasureOpts) (realm.Time, error) {
 	cfg := Default(nodes)
 	if iters > 0 {
 		cfg.Iters = iters
@@ -25,9 +25,9 @@ func Measure(system string, nodes, iters int, fp *realm.FaultPlan) (realm.Time, 
 
 	switch system {
 	case "regent-cr":
-		return bench.MeasureCR(app.Prog, app.Loop, nodes, cr.PointToPoint, tune, fp)
+		return bench.MeasureCR(app.Prog, app.Loop, nodes, cr.PointToPoint, tune, opts)
 	case "regent-nocr":
-		return bench.MeasureImplicit(app.Prog, app.Loop, nodes, tune, fp)
+		return bench.MeasureImplicit(app.Prog, app.Loop, nodes, tune, opts)
 	default:
 		return 0, fmt.Errorf("circuit: unknown system %q", system)
 	}

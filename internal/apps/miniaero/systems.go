@@ -30,7 +30,7 @@ const (
 
 // Measure runs MiniAero under one system at the given node count and
 // returns the steady-state per-timestep time.
-func Measure(system string, nodes, iters int, fp *realm.FaultPlan) (realm.Time, error) {
+func Measure(system string, nodes, iters int, opts bench.MeasureOpts) (realm.Time, error) {
 	cfg := Default(nodes)
 	if iters > 0 {
 		cfg.Iters = iters
@@ -43,9 +43,9 @@ func Measure(system string, nodes, iters int, fp *realm.FaultPlan) (realm.Time, 
 		tune := bench.DefaultTuning(cores)
 		tune.Noise = realm.SpikeNoise(noiseProb, noiseAmplCore, noiseSalt)
 		if system == "regent-cr" {
-			return bench.MeasureCR(app.Prog, app.Loop, nodes, cr.PointToPoint, tune, fp)
+			return bench.MeasureCR(app.Prog, app.Loop, nodes, cr.PointToPoint, tune, opts)
 		}
-		return bench.MeasureImplicit(app.Prog, app.Loop, nodes, tune, fp)
+		return bench.MeasureImplicit(app.Prog, app.Loop, nodes, tune, opts)
 	case "mpi-kokkos-core", "mpi-kokkos-node":
 		return measureMPI(cfg, system == "mpi-kokkos-node")
 	default:

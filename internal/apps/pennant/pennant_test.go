@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"repro/internal/bench"
 	"repro/internal/cr"
 	"repro/internal/geometry"
 	"repro/internal/ir"
@@ -292,7 +293,7 @@ func TestCompiledShape(t *testing.T) {
 
 func TestMeasureAllSystems(t *testing.T) {
 	for _, sys := range Systems {
-		per, err := Measure(sys, 4, 6, nil)
+		per, err := Measure(sys, 4, 6, bench.MeasureOpts{})
 		if err != nil {
 			t.Fatalf("%s: %v", sys, err)
 		}

@@ -33,7 +33,7 @@ const mpiCostPerZoneNs = 616.0
 
 // Measure runs PENNANT under one system at the given node count and
 // returns the steady-state per-cycle time.
-func Measure(system string, nodes, iters int, fp *realm.FaultPlan) (realm.Time, error) {
+func Measure(system string, nodes, iters int, opts bench.MeasureOpts) (realm.Time, error) {
 	cfg := Default(nodes)
 	if iters > 0 {
 		cfg.Iters = iters
@@ -46,9 +46,9 @@ func Measure(system string, nodes, iters int, fp *realm.FaultPlan) (realm.Time, 
 		tune := bench.DefaultTuning(cores)
 		tune.Noise = realm.SpikeNoise(noiseProb, noiseAmpl, noiseSalt)
 		if system == "regent-cr" {
-			return bench.MeasureCR(app.Prog, app.Loop, nodes, cr.PointToPoint, tune, fp)
+			return bench.MeasureCR(app.Prog, app.Loop, nodes, cr.PointToPoint, tune, opts)
 		}
-		return bench.MeasureImplicit(app.Prog, app.Loop, nodes, tune, fp)
+		return bench.MeasureImplicit(app.Prog, app.Loop, nodes, tune, opts)
 	case "mpi", "mpi-openmp":
 		return measureMPI(cfg, system == "mpi-openmp")
 	default:

@@ -3,6 +3,7 @@ package stencil
 import (
 	"testing"
 
+	"repro/internal/bench"
 	"repro/internal/cr"
 	"repro/internal/geometry"
 	"repro/internal/ir"
@@ -181,7 +182,7 @@ func TestHaloVolumeMatchesExpectation(t *testing.T) {
 
 func TestMeasureAllSystemsSmallScale(t *testing.T) {
 	for _, sys := range Systems {
-		per, err := Measure(sys, 4, 6, nil)
+		per, err := Measure(sys, 4, 6, bench.MeasureOpts{})
 		if err != nil {
 			t.Fatalf("%s: %v", sys, err)
 		}
@@ -199,7 +200,7 @@ func TestWeakScalingShape(t *testing.T) {
 		t.Skip("weak scaling shape test is slow")
 	}
 	perNode := func(sys string, nodes int) float64 {
-		per, err := Measure(sys, nodes, 8, nil)
+		per, err := Measure(sys, nodes, 8, bench.MeasureOpts{})
 		if err != nil {
 			t.Fatal(err)
 		}

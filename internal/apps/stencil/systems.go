@@ -16,7 +16,7 @@ var Systems = []string{"regent-cr", "regent-nocr", "mpi", "mpi-openmp"}
 // returns the steady-state per-iteration time. MPI variants follow the PRK
 // reference structure: one rank per core for "mpi", one threaded rank per
 // node with a serialized pack/exchange section for "mpi-openmp".
-func Measure(system string, nodes, iters int, fp *realm.FaultPlan) (realm.Time, error) {
+func Measure(system string, nodes, iters int, opts bench.MeasureOpts) (realm.Time, error) {
 	cfg := Default(nodes)
 	if iters > 0 {
 		cfg.Iters = iters
@@ -28,9 +28,9 @@ func Measure(system string, nodes, iters int, fp *realm.FaultPlan) (realm.Time, 
 		app := Build(cfg)
 		tune := bench.DefaultTuning(cores)
 		if system == "regent-cr" {
-			return bench.MeasureCR(app.Prog, app.Loop, nodes, cr.PointToPoint, tune, fp)
+			return bench.MeasureCR(app.Prog, app.Loop, nodes, cr.PointToPoint, tune, opts)
 		}
-		return bench.MeasureImplicit(app.Prog, app.Loop, nodes, tune, fp)
+		return bench.MeasureImplicit(app.Prog, app.Loop, nodes, tune, opts)
 	case "mpi", "mpi-openmp":
 		return measureMPI(cfg, system == "mpi-openmp")
 	default:

@@ -71,19 +71,32 @@ func steadyState(times []realm.Time, skip int) (realm.Time, error) {
 	return (times[len(times)-1] - times[skip]) / realm.Time(len(times)-1-skip), nil
 }
 
+// MeasureOpts carries the per-measurement switches shared by the systems
+// under test. The zero value is a fault-free run with tracing on.
+type MeasureOpts struct {
+	// Faults injects deterministic faults into the simulated machine (nil =
+	// fault-free). The implicit runtime has no recovery, so an injected
+	// crash surfaces as an error (typically a *realm.DeadlockError naming
+	// the blocked threads); the SPMD executor recovers via its default
+	// checkpoint/restart.
+	Faults *realm.FaultPlan
+	// NoTrace disables trace capture/replay in both runtimes (the implicit
+	// runtime's loop traces and the SPMD executor's shard plans). The
+	// simulated schedule is identical either way — the flag exists for the
+	// trace ablation series and wall-clock comparisons.
+	NoTrace bool
+}
+
 // MeasureImplicit runs the program on the implicit (non-CR) runtime in
 // Modeled mode and returns the steady-state per-iteration time of the
-// given loop. A non-nil fault plan injects faults into the simulated
-// machine; the implicit runtime has no recovery, so an injected crash
-// surfaces as an error (typically a *realm.DeadlockError naming the
-// blocked threads).
-func MeasureImplicit(prog *ir.Program, loop *ir.Loop, nodes int, tune Tuning, fp *realm.FaultPlan) (realm.Time, error) {
+// given loop.
+func MeasureImplicit(prog *ir.Program, loop *ir.Loop, nodes int, tune Tuning, opts MeasureOpts) (realm.Time, error) {
 	sim, err := realm.NewSim(realm.DefaultConfig(nodes))
 	if err != nil {
 		return 0, err
 	}
-	if fp != nil {
-		if err := sim.InjectFaults(*fp); err != nil {
+	if opts.Faults != nil {
+		if err := sim.InjectFaults(*opts.Faults); err != nil {
 			return 0, err
 		}
 	}
@@ -93,6 +106,7 @@ func MeasureImplicit(prog *ir.Program, loop *ir.Loop, nodes int, tune Tuning, fp
 	eng.Over.KernelCores = tune.KernelCores
 	eng.Over.Window = tune.ImplicitWindow
 	eng.Over.Noise = tune.Noise
+	eng.NoTrace = opts.NoTrace
 	res, err := eng.Run()
 	if err != nil {
 		return 0, err
@@ -106,7 +120,7 @@ func MeasureImplicit(prog *ir.Program, loop *ir.Loop, nodes int, tune Tuning, fp
 // SPMD executor's default checkpoint/restart recovery; a run that
 // degrades (recovery budget exhausted) is reported as an error since its
 // timings are not a valid steady-state measurement.
-func MeasureCR(prog *ir.Program, loop *ir.Loop, nodes int, sync cr.SyncMode, tune Tuning, fp *realm.FaultPlan) (realm.Time, error) {
+func MeasureCR(prog *ir.Program, loop *ir.Loop, nodes int, sync cr.SyncMode, tune Tuning, opts MeasureOpts) (realm.Time, error) {
 	plan, err := cr.Compile(prog, loop, cr.Options{NumShards: nodes, Sync: sync})
 	if err != nil {
 		return 0, err
@@ -116,8 +130,8 @@ func MeasureCR(prog *ir.Program, loop *ir.Loop, nodes int, sync cr.SyncMode, tun
 		return 0, err
 	}
 	eng := spmd.New(sim, prog, ir.ExecModeled, map[*ir.Loop]*cr.Compiled{loop: plan})
-	if fp != nil {
-		if err := sim.InjectFaults(*fp); err != nil {
+	if opts.Faults != nil {
+		if err := sim.InjectFaults(*opts.Faults); err != nil {
 			return 0, err
 		}
 		eng.Recov = spmd.DefaultRecovery()
@@ -126,6 +140,7 @@ func MeasureCR(prog *ir.Program, loop *ir.Loop, nodes int, sync cr.SyncMode, tun
 	eng.Over.KernelCores = tune.KernelCores
 	eng.Over.Window = tune.Window
 	eng.Over.Noise = tune.Noise
+	eng.NoTrace = opts.NoTrace
 	res, err := eng.Run()
 	if err != nil {
 		return 0, err

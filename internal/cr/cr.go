@@ -172,7 +172,22 @@ type Compiled struct {
 	Timings IntersectTimings
 	Report  Report
 
+	// Trace is the loop-boundary trace marker: whether the compiled body is
+	// a replayable per-iteration plan (every op, copy pair, and sync slot is
+	// identical across iterations, so an executor may memoize its resolution
+	// after the first iteration) and, when it is not, why. Scalar statements
+	// stay live under replay — only structural resolution is memoized — so
+	// data-dependent scalar values never affect traceability.
+	Trace TraceMarker
+
 	domainSet map[geometry.Point]bool
+}
+
+// TraceMarker is the compiler's verdict on trace replay for one loop; the
+// SPMD executor consults it before memoizing per-shard iteration plans.
+type TraceMarker struct {
+	Traceable bool
+	Reason    string // set when Traceable is false
 }
 
 // Compile control-replicates one loop of the program.
@@ -215,7 +230,21 @@ func Compile(prog *ir.Program, loop *ir.Loop, opts Options) (*Compiled, error) {
 			c.Report.FinalCopies++
 		}
 	}
+	c.markTrace()
 	return c, nil
+}
+
+// markTrace emits the loop-boundary trace marker. The compiled body is
+// structurally identical in every iteration by construction — the body op
+// list, copy pair lists, and shard ownership are all fixed at compile time
+// — so a loop is traceable whenever a trace can pay for itself: the body
+// must run more than once.
+func (c *Compiled) markTrace() {
+	if c.Loop.Trip < 2 {
+		c.Trace = TraceMarker{Reason: fmt.Sprintf("loop trip %d is too short to amortize a trace", c.Loop.Trip)}
+		return
+	}
+	c.Trace = TraceMarker{Traceable: true}
 }
 
 // computeInstFields extends each partition's instance fields with whatever

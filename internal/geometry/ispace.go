@@ -2,6 +2,7 @@ package geometry
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"strings"
 )
@@ -357,12 +358,53 @@ func (s IndexSpace) ContainsAll(t IndexSpace) bool {
 	if s.dim == 1 && len(s.spans)+len(t.spans) > sweepThreshold {
 		return t.subtract1D(s).Empty()
 	}
+	if s.dim != 1 && len(s.spans) > xIndexThreshold {
+		var ix xspanIndex
+		for i, a := range s.spans {
+			ix.add(int32(i), a)
+		}
+		var cand []int32
+		for _, b := range t.spans {
+			cand = ix.candidates(cand[:0], b.Lo.C[0], b.Hi.C[0])
+			if !s.coversRectAmong(b, cand) {
+				return false
+			}
+		}
+		return true
+	}
 	for _, b := range t.spans {
 		if !s.coversRect(b) {
 			return false
 		}
 	}
 	return true
+}
+
+// coversRectAmong is coversRect restricted to the covering spans named by
+// idxs (ascending); spans outside idxs are known not to overlap r.
+func (s IndexSpace) coversRectAmong(r Rect, idxs []int32) bool {
+	if r.Empty() {
+		return true
+	}
+	var bufA, bufB [16]Rect
+	work := append(bufA[:0], r)
+	spare := bufB[:0]
+	for _, ai := range idxs {
+		a := s.spans[ai]
+		next := spare[:0]
+		for _, w := range work {
+			if w.Overlaps(a) {
+				next = appendSubtractRect(next, w, a)
+			} else {
+				next = append(next, w)
+			}
+		}
+		work, spare = next, work
+		if len(work) == 0 {
+			return true
+		}
+	}
+	return len(work) == 0
 }
 
 // coversRect reports whether r is entirely within s, by carving r with s's
@@ -399,6 +441,55 @@ func (s IndexSpace) coversRect(r Rect) bool {
 		}
 	}
 	return len(work) == 0
+}
+
+// xIndexThreshold is the span count above which the multi-dimensional
+// set operations build an axis-0 extent index instead of scanning every
+// span per query. Below it, the plain scans win on constant factor.
+const xIndexThreshold = 32
+
+// xspanIndex buckets spans by their exact extent along axis 0. Structured
+// partitions (tile grids, ghost bands) produce span lists with only
+// O(sqrt(n)) distinct axis-0 extents, so an overlap query touches a few
+// groups instead of every span. The index stores span indices, letting
+// callers visit candidates in original list order — which keeps carve-based
+// algorithms representation-identical to their unindexed forms.
+type xspanIndex struct {
+	keys   map[[2]int64]int32
+	groups []xspanGroup
+}
+
+type xspanGroup struct {
+	lo, hi int64
+	idxs   []int32
+}
+
+func (ix *xspanIndex) add(i int32, r Rect) {
+	k := [2]int64{r.Lo.C[0], r.Hi.C[0]}
+	if ix.keys == nil {
+		ix.keys = make(map[[2]int64]int32)
+	}
+	gi, ok := ix.keys[k]
+	if !ok {
+		gi = int32(len(ix.groups))
+		ix.keys[k] = gi
+		ix.groups = append(ix.groups, xspanGroup{lo: k[0], hi: k[1]})
+	}
+	ix.groups[gi].idxs = append(ix.groups[gi].idxs, i)
+}
+
+// candidates appends to buf the indices of spans whose axis-0 extent
+// overlaps [lo, hi], sorted ascending (original list order).
+func (ix *xspanIndex) candidates(buf []int32, lo, hi int64) []int32 {
+	n := len(buf)
+	for gi := range ix.groups {
+		g := &ix.groups[gi]
+		if g.lo <= hi && lo <= g.hi {
+			buf = append(buf, g.idxs...)
+		}
+	}
+	slices.Sort(buf[n:])
+	return buf
 }
 
 // String renders the span list.
@@ -514,14 +605,35 @@ func tryMerge(a, b Rect) (Rect, bool) {
 // tests instead of O(n²) span-list rebuilds with their allocations.
 func UnionMany(dim int8, spaces []IndexSpace) IndexSpace {
 	if dim != 1 {
+		total := 0
+		for _, sp := range spaces {
+			total += len(sp.spans)
+		}
+		useIdx := total > xIndexThreshold
+		var ix xspanIndex
+		var cand []int32
 		var acc []Rect
 		var work, spare []Rect
 		for _, sp := range spaces {
 			for _, r := range sp.spans {
 				// Carve r down to the pieces not already covered, then keep
-				// them. acc stays pairwise disjoint throughout.
+				// them. acc stays pairwise disjoint throughout. The index
+				// narrows the carve to accumulated spans whose axis-0 extent
+				// overlaps r; visiting them in list order keeps the output
+				// identical to the full scan.
 				work = append(work[:0], r)
-				for _, a := range acc {
+				if useIdx {
+					cand = ix.candidates(cand[:0], r.Lo.C[0], r.Hi.C[0])
+				}
+				nAcc := len(acc)
+				if useIdx {
+					nAcc = len(cand)
+				}
+				for ci := 0; ci < nAcc && len(work) > 0; ci++ {
+					a := acc[ci]
+					if useIdx {
+						a = acc[cand[ci]]
+					}
 					touched := false
 					for i := range work {
 						if work[i].Overlaps(a) {
@@ -541,11 +653,13 @@ func UnionMany(dim int8, spaces []IndexSpace) IndexSpace {
 						}
 					}
 					work, spare = next, work
-					if len(work) == 0 {
-						break
-					}
 				}
-				acc = append(acc, work...)
+				for _, w := range work {
+					if useIdx {
+						ix.add(int32(len(acc)), w)
+					}
+					acc = append(acc, w)
+				}
 			}
 		}
 		out := IndexSpace{dim: dim, spans: acc}

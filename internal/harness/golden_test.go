@@ -36,7 +36,7 @@ func TestGoldenStencilMeasure(t *testing.T) {
 	}
 	for _, sys := range stencil.Systems {
 		for _, n := range []int{1, 4} {
-			per, err := stencil.Measure(sys, n, 10, nil)
+			per, err := stencil.Measure(sys, n, 10, bench.MeasureOpts{})
 			if err != nil {
 				t.Fatalf("measure %s@%d: %v", sys, n, err)
 			}

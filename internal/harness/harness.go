@@ -28,13 +28,18 @@ type App struct {
 	Figure  int
 	Systems []string
 	// Measure returns the steady-state per-iteration time for one system at
-	// one node count. The fault plan is nil for a fault-free sweep.
-	Measure func(system string, nodes, iters int, fp *realm.FaultPlan) (realm.Time, error)
+	// one node count, under the given measurement options.
+	Measure func(system string, nodes, iters int, opts bench.MeasureOpts) (realm.Time, error)
 	// Faults optionally injects deterministic faults into every cell of the
 	// sweep (nil = fault-free). Fault seeds are derived per cell from
 	// Faults.Seed, the system index, and the node count, so each cell's
 	// trace is independent yet reproducible.
 	Faults *realm.FaultPlan
+	// NoTrace runs every cell with runtime trace capture/replay disabled —
+	// the trace ablation. Throughput series are identical with and without
+	// (the simulated schedule does not depend on tracing); only host
+	// wall-clock differs.
+	NoTrace bool
 	// UnitsPerNode is the per-node work per iteration; Unit/UnitScale name
 	// and scale the throughput axis exactly as the paper's figures do.
 	UnitsPerNode float64
@@ -188,7 +193,10 @@ func RunFigureParallel(app App, nodes []int, workers int, progress func(string))
 	runCells(len(cells), workers, func(i int) {
 		sys, n := app.Systems[cells[i].si], nodes[cells[i].ni]
 		t0 := time.Now()
-		per, err := app.Measure(sys, n, app.Iters, app.cellFaults(cells[i].si, n))
+		per, err := app.Measure(sys, n, app.Iters, bench.MeasureOpts{
+			Faults:  app.cellFaults(cells[i].si, n),
+			NoTrace: app.NoTrace,
+		})
 		note := func(line string) {
 			if progress != nil {
 				progressMu.Lock()

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/bench"
 	"repro/internal/realm"
 )
 
@@ -92,11 +93,11 @@ func TestRunFigureParallelError(t *testing.T) {
 	}
 	// Fail exactly the mpi cells; the regent cells must still measure.
 	inner := app.Measure
-	app.Measure = func(system string, nodes, iters int, fp *realm.FaultPlan) (realm.Time, error) {
+	app.Measure = func(system string, nodes, iters int, opts bench.MeasureOpts) (realm.Time, error) {
 		if system == "mpi" || system == "mpi-openmp" {
 			return 0, fmt.Errorf("boom %s@%d", system, nodes)
 		}
-		return inner(system, nodes, iters, fp)
+		return inner(system, nodes, iters, opts)
 	}
 	check := func(series []Series, err error, label string) {
 		t.Helper()

@@ -2,6 +2,8 @@ package harness
 
 import (
 	"testing"
+
+	"repro/internal/bench"
 )
 
 // TestFigureShapesAt64Nodes locks in the qualitative claims of each figure
@@ -24,7 +26,7 @@ func TestFigureShapesAt64Nodes(t *testing.T) {
 		for _, sys := range app.Systems {
 			out[sys] = map[int]float64{}
 			for _, n := range nodes {
-				per, err := app.Measure(sys, n, app.Iters, nil)
+				per, err := app.Measure(sys, n, app.Iters, bench.MeasureOpts{})
 				if err != nil {
 					t.Fatalf("%s/%s@%d: %v", name, sys, n, err)
 				}

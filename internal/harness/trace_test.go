@@ -1,0 +1,37 @@
+package harness
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestTraceAblationSeriesIdentical is the PR 3 harness guarantee: a sweep
+// with runtime trace capture/replay disabled produces exactly the traced
+// sweep's series — same virtual per-iteration times, same throughputs, so
+// the formatted figure is byte-identical. Tracing is a host-side
+// optimization; the simulated schedule must not depend on it.
+func TestTraceAblationSeriesIdentical(t *testing.T) {
+	nodes := []int{1, 4, 16}
+	run := func(noTrace bool) ([]Series, string) {
+		app, err := AppByName("stencil")
+		if err != nil {
+			t.Fatal(err)
+		}
+		app.Iters = 8
+		app.NoTrace = noTrace
+		series, err := RunFigure(app, nodes, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stripWall(series)
+		return series, FormatFigure(app, series)
+	}
+	traced, tracedOut := run(false)
+	untraced, untracedOut := run(true)
+	if !reflect.DeepEqual(traced, untraced) {
+		t.Errorf("trace-off series differ from traced:\ntraced: %+v\nuntraced: %+v", traced, untraced)
+	}
+	if tracedOut != untracedOut {
+		t.Errorf("formatted figures differ:\n--- traced ---\n%s--- untraced ---\n%s", tracedOut, untracedOut)
+	}
+}

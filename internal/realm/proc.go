@@ -66,35 +66,47 @@ func (p *Proc) FreeAt() Time { return p.freeAt }
 func (p *Proc) Launch(pre Event, dur Time, body func()) Event {
 	s := p.node.sim
 	done := s.NewUserEvent()
-	s.OnTrigger(pre, func() {
-		if p.node.failed {
-			return // lost work: a crashed node never starts the item
-		}
-		if s.faults != nil && dur > 0 && s.faultRoll(s.faults.StragglerRate) {
-			dur = Time(float64(dur) * s.faults.StragglerFactor)
-			s.faultStats.Stragglers++
-		}
-		start := p.freeAt
-		if s.now > start {
-			start = s.now
-		}
-		p.freeAt = start + dur
-		p.node.busy += dur
-		s.stats.TasksRun++
-		if s.tracer != nil && dur > 0 {
-			s.tracer.task(p.node.id, p.id, start, start+dur)
-		}
-		s.at(p.freeAt, func() {
-			if p.node.failed {
-				return // node crashed mid-item; completion never fires
-			}
-			if body != nil {
-				body()
-			}
-			s.Trigger(done)
-		})
-	})
+	if s.Triggered(pre) {
+		p.execItem(dur, body, done)
+	} else {
+		s.OnTrigger(pre, func() { p.execItem(dur, body, done) })
+	}
 	return done
+}
+
+// execItem runs a work item whose precondition has triggered: occupy the
+// processor for dur, then run body (if any) and fire done. Body-less items
+// complete through the queue's field-encoded path instead of a closure.
+func (p *Proc) execItem(dur Time, body func(), done Event) {
+	s := p.node.sim
+	if p.node.failed {
+		return // lost work: a crashed node never starts the item
+	}
+	if s.faults != nil && dur > 0 && s.faultRoll(s.faults.StragglerRate) {
+		dur = Time(float64(dur) * s.faults.StragglerFactor)
+		s.faultStats.Stragglers++
+	}
+	start := p.freeAt
+	if s.now > start {
+		start = s.now
+	}
+	p.freeAt = start + dur
+	p.node.busy += dur
+	s.stats.TasksRun++
+	if s.tracer != nil && dur > 0 {
+		s.tracer.task(p.node.id, p.id, start, start+dur)
+	}
+	if body == nil {
+		s.atDone(p.freeAt, p.node, done)
+		return
+	}
+	s.at(p.freeAt, func() {
+		if p.node.failed {
+			return // node crashed mid-item; completion never fires
+		}
+		body()
+		s.Trigger(done)
+	})
 }
 
 // LaunchAuto schedules a work item on whichever of the node's processors
@@ -104,20 +116,27 @@ func (p *Proc) Launch(pre Event, dur Time, body func()) Event {
 func (n *Node) LaunchAuto(pre Event, dur Time, body func()) Event {
 	s := n.sim
 	done := s.NewUserEvent()
-	s.OnTrigger(pre, func() {
-		if n.failed {
-			return
-		}
-		best := n.procs[0]
-		for _, p := range n.procs[1:] {
-			if p.freeAt < best.freeAt {
-				best = p
-			}
-		}
-		inner := best.Launch(NoEvent, dur, body)
-		s.OnTrigger(inner, func() { s.Trigger(done) })
-	})
+	if s.Triggered(pre) {
+		n.execAuto(dur, body, done)
+	} else {
+		s.OnTrigger(pre, func() { n.execAuto(dur, body, done) })
+	}
 	return done
+}
+
+// execAuto picks the earliest-free processor (ties broken by index) at the
+// moment the item becomes ready and runs it there.
+func (n *Node) execAuto(dur Time, body func(), done Event) {
+	if n.failed {
+		return
+	}
+	best := n.procs[0]
+	for _, p := range n.procs[1:] {
+		if p.freeAt < best.freeAt {
+			best = p
+		}
+	}
+	best.execItem(dur, body, done)
 }
 
 // Copy models a data transfer of the given size from node src to node dst:
@@ -127,62 +146,71 @@ func (n *Node) LaunchAuto(pre Event, dur Time, body func()) Event {
 // latency and bandwidth and do not occupy the link.
 func (s *Sim) Copy(src, dst *Node, bytes int64, pre Event, body func()) Event {
 	done := s.NewUserEvent()
-	s.OnTrigger(pre, func() {
-		if src.failed || dst.failed {
-			return // either endpoint crashed: the transfer is lost
-		}
-		var arrive Time
-		if src == dst {
-			cost := s.cfg.LocalLatency + Time(float64(bytes)/s.cfg.LocalBW)
-			arrive = s.now + cost
-			s.stats.LocalCopies++
-		} else {
-			start := src.linkFreeAt
-			if s.now > start {
-				start = s.now
-			}
-			xfer := Time(float64(bytes) / s.cfg.NetBandwidth)
-			serialize := xfer
-			var delay Time
-			if s.faults != nil {
-				// Faults are rolled in a fixed order (duplicate, then drops)
-				// so the consumed randomness — and thus the whole schedule —
-				// is a pure function of the plan seed.
-				if s.faultRoll(s.faults.DupRate) {
-					// The link carries the payload twice; the receiver keeps
-					// the first arrival.
-					serialize += xfer
-					s.stats.Messages++
-					s.stats.BytesSent += bytes
-					s.faultStats.Dups++
-				}
-				for s.faultRoll(s.faults.DropRate) {
-					// Reliable transport: a dropped message is retransmitted
-					// after a timeout, paying the wire again each attempt.
-					delay += s.faults.RetransmitTimeout + xfer
-					serialize += xfer
-					s.stats.Messages++
-					s.stats.BytesSent += bytes
-					s.faultStats.Drops++
-				}
-			}
-			src.linkFreeAt = start + serialize
-			arrive = start + xfer + s.cfg.NetLatency + delay
-			s.stats.Messages++
-			s.stats.BytesSent += bytes
-			if s.tracer != nil {
-				s.tracer.message(src.id, dst.id, bytes, start, arrive)
-			}
-		}
-		s.at(arrive, func() {
-			if dst.failed {
-				return // destination crashed in flight; delivery never happens
-			}
-			if body != nil {
-				body()
-			}
-			s.Trigger(done)
-		})
-	})
+	if s.Triggered(pre) {
+		s.execCopy(src, dst, bytes, body, done)
+	} else {
+		s.OnTrigger(pre, func() { s.execCopy(src, dst, bytes, body, done) })
+	}
 	return done
+}
+
+// execCopy performs a transfer whose precondition has triggered.
+func (s *Sim) execCopy(src, dst *Node, bytes int64, body func(), done Event) {
+	if src.failed || dst.failed {
+		return // either endpoint crashed: the transfer is lost
+	}
+	var arrive Time
+	if src == dst {
+		cost := s.cfg.LocalLatency + Time(float64(bytes)/s.cfg.LocalBW)
+		arrive = s.now + cost
+		s.stats.LocalCopies++
+	} else {
+		start := src.linkFreeAt
+		if s.now > start {
+			start = s.now
+		}
+		xfer := Time(float64(bytes) / s.cfg.NetBandwidth)
+		serialize := xfer
+		var delay Time
+		if s.faults != nil {
+			// Faults are rolled in a fixed order (duplicate, then drops)
+			// so the consumed randomness — and thus the whole schedule —
+			// is a pure function of the plan seed.
+			if s.faultRoll(s.faults.DupRate) {
+				// The link carries the payload twice; the receiver keeps
+				// the first arrival.
+				serialize += xfer
+				s.stats.Messages++
+				s.stats.BytesSent += bytes
+				s.faultStats.Dups++
+			}
+			for s.faultRoll(s.faults.DropRate) {
+				// Reliable transport: a dropped message is retransmitted
+				// after a timeout, paying the wire again each attempt.
+				delay += s.faults.RetransmitTimeout + xfer
+				serialize += xfer
+				s.stats.Messages++
+				s.stats.BytesSent += bytes
+				s.faultStats.Drops++
+			}
+		}
+		src.linkFreeAt = start + serialize
+		arrive = start + xfer + s.cfg.NetLatency + delay
+		s.stats.Messages++
+		s.stats.BytesSent += bytes
+		if s.tracer != nil {
+			s.tracer.message(src.id, dst.id, bytes, start, arrive)
+		}
+	}
+	if body == nil {
+		s.atDone(arrive, dst, done)
+		return
+	}
+	s.at(arrive, func() {
+		if dst.failed {
+			return // destination crashed in flight; delivery never happens
+		}
+		body()
+		s.Trigger(done)
+	})
 }

@@ -1,0 +1,54 @@
+package realm
+
+import "testing"
+
+// TestReserveEvents checks the bulk-reservation contract: contiguous
+// handles, all untriggered, individually triggerable, and interleaving
+// cleanly with NewUserEvent.
+func TestReserveEvents(t *testing.T) {
+	s := MustNewSim(DefaultConfig(1))
+	if got := s.ReserveEvents(0); got != NoEvent {
+		t.Fatalf("ReserveEvents(0) = %d, want NoEvent", got)
+	}
+	before := s.NewUserEvent()
+	first := s.ReserveEvents(4)
+	after := s.NewUserEvent()
+	if first != before+1 || after != first+4 {
+		t.Fatalf("handles not contiguous: before=%d first=%d after=%d", before, first, after)
+	}
+	for i := Event(0); i < 4; i++ {
+		if s.Triggered(first + i) {
+			t.Fatalf("reserved event %d born triggered", first+i)
+		}
+	}
+	fired := 0
+	s.OnTrigger(first+2, func() { fired++ })
+	s.Trigger(first + 2)
+	if fired != 1 || !s.Triggered(first+2) {
+		t.Fatalf("reserved event did not behave as a user event (fired=%d)", fired)
+	}
+	if s.Triggered(first + 1) {
+		t.Fatal("triggering one reserved event leaked into its neighbor")
+	}
+}
+
+// TestMergeReusesMergers checks that steady-state Merge cycles (merge,
+// trigger inputs, repeat) stop allocating once the merger pool is warm.
+func TestMergeReusesMergers(t *testing.T) {
+	s := MustNewSim(DefaultConfig(1))
+	cycle := func() {
+		a, b := s.NewUserEvent(), s.NewUserEvent()
+		out := s.Merge(a, b)
+		s.Trigger(a)
+		s.Trigger(b)
+		if !s.Triggered(out) {
+			t.Fatal("merge did not fire")
+		}
+	}
+	for i := 0; i < 8; i++ {
+		cycle() // warm the pools
+	}
+	if got := testing.AllocsPerRun(100, cycle); got > 0.5 {
+		t.Errorf("Merge cycle allocates %.1f objects/run at steady state, want ~0", got)
+	}
+}

@@ -126,6 +126,11 @@ type Sim struct {
 	// create and retire millions of events, and reusing the slices keeps the
 	// schedule/trigger hot path allocation-free at steady state.
 	waiterPool [][]func()
+
+	// mergerPool recycles merger states (and their bound callbacks) once
+	// they fire; every task launch merges its preconditions, so steady-state
+	// loops would otherwise allocate a merger per launch per iteration.
+	mergerPool []*merger
 }
 
 type eventState struct {
@@ -134,10 +139,16 @@ type eventState struct {
 }
 
 type queued struct {
-	at   Time
-	seq  int64
-	fn   func()
-	weak bool // weak items do not keep the simulation alive (fault generators)
+	at  Time
+	seq int64
+	fn  func()
+	// fn == nil marks a body-less work-item completion: at time at, unless
+	// failNode has crashed, trigger ev. The common case by far (modeled
+	// tasks, Elapse, data movement without an attached body), encoded in
+	// plain fields so it costs no closure allocation.
+	ev       Event
+	failNode *Node
+	weak     bool // weak items do not keep the simulation alive (fault generators)
 }
 
 // eventQueue is a typed 4-ary min-heap ordered by (at, seq). A hand-rolled
@@ -270,6 +281,20 @@ func (s *Sim) at(t Time, fn func()) {
 	s.queue.push(queued{at: t, seq: s.seq, fn: fn})
 }
 
+// atDone schedules the completion of a body-less work item: at time t,
+// unless n (when non-nil) has failed, ev triggers. Semantically identical
+// to at(t, func() { ... }) but with the closure replaced by plain queue
+// fields — completions are the most common queue entry in a simulation,
+// and this keeps the steady-state hot path allocation-free.
+func (s *Sim) atDone(t Time, n *Node, ev Event) {
+	if t < s.now {
+		t = s.now
+	}
+	s.seq++
+	s.strong++
+	s.queue.push(queued{at: t, seq: s.seq, ev: ev, failNode: n})
+}
+
 // atWeak schedules fn at absolute time t without keeping the simulation
 // alive: Run exits once only weak items remain. Fault generators are weak —
 // a crash planned for a time the program never reaches must not prevent
@@ -289,6 +314,24 @@ func (s *Sim) After(d Time, fn func()) { s.at(s.now+d, fn) }
 func (s *Sim) NewUserEvent() Event {
 	s.evs = append(s.evs, eventState{})
 	return Event(len(s.evs))
+}
+
+// ReserveEvents creates n untriggered events with contiguous handles and
+// returns the first; the block is first, first+1, ..., first+n-1. This is
+// the bulk event-graph injection API used by trace replay: a replayed
+// iteration's whole event population is carved out of one reservation, so
+// positions within the trace map to handles by plain arithmetic instead of
+// per-event table appends and bookkeeping. Reserving zero events returns
+// NoEvent.
+func (s *Sim) ReserveEvents(n int) Event {
+	if n <= 0 {
+		return NoEvent
+	}
+	first := Event(len(s.evs) + 1)
+	for i := 0; i < n; i++ {
+		s.evs = append(s.evs, eventState{})
+	}
+	return first
 }
 
 // Trigger fires a user event; continuations run immediately (at the current
@@ -341,12 +384,18 @@ type merger struct {
 	s         *Sim
 	remaining int
 	out       Event
+	cb        func() // bound arrive, created once per merger lifetime
 }
 
 func (m *merger) arrive() {
 	m.remaining--
 	if m.remaining == 0 {
-		m.s.Trigger(m.out)
+		out := m.out
+		// Recycle before triggering: no further arrivals can reference m
+		// (exactly `remaining` registrations were made), and a continuation
+		// of out may well call Merge again.
+		m.s.mergerPool = append(m.s.mergerPool, m)
+		m.s.Trigger(out)
 	}
 }
 
@@ -364,11 +413,18 @@ func (s *Sim) Merge(evs ...Event) Event {
 		return NoEvent
 	}
 	out := s.NewUserEvent()
-	m := &merger{s: s, remaining: pending, out: out}
-	cb := m.arrive
+	var m *merger
+	if n := len(s.mergerPool); n > 0 {
+		m = s.mergerPool[n-1]
+		s.mergerPool = s.mergerPool[:n-1]
+	} else {
+		m = &merger{s: s}
+		m.cb = m.arrive
+	}
+	m.remaining, m.out = pending, out
 	for _, e := range evs {
 		if !s.Triggered(e) {
-			s.OnTrigger(e, cb)
+			s.OnTrigger(e, m.cb)
 		}
 	}
 	return out
@@ -432,7 +488,11 @@ func (s *Sim) Run() (Time, error) {
 		}
 		s.now = item.at
 		s.stats.Events++
-		item.fn()
+		if item.fn != nil {
+			item.fn()
+		} else if item.failNode == nil || !item.failNode.failed {
+			s.Trigger(item.ev)
+		}
 	}
 	if len(s.liveThreads) > 0 {
 		blocked := make([]*Thread, 0, len(s.liveThreads))

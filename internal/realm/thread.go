@@ -18,6 +18,10 @@ type Thread struct {
 	killed    bool  // Kill was requested; unwind at the next scheduling point
 	dead      bool  // goroutine has finished (normally or by kill)
 	blockedOn Event // event a WaitEvent is parked on, for deadlock reports
+	// runFn/wakeFn are bound once at spawn so the WaitEvent/wake round trip
+	// — taken on every Elapse of every control thread — allocates nothing.
+	runFn  func()
+	wakeFn func()
 }
 
 // killPanic is the sentinel a killed thread unwinds with. It must cross any
@@ -39,6 +43,8 @@ func IsThreadKilled(r interface{}) bool {
 func (s *Sim) Spawn(name string, proc *Proc, fn func(*Thread)) *Thread {
 	s.threadSeq++
 	t := &Thread{sim: s, proc: proc, name: name, id: s.threadSeq, resume: make(chan struct{})}
+	t.runFn = t.run
+	t.wakeFn = t.wake
 	s.liveThreads[t] = true
 	go func() {
 		<-t.resume // wait for first scheduling
@@ -56,7 +62,7 @@ func (s *Sim) Spawn(name string, proc *Proc, fn func(*Thread)) *Thread {
 		delete(s.liveThreads, t)
 		s.activeYield <- struct{}{} // final yield: thread is done
 	}()
-	s.at(s.now, func() { t.run() })
+	s.at(s.now, t.runFn)
 	return t
 }
 
@@ -71,7 +77,7 @@ func (s *Sim) Kill(t *Thread) {
 		return
 	}
 	t.killed = true
-	s.at(s.now, func() { t.run() })
+	s.at(s.now, t.runFn)
 }
 
 // run transfers control to the thread until it yields.
@@ -113,7 +119,7 @@ func (t *Thread) WaitEvent(e Event) {
 		return
 	}
 	t.blockedOn = e
-	t.sim.OnTrigger(e, func() { t.wake() })
+	t.sim.OnTrigger(e, t.wakeFn)
 	t.yield()
 	t.blockedOn = NoEvent
 }
@@ -125,7 +131,7 @@ func (t *Thread) wake() {
 	if t.dead || t.killed {
 		return
 	}
-	t.sim.at(t.sim.now, func() { t.run() })
+	t.sim.at(t.sim.now, t.runFn)
 }
 
 // Elapse charges d of busy time on the thread's processor and advances the

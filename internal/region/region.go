@@ -9,6 +9,7 @@ package region
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/geometry"
 )
@@ -61,6 +62,9 @@ type Partition struct {
 	colors     []geometry.Point // deterministic iteration order
 	disjoint   bool
 	complete   bool
+
+	unionOnce sync.Once
+	unionMemo geometry.IndexSpace
 }
 
 // NewRegion creates a root region over the given index space.
@@ -205,6 +209,14 @@ func (p *Partition) Union() geometry.IndexSpace {
 	if p.complete {
 		return p.parent.IndexSpace()
 	}
+	// Subregion index spaces are fixed at construction, so the union is
+	// computed once per partition; both the dependence analyzers and the
+	// compiler's completeness checks re-request it freely.
+	p.unionOnce.Do(func() { p.unionMemo = p.computeUnion() })
+	return p.unionMemo
+}
+
+func (p *Partition) computeUnion() geometry.IndexSpace {
 	dim := p.parent.IndexSpace().Dim()
 	if p.disjoint {
 		var spans []geometry.Rect

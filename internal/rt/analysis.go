@@ -184,7 +184,14 @@ func (e *Engine) registerUse(u *use) {
 		kept := e.users[root][:0]
 		for _, old := range e.users[root] {
 			if fieldsSubset(old.fields, u.fields) && e.coversPartition(u.part, old.part) {
-				continue // dominated
+				// Dominated. During replay the pruned use goes into the
+				// retirement ring: at the trace's fixpoint only window-aged
+				// uses are ever pruned, and after one more iteration nothing
+				// can reference them, so their slices are safe to recycle.
+				if ts := e.trace; ts != nil && ts.phase == tracePhaseReplay {
+					ts.retireNew = append(ts.retireNew, old)
+				}
+				continue
 			}
 			kept = append(kept, old)
 		}

@@ -169,6 +169,12 @@ func (e *Engine) issueLaunch(l *ir.Launch) {
 		e.iterEvents = append(e.iterEvents, u.done...)
 	}
 
+	// Record the analyzed launch into the active trace candidate, if one is
+	// being captured (see trace.go).
+	if ts := e.trace; ts != nil && ts.phase == tracePhaseCapture {
+		e.captureLaunch(ts, l, uses, deps)
+	}
+
 	// Launch-level scalar reduction: bind the destination variable to a
 	// future resolved when all task returns are in, folded in color order.
 	if l.Reduce != nil {

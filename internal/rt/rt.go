@@ -118,6 +118,10 @@ type Engine struct {
 	Mode Mode
 	Over Overheads
 	Map  Mapper
+	// NoTrace disables trace capture & replay of loop bodies (see trace.go);
+	// the schedule is identical either way, only the control-plane work of
+	// computing it differs.
+	NoTrace bool
 
 	stores     map[*region.Region]*region.Store
 	users      map[*region.Region][]*use
@@ -138,7 +142,16 @@ type Engine struct {
 	presBuf       []realm.Event
 	taskDoneBuf   []realm.Event
 	taskNodeBuf   []int
+
+	// Trace capture & replay state (see trace.go): the active loop trace,
+	// the recycled-use pool feeding replayed iterations, and counters.
+	trace      *traceState
+	useFree    []*use
+	traceStats TraceStats
 }
+
+// TraceStats returns the trace-replay counters accumulated so far.
+func (e *Engine) TraceStats() TraceStats { return e.traceStats }
 
 // New creates an engine with default mapper.
 func New(sim *realm.Sim, prog *ir.Program, mode Mode) *Engine {
@@ -240,7 +253,7 @@ func (e *Engine) execStmts(stmts []ir.Stmt) {
 		case *ir.Loop:
 			e.execLoop(s)
 		case *ir.Launch:
-			e.issueLaunch(s)
+			e.dispatchLaunch(s)
 		default:
 			panic(fmt.Sprintf("rt: unknown statement %T", s))
 		}
@@ -258,6 +271,7 @@ func (e *Engine) execLoop(l *ir.Loop) {
 	iterDone := make([]realm.Event, l.Trip)
 	times := make([]realm.Time, l.Trip)
 	savedEvents := e.iterEvents
+	ts := e.beginTrace(l)
 	for t := 0; t < l.Trip; t++ {
 		if t >= window {
 			e.ctl.WaitEvent(iterDone[t-window])
@@ -265,12 +279,19 @@ func (e *Engine) execLoop(l *ir.Loop) {
 		e.env[l.Var] = resolvedScalar(float64(t))
 		e.curIter = t
 		e.iterEvents = nil
+		if ts != nil {
+			ts.beginIter(e)
+		}
 		e.execStmts(l.Body)
+		if ts != nil {
+			ts.endIter(e)
+		}
 		done := e.Sim.Merge(e.iterEvents...)
 		iterDone[t] = done
 		t := t
 		e.Sim.OnTrigger(done, func() { times[t] = e.Sim.Now() })
 	}
+	e.endTrace(ts)
 	// Drain the loop before code after it runs.
 	for t := maxInt(0, l.Trip-window); t < l.Trip; t++ {
 		e.ctl.WaitEvent(iterDone[t])

@@ -1,0 +1,623 @@
+package rt
+
+import (
+	"repro/internal/ir"
+	"repro/internal/realm"
+	"repro/internal/region"
+)
+
+// Trace capture & replay (the rt half of the PR 3 tentpole).
+//
+// Every application in the evaluation is a time-stepping loop that launches
+// an identical task graph each iteration, so the dynamic dependence
+// analysis recomputes the same edges over and over. The trace layer
+// memoizes one iteration's analysis into an immutable schedule and replays
+// it on later iterations, injecting the precomputed event graph into the
+// DES without re-walking the region tree.
+//
+// Protocol per marked loop (a loop whose body is flat — no nested loops):
+//
+//   - capture: every iteration runs the full analysis while recording a
+//     candidate trace — the launch sequence with its fingerprints, and
+//     every dependence edge translated into an iteration-relative source
+//     reference. At the end of each iteration the engine also snapshots a
+//     structural signature of the epoch lists (the users state).
+//   - promote: when two consecutive iterations agree — same launch
+//     fingerprints and the same epoch-list signature at both iteration
+//     boundaries — the analysis has reached a fixpoint: the epoch state at
+//     the start of the next iteration equals the state the captured
+//     iteration ran from, so its dependence structure recurs verbatim. The
+//     latest candidate becomes the trace.
+//   - replay: each launch validates a cheap fingerprint (launch site,
+//     argument partitions — the things a repartition changes) and then
+//     replays its recorded edges, resolving iteration-relative references
+//     against the uses of the current and previous iteration. Replay keeps
+//     registerUse live, so the epoch lists continue to evolve exactly as
+//     the full analysis would have evolved them — which is what makes
+//     mid-stream invalidation sound: on any fingerprint mismatch the trace
+//     is discarded and the full analysis resumes from a correct state,
+//     then capture starts over.
+//
+// Replay issues the identical Sim.Copy / Elapse / LaunchAuto / Merge call
+// sequence the full analysis would issue, so all goldens (virtual times,
+// BytesSent, event counts) are byte-identical with tracing on.
+
+// TraceStats counts trace activity across an engine run.
+type TraceStats struct {
+	LoopsTraced      int // traceable loops entered
+	CaptureIters     int // iterations spent in capture (full analysis + recording)
+	Promotions       int // candidate traces promoted to replay
+	ReplayedIters    int // iterations fully replayed from a trace
+	ReplayedLaunches int // launches replayed without dependence analysis
+	Invalidations    int // fingerprint mismatches that discarded a trace
+	Abandoned        int // loops that never stabilized and fell back for good
+}
+
+type tracePhase int8
+
+const (
+	tracePhaseCapture tracePhase = iota
+	tracePhaseReplay
+	tracePhaseOff
+)
+
+// maxCaptureIters bounds how long a loop may stay in capture before the
+// engine gives up on it (a structurally non-stationary loop never
+// stabilizes; see TestTraceNonStationaryFallsBack).
+const maxCaptureIters = 8
+
+type srcKind int8
+
+const (
+	srcSameIter srcKind = iota // source use created earlier in the same iteration
+	srcPrevIter                // source use created in the previous iteration
+	srcPinned                  // source outside the two-iteration window; its
+	// use survived epoch pruning at the fixpoint, so its completion event is
+	// frozen and can be recorded directly
+)
+
+// depRec is one captured dependence edge: where the precondition event
+// comes from, and the data movement it carries.
+type depRec struct {
+	kind    srcKind
+	launch  int32       // index of the source launch within the iteration
+	arg     int32       // argument index of the source use
+	color   int32       // color position within the source launch's domain
+	ev      realm.Event // pinned sources only
+	srcNode int32
+	bytes   int64 // >0: RAW edge moving data between nodes
+}
+
+// launchRec is the immutable per-launch-site portion of a trace.
+type launchRec struct {
+	l         *ir.Launch
+	parts     []*region.Partition // fingerprint: argument partitions at capture
+	numColors int
+	targets   []int        // mapper decision per color
+	durBase   []realm.Time // kernel duration per color, before noise
+	deps      [][]depRec   // per color, argument-major (the analysis' edge order)
+	redBytes  [][]int64    // per arg: reduction-instance bytes per color (nil unless PrivReduce)
+	fulls     []bool       // per arg: full-domain launch (dominance eligibility)
+}
+
+// useSig is one entry of the epoch-list structural signature. Uses younger
+// than the trace window are compared structurally with an iteration-relative
+// age; older survivors are compared by identity (same object implies frozen
+// completion events, which is what pinned references rely on).
+type useSig struct {
+	ptr    *use // set only for age >= 2
+	part   *region.Partition
+	priv   ir.Privilege
+	op     region.ReductionOp
+	nField int
+	full   bool
+	age    int8
+}
+
+type evOrigin struct {
+	iter   int32
+	launch int32
+	arg    int32
+	color  int32
+}
+
+// traceState is the per-loop trace machinery, alive for one execLoop call.
+type traceState struct {
+	loop     *ir.Loop
+	phase    tracePhase
+	attempts int
+	iterSeq  int32
+
+	// Capture state: the previous and current candidate, the epoch-list
+	// signature of the previous iteration, and the event provenance index
+	// used to translate dependence edges into iteration-relative refs.
+	prevRecs []*launchRec
+	curRecs  []*launchRec
+	prevSig  map[*region.Region][]useSig
+	evIndex  map[realm.Event]evOrigin
+	origins  map[*use]int32
+
+	// The promoted trace and the replay cursor.
+	trace  []*launchRec
+	cursor int
+
+	// Uses of the previous / current iteration, indexed [launch][arg], for
+	// resolving iteration-relative refs.
+	prevUses [][]*use
+	curUses  [][]*use
+
+	// Two-stage retirement ring for pooled uses: a use pruned during replay
+	// may still be referenced through the tables for one more iteration, so
+	// it is recycled only after a full iteration has passed.
+	retireNew []*use
+	retireOld []*use
+}
+
+// loopTraceable reports whether a loop is a trace candidate: enough trips
+// to amortize capture, and a flat body (nested loops would interleave their
+// launches into the outer iteration's sequence).
+func loopTraceable(l *ir.Loop) bool {
+	if l.Trip < 3 {
+		return false
+	}
+	for _, s := range l.Body {
+		if _, ok := s.(*ir.Loop); ok {
+			return false
+		}
+	}
+	return true
+}
+
+// beginTrace arms tracing for a loop, or returns nil when tracing is off,
+// another trace is active (nested loops), or the loop does not qualify.
+func (e *Engine) beginTrace(l *ir.Loop) *traceState {
+	if e.NoTrace || e.trace != nil || !loopTraceable(l) {
+		return nil
+	}
+	ts := &traceState{loop: l, phase: tracePhaseCapture}
+	e.trace = ts
+	e.traceStats.LoopsTraced++
+	return ts
+}
+
+// endTrace tears the trace down at loop exit, recycling what is safe.
+func (e *Engine) endTrace(ts *traceState) {
+	if ts == nil {
+		return
+	}
+	e.useFree = append(e.useFree, ts.retireOld...)
+	e.useFree = append(e.useFree, ts.retireNew...)
+	e.trace = nil
+}
+
+func (ts *traceState) beginIter(e *Engine) {
+	switch ts.phase {
+	case tracePhaseCapture:
+		ts.curRecs = ts.curRecs[:0]
+		ts.curUses = ts.curUses[:0]
+	case tracePhaseReplay:
+		ts.cursor = 0
+	}
+}
+
+func (ts *traceState) endIter(e *Engine) {
+	switch ts.phase {
+	case tracePhaseCapture:
+		e.traceStats.CaptureIters++
+		sig := e.computeSig(ts)
+		if ts.fingerprintsStable() && sigEqual(ts.prevSig, sig) {
+			ts.trace = append([]*launchRec(nil), ts.curRecs...)
+			ts.phase = tracePhaseReplay
+			ts.evIndex = nil
+			ts.origins = nil
+			e.traceStats.Promotions++
+		} else {
+			ts.prevRecs, ts.curRecs = ts.curRecs, ts.prevRecs[:0]
+			ts.prevSig = sig
+			ts.attempts++
+			if ts.attempts >= maxCaptureIters {
+				ts.phase = tracePhaseOff
+				ts.evIndex = nil
+				ts.origins = nil
+				e.traceStats.Abandoned++
+			}
+		}
+	case tracePhaseReplay:
+		if ts.cursor != len(ts.trace) {
+			// The iteration issued fewer launches than the trace holds.
+			ts.invalidate(e)
+		} else {
+			e.traceStats.ReplayedIters++
+		}
+	}
+	// Rotate the use tables (current becomes previous) and the retirement
+	// ring; both are maintained in every phase so capture can resume with a
+	// valid window after an invalidation.
+	ts.prevUses, ts.curUses = ts.curUses, ts.prevUses
+	e.useFree = append(e.useFree, ts.retireOld...)
+	ts.retireOld, ts.retireNew = ts.retireNew, ts.retireOld[:0]
+	ts.iterSeq++
+}
+
+// fingerprintsStable reports whether the current and previous capture
+// iterations issued the same launch sequence against the same partitions.
+func (ts *traceState) fingerprintsStable() bool {
+	if ts.prevRecs == nil || len(ts.prevRecs) != len(ts.curRecs) || len(ts.curRecs) == 0 {
+		return false
+	}
+	for i, cur := range ts.curRecs {
+		prev := ts.prevRecs[i]
+		if cur.l != prev.l || len(cur.parts) != len(prev.parts) {
+			return false
+		}
+		for ai := range cur.parts {
+			if cur.parts[ai] != prev.parts[ai] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// next returns the trace record for the launch about to issue, or nil on
+// any fingerprint mismatch: wrong site (control-flow change), exhausted
+// trace, or a changed argument partition (repartition).
+func (ts *traceState) next(l *ir.Launch) *launchRec {
+	if ts.cursor >= len(ts.trace) {
+		return nil
+	}
+	rec := ts.trace[ts.cursor]
+	if rec.l != l {
+		return nil
+	}
+	for ai := range l.Args {
+		if l.Args[ai].Part != rec.parts[ai] {
+			return nil
+		}
+	}
+	return rec
+}
+
+// invalidate discards the trace and restarts capture from scratch. Launches
+// already replayed this iteration used dependence edges that were valid up
+// to the point of divergence, and the epoch lists are live, so the full
+// analysis resumes from a correct state.
+func (ts *traceState) invalidate(e *Engine) {
+	e.traceStats.Invalidations++
+	ts.trace = nil
+	ts.phase = tracePhaseCapture
+	ts.attempts = 0
+	ts.prevRecs, ts.curRecs = nil, nil
+	ts.prevSig = nil
+	ts.evIndex = nil
+	ts.origins = nil
+	ts.prevUses = ts.prevUses[:0]
+	ts.curUses = ts.curUses[:0]
+	// The tables no longer reference retired uses, so the ring can drain.
+	e.useFree = append(e.useFree, ts.retireOld...)
+	e.useFree = append(e.useFree, ts.retireNew...)
+	ts.retireOld, ts.retireNew = ts.retireOld[:0], ts.retireNew[:0]
+}
+
+// captureLaunch records one fully analyzed launch into the current
+// candidate: fingerprint, mapping, durations, and each dependence edge
+// translated into an iteration-relative (or pinned) source reference.
+func (e *Engine) captureLaunch(ts *traceState, l *ir.Launch, uses []*use, deps [][][]dep) {
+	numColors := len(l.Domain)
+	launchIdx := int32(len(ts.curRecs))
+	rec := &launchRec{
+		l:         l,
+		parts:     make([]*region.Partition, len(l.Args)),
+		numColors: numColors,
+		targets:   append([]int(nil), uses[0].node...),
+		durBase:   make([]realm.Time, numColors),
+		deps:      make([][]depRec, numColors),
+		fulls:     make([]bool, len(l.Args)),
+	}
+	for ai, a := range l.Args {
+		rec.parts[ai] = a.Part
+		rec.fulls[ai] = uses[ai].full
+	}
+	for idx, c := range l.Domain {
+		vol := l.Args[l.Task.CostArg].At(c).Volume()
+		rec.durBase[idx] = realm.Time(l.Task.Cost(vol) / float64(e.Over.KernelCores))
+		var drs []depRec
+		for ai := range l.Args {
+			for _, d := range deps[ai][idx] {
+				dr := depRec{bytes: d.bytes, srcNode: int32(d.srcNode)}
+				if o, ok := ts.evIndex[d.ev]; ok && o.iter == ts.iterSeq {
+					dr.kind, dr.launch, dr.arg, dr.color = srcSameIter, o.launch, o.arg, o.color
+				} else if ok && o.iter == ts.iterSeq-1 {
+					dr.kind, dr.launch, dr.arg, dr.color = srcPrevIter, o.launch, o.arg, o.color
+				} else {
+					dr.kind, dr.ev = srcPinned, d.ev
+				}
+				drs = append(drs, dr)
+			}
+		}
+		rec.deps[idx] = drs
+	}
+	for ai, param := range l.Task.Params {
+		if param.Priv != ir.PrivReduce {
+			continue
+		}
+		if rec.redBytes == nil {
+			rec.redBytes = make([][]int64, len(l.Args))
+		}
+		rb := make([]int64, numColors)
+		for idx, c := range l.Domain {
+			rb[idx] = l.Args[ai].At(c).Volume() * e.Over.EltBytes * int64(len(param.Fields))
+		}
+		rec.redBytes[ai] = rb
+	}
+	ts.curRecs = append(ts.curRecs, rec)
+
+	// Index this launch's completion events for later edges, and remember
+	// each use's birth iteration for the signature's age classification.
+	if ts.evIndex == nil {
+		ts.evIndex = make(map[realm.Event]evOrigin)
+		ts.origins = make(map[*use]int32)
+	}
+	tbl := make([]*use, len(uses))
+	copy(tbl, uses)
+	ts.curUses = append(ts.curUses, tbl)
+	for ai, u := range uses {
+		ts.origins[u] = ts.iterSeq
+		for ci, ev := range u.done {
+			if _, exists := ts.evIndex[ev]; !exists {
+				ts.evIndex[ev] = evOrigin{iter: ts.iterSeq, launch: launchIdx, arg: int32(ai), color: int32(ci)}
+			}
+		}
+	}
+}
+
+// computeSig snapshots the structural state of the epoch lists.
+func (e *Engine) computeSig(ts *traceState) map[*region.Region][]useSig {
+	sig := make(map[*region.Region][]useSig, len(e.users))
+	for root, uses := range e.users {
+		if len(uses) == 0 {
+			continue
+		}
+		list := make([]useSig, len(uses))
+		for i, u := range uses {
+			s := useSig{part: u.part, priv: u.priv, op: u.op, nField: len(u.fields), full: u.full}
+			if o, ok := ts.origins[u]; ok && ts.iterSeq-o < 2 {
+				s.age = int8(ts.iterSeq - o)
+			} else {
+				s.age = 2
+				s.ptr = u
+			}
+			list[i] = s
+		}
+		sig[root] = list
+	}
+	return sig
+}
+
+func sigEqual(a, b map[*region.Region][]useSig) bool {
+	if a == nil || len(a) != len(b) {
+		return false
+	}
+	for root, la := range a {
+		lb, ok := b[root]
+		if !ok || len(la) != len(lb) {
+			return false
+		}
+		for i := range la {
+			if la[i] != lb[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// getUse returns a use from the pool (or a fresh one) with done/node sized
+// for numColors. Pool hygiene: every field is overwritten by the caller.
+func (e *Engine) getUse(numColors int) *use {
+	var u *use
+	if n := len(e.useFree); n > 0 {
+		u = e.useFree[n-1]
+		e.useFree[n-1] = nil
+		e.useFree = e.useFree[:n-1]
+	} else {
+		u = &use{}
+	}
+	if cap(u.done) < numColors {
+		u.done = make([]realm.Event, numColors)
+		u.node = make([]int, numColors)
+	} else {
+		u.done = u.done[:numColors]
+		u.node = u.node[:numColors]
+	}
+	return u
+}
+
+// dispatchLaunch routes a launch through the active trace, if any.
+func (e *Engine) dispatchLaunch(l *ir.Launch) {
+	ts := e.trace
+	if ts == nil || ts.phase != tracePhaseReplay {
+		e.issueLaunch(l)
+		return
+	}
+	rec := ts.next(l)
+	if rec == nil {
+		ts.invalidate(e)
+		e.issueLaunch(l)
+		return
+	}
+	e.replayLaunch(l, rec)
+}
+
+// replayLaunch issues one launch from its trace record: identical Sim call
+// sequence to issueLaunch, with the dependence analysis replaced by
+// resolving precomputed iteration-relative references.
+func (e *Engine) replayLaunch(l *ir.Launch, rec *launchRec) {
+	ts := e.trace
+	numColors := rec.numColors
+
+	var scalars []float64
+	if n := len(l.ScalarArgs); n > 0 {
+		env := e.ctlEnv()
+		scalars = make([]float64, n)
+		for i, ex := range l.ScalarArgs {
+			scalars[i] = ex(env)
+		}
+	}
+
+	domIdx := e.domainIndex(l)
+	fsets := e.fieldSetsFor(l.Task)
+
+	// Reuse (or grow) this launch slot's table entry; the slot's inner
+	// slice survives table rotation, so steady-state replay allocates no
+	// per-launch bookkeeping.
+	var tbl []*use
+	if ts.cursor < len(ts.curUses) {
+		tbl = ts.curUses[ts.cursor][:0]
+	}
+	for ai := range l.Args {
+		param := l.Task.Params[ai]
+		u := e.getUse(numColors)
+		u.part = rec.parts[ai]
+		u.priv = param.Priv
+		u.op = param.Op
+		u.fields = fsets[ai]
+		u.full = rec.fulls[ai]
+		u.domIdx = domIdx
+		tbl = append(tbl, u)
+	}
+	if ts.cursor < len(ts.curUses) {
+		ts.curUses[ts.cursor] = tbl
+	} else {
+		ts.curUses = append(ts.curUses, tbl)
+	}
+
+	if cap(e.taskDoneBuf) < numColors {
+		e.taskDoneBuf = make([]realm.Event, numColors)
+		e.taskNodeBuf = make([]int, numColors)
+	}
+	taskDone := e.taskDoneBuf[:numColors]
+	taskNode := e.taskNodeBuf[:numColors]
+	var ctxs []*ir.TaskCtx
+	var redBufs [][]*region.Store
+	if e.Mode == Real {
+		ctxs = make([]*ir.TaskCtx, numColors)
+		redBufs = make([][]*region.Store, len(l.Args))
+		for ai, param := range l.Task.Params {
+			if param.Priv == ir.PrivReduce {
+				redBufs[ai] = make([]*region.Store, numColors)
+			}
+		}
+	}
+
+	for idx, c := range l.Domain {
+		target := rec.targets[idx]
+		node := e.Sim.Node(target)
+		taskNode[idx] = target
+
+		pres := e.presBuf[:0]
+		drs := rec.deps[idx]
+		for i := range drs {
+			d := &drs[i]
+			var ev realm.Event
+			var srcNode int
+			switch d.kind {
+			case srcSameIter:
+				u := ts.curUses[d.launch][d.arg]
+				ev, srcNode = u.done[d.color], u.node[d.color]
+			case srcPrevIter:
+				u := ts.prevUses[d.launch][d.arg]
+				ev, srcNode = u.done[d.color], u.node[d.color]
+			default:
+				ev, srcNode = d.ev, int(d.srcNode)
+			}
+			if d.bytes > 0 && srcNode != target {
+				pres = append(pres, e.Sim.Copy(e.Sim.Node(srcNode), node, d.bytes, ev, nil))
+			} else {
+				pres = append(pres, ev)
+			}
+		}
+
+		e.ctl.Elapse(e.Over.LaunchBase +
+			realm.Time(len(drs))*e.Over.LaunchPerDep +
+			realm.Time(numColors)*e.Over.LaunchPerSub)
+
+		if target != 0 {
+			pres = append(pres, e.Sim.Copy(e.Sim.Node(0), node, e.Over.RemoteStartBytes, realm.NoEvent, nil))
+		}
+
+		dur := rec.durBase[idx]
+		if e.Over.Noise != nil {
+			dur = realm.Time(float64(dur) * e.Over.Noise(target, e.curIter))
+		}
+
+		var body func()
+		if e.Mode == Real {
+			ctx := e.buildCtx(l, idx, c, scalars, redBufs)
+			ctxs[idx] = ctx
+			if l.Task.Kernel != nil {
+				body = func() { l.Task.Kernel(ctx) }
+			}
+		}
+		taskDone[idx] = node.LaunchAuto(e.Sim.Merge(pres...), dur, body)
+		e.presBuf = pres[:0]
+	}
+
+	prev := realm.NoEvent
+	for ai, param := range l.Task.Params {
+		u := tbl[ai]
+		if param.Priv != ir.PrivReduce {
+			copy(u.done, taskDone)
+			copy(u.node, taskNode)
+			continue
+		}
+		for idx, c := range l.Domain {
+			idx := idx
+			bytes := rec.redBytes[ai][idx]
+			var body func()
+			if e.Mode == Real {
+				sub := l.Args[ai].At(c)
+				buf := redBufs[ai][idx]
+				global := e.stores[sub.Root()]
+				op := param.Op
+				fields := param.Fields
+				body = func() {
+					for _, f := range fields {
+						global.ReduceFieldFrom(buf, f, op, sub.IndexSpace())
+					}
+				}
+			}
+			pre := e.Sim.Merge(taskDone[idx], prev)
+			applied := e.Sim.Copy(e.Sim.Node(taskNode[idx]), e.Sim.Node(taskNode[idx]), bytes, pre, body)
+			u.done[idx] = applied
+			u.node[idx] = taskNode[idx]
+			prev = applied
+		}
+	}
+
+	for _, u := range tbl {
+		e.registerUse(u)
+		e.iterEvents = append(e.iterEvents, u.done...)
+	}
+
+	if l.Reduce != nil {
+		all := e.Sim.Merge(taskDone...)
+		op := l.Reduce.Op
+		e.env[l.Reduce.Into] = &scalarVal{
+			ev: all,
+			val: func() float64 {
+				acc := op.Identity()
+				for _, ctx := range ctxs {
+					if ctx != nil {
+						acc = op.Fold(acc, ctx.Return)
+					}
+				}
+				return acc
+			},
+		}
+		e.iterEvents = append(e.iterEvents, all)
+	}
+
+	ts.cursor++
+	e.traceStats.ReplayedLaunches++
+}

@@ -1,0 +1,247 @@
+package rt
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/geometry"
+	"repro/internal/ir"
+	"repro/internal/progtest"
+	"repro/internal/realm"
+	"repro/internal/region"
+)
+
+// runWithTrace runs a freshly built program under the engine and returns
+// the result plus the trace counters.
+func runWithTrace(t *testing.T, prog *ir.Program, nodes int, mode Mode, noTrace bool) (*Result, TraceStats) {
+	t.Helper()
+	sim := realm.MustNewSim(testConfig(nodes))
+	eng := New(sim, prog, mode)
+	eng.NoTrace = noTrace
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, eng.TraceStats()
+}
+
+// TestTraceReplayMatchesUntraced is the core tentpole guarantee: with
+// tracing on, the schedule — virtual times, DES statistics, and Real-mode
+// region contents — is bitwise identical to the untraced run, and the trace
+// actually engages (promotes and replays) rather than silently falling
+// back.
+func TestTraceReplayMatchesUntraced(t *testing.T) {
+	for _, mode := range []Mode{Real, Modeled} {
+		f := progtest.NewFigure2(96, 8, 10)
+		ref, offStats := runWithTrace(t, f.Prog, 4, mode, true)
+		f2 := progtest.NewFigure2(96, 8, 10)
+		got, stats := runWithTrace(t, f2.Prog, 4, mode, false)
+
+		if offStats.LoopsTraced != 0 {
+			t.Fatalf("NoTrace engine traced %d loops", offStats.LoopsTraced)
+		}
+		if stats.Promotions < 1 || stats.ReplayedIters < 6 {
+			t.Fatalf("trace did not engage: %+v", stats)
+		}
+		if stats.Invalidations != 0 || stats.Abandoned != 0 {
+			t.Fatalf("stationary loop invalidated or abandoned its trace: %+v", stats)
+		}
+		if got.Elapsed != ref.Elapsed {
+			t.Errorf("mode %v: Elapsed %d with trace, %d without", mode, got.Elapsed, ref.Elapsed)
+		}
+		if got.Stats != ref.Stats {
+			t.Errorf("mode %v: Stats %+v with trace, %+v without", mode, got.Stats, ref.Stats)
+		}
+		if mode == Real {
+			for _, pair := range [][2]*region.Region{{f.A, f2.A}, {f.B, f2.B}} {
+				refR, gotR := pair[0], pair[1]
+				refSt, gotSt := ref.Stores[refR], got.Stores[gotR]
+				refR.IndexSpace().Each(func(p geometry.Point) bool {
+					if gotSt.Get(f.Val, p) != refSt.Get(f.Val, p) {
+						t.Fatalf("store %s[%v] = %v traced, %v untraced", refR.Name(), p,
+							gotSt.Get(f.Val, p), refSt.Get(f.Val, p))
+					}
+					return true
+				})
+			}
+		}
+	}
+}
+
+// TestTraceReplayDeterministic runs the traced engine twice and requires
+// identical virtual outcomes.
+func TestTraceReplayDeterministic(t *testing.T) {
+	a, _ := runWithTrace(t, progtest.NewFigure2(96, 8, 10).Prog, 4, Modeled, false)
+	b, _ := runWithTrace(t, progtest.NewFigure2(96, 8, 10).Prog, 4, Modeled, false)
+	if a.Elapsed != b.Elapsed || a.Stats != b.Stats {
+		t.Fatalf("traced run not deterministic: %v/%+v vs %v/%+v", a.Elapsed, a.Stats, b.Elapsed, b.Stats)
+	}
+}
+
+// repartitionProgram builds a loop that increments a field through a
+// disjoint partition, and swaps that partition for a differently-cut one
+// (a mid-loop repartition) at iteration swapAt, via a scalar statement's
+// side effect on the launch's argument.
+func repartitionProgram(n, nt int64, trip, swapAt int) (*ir.Program, *region.Region, region.FieldID) {
+	p := ir.NewProgram("repartition")
+	fs := region.NewFieldSpace("v")
+	v := fs.Field("v")
+	r := p.Tree.NewRegion("R", geometry.NewIndexSpace(geometry.R1(0, n-1)))
+	p.FieldSpaces[r] = fs
+
+	pa := r.Block("PA", nt)
+	// A second partition with the same color count but uneven cuts: the
+	// first subregion absorbs half of the second's span.
+	subs := make(map[geometry.Point]geometry.IndexSpace, nt)
+	step := n / nt
+	for i := int64(0); i < nt; i++ {
+		lo, hi := i*step, (i+1)*step-1
+		switch i {
+		case 0:
+			hi += step / 2
+		case 1:
+			lo += step / 2
+		}
+		subs[geometry.Pt1(i)] = geometry.NewIndexSpace(geometry.R1(lo, hi))
+	}
+	pb := r.BySubsets("PB", geometry.NewIndexSpace(geometry.R1(0, nt-1)), subs)
+
+	task := &ir.TaskDecl{
+		Name:   "inc",
+		Params: []ir.Param{{Priv: ir.PrivReadWrite, Fields: []region.FieldID{v}}},
+		Kernel: func(tc *ir.TaskCtx) {
+			arg := &tc.Args[0]
+			arg.Each(func(pt geometry.Point) bool {
+				arg.Set(v, pt, arg.Get(v, pt)+1)
+				return true
+			})
+		},
+		CostPerElem: 100,
+	}
+	launch := &ir.Launch{Task: task, Domain: ir.Colors1D(nt), Args: []ir.RegionArg{{Part: pa}}}
+	swapped := false
+	p.Add(
+		&ir.FillFunc{Target: r, Field: v, Fn: func(pt geometry.Point) float64 { return float64(pt.X()) }},
+		&ir.Loop{Var: "t", Trip: trip, Body: []ir.Stmt{
+			&ir.SetScalar{Name: "swap", Expr: func(env ir.Env) float64 {
+				if !swapped && int(env.Get("t")) == swapAt {
+					launch.Args[0].Part = pb
+					swapped = true
+				}
+				return 0
+			}},
+			launch,
+		}},
+	)
+	return p, r, v
+}
+
+// TestTraceRepartitionInvalidatesMidLoop is the repartition half of the
+// PR 3 invalidation satellite: swapping a launch's partition mid-loop must
+// be caught by the replay fingerprint, fall back to full analysis, produce
+// results bitwise identical to the untraced run — and then re-capture and
+// re-promote a trace for the new partition.
+func TestTraceRepartitionInvalidatesMidLoop(t *testing.T) {
+	const trip, swapAt = 14, 6
+	prog, r, v := repartitionProgram(64, 8, trip, swapAt)
+	ref, _ := runWithTrace(t, prog, 4, Real, true)
+	prog2, r2, _ := repartitionProgram(64, 8, trip, swapAt)
+	got, stats := runWithTrace(t, prog2, 4, Real, false)
+
+	if stats.Invalidations < 1 {
+		t.Fatalf("repartition did not invalidate the trace: %+v", stats)
+	}
+	if stats.Promotions < 2 {
+		t.Fatalf("trace was not re-promoted after the repartition: %+v", stats)
+	}
+	if got.Elapsed != ref.Elapsed || got.Stats != ref.Stats {
+		t.Errorf("traced: %v/%+v, untraced: %v/%+v", got.Elapsed, got.Stats, ref.Elapsed, ref.Stats)
+	}
+	refSt, gotSt := ref.Stores[r], got.Stores[r2]
+	r.IndexSpace().Each(func(p geometry.Point) bool {
+		if gotSt.Get(v, p) != refSt.Get(v, p) {
+			t.Fatalf("R[%v] = %v traced, %v untraced", p, gotSt.Get(v, p), refSt.Get(v, p))
+		}
+		// Every element was incremented once per iteration under both
+		// partitionings, so the expected value is known in closed form.
+		if want := float64(p.X()) + trip; gotSt.Get(v, p) != want {
+			t.Fatalf("R[%v] = %v, want %v", p, gotSt.Get(v, p), want)
+		}
+		return true
+	})
+}
+
+// TestTraceNonStationaryFallsBack: a loop whose launch covers only part of
+// its partition's color space never dominates old epoch entries, so the
+// epoch lists grow every iteration and the analysis has no structural
+// fixpoint. Capture must give up after its attempt budget and leave the
+// (correct) full analysis in charge.
+func TestTraceNonStationaryFallsBack(t *testing.T) {
+	build := func() *ir.Program {
+		n, nt := int64(64), int64(8)
+		p := ir.NewProgram("nonstationary")
+		fs := region.NewFieldSpace("v")
+		v := fs.Field("v")
+		r := p.Tree.NewRegion("R", geometry.NewIndexSpace(geometry.R1(0, n-1)))
+		p.FieldSpaces[r] = fs
+		pa := r.Block("PA", nt)
+		task := &ir.TaskDecl{
+			Name:        "halfinc",
+			Params:      []ir.Param{{Priv: ir.PrivReadWrite, Fields: []region.FieldID{v}}},
+			CostPerElem: 100,
+		}
+		// Domain covers only half the colors: the writer is never "full",
+		// so no epoch entry is ever pruned.
+		p.Add(&ir.Loop{Var: "t", Trip: 12, Body: []ir.Stmt{
+			&ir.Launch{Task: task, Domain: ir.Colors1D(nt / 2), Args: []ir.RegionArg{{Part: pa}}},
+		}})
+		return p
+	}
+	ref, _ := runWithTrace(t, build(), 2, Modeled, true)
+	got, stats := runWithTrace(t, build(), 2, Modeled, false)
+	if stats.Abandoned != 1 || stats.Promotions != 0 {
+		t.Fatalf("non-stationary loop should abandon capture: %+v", stats)
+	}
+	if got.Elapsed != ref.Elapsed || got.Stats != ref.Stats {
+		t.Errorf("traced: %v/%+v, untraced: %v/%+v", got.Elapsed, got.Stats, ref.Elapsed, ref.Stats)
+	}
+}
+
+// TestTraceReplayAllocRegression is the PR 3 allocation guard: replayed
+// iterations must do near-zero allocation on the analysis path. Measured as
+// the per-iteration malloc delta between a long and a short run, so fixed
+// setup costs cancel; the traced engine must allocate well under half of
+// what the untraced analysis allocates per steady-state iteration.
+func TestTraceReplayAllocRegression(t *testing.T) {
+	mallocs := func(noTrace bool, trip int) uint64 {
+		f := progtest.NewFigure2(256, 16, trip)
+		// One node: the event graph carries no cross-node copies, so the DES
+		// floor is minimal and the per-iteration delta is dominated by the
+		// dependence-analysis path the trace is meant to eliminate.
+		sim := realm.MustNewSim(testConfig(1))
+		eng := New(sim, f.Prog, Modeled)
+		eng.NoTrace = noTrace
+		runtime.GC()
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		if _, err := eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+		runtime.ReadMemStats(&m1)
+		return m1.Mallocs - m0.Mallocs
+	}
+	perIter := func(noTrace bool) float64 {
+		short := mallocs(noTrace, 20)
+		long := mallocs(noTrace, 120)
+		return float64(long-short) / 100
+	}
+	untraced := perIter(true)
+	traced := perIter(false)
+	t.Logf("allocs per steady-state iteration: untraced=%.1f traced=%.1f", untraced, traced)
+	if untraced < 50 {
+		t.Fatalf("untraced analysis allocates only %.1f objects/iter; fixture no longer exercises the analysis path", untraced)
+	}
+	if traced > 24 {
+		t.Errorf("replayed iterations allocate %.1f objects/iter; want ~zero (<= 24)", traced)
+	}
+}

@@ -1,0 +1,396 @@
+package spmd
+
+// Shard-side trace capture & replay: the SPMD analogue of the implicit
+// runtime's loop traces (internal/rt/trace.go). A compiled loop's body is
+// structurally identical in every iteration — the cr compiler certifies as
+// much with its loop-boundary trace marker — so everything a shard resolves
+// per iteration that is NOT event-valued (instance-table lookups, copy pair
+// grouping, owner nodes, transfer sizes, kernel cost, Real-mode store
+// bindings) is captured into an immutable per-shard plan the first time the
+// shard runs under a given placement, and replayed thereafter.
+//
+// The event graph itself is still rebuilt each iteration — events are the
+// values that change — but from the plan's resolved pointers: replay walks
+// flat slices and instState pointers where interpretation hashed instKey
+// and tempKey maps for every argument of every task of every iteration.
+// Scalar statements stay live during replay (their values may be
+// data-dependent; only structural resolution is memoized), and the Sim
+// call sequence is identical to interpretation by construction, so traced
+// and untraced runs produce byte-identical schedules.
+//
+// Invalidation is by construction rather than by fingerprint: plans are
+// keyed by (runState, shard), and everything they resolve — tables, node
+// assignment, instance stores — is immutable for the runState's lifetime.
+// The one thing that changes resolution is shard failover (PR 2 recovery),
+// and that rebuilds the runState, discarding every plan with it.
+
+import (
+	"repro/internal/cr"
+	"repro/internal/geometry"
+	"repro/internal/ir"
+	"repro/internal/realm"
+	"repro/internal/region"
+)
+
+// TraceStats counts the shard-plan activity of one engine run.
+type TraceStats struct {
+	// PlansBuilt is the number of per-shard plans captured (one per shard
+	// per runState; failover rebuilds count again).
+	PlansBuilt int
+	// ReplayedIters is the total number of shard-iterations executed from a
+	// plan instead of interpreted.
+	ReplayedIters int
+}
+
+// shardPlan is one shard's memoized iteration: the body ops with all
+// non-event resolution done.
+type shardPlan struct {
+	ops []planOp
+}
+
+// planOp mirrors cr.BodyOp; exactly one field is set.
+type planOp struct {
+	set    *ir.SetScalar
+	launch *launchPlan
+	cp     *copyPlan
+}
+
+// launchPlan is a launch op resolved for one shard: its owned colors with
+// per-color argument states and kernel costs.
+type launchPlan struct {
+	l      *ir.Launch
+	reduce bool
+	node   *realm.Node
+	nodeID int
+	colors []launchColorPlan
+}
+
+type launchColorPlan struct {
+	col     geometry.Point
+	colIdx  int        // position in the global domain (collective index)
+	durBase realm.Time // kernel cost before noise
+	args    []argPlan
+	// Real-mode bindings: the physical arguments (iteration-invariant —
+	// ir.PhysArg is immutable, so the slice is shared by every iteration's
+	// task context) and the reduce-temp re-initializers.
+	physArgs []ir.PhysArg
+	reinits  []func()
+}
+
+// argPlan is one region argument's dependence state: reads append to
+// readers, writes and reductions advance lastWrite (reductions against the
+// launch's private temporary, which capture resolved into st).
+type argPlan struct {
+	priv ir.Privilege
+	st   *instState
+}
+
+// copyPlan is a copy op resolved for one shard: its slice of the pair work
+// with states, nodes, sizes, and Real-mode bodies bound.
+type copyPlan struct {
+	id    int
+	works []copyWorkPlan
+}
+
+type copyWorkPlan struct {
+	consumer             bool
+	dstState             *instState // set when consumer
+	groupStart, groupEnd int        // absolute pair index range of the group
+	prods                []copyProdPlan
+}
+
+type copyProdPlan struct {
+	pairIdx          int
+	chain            bool // fold-chain link: also wait on pairIdx-1's done
+	srcState         *instState
+	bytes            int64
+	srcNode, dstNode *realm.Node
+	body             func() // Real-mode transfer body; iteration-invariant
+}
+
+// planFor returns the shard's memoized plan, capturing it on first use.
+// Returns nil when tracing is off or the compiler marked the loop
+// untraceable. The ablation barrier lowering also runs interpreted: it is
+// the naive baseline and stays byte-for-byte the naive code path.
+func (st *runState) planFor(sh *shard) *shardPlan {
+	if st.e.NoTrace || !st.plan.Trace.Traceable || st.plan.Opts.Sync == cr.BarrierSync {
+		return nil
+	}
+	if sp := st.plans[sh.me]; sp != nil {
+		return sp
+	}
+	sp := st.capture(sh)
+	st.plans[sh.me] = sp
+	st.e.traceStats.PlansBuilt++
+	return sp
+}
+
+// capture resolves the compiled body for one shard. It performs exactly the
+// lookups interpretation would perform on the first iteration (creating the
+// same table entries and Real-mode temporaries, in the same order), so the
+// side effects on the shard table are identical.
+func (st *runState) capture(sh *shard) *shardPlan {
+	sp := &shardPlan{ops: make([]planOp, 0, len(st.plan.Body))}
+	for _, op := range st.plan.Body {
+		switch {
+		case op.Set != nil:
+			sp.ops = append(sp.ops, planOp{set: op.Set})
+		case op.Launch != nil:
+			sp.ops = append(sp.ops, planOp{launch: st.captureLaunch(sh, op.Launch)})
+		case op.Copy != nil:
+			sp.ops = append(sp.ops, planOp{cp: st.captureCopy(sh, op.Copy)})
+		}
+	}
+	return sp
+}
+
+// tempStore returns the Real-mode reduce temporary for tk, creating it like
+// buildCtx does on first use.
+func (st *runState) tempStore(tk tempKey, sub *region.Region) *region.Store {
+	buf, ok := st.temps[tk]
+	if !ok {
+		buf = region.NewStore(sub.IndexSpace(), st.e.Prog.FieldSpaceOf(sub))
+		st.temps[tk] = buf
+	}
+	return buf
+}
+
+func (st *runState) captureLaunch(sh *shard, l *ir.Launch) *launchPlan {
+	e := st.e
+	nodeID := st.nodeOfShard(sh.me)
+	lp := &launchPlan{
+		l:      l,
+		reduce: l.Reduce != nil,
+		node:   e.Sim.Node(nodeID),
+		nodeID: nodeID,
+	}
+	for _, col := range st.plan.Owned[sh.me] {
+		vol := l.Args[l.Task.CostArg].At(col).Volume()
+		cp := launchColorPlan{
+			col:     col,
+			colIdx:  st.plan.ColorIdx[col],
+			durBase: realm.Time(l.Task.Cost(vol) / float64(e.Over.KernelCores)),
+		}
+		for ai, a := range l.Args {
+			param := l.Task.Params[ai]
+			ap := argPlan{priv: param.Priv}
+			if param.Priv == ir.PrivReduce {
+				ap.st = sh.table.getTemp(tempKey{l, ai, col})
+			} else {
+				ap.st = sh.table.get(instKey{a.Part.ID(), col})
+			}
+			cp.args = append(cp.args, ap)
+			if e.Mode == ir.ExecReal {
+				sub := a.Part.Sub(col)
+				if param.Priv == ir.PrivReduce {
+					buf := st.tempStore(tempKey{l, ai, col}, sub)
+					cp.physArgs = append(cp.physArgs, ir.NewPhysArg(sub, buf, param))
+					fields, op := param.Fields, param.Op
+					cp.reinits = append(cp.reinits, func() {
+						for _, f := range fields {
+							buf.Fill(f, op.Identity())
+						}
+					})
+				} else {
+					cp.physArgs = append(cp.physArgs, ir.NewPhysArg(sub, st.inst[instKey{a.Part.ID(), col}], param))
+				}
+			}
+		}
+		lp.colors = append(lp.colors, cp)
+	}
+	return lp
+}
+
+func (st *runState) captureCopy(sh *shard, cp *cr.CopyOp) *copyPlan {
+	e := st.e
+	pairs := cp.Pairs
+	out := &copyPlan{id: cp.ID}
+	for _, work := range st.copySched[cp.ID][sh.me] {
+		g := work.group
+		w := copyWorkPlan{consumer: work.consumer, groupStart: g.start, groupEnd: g.end}
+		if work.consumer {
+			w.dstState = sh.table.get(instKey{cp.Dst.ID(), pairs[g.start].Dst})
+		}
+		for _, k := range work.prodPairs {
+			pr := pairs[k]
+			p := copyProdPlan{
+				pairIdx: k,
+				bytes:   pr.Overlap.Volume() * e.Over.EltBytes * int64(len(cp.Fields)),
+				srcNode: e.Sim.Node(st.ownerNode(pr.Src)),
+				dstNode: e.Sim.Node(st.ownerNode(pr.Dst)),
+			}
+			if cp.Reduce == region.ReduceNone {
+				p.srcState = sh.table.get(instKey{cp.Src.ID(), pr.Src})
+				if e.Mode == ir.ExecReal {
+					src := st.inst[instKey{cp.Src.ID(), pr.Src}]
+					dst := st.inst[instKey{cp.Dst.ID(), pr.Dst}]
+					fields, overlap := cp.Fields, pr.Overlap
+					p.body = func() {
+						for _, f := range fields {
+							dst.CopyFieldFrom(src, f, overlap)
+						}
+					}
+				}
+			} else {
+				p.chain = k > g.start
+				p.srcState = sh.table.getTemp(tempKey{cp.SrcLaunch, cp.SrcArg, pr.Src})
+				if e.Mode == ir.ExecReal {
+					buf := st.tempStore(tempKey{cp.SrcLaunch, cp.SrcArg, pr.Src}, cp.Src.Sub(pr.Src))
+					dst := st.inst[instKey{cp.Dst.ID(), pr.Dst}]
+					fields, op, overlap := cp.Fields, cp.Reduce, pr.Overlap
+					p.body = func() {
+						for _, f := range fields {
+							dst.ReduceFieldFrom(buf, f, op, overlap)
+						}
+					}
+				}
+			}
+			w.prods = append(w.prods, p)
+		}
+		out.works = append(out.works, w)
+	}
+	return out
+}
+
+// replayIter executes one iteration's body from the plan: the same Sim call
+// sequence as the interpreted body, with all resolution precomputed.
+func (sh *shard) replayIter(sp *shardPlan, iter int) {
+	for i := range sp.ops {
+		op := &sp.ops[i]
+		switch {
+		case op.set != nil:
+			sh.env.set(op.set.Name, op.set.Expr(sh.env))
+		case op.launch != nil:
+			sh.replayLaunch(op.launch, iter)
+		case op.cp != nil:
+			sh.replayCopy(op.cp, iter)
+		}
+	}
+	sh.st.e.traceStats.ReplayedIters++
+}
+
+// replayLaunch mirrors shard.doLaunch over the resolved plan.
+func (sh *shard) replayLaunch(lp *launchPlan, iter int) {
+	st := sh.st
+	e := st.e
+	l := lp.l
+
+	// Scalar arguments are evaluated live every iteration: forcing a
+	// future-valued scalar blocks the shard thread on its collective, and
+	// that wait is part of the schedule.
+	scalars := make([]float64, len(l.ScalarArgs))
+	for i, ex := range l.ScalarArgs {
+		scalars[i] = ex(sh.env)
+	}
+
+	localDone := sh.doneBuf[:0]
+	ctxs := sh.ctxBuf[:0]
+	for ci := range lp.colors {
+		cp := &lp.colors[ci]
+		sh.th.Elapse(e.Over.ShardLaunchBase)
+		pres := sh.presBuf[:0]
+		for _, a := range cp.args {
+			if a.priv == ir.PrivRead {
+				pres = append(pres, a.st.lastWrite)
+			} else {
+				pres = append(pres, a.st.lastWrite)
+				pres = append(pres, a.st.readers...)
+			}
+		}
+		dur := cp.durBase
+		if e.Over.Noise != nil {
+			dur = realm.Time(float64(dur) * e.Over.Noise(lp.nodeID, iter))
+		}
+
+		var body func()
+		var ctx *ir.TaskCtx
+		if e.Mode == ir.ExecReal {
+			// The context must be per-iteration (window run-ahead keeps
+			// several iterations' bodies in flight, each with its own Return
+			// and scalars), but the argument bindings alias the plan's.
+			ctx = &ir.TaskCtx{Color: cp.col, Scalars: scalars, Args: cp.physArgs}
+			kernel := l.Task.Kernel
+			reinits := cp.reinits
+			body = func() {
+				for _, re := range reinits {
+					re()
+				}
+				if kernel != nil {
+					kernel(ctx)
+				}
+			}
+		}
+		done := lp.node.LaunchAuto(e.Sim.Merge(pres...), dur, body)
+		sh.presBuf = pres[:0]
+
+		for _, a := range cp.args {
+			if a.priv == ir.PrivRead {
+				a.st.readers = append(a.st.readers, done)
+			} else {
+				a.st.lastWrite = done
+				a.st.readers = a.st.readers[:0]
+			}
+		}
+		if lp.reduce {
+			localDone = append(localDone, done)
+			ctxs = append(ctxs, ctx)
+		}
+		sh.ops = append(sh.ops, done)
+	}
+	sh.doneBuf, sh.ctxBuf = localDone[:0], ctxs[:0]
+
+	if lp.reduce {
+		coll := st.collFor(l, iter, l.Reduce.Op)
+		op := l.Reduce.Op
+		for k := range lp.colors {
+			ctx := ctxs[k]
+			coll.Contribute(lp.colors[k].colIdx, localDone[k], func() float64 {
+				if ctx == nil {
+					return op.Identity()
+				}
+				return ctx.Return
+			})
+		}
+		sh.env.setFuture(l.Reduce.Into, coll.Done(), coll.Result)
+		sh.ops = append(sh.ops, coll.Done())
+	}
+}
+
+// replayCopy mirrors shard.doCopyP2P over the resolved plan.
+func (sh *shard) replayCopy(cpl *copyPlan, iter int) {
+	st := sh.st
+	e := st.e
+	for wi := range cpl.works {
+		w := &cpl.works[wi]
+		if w.consumer {
+			s := w.dstState
+			rel := append(sh.evBuf[:0], s.readers...)
+			rel = append(rel, s.lastWrite)
+			release := e.Sim.Merge(rel...)
+			newWrites := append(sh.wrBuf[:0], s.lastWrite)
+			for k := w.groupStart; k < w.groupEnd; k++ {
+				ps := st.pairSyncFor(cpl.id, k, iter)
+				st.connect(release, ps.war)
+				newWrites = append(newWrites, ps.done)
+				sh.ops = append(sh.ops, ps.done)
+			}
+			s.lastWrite = e.Sim.Merge(newWrites...)
+			s.readers = s.readers[:0]
+			sh.evBuf, sh.wrBuf = rel[:0], newWrites[:0]
+		}
+		for pi := range w.prods {
+			p := &w.prods[pi]
+			ps := st.pairSyncFor(cpl.id, p.pairIdx, iter)
+			sh.th.Elapse(e.Over.CopySetup)
+			pres := append(sh.presBuf[:0], ps.war, p.srcState.lastWrite)
+			if p.chain {
+				pres = append(pres, st.pairSyncFor(cpl.id, p.pairIdx-1, iter).done)
+			}
+			ev := e.Sim.Copy(p.srcNode, p.dstNode, p.bytes, e.Sim.Merge(pres...), p.body)
+			p.srcState.readers = append(p.srcState.readers, ev)
+			st.connect(ev, ps.done)
+			sh.presBuf = pres[:0]
+			sh.ops = append(sh.ops, ps.done)
+		}
+	}
+}

@@ -192,6 +192,11 @@ func (sh *shard) runRange(lo, hi int) {
 	if window < 1 {
 		window = 1
 	}
+	// With tracing on, the compiled body is resolved once into a per-shard
+	// plan and every iteration replays it; otherwise each iteration is
+	// interpreted against the shard table. Both paths issue the identical
+	// Sim call sequence (see plan.go).
+	sp := st.planFor(sh)
 	n := hi - lo
 	iterDone := make([]realm.Event, n)
 	for i := 0; i < n; i++ {
@@ -201,17 +206,21 @@ func (sh *shard) runRange(lo, hi int) {
 		}
 		sh.env.set(plan.Loop.Var, float64(t))
 		sh.ops = sh.ops[:0]
-		for _, op := range plan.Body {
-			switch {
-			case op.Set != nil:
-				sh.env.set(op.Set.Name, op.Set.Expr(sh.env))
-			case op.Launch != nil:
-				sh.doLaunch(op.Launch, t)
-			case op.Copy != nil:
-				if plan.Opts.Sync == cr.BarrierSync {
-					sh.doCopyBarrier(op.Copy, t)
-				} else {
-					sh.doCopyP2P(op.Copy, t)
+		if sp != nil {
+			sh.replayIter(sp, t)
+		} else {
+			for _, op := range plan.Body {
+				switch {
+				case op.Set != nil:
+					sh.env.set(op.Set.Name, op.Set.Expr(sh.env))
+				case op.Launch != nil:
+					sh.doLaunch(op.Launch, t)
+				case op.Copy != nil:
+					if plan.Opts.Sync == cr.BarrierSync {
+						sh.doCopyBarrier(op.Copy, t)
+					} else {
+						sh.doCopyP2P(op.Copy, t)
+					}
 				}
 			}
 		}

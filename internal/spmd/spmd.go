@@ -79,6 +79,14 @@ type Engine struct {
 	// and executes exactly the plain SPMD schedule.
 	Recov Recovery
 
+	// NoTrace disables shard-plan capture/replay (see plan.go), forcing
+	// every iteration through the interpreter. The schedule is identical
+	// either way; the flag exists for the trace ablation and regression
+	// tests.
+	NoTrace bool
+
+	traceStats TraceStats
+
 	global    map[*region.Region]*region.Store
 	env       ir.MapEnv
 	iterTimes map[*ir.Loop][]realm.Time
@@ -137,6 +145,7 @@ func (e *Engine) Run() (*Result, error) {
 	e.iterTimes = make(map[*ir.Loop][]realm.Time)
 	e.report = nil
 	e.degraded = false
+	e.traceStats = TraceStats{}
 
 	var runErr error
 	ctlDone := false
@@ -174,6 +183,10 @@ func (e *Engine) Run() (*Result, error) {
 		Faults:    e.report,
 	}, nil
 }
+
+// TraceStats reports the shard-plan capture/replay counters of the last
+// Run.
+func (e *Engine) TraceStats() TraceStats { return e.traceStats }
 
 // runSim drives the simulation, converting panics from task kernels (which
 // execute inside the event loop) into errors so a faulty application

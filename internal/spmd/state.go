@@ -63,11 +63,6 @@ func (t *shardTable) getTemp(k tempKey) *instState {
 	return s
 }
 
-// syncKey identifies the synchronization of one copy pair in one iteration.
-type syncKey struct {
-	copyID, pairIdx, iter int
-}
-
 // pairSync is the point-to-point synchronization pair of §3.4: war is the
 // consumer's release (write-after-read: prior consumers of the destination
 // have finished), done is the producer's completion (read-after-write: the
@@ -75,19 +70,6 @@ type syncKey struct {
 // conditions, so neither side's control thread ever blocks on them.
 type pairSync struct {
 	war, done realm.Event
-}
-
-// barKey identifies one of the two barriers around a copy op in one
-// iteration under the naive barrier lowering (Figure 4c).
-type barKey struct {
-	copyID, iter, which int
-}
-
-// collKey identifies the dynamic collective of a scalar reduction in one
-// iteration.
-type collKey struct {
-	launch *ir.Launch
-	iter   int
 }
 
 // runState is the state shared by the shards of one replicated loop
@@ -101,9 +83,32 @@ type runState struct {
 	temps  map[tempKey]*region.Store // Real mode reduce temporaries
 	tables []*shardTable
 
-	sync  map[syncKey]*pairSync
-	bars  map[barKey]*realm.Barrier
-	colls map[collKey]*realm.Collective
+	// Dense per-iteration synchronization tables. The compiled plan fixes
+	// every copy pair and scalar reduction of an iteration, so instead of a
+	// lazily populated map keyed by (copy, pair, iteration), each iteration's
+	// sync events are one contiguous block reserved in bulk from the
+	// simulator (realm.ReserveEvents): slot arithmetic replaces hashing and
+	// per-pair allocations. pairOff maps CopyOp.ID to its first pair slot;
+	// iteration t's pair k of copy c lives at syncBase[t] + 2*(pairOff[c]+k)
+	// (war, then done). Collectives and ablation barriers are likewise
+	// indexed by (iteration, position).
+	pairOff   map[int]int
+	pairTotal int
+	syncBase  []realm.Event // per iteration; NoEvent until first touch
+
+	redIdx map[*ir.Launch]int
+	numRed int
+	colls  []*realm.Collective // [iter*numRed + redIdx], lazily created
+
+	barIdx    map[int]int
+	numBarOps int
+	bars      []*realm.Barrier // [(iter*numBarOps + barIdx)*2 + which], lazy
+
+	// plans are the per-shard memoized iteration plans (see plan.go); nil
+	// until a shard first runs, or always nil when tracing is off. Rebuilt
+	// runStates (shard failover, PR 2 recovery) start empty, which is the
+	// trace invalidation: the new placement re-resolves from scratch.
+	plans []*shardPlan
 
 	iterCount []int
 	iterTimes []realm.Time
@@ -132,17 +137,16 @@ func newRunState(e *Engine, plan *cr.Compiled, trip int, assign []int) *runState
 		inst:      make(map[instKey]*region.Store),
 		temps:     make(map[tempKey]*region.Store),
 		tables:    make([]*shardTable, ns),
-		sync:      make(map[syncKey]*pairSync),
-		bars:      make(map[barKey]*realm.Barrier),
-		colls:     make(map[collKey]*realm.Collective),
 		iterCount: make([]int, trip),
 		iterTimes: make([]realm.Time, trip),
 		assign:    assign,
 		curEnv:    copyEnv(e.env),
+		plans:     make([]*shardPlan, ns),
 	}
 	for s := range st.tables {
 		st.tables[s] = newShardTable()
 	}
+	st.indexSyncSlots(trip)
 	seen := make(map[int]bool, len(assign))
 	for _, n := range assign {
 		if !seen[n] {
@@ -155,36 +159,69 @@ func newRunState(e *Engine, plan *cr.Compiled, trip int, assign []int) *runState
 	return st
 }
 
-// pairSyncFor lazily creates the sync pair for (copy, pair, iteration);
-// producer and consumer may ask in either order.
-func (st *runState) pairSyncFor(copyID, pairIdx, iter int) *pairSync {
-	k := syncKey{copyID, pairIdx, iter}
-	ps, ok := st.sync[k]
-	if !ok {
-		ps = &pairSync{war: st.e.Sim.NewUserEvent(), done: st.e.Sim.NewUserEvent()}
-		st.sync[k] = ps
+// indexSyncSlots assigns every copy op's pairs, every scalar reduction, and
+// every ablation barrier a dense position, sizing the per-iteration tables.
+func (st *runState) indexSyncSlots(trip int) {
+	st.pairOff = make(map[int]int)
+	st.redIdx = make(map[*ir.Launch]int)
+	st.barIdx = make(map[int]int)
+	for _, op := range st.plan.Body {
+		switch {
+		case op.Copy != nil:
+			if _, ok := st.pairOff[op.Copy.ID]; !ok {
+				st.pairOff[op.Copy.ID] = st.pairTotal
+				st.pairTotal += len(op.Copy.Pairs)
+				st.barIdx[op.Copy.ID] = st.numBarOps
+				st.numBarOps++
+			}
+		case op.Launch != nil && op.Launch.Reduce != nil:
+			if _, ok := st.redIdx[op.Launch]; !ok {
+				st.redIdx[op.Launch] = st.numRed
+				st.numRed++
+			}
+		}
 	}
-	return ps
+	st.syncBase = make([]realm.Event, trip)
+	for i := range st.syncBase {
+		st.syncBase[i] = realm.NoEvent
+	}
+	st.colls = make([]*realm.Collective, trip*st.numRed)
+	if st.plan.Opts.Sync == cr.BarrierSync {
+		st.bars = make([]*realm.Barrier, trip*st.numBarOps*2)
+	}
+}
+
+// pairSyncFor returns the sync pair for (copy, pair, iteration); producer
+// and consumer may ask in either order. The first touch of an iteration
+// reserves its whole sync block in bulk.
+func (st *runState) pairSyncFor(copyID, pairIdx, iter int) pairSync {
+	base := st.syncBase[iter]
+	if base == realm.NoEvent {
+		base = st.e.Sim.ReserveEvents(2 * st.pairTotal)
+		st.syncBase[iter] = base
+	}
+	war := base + realm.Event(2*(st.pairOff[copyID]+pairIdx))
+	return pairSync{war: war, done: war + 1}
 }
 
 // barrierFor lazily creates one of a copy op's two global barriers.
 func (st *runState) barrierFor(copyID, iter, which int) *realm.Barrier {
-	k := barKey{copyID, iter, which}
-	b, ok := st.bars[k]
-	if !ok {
+	i := (iter*st.numBarOps+st.barIdx[copyID])*2 + which
+	b := st.bars[i]
+	if b == nil {
 		b = st.e.Sim.NewBarrier(st.plan.Opts.NumShards)
-		st.bars[k] = b
+		st.bars[i] = b
 	}
 	return b
 }
 
 // collFor lazily creates the dynamic collective for a scalar reduction.
 func (st *runState) collFor(l *ir.Launch, iter int, op region.ReductionOp) *realm.Collective {
-	k := collKey{l, iter}
-	c, ok := st.colls[k]
-	if !ok {
+	i := iter*st.numRed + st.redIdx[l]
+	c := st.colls[i]
+	if c == nil {
 		c = st.e.Sim.NewCollective(len(st.plan.Domain), op.Identity(), op.Fold)
-		st.colls[k] = c
+		st.colls[i] = c
 	}
 	return c
 }
