@@ -8,10 +8,20 @@
 // Usage:
 //
 //	crc [-app stencil|miniaero|pennant|circuit] [-nodes N] [-shards N]
-//	    [-sync p2p|barrier] [-pairs]
+//	    [-sync p2p|barrier] [-pairs] [-verify] [-verify-json file]
+//
+// -verify runs the static race/sync verifier (internal/verify) over the
+// compiled loop and reports every conflicting access pair the inserted
+// copies and sync fail to order. -verify-json writes the full report
+// (findings + stats) as JSON to the given file, or to stdout with "-",
+// and implies -verify.
+//
+// Exit status: 0 on success, 1 on usage or compile errors, 2 when the
+// verifier finds unordered or misordered pairs.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -20,6 +30,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/ir"
 	"repro/internal/region"
+	"repro/internal/verify"
 )
 
 func main() {
@@ -29,6 +40,8 @@ func main() {
 	syncMode := flag.String("sync", "p2p", "synchronization lowering: p2p or barrier")
 	showPairs := flag.Bool("pairs", false, "list every communication pair")
 	dump := flag.Bool("dump", false, "print the source program before compiling")
+	doVerify := flag.Bool("verify", false, "statically verify the compiled schedule (exit 2 on findings)")
+	verifyJSON := flag.String("verify-json", "", "write the verification report as JSON to this file (\"-\" = stdout); implies -verify")
 	flag.Parse()
 
 	app, err := harness.AppByName(*appName)
@@ -130,4 +143,38 @@ func main() {
 		count, reduceCount, vol)
 	fmt.Printf("intersections: shallow %v (%d candidates), complete %v (%d non-empty pairs)\n",
 		plan.Timings.Shallow, plan.Timings.Candidates, plan.Timings.Complete, plan.Timings.Pairs)
+
+	if *doVerify || *verifyJSON != "" {
+		rep, err := verify.Verify(plan)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "crc: verify:", err)
+			os.Exit(1)
+		}
+		if *verifyJSON != "" {
+			buf, err := json.MarshalIndent(rep, "", "  ")
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "crc: verify:", err)
+				os.Exit(1)
+			}
+			buf = append(buf, '\n')
+			if *verifyJSON == "-" {
+				os.Stdout.Write(buf)
+			} else if err := os.WriteFile(*verifyJSON, buf, 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "crc: verify:", err)
+				os.Exit(1)
+			}
+		}
+		s := rep.Stats
+		fmt.Printf("\nstatic verification: %d conflicts (%d cross-shard) over %d instances, %d-node happens-before graph\n",
+			s.Conflicts, s.CrossShard, s.Instances, s.Nodes)
+		if rep.OK() {
+			fmt.Println("verified: every conflicting pair is ordered by the inserted copies and sync")
+		} else {
+			for _, f := range rep.Findings {
+				fmt.Printf("  FAIL %s\n", f)
+			}
+			fmt.Printf("verification FAILED: %d unordered/misordered pairs\n", len(rep.Findings))
+			os.Exit(2)
+		}
+	}
 }

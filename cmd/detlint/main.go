@@ -1,0 +1,97 @@
+// Command detlint runs the determinism analyzers (internal/lint) over Go
+// packages. It speaks two protocols:
+//
+//	detlint [-json] [packages...]     standalone; defaults to the
+//	                                  simulator core (realm, rt, spmd)
+//	go vet -vettool=$(which detlint)  unit-at-a-time under the go command
+//
+// Exit status: 0 clean, 1 usage or load failure, 2 findings.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+// defaultPackages is the determinism boundary: the DES and the two
+// executors must replay bit-identically.
+var defaultPackages = []string{
+	"repro/internal/realm",
+	"repro/internal/rt",
+	"repro/internal/spmd",
+}
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	// go vet probes the tool before handing it compilation units.
+	for _, a := range args {
+		switch {
+		case a == "-V=full" || a == "--V=full":
+			fmt.Printf("detlint version v1.0.0\n")
+			return 0
+		case a == "-flags" || a == "--flags":
+			fmt.Println("[]")
+			return 0
+		}
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		code, err := lint.VetUnit(os.Stderr, args)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "detlint:", err)
+			return 1
+		}
+		return code
+	}
+
+	fs := flag.NewFlagSet("detlint", flag.ContinueOnError)
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = defaultPackages
+	}
+	pkgs, err := lint.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "detlint:", err)
+		return 1
+	}
+	var diags []lint.Diagnostic
+	for _, p := range pkgs {
+		diags = append(diags, lint.Run(p.Fset, p.Files, p.Types, p.Info, lint.All())...)
+	}
+	if *jsonOut {
+		type finding struct {
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Column   int    `json:"column"`
+			Analyzer string `json:"analyzer"`
+			Message  string `json:"message"`
+		}
+		out := make([]finding, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, finding{d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(out)
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	fmt.Fprintf(os.Stderr, "detlint: %d package(s) clean\n", len(pkgs))
+	return 0
+}

@@ -7,8 +7,12 @@
 //
 //	weakscale [-app stencil|miniaero|pennant|circuit|all] [-nodes 1,2,...]
 //	          [-iters N] [-j workers] [-csv] [-v] [-faults seed:rate]
-//	          [-trace on|off] [-benchjson file]
+//	          [-trace on|off] [-benchjson file] [-verify]
 //	          [-cpuprofile file] [-memprofile file]
+//
+// -verify statically verifies every compiled schedule (internal/verify)
+// at each swept node count before running it, and aborts the sweep with
+// exit status 2 if any conflicting access pair is left unordered.
 //
 // -trace=off disables runtime trace capture/replay (the PR 3 ablation).
 // The printed series are identical either way — tracing only changes host
@@ -36,9 +40,41 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/cr"
 	"repro/internal/harness"
 	"repro/internal/realm"
+	"repro/internal/spmd"
+	"repro/internal/verify"
 )
+
+// verifyApp statically verifies the app's compiled schedules at every
+// swept node count, under both sync lowerings. It returns the number of
+// findings printed.
+func verifyApp(app harness.App, nodes []int) int {
+	bad := 0
+	for _, n := range nodes {
+		prog, _ := app.BuildProgram(n)
+		for _, sync := range []cr.SyncMode{cr.PointToPoint, cr.BarrierSync} {
+			plans, err := spmd.CompileAll(prog, cr.Options{NumShards: n, Sync: sync})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "weakscale: %s @ %d nodes (%v): compile: %v\n", app.Name, n, sync, err)
+				bad++
+				continue
+			}
+			rep, err := verify.VerifyAll(prog, plans)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "weakscale: %s @ %d nodes (%v): verify: %v\n", app.Name, n, sync, err)
+				bad++
+				continue
+			}
+			for _, f := range rep.Findings {
+				fmt.Fprintf(os.Stderr, "weakscale: %s @ %d nodes (%v): FAIL %s\n", app.Name, n, sync, f)
+				bad++
+			}
+		}
+	}
+	return bad
+}
 
 // benchRow is one measurement cell in the -benchjson snapshot.
 type benchRow struct {
@@ -95,6 +131,7 @@ func main() {
 	faults := flag.String("faults", "", "inject faults: seed:rate (crash rate in crashes per simulated second)")
 	trace := flag.String("trace", "on", "runtime trace capture/replay: on or off (ablation; results are identical)")
 	benchjson := flag.String("benchjson", "", "write the sweep results as a JSON snapshot to this file")
+	doVerify := flag.Bool("verify", false, "statically verify every compiled schedule before sweeping (exit 2 on findings)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -169,6 +206,18 @@ func main() {
 	var progress func(string)
 	if *verbose {
 		progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
+	}
+
+	if *doVerify {
+		bad := 0
+		for _, app := range apps {
+			bad += verifyApp(app, nodes)
+		}
+		if bad > 0 {
+			fmt.Fprintf(os.Stderr, "weakscale: static verification failed (%d findings); not sweeping\n", bad)
+			os.Exit(2)
+		}
+		fmt.Fprintln(os.Stderr, "weakscale: static verification passed for every app, node count, and sync lowering")
 	}
 
 	snap := benchSnapshot{Nodes: nodes, Trace: *trace, Faults: *faults}

@@ -1,0 +1,160 @@
+package cr
+
+// Corner cases of the target-program analysis (analyze.go): conflicts
+// require a writer, aliasing, AND intersecting fields — dropping any one
+// of the three must keep the loop replicable.
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/geometry"
+	"repro/internal/ir"
+	"repro/internal/region"
+)
+
+// cornerFixture is a region with two structurally identical disjoint
+// block partitions (distinct partition objects over the same index space,
+// so they alias each other but not themselves) and two fields.
+type cornerFixture struct {
+	prog   *ir.Program
+	b      *region.Region
+	p1, p2 *region.Partition
+	x, y   region.FieldID
+	nt     int64
+}
+
+func newCornerFixture() *cornerFixture {
+	const n, nt = 24, 4
+	p := ir.NewProgram("corner")
+	fs := region.NewFieldSpace("x", "y")
+	x, y := fs.Field("x"), fs.Field("y")
+	b := p.Tree.NewRegion("B", geometry.NewIndexSpace(geometry.R1(0, n-1)))
+	p.FieldSpaces[b] = fs
+	return &cornerFixture{
+		prog: p, b: b,
+		p1: b.Block("P1", nt), p2: b.Block("P2", nt),
+		x: x, y: y, nt: nt,
+	}
+}
+
+func (f *cornerFixture) task(name string, params ...ir.Param) *ir.TaskDecl {
+	return &ir.TaskDecl{Name: name, Params: params, CostPerElem: 1}
+}
+
+func (f *cornerFixture) loop(launches ...ir.Stmt) *ir.Loop {
+	l := &ir.Loop{Var: "t", Trip: 2, Body: launches}
+	f.prog.Add(l)
+	return l
+}
+
+// TestAnalyzeReadOnlyAliasedPair: two launches (and one launch with two
+// arguments) reading the same data through aliased partitions conflict
+// with nobody — read-read pairs need no ordering, so the loop compiles
+// and no copies are inserted between the aliased readers.
+func TestAnalyzeReadOnlyAliasedPair(t *testing.T) {
+	f := newCornerFixture()
+	r2 := f.task("R2",
+		ir.Param{Name: "a", Priv: ir.PrivRead, Fields: []region.FieldID{f.x}},
+		ir.Param{Name: "b", Priv: ir.PrivRead, Fields: []region.FieldID{f.x}},
+	)
+	r1 := f.task("R1", ir.Param{Name: "a", Priv: ir.PrivRead, Fields: []region.FieldID{f.x}})
+	loop := f.loop(
+		&ir.Launch{Task: r2, Domain: ir.Colors1D(f.nt), Args: []ir.RegionArg{{Part: f.p1}, {Part: f.p2}}},
+		&ir.Launch{Task: r1, Domain: ir.Colors1D(f.nt), Args: []ir.RegionArg{{Part: f.p2}}},
+	)
+	c, err := Compile(f.prog, loop, Options{NumShards: 2})
+	if err != nil {
+		t.Fatalf("read-only aliased arguments must be replicable: %v", err)
+	}
+	for _, op := range c.Body {
+		if op.Copy != nil {
+			t.Errorf("no writer in the loop, but a copy was inserted: %v", op.Copy)
+		}
+	}
+}
+
+// TestAnalyzeAliasedPartitionsSameIndexSpace: a writer through one block
+// partition and a reader through a distinct but structurally identical
+// one. The partitions alias (same subregions of the same region), so the
+// compiler must treat the reader as consuming the writer's data and
+// insert a copy between them.
+func TestAnalyzeAliasedPartitionsSameIndexSpace(t *testing.T) {
+	f := newCornerFixture()
+	w := f.task("W", ir.Param{Name: "a", Priv: ir.PrivReadWrite, Fields: []region.FieldID{f.x}})
+	r := f.task("R", ir.Param{Name: "a", Priv: ir.PrivRead, Fields: []region.FieldID{f.x}})
+	loop := f.loop(
+		&ir.Launch{Task: w, Domain: ir.Colors1D(f.nt), Args: []ir.RegionArg{{Part: f.p1}}},
+		&ir.Launch{Task: r, Domain: ir.Colors1D(f.nt), Args: []ir.RegionArg{{Part: f.p2}}},
+	)
+	c, err := Compile(f.prog, loop, Options{NumShards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cp *CopyOp
+	for _, op := range c.Body {
+		if op.Copy != nil {
+			cp = op.Copy
+		}
+	}
+	if cp == nil || cp.Src != f.p1 || cp.Dst != f.p2 {
+		t.Fatalf("expected a P1 -> P2 copy between the aliased partitions, body: %v", kinds(c))
+	}
+	// Identical blockings: each destination color overlaps exactly its own
+	// source color, nothing else.
+	if int64(len(cp.Pairs)) != f.nt {
+		t.Errorf("copy has %d pairs, want %d (one per color)", len(cp.Pairs), f.nt)
+	}
+	for _, pr := range cp.Pairs {
+		if pr.Src != pr.Dst {
+			t.Errorf("identically-blocked partitions should only overlap same-color: %v", pr)
+		}
+	}
+}
+
+// TestAnalyzeIntraLaunchAliasedConflict: the same aliased write/read pair
+// inside ONE launch is rejected — point tasks of a forall may run in any
+// order, so a conflict between two arguments of the same launch makes the
+// loop not actually parallel.
+func TestAnalyzeIntraLaunchAliasedConflict(t *testing.T) {
+	f := newCornerFixture()
+	wr := f.task("WR",
+		ir.Param{Name: "a", Priv: ir.PrivReadWrite, Fields: []region.FieldID{f.x}},
+		ir.Param{Name: "b", Priv: ir.PrivRead, Fields: []region.FieldID{f.x}},
+	)
+	loop := f.loop(
+		&ir.Launch{Task: wr, Domain: ir.Colors1D(f.nt), Args: []ir.RegionArg{{Part: f.p1}, {Part: f.p2}}},
+	)
+	_, err := Compile(f.prog, loop, Options{NumShards: 2})
+	if err == nil || !strings.Contains(err.Error(), "conflicting aliased arguments") {
+		t.Fatalf("conflicting aliased arguments in one launch must be rejected, got err=%v", err)
+	}
+}
+
+// TestAnalyzeEmptyFieldIntersection: the same aliased write/read pair is
+// fine — even inside one launch — when the two arguments touch disjoint
+// field sets, and no copy is inserted for the untouched field.
+func TestAnalyzeEmptyFieldIntersection(t *testing.T) {
+	f := newCornerFixture()
+	wr := f.task("WR",
+		ir.Param{Name: "a", Priv: ir.PrivReadWrite, Fields: []region.FieldID{f.x}},
+		ir.Param{Name: "b", Priv: ir.PrivRead, Fields: []region.FieldID{f.y}},
+	)
+	loop := f.loop(
+		&ir.Launch{Task: wr, Domain: ir.Colors1D(f.nt), Args: []ir.RegionArg{{Part: f.p1}, {Part: f.p2}}},
+	)
+	c, err := Compile(f.prog, loop, Options{NumShards: 2})
+	if err != nil {
+		t.Fatalf("disjoint field sets cannot conflict: %v", err)
+	}
+	for _, op := range c.Body {
+		if op.Copy == nil {
+			continue
+		}
+		for _, fd := range op.Copy.Fields {
+			if fd == f.y {
+				t.Errorf("field y is never written; copy %v should not move it", op.Copy)
+			}
+		}
+	}
+}

@@ -1,0 +1,198 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeModule lays out a throwaway module for the loader.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	files["go.mod"] = "module lintcheck\n\ngo 1.24\n"
+	for name, src := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func loadAndRun(t *testing.T, files map[string]string) []Diagnostic {
+	t.Helper()
+	dir := writeModule(t, files)
+	pkgs, err := Load(dir, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var diags []Diagnostic
+	for _, p := range pkgs {
+		diags = append(diags, Run(p.Fset, p.Files, p.Types, p.Info, All())...)
+	}
+	return diags
+}
+
+// expect asserts one diagnostic per want entry, matched by analyzer name
+// and message substring, in order.
+func expect(t *testing.T, diags []Diagnostic, want ...[2]string) {
+	t.Helper()
+	if len(diags) != len(want) {
+		for _, d := range diags {
+			t.Logf("got: %s", d)
+		}
+		t.Fatalf("got %d diagnostics, want %d", len(diags), len(want))
+	}
+	for i, w := range want {
+		if diags[i].Analyzer != w[0] || !strings.Contains(diags[i].Message, w[1]) {
+			t.Errorf("diagnostic %d = %s; want [%s] ...%s...", i, diags[i], w[0], w[1])
+		}
+	}
+}
+
+func TestWallclock(t *testing.T) {
+	diags := loadAndRun(t, map[string]string{"a.go": `package a
+
+import (
+	"math/rand"
+	"time"
+)
+
+func bad() (time.Time, time.Duration, int) {
+	t0 := time.Now()
+	rand.Shuffle(3, func(i, j int) {})
+	return t0, time.Since(t0), rand.Intn(7)
+}
+
+func good(seed int64) (int, time.Time) {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(7), time.Unix(0, 0)
+}
+`})
+	expect(t, diags,
+		[2]string{"wallclock", "time.Now"},
+		[2]string{"wallclock", "rand.Shuffle"},
+		[2]string{"wallclock", "time.Since"},
+		[2]string{"wallclock", "rand.Intn"},
+	)
+}
+
+func TestMapRange(t *testing.T) {
+	diags := loadAndRun(t, map[string]string{"a.go": `package a
+
+import (
+	"fmt"
+	"sort"
+)
+
+func flagged(m map[string]int, ch chan string) []string {
+	var lost []string
+	for k := range m {
+		fmt.Println(k) // call
+		ch <- k        // send
+		lost = append(lost, k)
+	}
+	return lost // never sorted
+}
+
+func clean(m map[string]int) (int, map[string]int, []string) {
+	total := 0
+	out := make(map[string]int, len(m))
+	var keys []string
+	for k, v := range m {
+		total += v
+		out[k] = int(int64(v)) // conversions and builtins are fine
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Println(k)
+	}
+	return total, out, keys
+}
+`})
+	expect(t, diags,
+		[2]string{"maprange", "function call inside map iteration"},
+		[2]string{"maprange", "channel send inside map iteration"},
+		[2]string{"maprange", `slice "lost" collected from map iteration is never sorted`},
+	)
+}
+
+func TestGoroutine(t *testing.T) {
+	diags := loadAndRun(t, map[string]string{"a.go": `package a
+
+func bad(done chan struct{}) {
+	go func() { close(done) }()
+}
+`})
+	expect(t, diags, [2]string{"goroutine", "go statement"})
+}
+
+func TestIgnoreDirective(t *testing.T) {
+	diags := loadAndRun(t, map[string]string{"a.go": `package a
+
+import "time"
+
+func suppressed() (time.Time, time.Time) {
+	//detlint:ignore measured for a log line only, never fed back into the schedule
+	a := time.Now()
+	b := time.Now() //detlint:ignore same-line suppression
+	return a, b
+}
+
+func bare() time.Time {
+	//detlint:ignore
+	return time.Now()
+}
+`})
+	expect(t, diags,
+		[2]string{"detlint", "requires a reason"},
+		[2]string{"wallclock", "time.Now"},
+	)
+}
+
+// TestVetUnit drives the go vet -vettool entry point directly with a
+// hand-built cfg, the same JSON the go command writes.
+func TestVetUnit(t *testing.T) {
+	dir := writeModule(t, map[string]string{"a.go": `package a
+
+import "time"
+
+func Bad() time.Time { return time.Now() }
+`})
+	vetx := filepath.Join(dir, "facts.vetx")
+	cfg, err := json.Marshal(map[string]any{
+		"ImportPath": "lintcheck",
+		"Dir":        dir,
+		"GoFiles":    []string{filepath.Join(dir, "a.go"), filepath.Join(dir, "skip_test.go")},
+		"VetxOutput": vetx,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgPath := filepath.Join(dir, "unit.cfg")
+	if err := os.WriteFile(cfgPath, cfg, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	var stderr bytes.Buffer
+	code, err := VetUnit(&stderr, []string{cfgPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2; stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "time.Now reads the wall clock") {
+		t.Fatalf("stderr = %q, want a time.Now diagnostic", stderr.String())
+	}
+	if _, err := os.Stat(vetx); err != nil {
+		t.Fatalf("facts file not written: %v", err)
+	}
+}

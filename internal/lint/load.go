@@ -1,0 +1,145 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+)
+
+// A Package is one loaded, typechecked package ready for analysis.
+type Package struct {
+	PkgPath string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+}
+
+// listPkg is the subset of `go list -json` output the loader needs.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// Load resolves patterns with the go tool and typechecks the matched
+// packages entirely from source: `go list -deps -json` emits every
+// dependency before its dependents, so one pass over the stream builds
+// the import graph bottom-up with no need for compiled export data. Test
+// files are not loaded — the determinism contract covers shipped code.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	pkgs, err := listDeps(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	ld := &loader{fset: fset, pkgs: map[string]*types.Package{"unsafe": types.Unsafe}}
+	var targets []*Package
+	for _, lp := range pkgs {
+		if lp.ImportPath == "unsafe" {
+			continue
+		}
+		pkg, files, info, err := ld.check(lp)
+		if err != nil {
+			return nil, fmt.Errorf("typecheck %s: %v", lp.ImportPath, err)
+		}
+		ld.pkgs[lp.ImportPath] = pkg
+		if !lp.DepOnly {
+			targets = append(targets, &Package{
+				PkgPath: lp.ImportPath,
+				Fset:    fset,
+				Files:   files,
+				Types:   pkg,
+				Info:    info,
+			})
+		}
+	}
+	return targets, nil
+}
+
+// listDeps resolves patterns (default ".") in dir via the go tool and
+// returns the matched packages plus their full dependency closure, with
+// every package listed after its dependencies.
+func listDeps(dir string, patterns ...string) ([]*listPkg, error) {
+	args := append([]string{"list", "-e", "-deps", "-json=ImportPath,Dir,Name,GoFiles,Standard,DepOnly,Error"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var out, errb bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &out, &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, errb.Bytes())
+	}
+	var pkgs []*listPkg
+	dec := json.NewDecoder(&out)
+	for {
+		lp := new(listPkg)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %v", err)
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("package %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		pkgs = append(pkgs, lp)
+	}
+	return pkgs, nil
+}
+
+// loader typechecks packages in dependency order and doubles as the
+// importer for everything checked so far.
+type loader struct {
+	fset *token.FileSet
+	pkgs map[string]*types.Package
+}
+
+func (l *loader) Import(path string) (*types.Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	return nil, fmt.Errorf("package %s not loaded (dependency order violated)", path)
+}
+
+func (l *loader) check(lp *listPkg) (*types.Package, []*ast.File, *types.Info, error) {
+	var files []*ast.File
+	for _, name := range lp.GoFiles {
+		f, err := parser.ParseFile(l.fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{
+		Importer:         l,
+		Sizes:            types.SizesFor("gc", runtime.GOARCH),
+		FakeImportC:      true,
+		IgnoreFuncBodies: lp.DepOnly,
+		// Assembly-backed stdlib functions have no Go bodies; tolerate
+		// their (and any other) soft errors in dependencies — only the
+		// target packages must analyze, not compile.
+		Error: func(error) {},
+	}
+	pkg, err := conf.Check(lp.ImportPath, l.fset, files, info)
+	if err != nil && !lp.DepOnly && !lp.Standard {
+		return nil, nil, nil, err
+	}
+	return pkg, files, info, nil
+}

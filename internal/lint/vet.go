@@ -1,0 +1,171 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// vetConfig mirrors the JSON the go command hands a -vettool per
+// compilation unit (the x/tools unitchecker wire format).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// VetUnit implements one `go vet -vettool` invocation: args is the
+// argument list after the program name, expected to hold a single
+// *.cfg path. Diagnostics go to stderr in the standard file:line:col
+// format; the exit code is 0 when clean, 2 when findings exist (the
+// unitchecker convention the go command understands).
+func VetUnit(stderr io.Writer, args []string) (exitCode int, err error) {
+	if len(args) != 1 {
+		return 0, fmt.Errorf("usage: detlint unit.cfg (go vet -vettool protocol)")
+	}
+	data, err := os.ReadFile(args[0])
+	if err != nil {
+		return 0, err
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return 0, fmt.Errorf("parsing vet config %s: %v", args[0], err)
+	}
+	// detlint carries no facts between packages, but the go command
+	// expects the facts file to exist for caching and downstream units.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			return 0, err
+		}
+	}
+	if cfg.VetxOnly {
+		return 0, nil
+	}
+	// go vet merges a package's _test.go files into its unit (and emits
+	// external _test packages as their own units). The determinism
+	// contract covers shipped code only, so analyze just the non-test
+	// sources; dependency closures from `go list -deps` then suffice to
+	// typecheck them. An all-test unit has nothing to analyze.
+	shipped := cfg.GoFiles[:0]
+	for _, f := range cfg.GoFiles {
+		if !strings.HasSuffix(f, "_test.go") {
+			shipped = append(shipped, f)
+		}
+	}
+	cfg.GoFiles = shipped
+	if len(cfg.GoFiles) == 0 {
+		return 0, nil
+	}
+	diags, err := analyzeUnit(&cfg)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0, nil
+		}
+		return 0, err
+	}
+	for _, d := range diags {
+		fmt.Fprintf(stderr, "%s: %s\n", d.Pos, d.Message)
+	}
+	if len(diags) > 0 {
+		return 2, nil
+	}
+	return 0, nil
+}
+
+// analyzeUnit typechecks the unit's sources and runs the analyzers. The
+// go command supplies compiled export data for every import, but its
+// format is toolchain-internal; instead the unit's dependency closure is
+// reloaded from source via the same loader the standalone mode uses —
+// slower, but self-contained.
+func analyzeUnit(cfg *vetConfig) ([]Diagnostic, error) {
+	deps, fset, err := loadDeps(cfg)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(cfg.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{
+		Importer:    importerFunc(func(path string) (*types.Package, error) { return deps.Import(vetImportPath(cfg, path)) }),
+		FakeImportC: true,
+		Error:       func(error) {},
+	}
+	pkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	return Run(fset, files, pkg, info, All()), nil
+}
+
+// vetImportPath resolves a source-level import path through the unit's
+// vendor/ImportMap indirection.
+func vetImportPath(cfg *vetConfig, path string) string {
+	if mapped, ok := cfg.ImportMap[path]; ok {
+		return mapped
+	}
+	return path
+}
+
+// loadDeps typechecks the unit's import closure from source, reusing the
+// standalone loader by listing the unit's package directory.
+func loadDeps(cfg *vetConfig) (*loader, *token.FileSet, error) {
+	fset := token.NewFileSet()
+	ld := &loader{fset: fset, pkgs: map[string]*types.Package{"unsafe": types.Unsafe}}
+	pkgs, err := listDeps(cfg.Dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, lp := range pkgs {
+		if lp.ImportPath == "unsafe" || lp.ImportPath == cfg.ImportPath {
+			continue
+		}
+		pkg, _, _, err := ld.checkDep(lp)
+		if err != nil {
+			return nil, nil, fmt.Errorf("typecheck dependency %s: %v", lp.ImportPath, err)
+		}
+		ld.pkgs[lp.ImportPath] = pkg
+	}
+	return ld, fset, nil
+}
+
+func (l *loader) checkDep(lp *listPkg) (*types.Package, []*ast.File, *types.Info, error) {
+	dep := *lp
+	dep.DepOnly = true
+	return l.check(&dep)
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

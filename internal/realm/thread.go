@@ -46,6 +46,7 @@ func (s *Sim) Spawn(name string, proc *Proc, fn func(*Thread)) *Thread {
 	t.runFn = t.run
 	t.wakeFn = t.wake
 	s.liveThreads[t] = true
+	//detlint:ignore threads are goroutine-backed coroutines: exactly one runs at a time, handed off through t.resume, so the scheduler fully orders them
 	go func() {
 		<-t.resume // wait for first scheduling
 		func() {

@@ -16,12 +16,35 @@ package rt
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/geometry"
 	"repro/internal/ir"
 	"repro/internal/realm"
 	"repro/internal/region"
 )
+
+// sortedKeys returns the map's keys in sorted order so that ranges which
+// construct shared state or force scalar futures stay deterministic
+// (detlint maprange).
+func sortedKeys[V any](m map[string]V) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// sortedRoots returns region roots ordered by creation ID.
+func sortedRoots[V any](m map[*region.Region]V) []*region.Region {
+	rs := make([]*region.Region, 0, len(m))
+	for r := range m {
+		rs = append(rs, r)
+	}
+	sort.Slice(rs, func(i, j int) bool { return rs[i].ID() < rs[j].ID() })
+	return rs
+}
 
 // Mode selects real kernel execution or cost-model-only execution.
 type Mode = ir.ExecMode
@@ -174,14 +197,14 @@ func (e *Engine) Run() (*Result, error) {
 
 	e.stores = make(map[*region.Region]*region.Store)
 	if e.Mode == Real {
-		for root, fs := range e.Prog.FieldSpaces {
-			e.stores[root] = region.NewStore(root.IndexSpace(), fs)
+		for _, root := range sortedRoots(e.Prog.FieldSpaces) {
+			e.stores[root] = region.NewStore(root.IndexSpace(), e.Prog.FieldSpaces[root])
 		}
 	}
 	e.users = make(map[*region.Region][]*use)
 	e.env = make(map[string]*scalarVal)
-	for k, v := range e.Prog.Scalars {
-		e.env[k] = resolvedScalar(v)
+	for _, k := range sortedKeys(e.Prog.Scalars) {
+		e.env[k] = resolvedScalar(e.Prog.Scalars[k])
 	}
 	e.pairCache = make(map[pairKey][]pairInfo)
 	e.unionCache = make(map[*region.Partition]geometry.IndexSpace)
@@ -224,8 +247,8 @@ func (e *Engine) Run() (*Result, error) {
 		Elapsed:   elapsed,
 		Stats:     e.Sim.Stats(),
 	}
-	for k, sv := range e.env {
-		res.Env[k] = sv.val()
+	for _, k := range sortedKeys(e.env) {
+		res.Env[k] = e.env[k].val()
 	}
 	return res, nil
 }

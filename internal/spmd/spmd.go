@@ -15,6 +15,7 @@ package spmd
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/cr"
 	"repro/internal/geometry"
@@ -134,8 +135,13 @@ func (e *Engine) Run() (*Result, error) {
 	}
 	e.global = make(map[*region.Region]*region.Store)
 	if e.Mode == ir.ExecReal {
-		for root, fs := range e.Prog.FieldSpaces {
-			e.global[root] = region.NewStore(root.IndexSpace(), fs)
+		roots := make([]*region.Region, 0, len(e.Prog.FieldSpaces))
+		for root := range e.Prog.FieldSpaces {
+			roots = append(roots, root)
+		}
+		sort.Slice(roots, func(i, j int) bool { return roots[i].ID() < roots[j].ID() })
+		for _, root := range roots {
+			e.global[root] = region.NewStore(root.IndexSpace(), e.Prog.FieldSpaces[root])
 		}
 	}
 	e.env = ir.MapEnv{}

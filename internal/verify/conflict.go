@@ -1,0 +1,153 @@
+package verify
+
+import (
+	"repro/internal/geometry"
+	"repro/internal/region"
+)
+
+// conflict is a pair of accesses to the same instance with intersecting
+// fields, intersecting elements, and at least one writer, oriented by the
+// sequential program order.
+type conflict struct {
+	earlier, later access
+	fields         []region.FieldID
+	overlap        geometry.IndexSpace
+	crossShard     bool
+}
+
+// enumerateConflicts groups the recorded accesses by physical instance and
+// emits every conflicting pair, along with the number of distinct
+// instances. Instances are visited in first-access order, so the output is
+// deterministic.
+func enumerateConflicts(g *graph, accs []access) ([]conflict, int) {
+	byInst := make(map[instRef][]int)
+	var order []instRef
+	for i := range accs {
+		r := accs[i].inst
+		if _, ok := byInst[r]; !ok {
+			order = append(order, r)
+		}
+		byInst[r] = append(byInst[r], i)
+	}
+	var out []conflict
+	for _, inst := range order {
+		idxs := byInst[inst]
+		for x := 0; x < len(idxs); x++ {
+			for y := x + 1; y < len(idxs); y++ {
+				a, b := &accs[idxs[x]], &accs[idxs[y]]
+				if a.n == b.n {
+					// One op's accesses to the same instance (a copy reads
+					// and writes overlap regions of a self-fold) need no
+					// ordering with themselves.
+					continue
+				}
+				if !a.write && !b.write {
+					continue
+				}
+				fi := fieldIntersection(a.fields, b.fields)
+				if len(fi) == 0 {
+					continue
+				}
+				ov := a.space.Intersect(b.space)
+				if ov.Empty() {
+					continue
+				}
+				e, l := a, b
+				ai, ab, as := g.seqKey(a.n)
+				bi, bb, bs := g.seqKey(b.n)
+				if seqLess(bi, bb, bs, ai, ab, as) ||
+					(!seqLess(ai, ab, as, bi, bb, bs) && b.n < a.n) {
+					e, l = b, a
+				}
+				out = append(out, conflict{
+					earlier:    *e,
+					later:      *l,
+					fields:     fi,
+					overlap:    ov,
+					// Cross-shard means two distinct shards; control-thread
+					// ops (init, finalization) have no shard.
+					crossShard: g.nodes[a.n].shard >= 0 && g.nodes[b.n].shard >= 0 &&
+						g.nodes[a.n].shard != g.nodes[b.n].shard,
+				})
+			}
+		}
+	}
+	return out, len(order)
+}
+
+// fieldIntersection returns the fields present in both lists, in a's
+// order. Field lists are tiny (a handful per partition), so the quadratic
+// scan beats building sets.
+func fieldIntersection(a, b []region.FieldID) []region.FieldID {
+	var out []region.FieldID
+	for _, f := range a {
+		for _, h := range b {
+			if f == h {
+				out = append(out, f)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// reachability answers "is there a happens-before path from a to b" for
+// all node pairs at once: one reverse-topological sweep computes each
+// node's full successor set as a bitset, so every query is a bit test. The
+// happens-before graph is a DAG by construction (events only wait on
+// previously created events), and stays one when edges are removed.
+type reachability struct {
+	bits  [][]uint64
+	words int
+}
+
+func newReachability(g *graph, adj [][]nodeID) *reachability {
+	n := len(g.nodes)
+	words := (n + 63) / 64
+	r := &reachability{bits: make([][]uint64, n), words: words}
+	indeg := make([]int32, n)
+	for _, succs := range adj {
+		for _, v := range succs {
+			indeg[v]++
+		}
+	}
+	queue := make([]nodeID, 0, n)
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			queue = append(queue, nodeID(i))
+		}
+	}
+	topo := make([]nodeID, 0, n)
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		topo = append(topo, u)
+		for _, v := range adj[u] {
+			indeg[v]--
+			if indeg[v] == 0 {
+				queue = append(queue, v)
+			}
+		}
+	}
+	if len(topo) != n {
+		panic("verify: happens-before graph has a cycle")
+	}
+	for i := n - 1; i >= 0; i-- {
+		u := topo[i]
+		bs := make([]uint64, words)
+		for _, v := range adj[u] {
+			bs[int(v)/64] |= 1 << (uint(v) % 64)
+			if vb := r.bits[v]; vb != nil {
+				for w := range bs {
+					bs[w] |= vb[w]
+				}
+			}
+		}
+		r.bits[u] = bs
+	}
+	return r
+}
+
+func (r *reachability) reaches(from, to nodeID) bool {
+	return r.bits[from][int(to)/64]&(1<<(uint(to)%64)) != 0
+}

@@ -1,0 +1,96 @@
+package verify
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cr"
+	"repro/internal/progtest"
+)
+
+// TestRandomPrograms extends the randomized cross-engine equivalence suite
+// (DESIGN.md §5) to the static checker: every random program's compilation
+// must verify clean under both sync lowerings, and deleting one randomly
+// chosen essential sync must fail verification with findings attributed to
+// the mutated copy.
+func TestRandomPrograms(t *testing.T) {
+	seeds := 30
+	if testing.Short() {
+		seeds = 8
+	}
+	for seed := int64(0); seed < int64(seeds); seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			prog, _, _ := progtest.RandomProgram(seed)
+			rng := rand.New(rand.NewSource(seed * 7919))
+			for li, loop := range findLoops(prog) {
+				for _, sync := range []cr.SyncMode{cr.PointToPoint, cr.BarrierSync} {
+					c := compile(t, prog, loop, 3, sync)
+					a, err := Analyze(c)
+					if err != nil {
+						t.Fatalf("loop %d %v: %v", li, sync, err)
+					}
+					if rep := a.Check(); !rep.OK() {
+						for _, f := range rep.Findings {
+							t.Errorf("loop %d %v false positive: %s", li, sync, f)
+						}
+						t.Fatalf("loop %d %v: clean compilation failed verification", li, sync)
+					}
+					var essential []Mutation
+					for _, m := range a.Mutations() {
+						if m.Essential {
+							essential = append(essential, m)
+						}
+					}
+					if len(essential) == 0 {
+						continue // loop without inserted cross-color sync
+					}
+					m := essential[rng.Intn(len(essential))]
+					rep := a.Check(m.Drop...)
+					if rep.OK() {
+						t.Errorf("loop %d %v: deleting %s left the schedule verified", li, sync, m.Name)
+					}
+					for _, f := range rep.Findings {
+						if !m.Covers(f) {
+							t.Errorf("loop %d %v: mutation %s produced unrelated finding: %s", li, sync, m.Name, f)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestRandomProgramsAllEssentialMutations is the exhaustive version over a
+// smaller seed range: every essential mutation of every loop must be
+// detected.
+func TestRandomProgramsAllEssentialMutations(t *testing.T) {
+	seeds := 10
+	if testing.Short() {
+		seeds = 3
+	}
+	for seed := int64(0); seed < int64(seeds); seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			prog, _, _ := progtest.RandomProgram(seed)
+			for li, loop := range findLoops(prog) {
+				for _, sync := range []cr.SyncMode{cr.PointToPoint, cr.BarrierSync} {
+					c := compile(t, prog, loop, 3, sync)
+					a, err := Analyze(c)
+					if err != nil {
+						t.Fatalf("loop %d %v: %v", li, sync, err)
+					}
+					for _, m := range a.Mutations() {
+						if !m.Essential {
+							continue
+						}
+						if rep := a.Check(m.Drop...); rep.OK() {
+							t.Errorf("loop %d %v: missed essential mutation %s", li, sync, m.Name)
+						}
+					}
+				}
+			}
+		})
+	}
+}

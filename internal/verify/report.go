@@ -1,0 +1,163 @@
+package verify
+
+import (
+	"fmt"
+
+	"repro/internal/cr"
+	"repro/internal/region"
+)
+
+// OpRef is one side of a finding's witness: which op touched the instance,
+// where it sits in the unrolled program, and on which shard it runs.
+type OpRef struct {
+	// Iter is the unrolled iteration (-1 for pre-loop ops, the iteration
+	// count for finalization).
+	Iter int `json:"iter"`
+	// Body is the index of the op in the compiled loop body (-1 for
+	// initialization, 0 for finalization).
+	Body int `json:"body"`
+	// Pair is the copy pair index for copy ops, 0 for tasks.
+	Pair int `json:"pair"`
+	// Kind is "task", "copy", "init", "init-copy", or "final".
+	Kind string `json:"kind"`
+	// Label names the op: the launch label / task name, or the copy
+	// description.
+	Label string `json:"label,omitempty"`
+	// Copy is the CopyOp ID for copy ops, -1 otherwise.
+	Copy int `json:"copy"`
+	// Shard issues the op; -1 for the control thread.
+	Shard int `json:"shard"`
+	// Color is the task's launch point or the copy pair's destination.
+	Color string `json:"color"`
+	// Write reports whether this side writes the conflicting elements.
+	Write bool `json:"write"`
+}
+
+// Finding is one conflicting access pair the happens-before relation fails
+// to cover, with a concrete witness.
+type Finding struct {
+	// Kind is "unordered" (no happens-before path at all — a race) or
+	// "misordered" (ordered only against the sequential program order).
+	Kind string `json:"kind"`
+	// Instance names the physical instance both ops touch.
+	Instance string `json:"instance"`
+	// Fields are the names of the conflicting fields.
+	Fields []string `json:"fields"`
+	// Overlap is the conflicting element set; Elems its cardinality.
+	Overlap    string `json:"overlap"`
+	Elems      int64  `json:"elems"`
+	CrossShard bool   `json:"cross_shard"`
+	// A is the sequentially earlier op, B the later one.
+	A OpRef `json:"a"`
+	B OpRef `json:"b"`
+}
+
+// String renders the witness on one line.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s fields %v overlap %s (%d elems): %s vs %s",
+		f.Kind, f.Instance, f.Fields, f.Overlap, f.Elems, f.A, f.B)
+}
+
+// String renders one side of a witness.
+func (o OpRef) String() string {
+	rw := "read"
+	if o.Write {
+		rw = "write"
+	}
+	return fmt.Sprintf("%s %q@%s iter=%d body=%d pair=%d shard=%d (%s)",
+		o.Kind, o.Label, o.Color, o.Iter, o.Body, o.Pair, o.Shard, rw)
+}
+
+func (a *Analysis) finding(kind string, cf conflict) Finding {
+	return Finding{
+		Kind:       kind,
+		Instance:   a.instName(cf.earlier.inst),
+		Fields:     a.fieldNames(cf),
+		Overlap:    cf.overlap.String(),
+		Elems:      cf.overlap.Volume(),
+		CrossShard: cf.crossShard,
+		A:          a.opRef(cf.earlier),
+		B:          a.opRef(cf.later),
+	}
+}
+
+func (a *Analysis) instName(r instRef) string {
+	if r.part != nil {
+		return fmt.Sprintf("%s[%v]", r.part.Name(), r.color)
+	}
+	name := r.l.Label
+	if name == "" {
+		name = r.l.Task.Name
+	}
+	return fmt.Sprintf("reduce-temp(%s/%d)[%v]", name, r.arg, r.color)
+}
+
+func (a *Analysis) fieldNames(cf conflict) []string {
+	r := cf.earlier.inst
+	var root *region.Region
+	if r.part != nil {
+		root = r.part.Parent()
+	} else {
+		root = r.l.Args[r.arg].Part.Parent()
+	}
+	fs := a.c.Prog.FieldSpaceOf(root)
+	out := make([]string, len(cf.fields))
+	for i, f := range cf.fields {
+		out[i] = fs.Name(f)
+	}
+	return out
+}
+
+func (a *Analysis) opRef(ac access) OpRef {
+	nd := &a.g.nodes[ac.n]
+	ref := OpRef{
+		Iter:  int(nd.iter),
+		Body:  int(nd.body),
+		Pair:  int(nd.sub),
+		Copy:  int(nd.copyID),
+		Shard: int(nd.shard),
+		Color: nd.color.String(),
+		Write: ac.write,
+	}
+	switch nd.kind {
+	case kInit:
+		ref.Kind, ref.Label = "init", "instance initialization"
+	case kInitCopy:
+		ref.Kind = "init-copy"
+		if cp := a.copyByID(nd.copyID); cp != nil {
+			ref.Label = cp.String()
+		}
+	case kTask:
+		ref.Kind = "task"
+		if l := a.c.Body[nd.body].Launch; l != nil {
+			ref.Label = l.Label
+			if ref.Label == "" {
+				ref.Label = l.Task.Name
+			}
+		}
+	case kCopy:
+		ref.Kind = "copy"
+		if cp := a.copyByID(nd.copyID); cp != nil {
+			ref.Label = cp.String()
+		}
+	case kFinal:
+		ref.Kind, ref.Label = "final", "finalization read-back"
+	default:
+		ref.Kind = "event"
+	}
+	return ref
+}
+
+func (a *Analysis) copyByID(id int32) *cr.CopyOp {
+	for _, op := range a.c.Body {
+		if op.Copy != nil && op.Copy.ID == int(id) {
+			return op.Copy
+		}
+	}
+	for _, cp := range a.c.InitCopies {
+		if cp.ID == int(id) {
+			return cp
+		}
+	}
+	return nil
+}

@@ -1,0 +1,195 @@
+// Package verify is a static race/synchronization verifier for compiled
+// SPMD programs: it checks, without executing anything, that the copies and
+// point-to-point synchronization (or barriers) the cr compiler inserts
+// order every pair of conflicting region accesses the way the sequential
+// semantics does.
+//
+// The paper's central correctness claim is that control replication makes
+// the SPMD shards observationally equivalent to the sequential control
+// thread. The executors check that dynamically (goldens, bitwise equality
+// against the sequential engine); this package turns it into a statically
+// checkable compiler invariant:
+//
+//  1. Conflict enumeration: every physical instance (partition subregion,
+//     or reduce temporary) is accessed by task launches, inserted copies,
+//     initialization, and finalization. Two accesses conflict when their
+//     field sets intersect, their element index spaces intersect (the same
+//     geometry machinery the compiler's own interference analysis uses),
+//     and at least one writes. Reduction applications count as writes:
+//     floating-point folds are ordered by the sequential semantics, so
+//     their relative order must be fixed even though they commute
+//     algebraically.
+//
+//  2. Happens-before construction: a symbolic replay of the SPMD
+//     executor's issue loop over two unrolled loop iterations builds the
+//     event DAG the shards would build — local dependence edges from the
+//     per-instance lastWrite/readers tables, the per-pair war/done
+//     point-to-point sync events, reduction chain edges, the two global
+//     barriers per copy in the ablation lowering, and the phase edges
+//     around initialization and finalization. Run-ahead window edges are
+//     deliberately NOT included: the schedule must be correct under
+//     unbounded deferred execution, not rescued by the window.
+//
+//  3. Checking: every conflicting pair must be connected by a
+//     happens-before path in the direction of the sequential program
+//     order. A pair with no path is reported as "unordered" (a race); a
+//     pair ordered only backwards is "misordered" (sequentially
+//     inequivalent). Witnesses carry the two ops, their iteration offsets,
+//     shard pair, and the exact region/field intersection.
+//
+// Two unrolled iterations suffice in steady state: the compiled body is
+// structurally identical every iteration, so any conflict at distance >= 2
+// iterations is covered by a transitive chain of distance <= 1 conflicts
+// through the intervening accesses of the same instance.
+//
+// Sync edges are labeled so the mutation harness (mutate.go) can delete
+// each inserted synchronization in turn and assert the checker flags
+// exactly the newly broken pairs — a soundness check on the checker.
+package verify
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cr"
+	"repro/internal/ir"
+)
+
+// Analysis is the reusable result of building the conflict set and the
+// happens-before graph for one compiled loop. Check answers queries
+// against it, optionally with sync edges deleted.
+type Analysis struct {
+	c         *cr.Compiled
+	g         *graph
+	conflicts []conflict
+	insts     int
+	accesses  int
+}
+
+// Stats summarizes the size of the verification problem.
+type Stats struct {
+	Nodes      int `json:"nodes"`
+	Edges      int `json:"edges"`
+	Instances  int `json:"instances"`
+	Accesses   int `json:"accesses"`
+	Conflicts  int `json:"conflicts"`
+	CrossShard int `json:"cross_shard_conflicts"`
+	Iters      int `json:"unrolled_iters"`
+}
+
+// Report is the outcome of one verification pass.
+type Report struct {
+	Findings []Finding `json:"findings"`
+	Stats    Stats     `json:"stats"`
+}
+
+// OK reports whether every conflicting pair is correctly ordered.
+func (r *Report) OK() bool { return len(r.Findings) == 0 }
+
+// Analyze builds the conflict set and happens-before graph for a compiled
+// loop. The same Analysis can serve many Check calls (the mutation harness
+// re-checks with edges dropped without rebuilding).
+func Analyze(c *cr.Compiled) (*Analysis, error) {
+	if c == nil {
+		return nil, fmt.Errorf("verify: nil compiled loop")
+	}
+	b := newBuilder(c)
+	g, accs := b.build()
+	confs, insts := enumerateConflicts(g, accs)
+	return &Analysis{c: c, g: g, conflicts: confs, insts: insts, accesses: len(accs)}, nil
+}
+
+// Check verifies every conflicting pair against the happens-before
+// relation, treating edges whose label is in drop as deleted (everywhere
+// they occur, i.e. in every unrolled iteration — the static analogue of
+// the compiler never having inserted that synchronization).
+func (a *Analysis) Check(drop ...EdgeID) *Report {
+	dropped := make(map[EdgeID]bool, len(drop))
+	for _, d := range drop {
+		dropped[d] = true
+	}
+	adj := a.g.adjacency(dropped)
+	reach := newReachability(a.g, adj)
+	rep := &Report{Findings: []Finding{}, Stats: Stats{
+		Nodes:      len(a.g.nodes),
+		Edges:      len(a.g.edges),
+		Instances:  a.insts,
+		Accesses:   a.accesses,
+		Conflicts:  len(a.conflicts),
+		Iters:      a.g.iters,
+	}}
+	for _, cf := range a.conflicts {
+		if cf.crossShard {
+			rep.Stats.CrossShard++
+		}
+		if reach.reaches(cf.earlier.n, cf.later.n) {
+			continue
+		}
+		kind := "unordered"
+		if reach.reaches(cf.later.n, cf.earlier.n) {
+			kind = "misordered"
+		}
+		rep.Findings = append(rep.Findings, a.finding(kind, cf))
+	}
+	sortFindings(rep.Findings)
+	return rep
+}
+
+// Verify analyzes and checks a compiled loop in one call.
+func Verify(c *cr.Compiled) (*Report, error) {
+	a, err := Analyze(c)
+	if err != nil {
+		return nil, err
+	}
+	return a.Check(), nil
+}
+
+// VerifyAll verifies every compiled loop of a program (the plan map
+// produced by spmd.CompileAll), returning the first failing report, or the
+// merged passing stats. Loops are visited in program order.
+func VerifyAll(prog *ir.Program, plans map[*ir.Loop]*cr.Compiled) (*Report, error) {
+	merged := &Report{}
+	for _, s := range prog.Stmts {
+		loop, ok := s.(*ir.Loop)
+		if !ok {
+			continue
+		}
+		plan, ok := plans[loop]
+		if !ok {
+			continue
+		}
+		rep, err := Verify(plan)
+		if err != nil {
+			return nil, err
+		}
+		merged.Stats.Nodes += rep.Stats.Nodes
+		merged.Stats.Edges += rep.Stats.Edges
+		merged.Stats.Instances += rep.Stats.Instances
+		merged.Stats.Accesses += rep.Stats.Accesses
+		merged.Stats.Conflicts += rep.Stats.Conflicts
+		merged.Stats.CrossShard += rep.Stats.CrossShard
+		merged.Stats.Iters += rep.Stats.Iters
+		merged.Findings = append(merged.Findings, rep.Findings...)
+	}
+	sortFindings(merged.Findings)
+	return merged, nil
+}
+
+func sortFindings(fs []Finding) {
+	sort.SliceStable(fs, func(i, j int) bool {
+		a, b := &fs[i], &fs[j]
+		if a.Instance != b.Instance {
+			return a.Instance < b.Instance
+		}
+		if a.A.Iter != b.A.Iter {
+			return a.A.Iter < b.A.Iter
+		}
+		if a.A.Body != b.A.Body {
+			return a.A.Body < b.A.Body
+		}
+		if a.B.Iter != b.B.Iter {
+			return a.B.Iter < b.B.Iter
+		}
+		return a.B.Body < b.B.Body
+	})
+}
