@@ -21,11 +21,16 @@ import (
 var benchNodes = []int{1, 4, 16, 64, 256, 1024}
 
 func runFigure(b *testing.B, name string, noTrace bool) {
+	runFigureShare(b, name, noTrace, false)
+}
+
+func runFigureShare(b *testing.B, name string, noTrace, noShare bool) {
 	app, err := harness.AppByName(name)
 	if err != nil {
 		b.Fatal(err)
 	}
 	app.NoTrace = noTrace
+	app.NoShare = noShare
 	for i := 0; i < b.N; i++ {
 		series, err := harness.RunFigure(app, benchNodes, nil)
 		if err != nil {
@@ -52,6 +57,13 @@ func BenchmarkFigure6Stencil(b *testing.B) { runFigure(b, "stencil", false) }
 // figure must be byte-identical to BenchmarkFigure6Stencil (tracing never
 // changes the simulated schedule); only host wall-clock differs.
 func BenchmarkFigure6StencilNoTrace(b *testing.B) { runFigure(b, "stencil", true) }
+
+// BenchmarkFigure6StencilNoShare is the trace-sharing ablation of Figure 6:
+// tracing stays on but every shard captures its own plan (the O(shards)
+// behavior) instead of specializing one shared capture. The printed figure
+// must be byte-identical to BenchmarkFigure6Stencil; only host wall-clock
+// capture work differs.
+func BenchmarkFigure6StencilNoShare(b *testing.B) { runFigureShare(b, "stencil", false, true) }
 
 // BenchmarkFigure7 regenerates Figure 7: MiniAero weak scaling (Regent vs
 // MPI+Kokkos in rank-per-core and rank-per-node configurations).

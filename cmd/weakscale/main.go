@@ -7,16 +7,25 @@
 //
 //	weakscale [-app stencil|miniaero|pennant|circuit|all] [-nodes 1,2,...]
 //	          [-iters N] [-j workers] [-csv] [-v] [-faults seed:rate]
-//	          [-trace on|off] [-benchjson file] [-verify]
-//	          [-cpuprofile file] [-memprofile file]
+//	          [-trace on|off] [-trace-share on|off] [-benchjson file]
+//	          [-verify] [-cpuprofile file] [-memprofile file]
 //
 // -verify statically verifies every compiled schedule (internal/verify)
-// at each swept node count before running it, and aborts the sweep with
-// exit status 2 if any conflicting access pair is left unordered.
+// at each swept node count before running it — including the specialization
+// tables that license cross-shard trace sharing — and aborts the sweep with
+// exit status 2 if any conflicting access pair is left unordered or any
+// table diverges from recomputation.
 //
 // -trace=off disables runtime trace capture/replay (the PR 3 ablation).
 // The printed series are identical either way — tracing only changes host
-// wall-clock — so the flag exists to demonstrate exactly that.
+// wall-clock — so the flag exists to demonstrate exactly that. With
+// tracing on, both runtimes' trace counters are printed after each app
+// (to stderr, so CSV output stays clean).
+//
+// -trace-share=off keeps tracing but disables cross-shard sharing: every
+// SPMD shard captures its own plan (the O(shards) PR 3 behavior) instead
+// of specializing one shared capture. Series are identical either way; the
+// capture counters show the O(shards)-vs-O(1) difference.
 //
 // -benchjson writes the sweep results to a JSON snapshot file (one object
 // with the sweep parameters and a flat result row per measurement cell);
@@ -40,6 +49,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/bench"
 	"repro/internal/cr"
 	"repro/internal/harness"
 	"repro/internal/realm"
@@ -71,6 +81,10 @@ func verifyApp(app harness.App, nodes []int) int {
 				fmt.Fprintf(os.Stderr, "weakscale: %s @ %d nodes (%v): FAIL %s\n", app.Name, n, sync, f)
 				bad++
 			}
+			if err := verify.CheckSpecAll(prog, plans); err != nil {
+				fmt.Fprintf(os.Stderr, "weakscale: %s @ %d nodes (%v): FAIL %v\n", app.Name, n, sync, err)
+				bad++
+			}
 		}
 	}
 	return bad
@@ -90,10 +104,11 @@ type benchRow struct {
 
 // benchSnapshot is the top-level -benchjson document.
 type benchSnapshot struct {
-	Nodes   []int      `json:"nodes"`
-	Trace   string     `json:"trace"`
-	Faults  string     `json:"faults,omitempty"`
-	Results []benchRow `json:"results"`
+	Nodes      []int      `json:"nodes"`
+	Trace      string     `json:"trace"`
+	TraceShare string     `json:"trace_share"`
+	Faults     string     `json:"faults,omitempty"`
+	Results    []benchRow `json:"results"`
 }
 
 // parseFaults parses the -faults argument, "seed:rate".
@@ -130,6 +145,7 @@ func main() {
 	verbose := flag.Bool("v", false, "print per-measurement progress")
 	faults := flag.String("faults", "", "inject faults: seed:rate (crash rate in crashes per simulated second)")
 	trace := flag.String("trace", "on", "runtime trace capture/replay: on or off (ablation; results are identical)")
+	traceShare := flag.String("trace-share", "on", "cross-shard trace sharing: on or off (ablation; results are identical)")
 	benchjson := flag.String("benchjson", "", "write the sweep results as a JSON snapshot to this file")
 	doVerify := flag.Bool("verify", false, "statically verify every compiled schedule before sweeping (exit 2 on findings)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -190,6 +206,11 @@ func main() {
 		os.Exit(1)
 	}
 	noTrace := *trace == "off"
+	if *traceShare != "on" && *traceShare != "off" {
+		fmt.Fprintf(os.Stderr, "weakscale: bad -trace-share %q (want on or off)\n", *traceShare)
+		os.Exit(1)
+	}
+	noShare := *traceShare == "off"
 
 	var apps []harness.App
 	if *appName == "all" {
@@ -220,17 +241,28 @@ func main() {
 		fmt.Fprintln(os.Stderr, "weakscale: static verification passed for every app, node count, and sync lowering")
 	}
 
-	snap := benchSnapshot{Nodes: nodes, Trace: *trace, Faults: *faults}
+	snap := benchSnapshot{Nodes: nodes, Trace: *trace, TraceShare: *traceShare, Faults: *faults}
 	for _, app := range apps {
 		if *iters > 0 {
 			app.Iters = *iters
 		}
 		app.Faults = fp
 		app.NoTrace = noTrace
+		app.NoShare = noShare
+		var agg *bench.TraceAgg
+		if !noTrace {
+			agg = &bench.TraceAgg{}
+			app.Trace = agg
+		}
 		series, err := harness.RunFigureParallel(app, nodes, *workers, progress)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "weakscale:", err)
 			os.Exit(1)
+		}
+		if agg != nil {
+			rtStats, spmdStats := agg.Snapshot()
+			fmt.Fprintf(os.Stderr, "weakscale: %s rt trace: %+v\n", app.Name, rtStats)
+			fmt.Fprintf(os.Stderr, "weakscale: %s spmd trace: %+v\n", app.Name, spmdStats)
 		}
 		for _, s := range series {
 			for _, p := range s.Points {

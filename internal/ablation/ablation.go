@@ -110,6 +110,15 @@ func runConfig(prog *ir.Program, loop *ir.Loop, nodes int, opts cr.Options, wind
 // disables shard-plan capture/replay, the -trace=off ablation. Every
 // metric except host wall-clock is identical either way.
 func runConfigTrace(prog *ir.Program, loop *ir.Loop, nodes int, opts cr.Options, window int, noise realm.NoiseFn, noTrace bool) (Metrics, error) {
+	return runConfigShare(prog, loop, nodes, opts, window, noise, noTrace, false)
+}
+
+// runConfigShare adds the cross-shard sharing switch on top of
+// runConfigTrace: noShare keeps tracing but makes every shard capture its
+// own plan (the O(shards) behavior) instead of specializing one shared
+// capture, the -trace-share=off ablation. As with noTrace, every
+// simulated metric is identical either way.
+func runConfigShare(prog *ir.Program, loop *ir.Loop, nodes int, opts cr.Options, window int, noise realm.NoiseFn, noTrace, noShare bool) (Metrics, error) {
 	plan, err := cr.Compile(prog, loop, opts)
 	if err != nil {
 		return Metrics{}, err
@@ -137,6 +146,7 @@ func runConfigTrace(prog *ir.Program, loop *ir.Loop, nodes int, opts cr.Options,
 	}
 	eng.Over.Noise = noise
 	eng.NoTrace = noTrace
+	eng.NoShare = noShare
 	res, err := eng.Run()
 	if err != nil {
 		return Metrics{}, err

@@ -8,6 +8,7 @@ package bench
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/cr"
 	"repro/internal/ir"
@@ -85,6 +86,54 @@ type MeasureOpts struct {
 	// simulated schedule is identical either way — the flag exists for the
 	// trace ablation series and wall-clock comparisons.
 	NoTrace bool
+	// NoShare disables cross-shard trace sharing in the SPMD executor:
+	// every shard captures its own plan (O(shards) capture work) instead of
+	// specializing one shared capture. Schedules are identical either way —
+	// the flag exists for the -trace-share ablation.
+	NoShare bool
+	// Trace, when non-nil, accumulates both runtimes' trace counters across
+	// the measurement (safe under the parallel sweep harness).
+	Trace *TraceAgg
+}
+
+// TraceAgg accumulates trace-layer counters across the (possibly parallel)
+// measurements of a sweep. Pass one instance through MeasureOpts.Trace.
+type TraceAgg struct {
+	mu   sync.Mutex
+	rt   rt.TraceStats
+	spmd spmd.TraceStats
+}
+
+func (a *TraceAgg) addRT(s rt.TraceStats) {
+	a.mu.Lock()
+	a.rt.LoopsTraced += s.LoopsTraced
+	a.rt.CaptureIters += s.CaptureIters
+	a.rt.Promotions += s.Promotions
+	a.rt.ReplayedIters += s.ReplayedIters
+	a.rt.ReplayedLaunches += s.ReplayedLaunches
+	a.rt.Invalidations += s.Invalidations
+	a.rt.Abandoned += s.Abandoned
+	a.rt.SharedPoints += s.SharedPoints
+	a.mu.Unlock()
+}
+
+func (a *TraceAgg) addSPMD(s spmd.TraceStats) {
+	a.mu.Lock()
+	a.spmd.Captures += s.Captures
+	a.spmd.PerShardCaptures += s.PerShardCaptures
+	a.spmd.Specializations += s.Specializations
+	a.spmd.ReplayedIters += s.ReplayedIters
+	a.spmd.Invalidations += s.Invalidations
+	a.spmd.Ships += s.Ships
+	a.spmd.ShippedBytes += s.ShippedBytes
+	a.mu.Unlock()
+}
+
+// Snapshot returns the accumulated counters.
+func (a *TraceAgg) Snapshot() (rt.TraceStats, spmd.TraceStats) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.rt, a.spmd
 }
 
 // MeasureImplicit runs the program on the implicit (non-CR) runtime in
@@ -110,6 +159,9 @@ func MeasureImplicit(prog *ir.Program, loop *ir.Loop, nodes int, tune Tuning, op
 	res, err := eng.Run()
 	if err != nil {
 		return 0, err
+	}
+	if opts.Trace != nil {
+		opts.Trace.addRT(eng.TraceStats())
 	}
 	return steadyState(res.IterTimes[loop], warmup(loop.Trip))
 }
@@ -141,9 +193,13 @@ func MeasureCR(prog *ir.Program, loop *ir.Loop, nodes int, sync cr.SyncMode, tun
 	eng.Over.Window = tune.Window
 	eng.Over.Noise = tune.Noise
 	eng.NoTrace = opts.NoTrace
+	eng.NoShare = opts.NoShare
 	res, err := eng.Run()
 	if err != nil {
 		return 0, err
+	}
+	if opts.Trace != nil {
+		opts.Trace.addSPMD(eng.TraceStats())
 	}
 	if res.Faults != nil && res.Faults.Unrecovered {
 		return 0, fmt.Errorf("bench: %s", res.Faults.Reason)

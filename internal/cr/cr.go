@@ -172,6 +172,13 @@ type Compiled struct {
 	Timings IntersectTimings
 	Report  Report
 
+	// Spec is the specialization metadata for cross-shard plan sharing:
+	// the copy work lists each shard executes, pair volumes and endpoint
+	// shards, kernel cost volumes, and the owned-block offsets — everything
+	// shard- and placement-independent that the executor would otherwise
+	// re-derive per shard per run state (see spec.go).
+	Spec SpecTable
+
 	// Trace is the loop-boundary trace marker: whether the compiled body is
 	// a replayable per-iteration plan (every op, copy pair, and sync slot is
 	// identical across iterations, so an executor may memoize its resolution
@@ -224,6 +231,7 @@ func Compile(prog *ir.Program, loop *ir.Loop, opts Options) (*Compiled, error) {
 		return nil, err
 	}
 	c.createShards()
+	c.buildSpec()
 	c.computeInstFields()
 	for _, op := range c.Body {
 		if op.Copy != nil {

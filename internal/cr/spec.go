@@ -1,0 +1,187 @@
+package cr
+
+// Specialization tables: the compile-time half of cross-shard trace
+// sharing. Every shard of a compiled loop executes the same body over a
+// different color block, so everything the SPMD executor's per-shard plan
+// capture used to resolve at run time that does NOT depend on the shard or
+// on the node assignment — copy pair grouping and per-shard work lists,
+// pair volumes, pair endpoint shards, kernel cost volumes, owned-block
+// offsets — is a pure function of the compiled plan. The compiler emits it
+// once, here, and the executor instantiates each shard's concrete plan by
+// table substitution (internal/spmd/plan.go) instead of re-deriving it
+// per shard per run state.
+//
+// The tables are also what the executor's *interpreter* walks (the work
+// lists replace the per-runState copy schedules the executor used to
+// build), so interpretation, per-shard capture, and specialization all read
+// the same precomputed partition of the copy work — one source of truth,
+// statically checked by internal/verify.CheckSpec against a direct
+// recomputation from the pair lists.
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// SpecWork is the slice of one copy op one shard executes within one
+// destination group: the group's absolute pair range, whether this shard
+// owns the destination (consumer), and the pairs it produces.
+type SpecWork struct {
+	// GroupStart/GroupEnd delimit a maximal run of pairs sharing one
+	// destination color within CopyOp.Pairs.
+	GroupStart, GroupEnd int
+	// ProdPairs are the absolute pair indices this shard owns as producer,
+	// ascending.
+	ProdPairs []int
+	// Consumer marks the shard owning the group's destination color.
+	Consumer bool
+}
+
+// CopySpec is the shard-indexed schedule of one copy op.
+type CopySpec struct {
+	// PerShard[s] lists shard s's work, in group order.
+	PerShard [][]SpecWork
+	// PairVols[k] is Pairs[k].Overlap.Volume(); the executor scales it by
+	// element size and field count.
+	PairVols []int64
+	// SrcShard/DstShard[k] are the shards owning Pairs[k]'s source and
+	// destination colors.
+	SrcShard, DstShard []int32
+}
+
+// LaunchSpec is the shard-independent cost table of one launch op.
+type LaunchSpec struct {
+	// CostVol[i] is the cost-argument subregion volume of Domain[i] (dense
+	// by ColorIdx); the executor turns it into a kernel duration.
+	CostVol []int64
+}
+
+// OpSpec pairs a body op with its specialization table; exactly one field
+// is set, mirroring BodyOp.
+type OpSpec struct {
+	Launch *LaunchSpec
+	Copy   *CopySpec
+}
+
+// ShareMarker is the compiler's verdict on cross-shard plan sharing: a
+// shared capture can be specialized to shard s only when the owned color
+// blocks are positionally congruent (every shard owns the same number of
+// consecutive colors, so owned index k maps to global color OwnedBase[s]+k
+// uniformly). A ragged block partition breaks that, and the executor falls
+// back to per-shard capture with Reason as the logged explanation.
+type ShareMarker struct {
+	Shareable bool
+	Reason    string // set when Shareable is false
+}
+
+// SpecTable is the full specialization metadata of one compiled loop.
+type SpecTable struct {
+	Share ShareMarker
+	// OwnedBase[s] is the ColorIdx of shard s's first owned color (the lo
+	// bound of its block); owned color k of shard s is Domain[OwnedBase[s]+k].
+	OwnedBase []int
+	// Ops is parallel to Compiled.Body.
+	Ops []OpSpec
+	// CopyByID indexes the copy specs by CopyOp.ID for the executor's
+	// keyed access.
+	CopyByID map[int]*CopySpec
+}
+
+// buildSpec emits the specialization tables. Called by Compile after
+// createShards (ownership fixed) and computeIntersections (pairs fixed).
+func (c *Compiled) buildSpec() {
+	ns := c.Opts.NumShards
+	spec := SpecTable{
+		OwnedBase: make([]int, ns),
+		Ops:       make([]OpSpec, len(c.Body)),
+		CopyByID:  make(map[int]*CopySpec),
+	}
+	base := 0
+	uniform := true
+	for s := 0; s < ns; s++ {
+		spec.OwnedBase[s] = base
+		base += len(c.Owned[s])
+		if len(c.Owned[s]) != len(c.Owned[0]) {
+			uniform = false
+		}
+	}
+	if uniform {
+		spec.Share = ShareMarker{Shareable: true}
+	} else {
+		spec.Share = ShareMarker{Reason: fmt.Sprintf(
+			"ragged shard partition: %d colors over %d shards leaves unequal blocks", len(c.Domain), ns)}
+	}
+	for i, op := range c.Body {
+		switch {
+		case op.Launch != nil:
+			spec.Ops[i].Launch = c.buildLaunchSpec(op.Launch)
+		case op.Copy != nil:
+			cs, ok := spec.CopyByID[op.Copy.ID]
+			if !ok {
+				cs = c.buildCopySpec(op.Copy)
+				spec.CopyByID[op.Copy.ID] = cs
+			}
+			spec.Ops[i].Copy = cs
+		}
+	}
+	c.Spec = spec
+}
+
+func (c *Compiled) buildLaunchSpec(l *ir.Launch) *LaunchSpec {
+	ls := &LaunchSpec{CostVol: make([]int64, len(c.Domain))}
+	arg := l.Args[l.Task.CostArg]
+	for i, col := range c.Domain {
+		ls.CostVol[i] = arg.At(col).Volume()
+	}
+	return ls
+}
+
+// buildCopySpec partitions the copy's pair list by shard: pairs are sorted
+// by destination color, so each maximal same-destination run is one group;
+// the destination's shard consumes the group and each source's shard
+// produces its pairs. This is the schedule the executor previously rebuilt
+// per run state; hoisted here it is computed once per compilation.
+func (c *Compiled) buildCopySpec(cp *CopyOp) *CopySpec {
+	ns := c.Opts.NumShards
+	pairs := cp.Pairs
+	cs := &CopySpec{
+		PerShard: make([][]SpecWork, ns),
+		PairVols: make([]int64, len(pairs)),
+		SrcShard: make([]int32, len(pairs)),
+		DstShard: make([]int32, len(pairs)),
+	}
+	for k, pr := range pairs {
+		cs.PairVols[k] = pr.Overlap.Volume()
+		cs.SrcShard[k] = int32(c.ShardOf[pr.Src])
+		cs.DstShard[k] = int32(c.ShardOf[pr.Dst])
+	}
+	i := 0
+	for i < len(pairs) {
+		j := i
+		for j < len(pairs) && pairs[j].Dst == pairs[i].Dst {
+			j++
+		}
+		dstShard := int(cs.DstShard[i])
+		// touched maps shard -> index into PerShard[shard] for this group,
+		// so a shard producing several of the group's pairs appends to one
+		// work entry. Keyed lookups only; iteration order never observed.
+		touched := map[int]int{}
+		get := func(s int) *SpecWork {
+			w, ok := touched[s]
+			if !ok {
+				cs.PerShard[s] = append(cs.PerShard[s], SpecWork{GroupStart: i, GroupEnd: j})
+				w = len(cs.PerShard[s]) - 1
+				touched[s] = w
+			}
+			return &cs.PerShard[s][w]
+		}
+		get(dstShard).Consumer = true
+		for k := i; k < j; k++ {
+			w := get(int(cs.SrcShard[k]))
+			w.ProdPairs = append(w.ProdPairs, k)
+		}
+		i = j
+	}
+	return cs
+}

@@ -38,6 +38,12 @@ func verifyProgram(t *testing.T, prog *ir.Program, opts cr.Options) {
 	if len(plans) > 0 && rep.Stats.Nodes == 0 {
 		t.Fatal("verifier built an empty happens-before graph; the check is vacuous")
 	}
+	// The specialization tables must match an independent recomputation:
+	// this is what licenses the executor to instantiate shard plans from
+	// the shared capture instead of capturing per shard.
+	if err := verify.CheckSpecAll(prog, plans); err != nil {
+		t.Fatalf("spec check: %v", err)
+	}
 }
 
 // TestVerifyTestPrograms runs the verifier over every example program the

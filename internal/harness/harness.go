@@ -40,6 +40,13 @@ type App struct {
 	// (the simulated schedule does not depend on tracing); only host
 	// wall-clock differs.
 	NoTrace bool
+	// NoShare runs every cell with cross-shard trace sharing disabled — the
+	// -trace-share ablation: each SPMD shard captures its own plan instead
+	// of specializing the shared capture. Series are identical either way.
+	NoShare bool
+	// Trace optionally accumulates both runtimes' trace counters across the
+	// whole sweep (printed by weakscale under -trace on).
+	Trace *bench.TraceAgg
 	// UnitsPerNode is the per-node work per iteration; Unit/UnitScale name
 	// and scale the throughput axis exactly as the paper's figures do.
 	UnitsPerNode float64
@@ -196,6 +203,8 @@ func RunFigureParallel(app App, nodes []int, workers int, progress func(string))
 		per, err := app.Measure(sys, n, app.Iters, bench.MeasureOpts{
 			Faults:  app.cellFaults(cells[i].si, n),
 			NoTrace: app.NoTrace,
+			NoShare: app.NoShare,
+			Trace:   app.Trace,
 		})
 		note := func(line string) {
 			if progress != nil {

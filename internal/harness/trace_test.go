@@ -35,3 +35,38 @@ func TestTraceAblationSeriesIdentical(t *testing.T) {
 		t.Errorf("formatted figures differ:\n--- traced ---\n%s--- untraced ---\n%s", tracedOut, untracedOut)
 	}
 }
+
+// TestShareAblationSeriesIdentical is the same guarantee for cross-shard
+// trace sharing: specializing one shared capture per shard instead of
+// capturing per shard must leave every app's series and formatted figure
+// byte-identical at every swept shard count. This is the harness-level
+// golden for the -trace-share ablation, over all four applications.
+func TestShareAblationSeriesIdentical(t *testing.T) {
+	nodes := []int{2, 4, 8}
+	if testing.Short() {
+		nodes = []int{2, 4}
+	}
+	for _, app := range Apps() {
+		t.Run(app.Name, func(t *testing.T) {
+			run := func(noShare bool) ([]Series, string) {
+				a := app
+				a.Iters = 8
+				a.NoShare = noShare
+				series, err := RunFigure(a, nodes, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				stripWall(series)
+				return series, FormatFigure(a, series)
+			}
+			shared, sharedOut := run(false)
+			perShard, perShardOut := run(true)
+			if !reflect.DeepEqual(shared, perShard) {
+				t.Errorf("share-off series differ from shared:\nshared: %+v\nper-shard: %+v", shared, perShard)
+			}
+			if sharedOut != perShardOut {
+				t.Errorf("formatted figures differ:\n--- shared ---\n%s--- per-shard ---\n%s", sharedOut, perShardOut)
+			}
+		})
+	}
+}

@@ -96,6 +96,12 @@ type Stats struct {
 	LocalCopies int64
 	TasksRun    int64
 	Events      int64 // events processed by the scheduler
+
+	// TraceShips/TraceShipBytes count captured traces shipped to restarted
+	// shards during failover recovery (ShipTrace). The payload bytes also
+	// count toward Messages/BytesSent like any other transfer.
+	TraceShips     int64
+	TraceShipBytes int64
 }
 
 // Sim is the simulator: the event heap, virtual clock, machine state, and

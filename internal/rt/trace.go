@@ -51,6 +51,12 @@ type TraceStats struct {
 	ReplayedLaunches int // launches replayed without dependence analysis
 	Invalidations    int // fingerprint mismatches that discarded a trace
 	Abandoned        int // loops that never stabilized and fell back for good
+	// SharedPoints counts index-launch points of promoted traces whose
+	// dependence records alias another point's: the iteration-relative AND
+	// point-relative encoding makes structurally congruent points (e.g. the
+	// interior of a stencil) bitwise identical, so one record serves them
+	// all — the rt analogue of the SPMD executor's cross-shard sharing.
+	SharedPoints int
 }
 
 type tracePhase int8
@@ -77,15 +83,20 @@ const (
 )
 
 // depRec is one captured dependence edge: where the precondition event
-// comes from, and the data movement it carries.
+// comes from, and the data movement it carries. For same/prev-iteration
+// sources, color is RELATIVE to the consuming point (srcColor - dstColor)
+// and srcNode is zero — replay resolves both through the use tables — so
+// points with congruent dependence structure capture bitwise-identical
+// records and share one backing slice (see dedupDeps). Pinned sources keep
+// their absolute event and node.
 type depRec struct {
 	kind    srcKind
 	launch  int32       // index of the source launch within the iteration
 	arg     int32       // argument index of the source use
-	color   int32       // color position within the source launch's domain
+	color   int32       // source color minus consuming color (0 for pinned)
 	ev      realm.Event // pinned sources only
-	srcNode int32
-	bytes   int64 // >0: RAW edge moving data between nodes
+	srcNode int32       // pinned sources only
+	bytes   int64       // >0: RAW edge moving data between nodes
 }
 
 // launchRec is the immutable per-launch-site portion of a trace.
@@ -98,6 +109,7 @@ type launchRec struct {
 	deps      [][]depRec   // per color, argument-major (the analysis' edge order)
 	redBytes  [][]int64    // per arg: reduction-instance bytes per color (nil unless PrivReduce)
 	fulls     []bool       // per arg: full-domain launch (dominance eligibility)
+	sharedPts int          // colors whose deps alias an earlier color's slice
 }
 
 // useSig is one entry of the epoch-list structural signature. Uses younger
@@ -211,6 +223,9 @@ func (ts *traceState) endIter(e *Engine) {
 			ts.evIndex = nil
 			ts.origins = nil
 			e.traceStats.Promotions++
+			for _, r := range ts.trace {
+				e.traceStats.SharedPoints += r.sharedPts
+			}
 		} else {
 			ts.prevRecs, ts.curRecs = ts.curRecs, ts.prevRecs[:0]
 			ts.prevSig = sig
@@ -324,19 +339,20 @@ func (e *Engine) captureLaunch(ts *traceState, l *ir.Launch, uses []*use, deps [
 		var drs []depRec
 		for ai := range l.Args {
 			for _, d := range deps[ai][idx] {
-				dr := depRec{bytes: d.bytes, srcNode: int32(d.srcNode)}
+				dr := depRec{bytes: d.bytes}
 				if o, ok := ts.evIndex[d.ev]; ok && o.iter == ts.iterSeq {
-					dr.kind, dr.launch, dr.arg, dr.color = srcSameIter, o.launch, o.arg, o.color
+					dr.kind, dr.launch, dr.arg, dr.color = srcSameIter, o.launch, o.arg, o.color-int32(idx)
 				} else if ok && o.iter == ts.iterSeq-1 {
-					dr.kind, dr.launch, dr.arg, dr.color = srcPrevIter, o.launch, o.arg, o.color
+					dr.kind, dr.launch, dr.arg, dr.color = srcPrevIter, o.launch, o.arg, o.color-int32(idx)
 				} else {
-					dr.kind, dr.ev = srcPinned, d.ev
+					dr.kind, dr.ev, dr.srcNode = srcPinned, d.ev, int32(d.srcNode)
 				}
 				drs = append(drs, dr)
 			}
 		}
 		rec.deps[idx] = drs
 	}
+	rec.sharedPts = dedupDeps(rec.deps)
 	for ai, param := range l.Task.Params {
 		if param.Priv != ir.PrivReduce {
 			continue
@@ -369,6 +385,66 @@ func (e *Engine) captureLaunch(ts *traceState, l *ir.Launch, uses []*use, deps [
 			}
 		}
 	}
+}
+
+// dedupDeps collapses bitwise-identical per-color dependence slices onto
+// one backing array and reports how many colors were collapsed. The
+// relative encoding of depRec makes translationally congruent points equal,
+// so the trace of an N-point stencil stores a handful of distinct boundary
+// shapes plus ONE interior record instead of N. Dedup never changes replay
+// behavior — the slices are immutable and each point still resolves its own
+// absolute colors — it only proves and exploits the congruence.
+func dedupDeps(deps [][]depRec) int {
+	shared := 0
+	byHash := make(map[uint64][]int)
+	for idx := range deps {
+		h := hashDeps(deps[idx])
+		found := false
+		for _, prev := range byHash[h] {
+			if depsEqual(deps[prev], deps[idx]) {
+				deps[idx] = deps[prev]
+				shared++
+				found = true
+				break
+			}
+		}
+		if !found {
+			byHash[h] = append(byHash[h], idx)
+		}
+	}
+	return shared
+}
+
+// hashDeps is a deterministic FNV-1a fold of a dependence slice, used only
+// to bucket candidates for the exact comparison in dedupDeps.
+func hashDeps(drs []depRec) uint64 {
+	h := uint64(14695981039346656037)
+	mix := func(v uint64) {
+		h ^= v
+		h *= 1099511628211
+	}
+	for _, d := range drs {
+		mix(uint64(d.kind))
+		mix(uint64(uint32(d.launch)))
+		mix(uint64(uint32(d.arg)))
+		mix(uint64(uint32(d.color)))
+		mix(uint64(d.ev))
+		mix(uint64(uint32(d.srcNode)))
+		mix(uint64(d.bytes))
+	}
+	return h
+}
+
+func depsEqual(a, b []depRec) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // computeSig snapshots the structural state of the epoch lists.
@@ -524,10 +600,12 @@ func (e *Engine) replayLaunch(l *ir.Launch, rec *launchRec) {
 			switch d.kind {
 			case srcSameIter:
 				u := ts.curUses[d.launch][d.arg]
-				ev, srcNode = u.done[d.color], u.node[d.color]
+				ci := int32(idx) + d.color
+				ev, srcNode = u.done[ci], u.node[ci]
 			case srcPrevIter:
 				u := ts.prevUses[d.launch][d.arg]
-				ev, srcNode = u.done[d.color], u.node[d.color]
+				ci := int32(idx) + d.color
+				ev, srcNode = u.done[ci], u.node[ci]
 			default:
 				ev, srcNode = d.ev, int(d.srcNode)
 			}

@@ -68,6 +68,24 @@ func TestTraceReplayMatchesUntraced(t *testing.T) {
 	}
 }
 
+// TestTraceDedupsSharedPoints: a stencil-shaped loop has bitwise-identical
+// per-color dependence records (same relative colors, same volumes) across
+// interior points, so promotion must alias them to shared slices and count
+// the deduplicated points — the cross-point analogue of the SPMD executor's
+// cross-shard sharing. Replay correctness under the aliasing is already
+// pinned by TestTraceReplayMatchesUntraced; this pins that the dedup
+// actually engages.
+func TestTraceDedupsSharedPoints(t *testing.T) {
+	f := progtest.NewFigure2(96, 8, 10)
+	_, stats := runWithTrace(t, f.Prog, 4, Modeled, false)
+	if stats.Promotions < 1 {
+		t.Fatalf("trace did not promote: %+v", stats)
+	}
+	if stats.SharedPoints == 0 {
+		t.Fatalf("promotion deduplicated no launch points: %+v", stats)
+	}
+}
+
 // TestTraceReplayDeterministic runs the traced engine twice and requires
 // identical virtual outcomes.
 func TestTraceReplayDeterministic(t *testing.T) {

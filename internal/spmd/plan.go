@@ -9,6 +9,22 @@ package spmd
 // bindings) is captured into an immutable per-shard plan the first time the
 // shard runs under a given placement, and replayed thereafter.
 //
+// Capture is two-phase. The shard-independent half — kernel durations per
+// color, transfer sizes per pair — is a pure function of the compiled plan's
+// specialization tables (cr.SpecTable) and the overhead model, so the engine
+// captures it ONCE per loop as a sharedTrace, and each shard instantiates
+// its concrete plan by table substitution (specialize): owned colors map to
+// dense table slots through the compiler's OwnedBase offsets, nodes come
+// from the run state's assignment, and only the inherently shard-local
+// state (dependence-table entries, Real-mode bindings) is resolved per
+// shard. That makes capture cost O(1) per run state where it used to be
+// O(shards): re-runs, failover rebuilds, and sweep cells all reuse the one
+// shared capture. When the compiler marks a loop unshareable (ragged shard
+// partition) or the ablation flag disables sharing, shards fall back to
+// direct per-shard capture — the two paths perform identical lookups in
+// identical order, so their plans are indistinguishable and every schedule
+// stays byte-identical.
+//
 // The event graph itself is still rebuilt each iteration — events are the
 // values that change — but from the plan's resolved pointers: replay walks
 // flat slices and instState pointers where interpretation hashed instKey
@@ -22,7 +38,11 @@ package spmd
 // keyed by (runState, shard), and everything they resolve — tables, node
 // assignment, instance stores — is immutable for the runState's lifetime.
 // The one thing that changes resolution is shard failover (PR 2 recovery),
-// and that rebuilds the runState, discarding every plan with it.
+// and that rebuilds the runState, discarding every plan with it. The
+// sharedTrace survives the rebuild (it depends on nothing the failure
+// changed), and the recovery layer ships it to the restarted shard's node
+// as a real message (realm.ShipTrace) so the shard specializes and resumes
+// in replay mode instead of re-capturing.
 
 import (
 	"repro/internal/cr"
@@ -34,12 +54,111 @@ import (
 
 // TraceStats counts the shard-plan activity of one engine run.
 type TraceStats struct {
-	// PlansBuilt is the number of per-shard plans captured (one per shard
-	// per runState; failover rebuilds count again).
-	PlansBuilt int
+	// Captures counts shared captures: one per compiled loop per engine run
+	// when cross-shard sharing is on, independent of the shard count.
+	Captures int
+	// PerShardCaptures counts direct per-shard captures — the fallback when
+	// sharing is disabled or the compiler marked the loop unshareable
+	// (O(shards) per runState; failover rebuilds count again).
+	PerShardCaptures int
+	// Specializations counts shard plans instantiated from a shared capture
+	// by table substitution.
+	Specializations int
 	// ReplayedIters is the total number of shard-iterations executed from a
 	// plan instead of interpreted.
 	ReplayedIters int
+	// Invalidations counts shard plans discarded when failover rebuilt the
+	// run state under a new placement.
+	Invalidations int
+	// Ships counts shared traces shipped to restarted shards on failover;
+	// ShippedBytes is their total modeled wire size.
+	Ships        int
+	ShippedBytes int64
+}
+
+// sharedTrace is the shard-independent half of a compiled loop's plan:
+// kernel durations dense by collective color index and transfer sizes dense
+// by pair index. Captured once per loop per engine from the compiler's
+// specialization tables — no Sim calls, no shard state — so it survives
+// failover rebuilds and is what the recovery layer ships to restarted
+// shards.
+type sharedTrace struct {
+	ops []sharedOp
+	// bytes is the modeled wire size of the trace when shipped on failover:
+	// 8 bytes per table entry plus a fixed per-op header.
+	bytes int64
+}
+
+// sharedOp mirrors cr.BodyOp; at most one field is set (scalar ops carry no
+// shared state).
+type sharedOp struct {
+	launch *sharedLaunch
+	cp     *sharedCopy
+}
+
+type sharedLaunch struct {
+	durBase []realm.Time // kernel cost before noise, dense by ColorIdx
+}
+
+type sharedCopy struct {
+	bytes []int64 // transfer size, dense by pair index
+}
+
+// sharedOpHeader is the modeled per-op framing cost of a shipped trace.
+const sharedOpHeader = 16
+
+// sharedFor returns the engine's shared capture of plan, building it on
+// first use. The build reads only the compiler's specialization tables and
+// the overhead model, so one capture serves every shard, every runState,
+// and every failover rebuild of the engine's run.
+func (e *Engine) sharedFor(plan *cr.Compiled) *sharedTrace {
+	if shr, ok := e.shared[plan]; ok {
+		return shr
+	}
+	shr := &sharedTrace{ops: make([]sharedOp, len(plan.Body))}
+	for i, op := range plan.Body {
+		spec := &plan.Spec.Ops[i]
+		switch {
+		case op.Launch != nil:
+			sl := &sharedLaunch{durBase: make([]realm.Time, len(spec.Launch.CostVol))}
+			for ci, vol := range spec.Launch.CostVol {
+				sl.durBase[ci] = realm.Time(op.Launch.Task.Cost(vol) / float64(e.Over.KernelCores))
+			}
+			shr.ops[i].launch = sl
+			shr.bytes += int64(8*len(sl.durBase)) + sharedOpHeader
+		case op.Copy != nil:
+			scale := e.Over.EltBytes * int64(len(op.Copy.Fields))
+			sc := &sharedCopy{bytes: make([]int64, len(spec.Copy.PairVols))}
+			for k, v := range spec.Copy.PairVols {
+				sc.bytes[k] = v * scale
+			}
+			shr.ops[i].cp = sc
+			shr.bytes += int64(8*len(sc.bytes)) + sharedOpHeader
+		default:
+			shr.bytes += sharedOpHeader
+		}
+	}
+	if e.shared == nil {
+		e.shared = make(map[*cr.Compiled]*sharedTrace)
+	}
+	e.shared[plan] = shr
+	e.traceStats.Captures++
+	return shr
+}
+
+// logShareFallback reports, once per loop per run, why a loop with sharing
+// enabled fell back to per-shard capture.
+func (e *Engine) logShareFallback(plan *cr.Compiled) {
+	if e.shareLogged[plan] {
+		return
+	}
+	if e.shareLogged == nil {
+		e.shareLogged = make(map[*cr.Compiled]bool)
+	}
+	e.shareLogged[plan] = true
+	if e.ShareLog != nil {
+		e.ShareLog("trace sharing disabled for loop: " + plan.Spec.Share.Reason)
+	}
 }
 
 // shardPlan is one shard's memoized iteration: the body ops with all
@@ -108,27 +227,54 @@ type copyProdPlan struct {
 	body             func() // Real-mode transfer body; iteration-invariant
 }
 
-// planFor returns the shard's memoized plan, capturing it on first use.
-// Returns nil when tracing is off or the compiler marked the loop
-// untraceable. The ablation barrier lowering also runs interpreted: it is
-// the naive baseline and stays byte-for-byte the naive code path.
+// planFor returns the shard's memoized plan, specializing the engine's
+// shared capture on first use (or capturing directly when sharing is off or
+// the compiler marked the loop unshareable). Returns nil when tracing is
+// off or the loop is untraceable. The ablation barrier lowering also runs
+// interpreted: it is the naive baseline and stays byte-for-byte the naive
+// code path.
 func (st *runState) planFor(sh *shard) *shardPlan {
-	if st.e.NoTrace || !st.plan.Trace.Traceable || st.plan.Opts.Sync == cr.BarrierSync {
+	e := st.e
+	if e.NoTrace || !st.plan.Trace.Traceable || st.plan.Opts.Sync == cr.BarrierSync {
 		return nil
 	}
 	if sp := st.plans[sh.me]; sp != nil {
 		return sp
 	}
-	sp := st.capture(sh)
+	var sp *shardPlan
+	if !e.NoShare && st.plan.Spec.Share.Shareable {
+		sp = st.specialize(sh, e.sharedFor(st.plan))
+		e.traceStats.Specializations++
+	} else {
+		if !e.NoShare {
+			e.logShareFallback(st.plan)
+		}
+		sp = st.capture(sh)
+		e.traceStats.PerShardCaptures++
+	}
 	st.plans[sh.me] = sp
-	st.e.traceStats.PlansBuilt++
 	return sp
 }
 
-// capture resolves the compiled body for one shard. It performs exactly the
-// lookups interpretation would perform on the first iteration (creating the
-// same table entries and Real-mode temporaries, in the same order), so the
-// side effects on the shard table are identical.
+// dropPlans discards every memoized shard plan and reports how many were
+// live: the trace invalidation of a failover rebuild, after which the new
+// placement re-resolves nodes and states (by re-specializing the surviving
+// shared capture when sharing is on).
+func (st *runState) dropPlans() int {
+	n := 0
+	for i, sp := range st.plans {
+		if sp != nil {
+			st.plans[i] = nil
+			n++
+		}
+	}
+	return n
+}
+
+// capture resolves the compiled body for one shard directly. It performs
+// exactly the lookups interpretation would perform on the first iteration
+// (creating the same table entries and Real-mode temporaries, in the same
+// order), so the side effects on the shard table are identical.
 func (st *runState) capture(sh *shard) *shardPlan {
 	sp := &shardPlan{ops: make([]planOp, 0, len(st.plan.Body))}
 	for _, op := range st.plan.Body {
@@ -144,6 +290,28 @@ func (st *runState) capture(sh *shard) *shardPlan {
 	return sp
 }
 
+// specialize instantiates one shard's concrete plan from the shared
+// capture by table substitution: owned colors map to dense slots through
+// the compiler's OwnedBase offset, durations and transfer sizes come from
+// the shared tables, nodes from the runState's assignment. The shard-local
+// resolution (dependence states, Real-mode bindings) runs through the same
+// helpers as direct capture, in the same order, so a specialized plan is
+// indistinguishable from a captured one.
+func (st *runState) specialize(sh *shard, shr *sharedTrace) *shardPlan {
+	sp := &shardPlan{ops: make([]planOp, 0, len(st.plan.Body))}
+	for i, op := range st.plan.Body {
+		switch {
+		case op.Set != nil:
+			sp.ops = append(sp.ops, planOp{set: op.Set})
+		case op.Launch != nil:
+			sp.ops = append(sp.ops, planOp{launch: st.specializeLaunch(sh, op.Launch, shr.ops[i].launch)})
+		case op.Copy != nil:
+			sp.ops = append(sp.ops, planOp{cp: st.specializeCopy(sh, op.Copy, shr.ops[i].cp)})
+		}
+	}
+	return sp
+}
+
 // tempStore returns the Real-mode reduce temporary for tk, creating it like
 // buildCtx does on first use.
 func (st *runState) tempStore(tk tempKey, sub *region.Region) *region.Store {
@@ -153,6 +321,38 @@ func (st *runState) tempStore(tk tempKey, sub *region.Region) *region.Store {
 		st.temps[tk] = buf
 	}
 	return buf
+}
+
+// resolveLaunchArgs fills one color's argument states and Real-mode
+// bindings. Shared by direct capture and specialization so both create the
+// same shard-table entries and temporaries in the same order.
+func (st *runState) resolveLaunchArgs(sh *shard, l *ir.Launch, col geometry.Point, cp *launchColorPlan) {
+	e := st.e
+	for ai, a := range l.Args {
+		param := l.Task.Params[ai]
+		ap := argPlan{priv: param.Priv}
+		if param.Priv == ir.PrivReduce {
+			ap.st = sh.table.getTemp(tempKey{l, ai, col})
+		} else {
+			ap.st = sh.table.get(instKey{a.Part.ID(), col})
+		}
+		cp.args = append(cp.args, ap)
+		if e.Mode == ir.ExecReal {
+			sub := a.Part.Sub(col)
+			if param.Priv == ir.PrivReduce {
+				buf := st.tempStore(tempKey{l, ai, col}, sub)
+				cp.physArgs = append(cp.physArgs, ir.NewPhysArg(sub, buf, param))
+				fields, op := param.Fields, param.Op
+				cp.reinits = append(cp.reinits, func() {
+					for _, f := range fields {
+						buf.Fill(f, op.Identity())
+					}
+				})
+			} else {
+				cp.physArgs = append(cp.physArgs, ir.NewPhysArg(sub, st.inst[instKey{a.Part.ID(), col}], param))
+			}
+		}
+	}
 }
 
 func (st *runState) captureLaunch(sh *shard, l *ir.Launch) *launchPlan {
@@ -171,81 +371,118 @@ func (st *runState) captureLaunch(sh *shard, l *ir.Launch) *launchPlan {
 			colIdx:  st.plan.ColorIdx[col],
 			durBase: realm.Time(l.Task.Cost(vol) / float64(e.Over.KernelCores)),
 		}
-		for ai, a := range l.Args {
-			param := l.Task.Params[ai]
-			ap := argPlan{priv: param.Priv}
-			if param.Priv == ir.PrivReduce {
-				ap.st = sh.table.getTemp(tempKey{l, ai, col})
-			} else {
-				ap.st = sh.table.get(instKey{a.Part.ID(), col})
-			}
-			cp.args = append(cp.args, ap)
-			if e.Mode == ir.ExecReal {
-				sub := a.Part.Sub(col)
-				if param.Priv == ir.PrivReduce {
-					buf := st.tempStore(tempKey{l, ai, col}, sub)
-					cp.physArgs = append(cp.physArgs, ir.NewPhysArg(sub, buf, param))
-					fields, op := param.Fields, param.Op
-					cp.reinits = append(cp.reinits, func() {
-						for _, f := range fields {
-							buf.Fill(f, op.Identity())
-						}
-					})
-				} else {
-					cp.physArgs = append(cp.physArgs, ir.NewPhysArg(sub, st.inst[instKey{a.Part.ID(), col}], param))
-				}
-			}
-		}
+		st.resolveLaunchArgs(sh, l, col, &cp)
 		lp.colors = append(lp.colors, cp)
 	}
 	return lp
+}
+
+// specializeLaunch mirrors captureLaunch with the per-color arithmetic
+// replaced by shared-table lookups: owned color k is dense slot
+// OwnedBase[shard]+k, and its duration was computed once for all shards.
+func (st *runState) specializeLaunch(sh *shard, l *ir.Launch, shl *sharedLaunch) *launchPlan {
+	e := st.e
+	nodeID := st.nodeOfShard(sh.me)
+	lp := &launchPlan{
+		l:      l,
+		reduce: l.Reduce != nil,
+		node:   e.Sim.Node(nodeID),
+		nodeID: nodeID,
+	}
+	base := st.plan.Spec.OwnedBase[sh.me]
+	for k, col := range st.plan.Owned[sh.me] {
+		cp := launchColorPlan{
+			col:     col,
+			colIdx:  base + k,
+			durBase: shl.durBase[base+k],
+		}
+		st.resolveLaunchArgs(sh, l, col, &cp)
+		lp.colors = append(lp.colors, cp)
+	}
+	return lp
+}
+
+// resolveProdPlan fills one produced pair's dependence state and Real-mode
+// transfer body. Shared by direct capture and specialization.
+func (st *runState) resolveProdPlan(sh *shard, cp *cr.CopyOp, k int, chain bool, bytes int64, srcNode, dstNode *realm.Node) copyProdPlan {
+	e := st.e
+	pr := cp.Pairs[k]
+	p := copyProdPlan{
+		pairIdx: k,
+		chain:   chain,
+		bytes:   bytes,
+		srcNode: srcNode,
+		dstNode: dstNode,
+	}
+	if cp.Reduce == region.ReduceNone {
+		p.srcState = sh.table.get(instKey{cp.Src.ID(), pr.Src})
+		if e.Mode == ir.ExecReal {
+			src := st.inst[instKey{cp.Src.ID(), pr.Src}]
+			dst := st.inst[instKey{cp.Dst.ID(), pr.Dst}]
+			fields, overlap := cp.Fields, pr.Overlap
+			p.body = func() {
+				for _, f := range fields {
+					dst.CopyFieldFrom(src, f, overlap)
+				}
+			}
+		}
+	} else {
+		p.srcState = sh.table.getTemp(tempKey{cp.SrcLaunch, cp.SrcArg, pr.Src})
+		if e.Mode == ir.ExecReal {
+			buf := st.tempStore(tempKey{cp.SrcLaunch, cp.SrcArg, pr.Src}, cp.Src.Sub(pr.Src))
+			dst := st.inst[instKey{cp.Dst.ID(), pr.Dst}]
+			fields, op, overlap := cp.Fields, cp.Reduce, pr.Overlap
+			p.body = func() {
+				for _, f := range fields {
+					dst.ReduceFieldFrom(buf, f, op, overlap)
+				}
+			}
+		}
+	}
+	return p
 }
 
 func (st *runState) captureCopy(sh *shard, cp *cr.CopyOp) *copyPlan {
 	e := st.e
 	pairs := cp.Pairs
 	out := &copyPlan{id: cp.ID}
-	for _, work := range st.copySched[cp.ID][sh.me] {
-		g := work.group
-		w := copyWorkPlan{consumer: work.consumer, groupStart: g.start, groupEnd: g.end}
-		if work.consumer {
-			w.dstState = sh.table.get(instKey{cp.Dst.ID(), pairs[g.start].Dst})
+	reduce := cp.Reduce != region.ReduceNone
+	for _, work := range st.copyWork(cp.ID, sh.me) {
+		w := copyWorkPlan{consumer: work.Consumer, groupStart: work.GroupStart, groupEnd: work.GroupEnd}
+		if work.Consumer {
+			w.dstState = sh.table.get(instKey{cp.Dst.ID(), pairs[work.GroupStart].Dst})
 		}
-		for _, k := range work.prodPairs {
+		for _, k := range work.ProdPairs {
 			pr := pairs[k]
-			p := copyProdPlan{
-				pairIdx: k,
-				bytes:   pr.Overlap.Volume() * e.Over.EltBytes * int64(len(cp.Fields)),
-				srcNode: e.Sim.Node(st.ownerNode(pr.Src)),
-				dstNode: e.Sim.Node(st.ownerNode(pr.Dst)),
-			}
-			if cp.Reduce == region.ReduceNone {
-				p.srcState = sh.table.get(instKey{cp.Src.ID(), pr.Src})
-				if e.Mode == ir.ExecReal {
-					src := st.inst[instKey{cp.Src.ID(), pr.Src}]
-					dst := st.inst[instKey{cp.Dst.ID(), pr.Dst}]
-					fields, overlap := cp.Fields, pr.Overlap
-					p.body = func() {
-						for _, f := range fields {
-							dst.CopyFieldFrom(src, f, overlap)
-						}
-					}
-				}
-			} else {
-				p.chain = k > g.start
-				p.srcState = sh.table.getTemp(tempKey{cp.SrcLaunch, cp.SrcArg, pr.Src})
-				if e.Mode == ir.ExecReal {
-					buf := st.tempStore(tempKey{cp.SrcLaunch, cp.SrcArg, pr.Src}, cp.Src.Sub(pr.Src))
-					dst := st.inst[instKey{cp.Dst.ID(), pr.Dst}]
-					fields, op, overlap := cp.Fields, cp.Reduce, pr.Overlap
-					p.body = func() {
-						for _, f := range fields {
-							dst.ReduceFieldFrom(buf, f, op, overlap)
-						}
-					}
-				}
-			}
-			w.prods = append(w.prods, p)
+			bytes := pr.Overlap.Volume() * e.Over.EltBytes * int64(len(cp.Fields))
+			srcNode := e.Sim.Node(st.ownerNode(pr.Src))
+			dstNode := e.Sim.Node(st.ownerNode(pr.Dst))
+			w.prods = append(w.prods, st.resolveProdPlan(sh, cp, k, reduce && k > work.GroupStart, bytes, srcNode, dstNode))
+		}
+		out.works = append(out.works, w)
+	}
+	return out
+}
+
+// specializeCopy mirrors captureCopy with the per-pair arithmetic replaced
+// by shared-table lookups: transfer sizes come from the shared capture, and
+// endpoint nodes from the compiler's pair-endpoint shard tables composed
+// with the runState's assignment.
+func (st *runState) specializeCopy(sh *shard, cp *cr.CopyOp, shc *sharedCopy) *copyPlan {
+	e := st.e
+	pairs := cp.Pairs
+	spec := st.plan.Spec.CopyByID[cp.ID]
+	out := &copyPlan{id: cp.ID}
+	reduce := cp.Reduce != region.ReduceNone
+	for _, work := range spec.PerShard[sh.me] {
+		w := copyWorkPlan{consumer: work.Consumer, groupStart: work.GroupStart, groupEnd: work.GroupEnd}
+		if work.Consumer {
+			w.dstState = sh.table.get(instKey{cp.Dst.ID(), pairs[work.GroupStart].Dst})
+		}
+		for _, k := range work.ProdPairs {
+			srcNode := e.Sim.Node(st.assign[spec.SrcShard[k]])
+			dstNode := e.Sim.Node(st.assign[spec.DstShard[k]])
+			w.prods = append(w.prods, st.resolveProdPlan(sh, cp, k, reduce && k > work.GroupStart, shc.bytes[k], srcNode, dstNode))
 		}
 		out.works = append(out.works, w)
 	}

@@ -51,8 +51,8 @@ func TestPlanReplayMatchesInterpreted(t *testing.T) {
 			if offStats != (TraceStats{}) {
 				t.Fatalf("%s: NoTrace engine built plans: %+v", tc.name, offStats)
 			}
-			if stats.PlansBuilt != shards {
-				t.Errorf("%s mode %v: built %d plans, want one per shard (%d)", tc.name, mode, stats.PlansBuilt, shards)
+			if stats.Captures != 1 || stats.Specializations != shards || stats.PerShardCaptures != 0 {
+				t.Errorf("%s mode %v: capture counters %+v, want one shared capture specialized to %d shards", tc.name, mode, stats, shards)
 			}
 			if want := shards * tc.trip; tc.trip > 0 && stats.ReplayedIters != want {
 				t.Errorf("%s mode %v: replayed %d shard-iterations, want %d", tc.name, mode, stats.ReplayedIters, want)
@@ -130,7 +130,10 @@ func TestPlanShortLoopNotTraced(t *testing.T) {
 // satellite: a crash recovered by shard failover rebuilds the run state,
 // which must discard the captured plans (the placement changed), re-capture
 // under the new placement, and still produce results bitwise identical to
-// the untraced faulty run.
+// the untraced faulty run. Runs with cross-shard sharing disabled so the
+// per-shard capture path is what failover re-exercises; the sharing path
+// (shared capture survives the rebuild and is shipped to the restarted
+// shard) is covered by share_test.go.
 func TestPlanFailoverInvalidates(t *testing.T) {
 	const nodes, shards = 4, 4
 	rec := Recovery{CheckpointEvery: 2, MaxRetries: 3, Backoff: realm.Microseconds(50)}
@@ -149,6 +152,7 @@ func TestPlanFailoverInvalidates(t *testing.T) {
 		eng := New(sim, f.Prog, ir.ExecReal, plans)
 		eng.Recov = rec
 		eng.NoTrace = noTrace
+		eng.NoShare = true
 		res, err := eng.Run()
 		if err != nil {
 			t.Fatal(err)
@@ -159,8 +163,8 @@ func TestPlanFailoverInvalidates(t *testing.T) {
 	// Fault-free first, to time the crash mid-run and to pin the baseline:
 	// plans persist across checkpointed epochs of one run state.
 	res0, stats0, _ := run(nil, false)
-	if stats0.PlansBuilt != shards {
-		t.Fatalf("fault-free recovery run built %d plans, want %d (one per shard across all epochs)", stats0.PlansBuilt, shards)
+	if stats0.PerShardCaptures != shards || stats0.Captures != 0 {
+		t.Fatalf("fault-free NoShare recovery run captured %+v, want %d per-shard plans across all epochs and no shared capture", stats0, shards)
 	}
 
 	fp := &realm.FaultPlan{Crashes: []realm.NodeCrash{{Node: 2, At: res0.Elapsed / 2}}}
@@ -174,9 +178,16 @@ func TestPlanFailoverInvalidates(t *testing.T) {
 		t.Fatalf("NoTrace faulty run built plans: %+v", refStats)
 	}
 	// The failover rebuilt the run state, so every surviving shard
-	// re-captured under the new placement.
-	if stats.PlansBuilt <= shards {
-		t.Errorf("failover did not invalidate plans: %d built, want > %d", stats.PlansBuilt, shards)
+	// re-captured under the new placement, and the discarded plans were
+	// counted as invalidations.
+	if stats.PerShardCaptures <= shards {
+		t.Errorf("failover did not invalidate plans: %d built, want > %d", stats.PerShardCaptures, shards)
+	}
+	if stats.Invalidations == 0 {
+		t.Errorf("failover rebuild discarded no plans: %+v", stats)
+	}
+	if stats.Ships != 0 || stats.ShippedBytes != 0 {
+		t.Errorf("NoShare run shipped traces: %+v", stats)
 	}
 	if got.Elapsed != ref.Elapsed || got.Stats != ref.Stats {
 		t.Errorf("traced faulty run diverged: %v/%+v vs %v/%+v", got.Elapsed, got.Stats, ref.Elapsed, ref.Stats)

@@ -247,6 +247,34 @@ func (e *Engine) degrade(plan *cr.Compiled, trip, retries int, cp *checkpoint, t
 	e.degraded = true
 }
 
+// shipTraces sends the loop's surviving shared capture from node 0's
+// stable storage to every other node of a freshly rebuilt placement, as
+// real messages with latency and bandwidth cost (realm.ShipTrace), so the
+// restarted shards specialize the shipped trace and resume in replay mode
+// instead of re-capturing. No-op when the loop has no shared capture
+// (sharing disabled, tracing off, or an unshareable loop). Reports false if
+// a node failed mid-shipment.
+func (e *Engine) shipTraces(ctl *realm.Thread, st *runState) bool {
+	shr, ok := e.shared[st.plan]
+	if !ok {
+		return true
+	}
+	node0 := e.Sim.Node(0)
+	var evs []realm.Event
+	for _, n := range st.watch { // sorted: the shipment order is deterministic
+		if n == 0 {
+			continue
+		}
+		evs = append(evs, e.Sim.ShipTrace(node0, e.Sim.Node(n), shr.bytes, realm.NoEvent))
+		e.traceStats.Ships++
+		e.traceStats.ShippedBytes += shr.bytes
+	}
+	if len(evs) == 0 {
+		return true
+	}
+	return e.waitOrFail(ctl, st, e.Sim.Merge(evs...))
+}
+
 // runRecoverable executes one replicated loop in checkpointed epochs:
 //
 //	init -> [epoch -> checkpoint]* -> epoch -> finalize
@@ -266,8 +294,12 @@ func (e *Engine) runRecoverable(ctl *realm.Thread, plan *cr.Compiled, rec Recove
 	done := 0
 
 	// restart consumes one retry, backs off, and rebuilds state from the
-	// last checkpoint (or from scratch when none exists yet). It recurses —
-	// within the same budget — if another node fails mid-restore.
+	// last checkpoint (or from scratch when none exists yet). The rebuild
+	// discards the old run state's shard plans (trace invalidation: the
+	// placement changed) and then ships the surviving shared capture to the
+	// new placement so the restarted shards resume in replay mode. It
+	// recurses — within the same budget — if another node fails mid-restore
+	// or mid-shipment.
 	var restart func() bool
 	restart = func() bool {
 		if retries >= rec.MaxRetries {
@@ -275,19 +307,23 @@ func (e *Engine) runRecoverable(ctl *realm.Thread, plan *cr.Compiled, rec Recove
 		}
 		retries++
 		e.rep().Restarts++
+		e.traceStats.Invalidations += st.dropPlans()
 		ctl.Sleep(rec.Backoff << (retries - 1))
 		if cp == nil {
 			st = newRunState(e, plan, trip, e.liveAssign(ns))
 			needInit = true
-			return true
+		} else {
+			nst, ok := e.restorePhase(ctl, plan, trip, cp)
+			if !ok {
+				return restart()
+			}
+			st = nst
+			needInit = false
+			done = cp.iter
 		}
-		nst, ok := e.restorePhase(ctl, plan, trip, cp)
-		if !ok {
+		if !e.shipTraces(ctl, st) {
 			return restart()
 		}
-		st = nst
-		needInit = false
-		done = cp.iter
 		return true
 	}
 

@@ -398,16 +398,15 @@ func (sh *shard) doCopyP2P(cp *cr.CopyOp, iter int) {
 	st := sh.st
 	e := st.e
 	pairs := cp.Pairs
-	for _, work := range st.copySched[cp.ID][sh.me] {
-		g := work.group
-		if work.consumer {
-			dstCol := pairs[g.start].Dst
+	for _, work := range st.copyWork(cp.ID, sh.me) {
+		if work.Consumer {
+			dstCol := pairs[work.GroupStart].Dst
 			s := sh.table.get(instKey{cp.Dst.ID(), dstCol})
 			rel := append(sh.evBuf[:0], s.readers...)
 			rel = append(rel, s.lastWrite)
 			release := e.Sim.Merge(rel...)
 			newWrites := append(sh.wrBuf[:0], s.lastWrite)
-			for k := g.start; k < g.end; k++ {
+			for k := work.GroupStart; k < work.GroupEnd; k++ {
 				ps := st.pairSyncFor(cp.ID, k, iter)
 				st.connect(release, ps.war)
 				newWrites = append(newWrites, ps.done)
@@ -417,7 +416,7 @@ func (sh *shard) doCopyP2P(cp *cr.CopyOp, iter int) {
 			s.readers = s.readers[:0]
 			sh.evBuf, sh.wrBuf = rel[:0], newWrites[:0]
 		}
-		for _, k := range work.prodPairs {
+		for _, k := range work.ProdPairs {
 			pr := pairs[k]
 			ps := st.pairSyncFor(cp.ID, k, iter)
 			sh.th.Elapse(e.Over.CopySetup)
@@ -442,7 +441,7 @@ func (sh *shard) doCopyP2P(cp *cr.CopyOp, iter int) {
 			} else {
 				ts := sh.table.getTemp(tempKey{cp.SrcLaunch, cp.SrcArg, pr.Src})
 				pres = append(pres, ts.lastWrite)
-				if k > g.start {
+				if k > work.GroupStart {
 					// Chain folds into this destination in source order;
 					// the predecessor may belong to another shard — the
 					// done event is shared state.
@@ -488,7 +487,7 @@ func (sh *shard) doCopyBarrier(cp *cr.CopyOp, iter int) {
 	b1 := st.barrierFor(cp.ID, iter, 0)
 	b2 := st.barrierFor(cp.ID, iter, 1)
 	pairs := cp.Pairs
-	work := st.copySched[cp.ID][sh.me]
+	work := st.copyWork(cp.ID, sh.me)
 
 	// Arrive at the first barrier once everything this shard has issued so
 	// far in the iteration has completed, plus all outstanding consumers of
@@ -496,10 +495,10 @@ func (sh *shard) doCopyBarrier(cp *cr.CopyOp, iter int) {
 	// readers may still be in flight).
 	arr := append(sh.evBuf[:0], sh.ops...)
 	for _, w := range work {
-		if !w.consumer {
+		if !w.Consumer {
 			continue
 		}
-		s := sh.table.get(instKey{cp.Dst.ID(), pairs[w.group.start].Dst})
+		s := sh.table.get(instKey{cp.Dst.ID(), pairs[w.GroupStart].Dst})
 		arr = append(arr, s.lastWrite)
 		arr = append(arr, s.readers...)
 	}
@@ -509,7 +508,7 @@ func (sh *shard) doCopyBarrier(cp *cr.CopyOp, iter int) {
 	var copyEvs []realm.Event
 	isReduce := cp.Reduce != region.ReduceNone
 	for _, w := range work {
-		for _, k := range w.prodPairs {
+		for _, k := range w.ProdPairs {
 			pr := pairs[k]
 			sh.th.Elapse(e.Over.CopySetup)
 			pres := []realm.Event{b1.Done()}
@@ -536,7 +535,7 @@ func (sh *shard) doCopyBarrier(cp *cr.CopyOp, iter int) {
 				// Chain folds into one destination in source order across
 				// all producing shards via the shared per-pair done events,
 				// so the fold order is deterministic even under barriers.
-				if k > w.group.start {
+				if k > w.GroupStart {
 					pres = append(pres, st.pairSyncFor(cp.ID, k-1, iter).done)
 				}
 				if e.Mode == ir.ExecReal {
@@ -560,10 +559,10 @@ func (sh *shard) doCopyBarrier(cp *cr.CopyOp, iter int) {
 	b2.Arrive(e.Sim.Merge(append(copyEvs, b1.Done())...))
 	// All our destination instances become valid after the second barrier.
 	for _, w := range work {
-		if !w.consumer {
+		if !w.Consumer {
 			continue
 		}
-		s := sh.table.get(instKey{cp.Dst.ID(), pairs[w.group.start].Dst})
+		s := sh.table.get(instKey{cp.Dst.ID(), pairs[w.GroupStart].Dst})
 		s.lastWrite = e.Sim.Merge(s.lastWrite, b2.Done())
 		s.readers = s.readers[:0]
 	}

@@ -1,0 +1,186 @@
+package spmd
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cr"
+	"repro/internal/ir"
+	"repro/internal/progtest"
+	"repro/internal/realm"
+)
+
+// runCRShare runs the program under SPMD with cross-shard sharing on or
+// off (tracing always on) and returns the result plus the trace counters.
+func runCRShare(t *testing.T, prog *ir.Program, nodes, shards int, mode ir.ExecMode, noShare bool) (*Result, TraceStats) {
+	t.Helper()
+	plans, err := CompileAll(prog, cr.Options{NumShards: shards})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := realm.MustNewSim(testConfig(nodes))
+	eng := New(sim, prog, mode, plans)
+	eng.NoShare = noShare
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, eng.TraceStats()
+}
+
+// TestShareSingleCapture is the tentpole counter guarantee: with sharing
+// on, plan capture is O(1) per run state — exactly one shared capture,
+// specialized to every shard — for any shard count, and the schedule is
+// bitwise identical to both the per-shard-capture run and the untraced
+// run.
+func TestShareSingleCapture(t *testing.T) {
+	for _, shards := range []int{2, 4, 8} {
+		build := func() *ir.Program { return progtest.NewFigure2(48, 8, 6).Prog }
+		for _, mode := range []ir.ExecMode{ir.ExecModeled, ir.ExecReal} {
+			shared, stats := runCRShare(t, build(), shards, shards, mode, false)
+			perShard, offStats := runCRShare(t, build(), shards, shards, mode, true)
+			untraced, _ := runCRTrace(t, build(), shards, shards, cr.PointToPoint, mode, true)
+
+			if stats.Captures != 1 || stats.Specializations != shards || stats.PerShardCaptures != 0 {
+				t.Errorf("shards=%d mode %v: counters %+v, want exactly 1 capture and %d specializations", shards, mode, stats, shards)
+			}
+			if offStats.PerShardCaptures != shards || offStats.Captures != 0 {
+				t.Errorf("shards=%d mode %v: NoShare counters %+v, want %d per-shard captures", shards, mode, offStats, shards)
+			}
+			if stats.Ships != 0 || stats.ShippedBytes != 0 {
+				t.Errorf("shards=%d mode %v: fault-free run shipped traces: %+v", shards, mode, stats)
+			}
+			for _, ref := range []*Result{perShard, untraced} {
+				if shared.Elapsed != ref.Elapsed || shared.Stats != ref.Stats {
+					t.Errorf("shards=%d mode %v: shared schedule diverged: %v/%+v vs %v/%+v",
+						shards, mode, shared.Elapsed, shared.Stats, ref.Elapsed, ref.Stats)
+				}
+			}
+		}
+
+		// Real-mode store contents against sequential semantics.
+		f := progtest.NewFigure2(48, 8, 6)
+		seq := ir.ExecSequential(f.Prog)
+		got, _ := runCRShare(t, f.Prog, shards, shards, ir.ExecReal, false)
+		assertEqualStores(t, seq.Stores[f.A], got.Stores[f.A], f.A, f.Val)
+		assertEqualStores(t, seq.Stores[f.B], got.Stores[f.B], f.B, f.Val)
+	}
+}
+
+// TestShareRaggedFallsBack is the corner case: a partition whose owned
+// blocks are unequal (7 colors over 3 shards) is not shareable, so the
+// engine must fall back to per-shard capture, log the compiler's reason
+// exactly once, and still match the untraced schedule.
+func TestShareRaggedFallsBack(t *testing.T) {
+	const shards, nodes = 3, 3
+	build := func() *ir.Program { return progtest.NewFigure2(42, 7, 6).Prog }
+
+	plans, err := CompileAll(build(), cr.Options{NumShards: shards})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range plans {
+		if p.Spec.Share.Shareable || p.Spec.Share.Reason == "" {
+			t.Fatalf("ragged partition marked %+v, want unshareable with a reason", p.Spec.Share)
+		}
+	}
+
+	var logged []string
+	sim := realm.MustNewSim(testConfig(nodes))
+	prog := build()
+	plans, err = CompileAll(prog, cr.Options{NumShards: shards})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := New(sim, prog, ir.ExecModeled, plans)
+	eng.ShareLog = func(msg string) { logged = append(logged, msg) }
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := eng.TraceStats()
+	if stats.Captures != 0 || stats.Specializations != 0 || stats.PerShardCaptures != shards {
+		t.Errorf("ragged counters %+v, want %d per-shard captures and no shared capture", stats, shards)
+	}
+	if len(logged) != 1 || !strings.Contains(logged[0], "ragged") {
+		t.Errorf("fallback log = %q, want exactly one message naming the ragged partition", logged)
+	}
+
+	ref, _ := runCRTrace(t, build(), nodes, shards, cr.PointToPoint, ir.ExecModeled, true)
+	if res.Elapsed != ref.Elapsed || res.Stats != ref.Stats {
+		t.Errorf("ragged fallback schedule diverged: %v/%+v vs %v/%+v", res.Elapsed, res.Stats, ref.Elapsed, ref.Stats)
+	}
+}
+
+// TestShareFailoverShipsTrace: a crash recovered by shard failover must
+// not re-capture when sharing is on — the shared capture survives the run
+// state rebuild, the restarted shards receive it as a real DES message
+// (with latency and bandwidth cost), and every shard re-specializes. The
+// recovered store contents stay bitwise equal to sequential semantics.
+func TestShareFailoverShipsTrace(t *testing.T) {
+	const nodes, shards = 4, 4
+	rec := Recovery{CheckpointEvery: 2, MaxRetries: 3, Backoff: realm.Microseconds(50)}
+	run := func(fp *realm.FaultPlan) (*Result, TraceStats, *progtest.Figure2) {
+		f := progtest.NewFigure2(48, 8, 8)
+		plans, err := CompileAll(f.Prog, cr.Options{NumShards: shards})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim := realm.MustNewSim(testConfig(nodes))
+		if fp != nil {
+			if err := sim.InjectFaults(*fp); err != nil {
+				t.Fatal(err)
+			}
+		}
+		eng := New(sim, f.Prog, ir.ExecReal, plans)
+		eng.Recov = rec
+		res, err := eng.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, eng.TraceStats(), f
+	}
+
+	res0, stats0, _ := run(nil)
+	if stats0.Captures != 1 || stats0.PerShardCaptures != 0 {
+		t.Fatalf("fault-free counters %+v, want exactly one shared capture", stats0)
+	}
+	if res0.Stats.TraceShips != 0 {
+		t.Fatalf("fault-free run shipped traces: %+v", res0.Stats)
+	}
+
+	fp := &realm.FaultPlan{Crashes: []realm.NodeCrash{{Node: 2, At: res0.Elapsed / 2}}}
+	got, stats, f := run(fp)
+
+	if got.Faults == nil || len(got.Faults.Crashes) != 1 || got.Faults.Restarts < 1 {
+		t.Fatalf("fault report = %+v, want 1 crash and at least 1 restart", got.Faults)
+	}
+	// Zero re-capture across the whole faulty run: the shared capture is
+	// keyed on the engine, not the run state, so failover re-specializes.
+	if stats.Captures != 1 || stats.PerShardCaptures != 0 {
+		t.Errorf("failover re-captured: %+v, want the single pre-crash capture only", stats)
+	}
+	if stats.Specializations <= shards {
+		t.Errorf("failover specialized %d plans, want > %d (rebuild re-specializes every shard)", stats.Specializations, shards)
+	}
+	if stats.Invalidations == 0 {
+		t.Errorf("failover rebuild discarded no plans: %+v", stats)
+	}
+	if stats.Ships == 0 || stats.ShippedBytes == 0 {
+		t.Errorf("failover shipped nothing: %+v", stats)
+	}
+	if got.Stats.TraceShips != int64(stats.Ships) || got.Stats.TraceShipBytes != stats.ShippedBytes {
+		t.Errorf("DES ship stats %d/%d don't match engine counters %+v", got.Stats.TraceShips, got.Stats.TraceShipBytes, stats)
+	}
+	// Shipping is a real message: it costs virtual time over the fault-free
+	// run (on top of the restart itself).
+	if got.Elapsed <= res0.Elapsed {
+		t.Errorf("faulty run Elapsed %v <= fault-free %v; recovery and shipping should cost time", got.Elapsed, res0.Elapsed)
+	}
+
+	// Recovered contents match sequential semantics bitwise.
+	refSeq := progtest.NewFigure2(48, 8, 8)
+	seq := ir.ExecSequential(refSeq.Prog)
+	assertEqualStores(t, seq.Stores[refSeq.A], got.Stores[f.A], f.A, f.Val)
+	assertEqualStores(t, seq.Stores[refSeq.B], got.Stores[f.B], f.B, f.Val)
+}

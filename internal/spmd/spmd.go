@@ -86,7 +86,24 @@ type Engine struct {
 	// tests.
 	NoTrace bool
 
+	// NoShare disables cross-shard trace sharing: every shard captures its
+	// own plan directly (the PR 3 behavior, O(shards) capture work per run
+	// state) instead of specializing the engine's one shared capture. The
+	// schedule is identical either way; the flag exists for the -trace-share
+	// ablation and regression tests.
+	NoShare bool
+
+	// ShareLog, when set, receives one diagnostic line per loop that has
+	// sharing enabled but falls back to per-shard capture (e.g. a ragged
+	// shard partition the compiler marked unshareable).
+	ShareLog func(string)
+
 	traceStats TraceStats
+
+	// shared caches the per-loop shared captures (see plan.go); shareLogged
+	// dedups the fallback diagnostics. Both reset per Run.
+	shared      map[*cr.Compiled]*sharedTrace
+	shareLogged map[*cr.Compiled]bool
 
 	global    map[*region.Region]*region.Store
 	env       ir.MapEnv
@@ -152,6 +169,8 @@ func (e *Engine) Run() (*Result, error) {
 	e.report = nil
 	e.degraded = false
 	e.traceStats = TraceStats{}
+	e.shared = nil
+	e.shareLogged = nil
 
 	var runErr error
 	ctlDone := false

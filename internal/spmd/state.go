@@ -114,9 +114,6 @@ type runState struct {
 	iterTimes []realm.Time
 	shardDone []realm.Event // created per epoch by runEpoch
 
-	// copySched maps CopyOp.ID to each shard's precomputed work list.
-	copySched map[int][][]shardCopyWork
-
 	// assign maps shard index to node; watch is the sorted set of assigned
 	// nodes, the ones whose failure aborts a guarded phase.
 	assign []int
@@ -155,8 +152,14 @@ func newRunState(e *Engine, plan *cr.Compiled, trip int, assign []int) *runState
 		}
 	}
 	sort.Ints(st.watch)
-	st.buildCopySchedules()
 	return st
+}
+
+// copyWork returns the precomputed work list of one copy op for one shard
+// — the compiler-emitted schedule (cr.SpecTable), shared by interpretation,
+// per-shard capture, and specialization.
+func (st *runState) copyWork(copyID, shard int) []cr.SpecWork {
+	return st.plan.Spec.CopyByID[copyID].PerShard[shard]
 }
 
 // indexSyncSlots assigns every copy op's pairs, every scalar reduction, and
@@ -255,63 +258,4 @@ func (st *runState) nodeOfShard(s int) int {
 // ownerNode returns the node owning a domain color's instances.
 func (st *runState) ownerNode(c geometry.Point) int {
 	return st.nodeOfShard(st.plan.ShardOf[c])
-}
-
-// copyGroup is a contiguous run of a copy op's pairs sharing one
-// destination color.
-type copyGroup struct {
-	dstShard   int
-	start, end int // pair index range within CopyOp.Pairs
-}
-
-// shardCopyWork is the precomputed slice of a copy op one shard executes:
-// the groups in which it is the consumer, and its produced pairs per group.
-type shardCopyWork struct {
-	group copyGroup
-	// prodPairs are the pair indices (within the group) this shard owns as
-	// producer.
-	prodPairs []int
-	consumer  bool
-}
-
-// buildCopySchedules indexes every copy op's pairs by shard so each shard
-// touches only its own work instead of scanning all pairs (O(pairs) total
-// instead of O(shards x pairs) per iteration).
-func (st *runState) buildCopySchedules() {
-	st.copySched = make(map[int][][]shardCopyWork)
-	sched := func(cp *cr.CopyOp) {
-		perShard := make([][]shardCopyWork, st.plan.Opts.NumShards)
-		pairs := cp.Pairs
-		i := 0
-		for i < len(pairs) {
-			j := i
-			for j < len(pairs) && pairs[j].Dst == pairs[i].Dst {
-				j++
-			}
-			g := copyGroup{dstShard: st.plan.ShardOf[pairs[i].Dst], start: i, end: j}
-			touched := map[int]*shardCopyWork{}
-			get := func(s int) *shardCopyWork {
-				w, ok := touched[s]
-				if !ok {
-					perShard[s] = append(perShard[s], shardCopyWork{group: g})
-					w = &perShard[s][len(perShard[s])-1]
-					touched[s] = w
-				}
-				return w
-			}
-			get(g.dstShard).consumer = true
-			for k := i; k < j; k++ {
-				ps := st.plan.ShardOf[pairs[k].Src]
-				w := get(ps)
-				w.prodPairs = append(w.prodPairs, k)
-			}
-			i = j
-		}
-		st.copySched[cp.ID] = perShard
-	}
-	for _, op := range st.plan.Body {
-		if op.Copy != nil {
-			sched(op.Copy)
-		}
-	}
 }

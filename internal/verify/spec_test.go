@@ -1,0 +1,111 @@
+package verify
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cr"
+	"repro/internal/progtest"
+)
+
+// TestCheckSpecAccepts: the compiler's specialization tables pass the
+// independent recomputation for the example programs, shareable and
+// ragged alike.
+func TestCheckSpecAccepts(t *testing.T) {
+	for _, tc := range []struct {
+		name      string
+		n, nt     int64
+		shards    int
+		shareable bool
+	}{
+		{"uniform", 48, 8, 4, true},
+		{"ragged", 42, 7, 3, false},
+	} {
+		f := progtest.NewFigure2(tc.n, tc.nt, 3)
+		c := compile(t, f.Prog, f.Loop, tc.shards, cr.PointToPoint)
+		if c.Spec.Share.Shareable != tc.shareable {
+			t.Errorf("%s: Shareable = %v, want %v", tc.name, c.Spec.Share.Shareable, tc.shareable)
+		}
+		if err := CheckSpec(c); err != nil {
+			t.Errorf("%s: spec check rejected a correct compilation: %v", tc.name, err)
+		}
+	}
+}
+
+// TestCheckSpecDetectsCorruption: every ingredient of the substitution —
+// base offsets, the share marker, cost volumes, pair volumes, endpoint
+// shards, and the per-shard work partition — is independently recomputed,
+// so corrupting any one of them must be caught.
+func TestCheckSpecDetectsCorruption(t *testing.T) {
+	fresh := func() *cr.Compiled {
+		f := progtest.NewFigure2(48, 8, 3)
+		return compile(t, f.Prog, f.Loop, 4, cr.PointToPoint)
+	}
+	firstCopy := func(c *cr.Compiled) *cr.CopySpec {
+		for _, op := range c.Spec.Ops {
+			if op.Copy != nil {
+				return op.Copy
+			}
+		}
+		t.Fatal("compiled figure2 has no copy spec")
+		return nil
+	}
+	firstLaunch := func(c *cr.Compiled) *cr.LaunchSpec {
+		for _, op := range c.Spec.Ops {
+			if op.Launch != nil {
+				return op.Launch
+			}
+		}
+		t.Fatal("compiled figure2 has no launch spec")
+		return nil
+	}
+	for _, tc := range []struct {
+		name    string
+		corrupt func(c *cr.Compiled)
+		want    string
+	}{
+		{"base offset", func(c *cr.Compiled) { c.Spec.OwnedBase[1]++ }, "running block offset"},
+		{"false share marker", func(c *cr.Compiled) {
+			c.Spec.Share = cr.ShareMarker{Shareable: false, Reason: "bogus"}
+		}, "Shareable"},
+		{"cost volume", func(c *cr.Compiled) { firstLaunch(c).CostVol[0]++ }, "cost volume"},
+		{"pair volume", func(c *cr.Compiled) { firstCopy(c).PairVols[0]++ }, "volume"},
+		{"src shard", func(c *cr.Compiled) {
+			cs := firstCopy(c)
+			cs.SrcShard[0] = (cs.SrcShard[0] + 1) % 4
+		}, "src shard"},
+		{"work partition", func(c *cr.Compiled) {
+			cs := firstCopy(c)
+			for s := range cs.PerShard {
+				if len(cs.PerShard[s]) > 0 {
+					cs.PerShard[s][0].Consumer = !cs.PerShard[s][0].Consumer
+					return
+				}
+			}
+			t.Fatal("no shard has copy work")
+		}, "work list diverges"},
+		{"dropped producer", func(c *cr.Compiled) {
+			cs := firstCopy(c)
+			for s := range cs.PerShard {
+				for w := range cs.PerShard[s] {
+					if len(cs.PerShard[s][w].ProdPairs) > 0 {
+						cs.PerShard[s][w].ProdPairs = cs.PerShard[s][w].ProdPairs[:0]
+						return
+					}
+				}
+			}
+			t.Fatal("no shard has producer pairs")
+		}, "work list diverges"},
+	} {
+		c := fresh()
+		tc.corrupt(c)
+		err := CheckSpec(c)
+		if err == nil {
+			t.Errorf("%s: corruption not detected", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not name the corruption (want %q)", tc.name, err, tc.want)
+		}
+	}
+}
