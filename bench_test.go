@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"testing"
 
+	"repro/internal/bench"
 	"repro/internal/harness"
 )
 
@@ -95,6 +96,29 @@ func BenchmarkTable1Intersections(b *testing.B) {
 					b.ReportMetric(r.CompleteMs, r.App+"-complete-ms")
 				}
 			}
+		}
+	}
+}
+
+// BenchmarkFigure6StencilNative runs the Figure 6 stencil under control
+// replication on the native backend: real kernels on real goroutines over
+// shared memory, timed by the wall clock. The reported per-iteration time
+// is what the DES's virtual clock models; scaling GOMAXPROCS from 1 to the
+// node's core count shows the real speedup the SPMD schedule exposes
+// (BENCH_PR6.json records the measured ratio).
+func BenchmarkFigure6StencilNative(b *testing.B) {
+	const nodes = 8
+	app, err := harness.AppByName("stencil")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		per, err := app.Measure("regent-cr", nodes, 0, bench.MeasureOpts{Backend: bench.BackendNative})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(per.Seconds()*1e3, "ms/iter")
 		}
 	}
 }

@@ -19,9 +19,11 @@ import (
 )
 
 // defaultPackages is the determinism boundary: the DES and the two
-// executors must replay bit-identically.
+// executors must replay bit-identically. The native backend rides along
+// for the analyzers its Allowlist entry leaves active (maprange).
 var defaultPackages = []string{
 	"repro/internal/realm",
+	"repro/internal/realm/native",
 	"repro/internal/rt",
 	"repro/internal/spmd",
 }

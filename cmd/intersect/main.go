@@ -6,6 +6,12 @@
 // Usage:
 //
 //	intersect [-nodes 64,1024] [-j workers] [-csv] [-benchjson file]
+//	          [-backend des|native]
+//
+// -backend is accepted for CLI symmetry with weakscale and recorded in the
+// -benchjson snapshot. Table 1 measures the compiler's intersection phases,
+// which run on the host before any backend executes, so the rows are the
+// same either way.
 package main
 
 import (
@@ -17,8 +23,15 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/bench"
 	"repro/internal/harness"
 )
+
+// benchSnapshot is the top-level -benchjson document.
+type benchSnapshot struct {
+	Backend string     `json:"backend"`
+	Rows    []benchRow `json:"rows"`
+}
 
 // benchRow is one Table 1 row in the -benchjson snapshot.
 type benchRow struct {
@@ -35,7 +48,13 @@ func main() {
 	workers := flag.Int("j", runtime.GOMAXPROCS(0), "measurement cells to run in parallel (output rows are identical at any width)")
 	csv := flag.Bool("csv", false, "emit CSV instead of a table")
 	benchjson := flag.String("benchjson", "", "write the Table 1 rows as a JSON snapshot to this file")
+	backend := flag.String("backend", bench.BackendDES, "realm backend (recorded in the snapshot; the intersection phases run in the compiler and are backend-independent)")
 	flag.Parse()
+
+	if *backend != bench.BackendDES && *backend != bench.BackendNative {
+		fmt.Fprintf(os.Stderr, "intersect: bad -backend %q (want des or native)\n", *backend)
+		os.Exit(1)
+	}
 
 	var nodes []int
 	for _, part := range strings.Split(*nodesFlag, ",") {
@@ -53,9 +72,9 @@ func main() {
 		os.Exit(1)
 	}
 	if *benchjson != "" {
-		out := make([]benchRow, 0, len(rows))
+		out := benchSnapshot{Backend: *backend}
 		for _, r := range rows {
-			out = append(out, benchRow{
+			out.Rows = append(out.Rows, benchRow{
 				App: r.App, Nodes: r.Nodes, ShallowMs: r.ShallowMs,
 				CompleteMs: r.CompleteMs, Candidates: r.Candidates, FinalPairs: r.FinalPairs,
 			})

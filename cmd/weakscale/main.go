@@ -7,8 +7,18 @@
 //
 //	weakscale [-app stencil|miniaero|pennant|circuit|all] [-nodes 1,2,...]
 //	          [-iters N] [-j workers] [-csv] [-v] [-faults seed:rate]
-//	          [-trace on|off] [-trace-share on|off] [-benchjson file]
-//	          [-verify] [-cpuprofile file] [-memprofile file]
+//	          [-backend des|native] [-trace on|off] [-trace-share on|off]
+//	          [-benchjson file] [-verify] [-cpuprofile file]
+//	          [-memprofile file]
+//
+// -backend selects the realm backend. The default, des, measures on the
+// deterministic discrete-event simulator and reports virtual time. native
+// runs the Regent systems' real kernels on real goroutines over shared
+// memory and reports wall-clock time; the MPI baselines are DES cost
+// models and are dropped from native sweeps, and -faults is rejected
+// (fault injection needs the simulator's virtual machine state). Native
+// sweeps want small node counts (each simulated node is a set of
+// goroutines competing for the host's cores).
 //
 // -verify statically verifies every compiled schedule (internal/verify)
 // at each swept node count before running it — including the specialization
@@ -99,12 +109,18 @@ type benchRow struct {
 	PerIterSec float64 `json:"per_iter_s"`
 	Throughput float64 `json:"throughput_per_node"`
 	Unit       string  `json:"unit"`
+	WallSec    float64 `json:"wall_s"`
 	Error      string  `json:"error,omitempty"`
 }
 
-// benchSnapshot is the top-level -benchjson document.
+// benchSnapshot is the top-level -benchjson document. The host block
+// contextualizes wall-clock columns: native per-iteration times are real
+// seconds on this many cores, not virtual machine time.
 type benchSnapshot struct {
 	Nodes      []int      `json:"nodes"`
+	Backend    string     `json:"backend"`
+	HostCPUs   int        `json:"host_cpus"`
+	GoMaxProcs int        `json:"gomaxprocs"`
 	Trace      string     `json:"trace"`
 	TraceShare string     `json:"trace_share"`
 	Faults     string     `json:"faults,omitempty"`
@@ -144,6 +160,7 @@ func main() {
 	csv := flag.Bool("csv", false, "emit CSV instead of a table")
 	verbose := flag.Bool("v", false, "print per-measurement progress")
 	faults := flag.String("faults", "", "inject faults: seed:rate (crash rate in crashes per simulated second)")
+	backend := flag.String("backend", bench.BackendDES, "realm backend: des (deterministic simulator, virtual time) or native (real goroutines, wall-clock)")
 	trace := flag.String("trace", "on", "runtime trace capture/replay: on or off (ablation; results are identical)")
 	traceShare := flag.String("trace-share", "on", "cross-shard trace sharing: on or off (ablation; results are identical)")
 	benchjson := flag.String("benchjson", "", "write the sweep results as a JSON snapshot to this file")
@@ -192,11 +209,20 @@ func main() {
 		}
 	}
 
+	if *backend != bench.BackendDES && *backend != bench.BackendNative {
+		fmt.Fprintf(os.Stderr, "weakscale: bad -backend %q (want des or native)\n", *backend)
+		os.Exit(1)
+	}
+
 	var fp *realm.FaultPlan
 	if *faults != "" {
 		var err error
 		if fp, err = parseFaults(*faults); err != nil {
 			fmt.Fprintln(os.Stderr, "weakscale:", err)
+			os.Exit(1)
+		}
+		if *backend == bench.BackendNative {
+			fmt.Fprintln(os.Stderr, "weakscale: -faults needs the des backend (fault injection is simulator-only)")
 			os.Exit(1)
 		}
 	}
@@ -241,12 +267,17 @@ func main() {
 		fmt.Fprintln(os.Stderr, "weakscale: static verification passed for every app, node count, and sync lowering")
 	}
 
-	snap := benchSnapshot{Nodes: nodes, Trace: *trace, TraceShare: *traceShare, Faults: *faults}
+	snap := benchSnapshot{
+		Nodes: nodes, Backend: *backend,
+		HostCPUs: runtime.NumCPU(), GoMaxProcs: runtime.GOMAXPROCS(0),
+		Trace: *trace, TraceShare: *traceShare, Faults: *faults,
+	}
 	for _, app := range apps {
 		if *iters > 0 {
 			app.Iters = *iters
 		}
 		app.Faults = fp
+		app.Backend = *backend
 		app.NoTrace = noTrace
 		app.NoShare = noShare
 		var agg *bench.TraceAgg
@@ -269,15 +300,18 @@ func main() {
 				snap.Results = append(snap.Results, benchRow{
 					App: app.Name, System: s.System, Nodes: p.Nodes,
 					Iters: app.Iters, PerIterSec: p.PerIter.Seconds(),
-					Throughput: p.Throughput, Unit: app.Unit, Error: p.Err,
+					Throughput: p.Throughput, Unit: app.Unit,
+					WallSec: p.Wall.Seconds(), Error: p.Err,
 				})
 			}
 		}
 		if *csv {
-			fmt.Printf("app,system,nodes,per_iter_s,throughput_per_node_%s,error\n", strings.ReplaceAll(app.Unit, " ", "_"))
+			// wall_s (host wall-clock, never identical between runs) is the
+			// last column so schedule-equivalence diffs can strip it.
+			fmt.Printf("app,system,nodes,per_iter_s,throughput_per_node_%s,error,wall_s\n", strings.ReplaceAll(app.Unit, " ", "_"))
 			for _, s := range series {
 				for _, p := range s.Points {
-					fmt.Printf("%s,%s,%d,%g,%g,%s\n", app.Name, s.System, p.Nodes, p.PerIter.Seconds(), p.Throughput, csvQuote(p.Err))
+					fmt.Printf("%s,%s,%d,%g,%g,%s,%g\n", app.Name, s.System, p.Nodes, p.PerIter.Seconds(), p.Throughput, csvQuote(p.Err), p.Wall.Seconds())
 				}
 			}
 		} else {

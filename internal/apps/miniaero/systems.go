@@ -47,6 +47,9 @@ func Measure(system string, nodes, iters int, opts bench.MeasureOpts) (realm.Tim
 		}
 		return bench.MeasureImplicit(app.Prog, app.Loop, nodes, tune, opts)
 	case "mpi-kokkos-core", "mpi-kokkos-node":
+		if opts.NativeBackend() {
+			return 0, &realm.UnsupportedError{Backend: opts.Backend, Op: "the MPI+Kokkos baseline"}
+		}
 		return measureMPI(cfg, system == "mpi-kokkos-node")
 	default:
 		return 0, fmt.Errorf("miniaero: unknown system %q", system)

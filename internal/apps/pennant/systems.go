@@ -50,6 +50,9 @@ func Measure(system string, nodes, iters int, opts bench.MeasureOpts) (realm.Tim
 		}
 		return bench.MeasureImplicit(app.Prog, app.Loop, nodes, tune, opts)
 	case "mpi", "mpi-openmp":
+		if opts.NativeBackend() {
+			return 0, &realm.UnsupportedError{Backend: opts.Backend, Op: "the hand-written MPI baseline"}
+		}
 		return measureMPI(cfg, system == "mpi-openmp")
 	default:
 		return 0, fmt.Errorf("pennant: unknown system %q", system)

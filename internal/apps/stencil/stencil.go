@@ -33,6 +33,13 @@ func Small(nodes int) Config {
 	return Config{Nodes: nodes, TileW: 12, TileH: 10, Radius: 2, Iters: 3}
 }
 
+// Native returns the native-backend benchmark configuration: tiles sized
+// so real kernel execution dominates the per-goroutine overheads (the
+// paper-scale 40k x 40k tiles of Default would need ~12.8 GB per node).
+func Native(nodes int) Config {
+	return Config{Nodes: nodes, TileW: 360, TileH: 360, Radius: 2, Iters: 12}
+}
+
 // App is a built stencil program plus the handles tests and the harness
 // need.
 type App struct {

@@ -18,6 +18,9 @@ var Systems = []string{"regent-cr", "regent-nocr", "mpi", "mpi-openmp"}
 // node with a serialized pack/exchange section for "mpi-openmp".
 func Measure(system string, nodes, iters int, opts bench.MeasureOpts) (realm.Time, error) {
 	cfg := Default(nodes)
+	if opts.NativeBackend() {
+		cfg = Native(nodes)
+	}
 	if iters > 0 {
 		cfg.Iters = iters
 	}
@@ -32,6 +35,9 @@ func Measure(system string, nodes, iters int, opts bench.MeasureOpts) (realm.Tim
 		}
 		return bench.MeasureImplicit(app.Prog, app.Loop, nodes, tune, opts)
 	case "mpi", "mpi-openmp":
+		if opts.NativeBackend() {
+			return 0, &realm.UnsupportedError{Backend: opts.Backend, Op: "the hand-written MPI baseline"}
+		}
 		return measureMPI(cfg, system == "mpi-openmp")
 	default:
 		return 0, fmt.Errorf("stencil: unknown system %q", system)

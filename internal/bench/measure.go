@@ -13,9 +13,31 @@ import (
 	"repro/internal/cr"
 	"repro/internal/ir"
 	"repro/internal/realm"
+	"repro/internal/realm/native"
 	"repro/internal/rt"
 	"repro/internal/spmd"
 )
+
+// Backend names accepted by MeasureOpts.Backend and NewExec. The empty
+// string means BackendDES.
+const (
+	BackendDES    = "des"
+	BackendNative = "native"
+)
+
+// NewExec constructs the requested realm backend for a machine of the
+// given node count: the deterministic discrete-event simulator, or the
+// native shared-memory backend running on real goroutines.
+func NewExec(backend string, nodes int) (realm.Exec, error) {
+	switch backend {
+	case "", BackendDES:
+		return realm.NewSim(realm.DefaultConfig(nodes))
+	case BackendNative:
+		return native.NewMachine(realm.DefaultConfig(nodes))
+	default:
+		return nil, fmt.Errorf("bench: unknown backend %q (want %q or %q)", backend, BackendDES, BackendNative)
+	}
+}
 
 // Tuning carries the per-application calibration of runtime overheads (see
 // EXPERIMENTS.md for how the constants were chosen).
@@ -94,7 +116,16 @@ type MeasureOpts struct {
 	// Trace, when non-nil, accumulates both runtimes' trace counters across
 	// the measurement (safe under the parallel sweep harness).
 	Trace *TraceAgg
+	// Backend selects the realm backend: BackendDES ("" or "des") runs the
+	// deterministic simulator in Modeled mode and reports virtual time;
+	// BackendNative runs real kernels on real goroutines (ir.ExecReal) and
+	// reports wall-clock time. Fault injection and the MPI baselines are
+	// DES-only and return realm.UnsupportedError on native.
+	Backend string
 }
+
+// NativeBackend reports whether the options select the native backend.
+func (o MeasureOpts) NativeBackend() bool { return o.Backend == BackendNative }
 
 // TraceAgg accumulates trace-layer counters across the (possibly parallel)
 // measurements of a sweep. Pass one instance through MeasureOpts.Trace.
@@ -140,16 +171,26 @@ func (a *TraceAgg) Snapshot() (rt.TraceStats, spmd.TraceStats) {
 // Modeled mode and returns the steady-state per-iteration time of the
 // given loop.
 func MeasureImplicit(prog *ir.Program, loop *ir.Loop, nodes int, tune Tuning, opts MeasureOpts) (realm.Time, error) {
-	sim, err := realm.NewSim(realm.DefaultConfig(nodes))
+	sim, err := NewExec(opts.Backend, nodes)
 	if err != nil {
 		return 0, err
 	}
+	mode := rt.Modeled
+	if opts.NativeBackend() {
+		// On real cores only real execution is meaningful: the control
+		// thread's dependence analysis and the kernels are the cost.
+		mode = rt.Real
+	}
 	if opts.Faults != nil {
-		if err := sim.InjectFaults(*opts.Faults); err != nil {
+		des, ok := sim.(*realm.Sim)
+		if !ok {
+			return 0, &realm.UnsupportedError{Backend: sim.Backend(), Op: "fault injection"}
+		}
+		if err := des.InjectFaults(*opts.Faults); err != nil {
 			return 0, err
 		}
 	}
-	eng := rt.New(sim, prog, rt.Modeled)
+	eng := rt.New(sim, prog, mode)
 	eng.Over.LaunchBase = tune.ImplicitLaunchBase
 	eng.Over.LaunchPerSub = tune.ImplicitLaunchPerSub
 	eng.Over.KernelCores = tune.KernelCores
@@ -177,13 +218,21 @@ func MeasureCR(prog *ir.Program, loop *ir.Loop, nodes int, sync cr.SyncMode, tun
 	if err != nil {
 		return 0, err
 	}
-	sim, err := realm.NewSim(realm.DefaultConfig(nodes))
+	sim, err := NewExec(opts.Backend, nodes)
 	if err != nil {
 		return 0, err
 	}
-	eng := spmd.New(sim, prog, ir.ExecModeled, map[*ir.Loop]*cr.Compiled{loop: plan})
+	mode := ir.ExecModeled
+	if opts.NativeBackend() {
+		mode = ir.ExecReal
+	}
+	eng := spmd.New(sim, prog, mode, map[*ir.Loop]*cr.Compiled{loop: plan})
 	if opts.Faults != nil {
-		if err := sim.InjectFaults(*opts.Faults); err != nil {
+		des, ok := sim.(*realm.Sim)
+		if !ok {
+			return 0, &realm.UnsupportedError{Backend: sim.Backend(), Op: "fault injection"}
+		}
+		if err := des.InjectFaults(*opts.Faults); err != nil {
 			return 0, err
 		}
 		eng.Recov = spmd.DefaultRecovery()

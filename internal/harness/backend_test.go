@@ -1,0 +1,231 @@
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"testing"
+
+	"repro/internal/apps/circuit"
+	"repro/internal/apps/miniaero"
+	"repro/internal/apps/pennant"
+	"repro/internal/apps/stencil"
+	"repro/internal/bench"
+	"repro/internal/cr"
+	"repro/internal/ir"
+	"repro/internal/realm"
+	"repro/internal/region"
+	"repro/internal/rt"
+	"repro/internal/spmd"
+)
+
+// backendApps builds each evaluation application at a correctness-testing
+// size. Programs are rebuilt per run (region identities are per-instance),
+// so the builder is a function, not a value.
+var backendApps = []struct {
+	name  string
+	build func(nodes int) *ir.Program
+}{
+	{"stencil", func(n int) *ir.Program { return stencil.Build(stencil.Small(n)).Prog }},
+	{"miniaero", func(n int) *ir.Program { return miniaero.Build(miniaero.Small(n)).Prog }},
+	{"pennant", func(n int) *ir.Program { return pennant.Build(pennant.Small(n)).Prog }},
+	{"circuit", func(n int) *ir.Program { return circuit.Build(circuit.Small(n)).Prog }},
+}
+
+// runSPMD executes a freshly built program in Real mode on the given
+// backend and returns the run result.
+func runSPMD(t *testing.T, prog *ir.Program, nodes int, sync cr.SyncMode, noTrace, noShare bool, backend string) *spmd.Result {
+	t.Helper()
+	plans, err := spmd.CompileAll(prog, cr.Options{NumShards: nodes, Sync: sync})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := bench.NewExec(backend, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := spmd.New(x, prog, ir.ExecReal, plans)
+	eng.NoTrace = noTrace
+	eng.NoShare = noShare
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatalf("backend=%s: %v", backend, err)
+	}
+	return res
+}
+
+// sortedStoreRoots returns a result's region roots in creation order, the
+// order both program instances allocate them in, so roots pair up across
+// independently built copies of the same application.
+func sortedStoreRoots(stores map[*region.Region]*region.Store) []*region.Region {
+	roots := make([]*region.Region, 0, len(stores))
+	for r := range stores {
+		roots = append(roots, r)
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i].ID() < roots[j].ID() })
+	return roots
+}
+
+// requireSameResults asserts two runs of the same application produced
+// bitwise-identical region contents (every field of every root region) and
+// identical final scalar environments.
+func requireSameResults(t *testing.T, label string, want, got *spmd.Result) {
+	t.Helper()
+	wantRoots := sortedStoreRoots(want.Stores)
+	gotRoots := sortedStoreRoots(got.Stores)
+	if len(wantRoots) != len(gotRoots) {
+		t.Fatalf("%s: %d roots vs %d", label, len(wantRoots), len(gotRoots))
+	}
+	for i, wr := range wantRoots {
+		gr := gotRoots[i]
+		ws, gs := want.Stores[wr], got.Stores[gr]
+		for _, f := range ws.FieldSpace().Fields() {
+			if !gs.EqualOn(ws, f, wr.IndexSpace()) {
+				t.Errorf("%s: root %s field %s differs", label, wr.Name(), ws.FieldSpace().Name(f))
+			}
+		}
+	}
+	if len(want.Env) != len(got.Env) {
+		t.Fatalf("%s: env size %d vs %d", label, len(want.Env), len(got.Env))
+	}
+	for k, wv := range want.Env {
+		if gv, ok := got.Env[k]; !ok || gv != wv {
+			t.Errorf("%s: scalar %q = %v, want %v", label, k, gv, wv)
+		}
+	}
+}
+
+// TestNativeMatchesDES is the cross-backend equivalence matrix: every
+// evaluation application, under both sync lowerings and every tracing
+// configuration, must produce Real-mode stores on the native backend that
+// are bitwise equal to the DES's. The native schedule is a different
+// interleaving entirely (real cores race); equality holds because every
+// float-affecting order is fixed by explicit dependences, which is exactly
+// what this test pins.
+func TestNativeMatchesDES(t *testing.T) {
+	const nodes = 4
+	syncs := []struct {
+		name string
+		mode cr.SyncMode
+	}{{"p2p", cr.PointToPoint}, {"barrier", cr.BarrierSync}}
+	flags := []struct {
+		name             string
+		noTrace, noShare bool
+	}{
+		{"trace+share", false, false},
+		{"trace+noshare", false, true},
+		{"notrace", true, false},
+		{"notrace+noshare", true, true},
+	}
+	for _, app := range backendApps {
+		// One DES reference per (app, sync): tracing never changes results
+		// (pinned separately below), so the reference uses the defaults.
+		for _, sy := range syncs {
+			ref := runSPMD(t, app.build(nodes), nodes, sy.mode, false, false, bench.BackendDES)
+			for _, fl := range flags {
+				label := fmt.Sprintf("%s/%s/%s", app.name, sy.name, fl.name)
+				t.Run(label, func(t *testing.T) {
+					res := runSPMD(t, app.build(nodes), nodes, sy.mode, fl.noTrace, fl.noShare, bench.BackendNative)
+					requireSameResults(t, label, ref, res)
+					if wall := res.Stats.WallNanos; wall <= 0 {
+						t.Errorf("%s: native Stats.WallNanos = %d, want > 0", label, wall)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestNativeImplicitMatchesDES runs the implicit (non-CR) runtime on both
+// backends: the rt engine's Real-mode results must also be backend
+// independent.
+func TestNativeImplicitMatchesDES(t *testing.T) {
+	const nodes = 4
+	run := func(backend string) *rt.Result {
+		prog := stencil.Build(stencil.Small(nodes)).Prog
+		x, err := bench.NewExec(backend, nodes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := rt.New(x, prog, rt.Real).Run()
+		if err != nil {
+			t.Fatalf("backend=%s: %v", backend, err)
+		}
+		return res
+	}
+	want, got := run(bench.BackendDES), run(bench.BackendNative)
+	requireSameResults(t, "implicit",
+		&spmd.Result{Stores: want.Stores, Env: want.Env},
+		&spmd.Result{Stores: got.Stores, Env: got.Env})
+}
+
+// TestNativeRecoveryUnsupported pins the structured error for DES-only
+// machinery: enabling checkpoint/restart recovery on the native backend
+// must fail fast with realm.UnsupportedError, not panic mid-run.
+func TestNativeRecoveryUnsupported(t *testing.T) {
+	prog := stencil.Build(stencil.Small(2)).Prog
+	plans, err := spmd.CompileAll(prog, cr.Options{NumShards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := bench.NewExec(bench.BackendNative, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := spmd.New(x, prog, ir.ExecReal, plans)
+	eng.Recov = spmd.DefaultRecovery()
+	_, err = eng.Run()
+	var ue *realm.UnsupportedError
+	if !errors.As(err, &ue) {
+		t.Fatalf("err = %v, want realm.UnsupportedError", err)
+	}
+	if ue.Backend != "native" {
+		t.Errorf("Backend = %q, want native", ue.Backend)
+	}
+}
+
+// TestNativeMeasureUnsupported pins the measurement-layer gates: fault
+// injection and the MPI baselines are DES cost models and must report
+// realm.UnsupportedError on native instead of measuring nonsense.
+func TestNativeMeasureUnsupported(t *testing.T) {
+	_, err := stencil.Measure("mpi", 2, 0, bench.MeasureOpts{Backend: bench.BackendNative})
+	var ue *realm.UnsupportedError
+	if !errors.As(err, &ue) {
+		t.Fatalf("mpi on native: err = %v, want realm.UnsupportedError", err)
+	}
+	_, err = stencil.Measure("regent-cr", 2, 0, bench.MeasureOpts{
+		Backend: bench.BackendNative,
+		Faults:  &realm.FaultPlan{Seed: 1, CrashRate: 0.5},
+	})
+	if !errors.As(err, &ue) {
+		t.Fatalf("faults on native: err = %v, want realm.UnsupportedError", err)
+	}
+}
+
+// TestNativeSweepFiltersSystems pins the harness-side behavior: a native
+// sweep measures only the Regent systems and records real wall-clock.
+func TestNativeSweepFiltersSystems(t *testing.T) {
+	app, err := AppByName("stencil")
+	if err != nil {
+		t.Fatal(err)
+	}
+	app.Backend = bench.BackendNative
+	app.Iters = 4
+	series, err := RunFigure(app, []int{2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 2 || series[0].System != "regent-cr" || series[1].System != "regent-nocr" {
+		t.Fatalf("native systems = %+v, want regent-cr, regent-nocr", series)
+	}
+	for _, s := range series {
+		for _, p := range s.Points {
+			if p.Err != "" {
+				t.Fatalf("%s: %s", s.System, p.Err)
+			}
+			if p.PerIter <= 0 {
+				t.Errorf("%s: per-iter = %v, want > 0 wall time", s.System, p.PerIter)
+			}
+		}
+	}
+}

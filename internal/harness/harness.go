@@ -35,6 +35,12 @@ type App struct {
 	// Faults.Seed, the system index, and the node count, so each cell's
 	// trace is independent yet reproducible.
 	Faults *realm.FaultPlan
+	// Backend selects the realm backend for every cell: "" or
+	// bench.BackendDES measures on the deterministic simulator;
+	// bench.BackendNative runs real kernels on real goroutines and reports
+	// wall-clock per-iteration times. Systems that exist only as DES cost
+	// models (the MPI baselines) are dropped from the sweep on native.
+	Backend string
 	// NoTrace runs every cell with runtime trace capture/replay disabled —
 	// the trace ablation. Throughput series are identical with and without
 	// (the simulated schedule does not depend on tracing); only host
@@ -188,9 +194,10 @@ func RunFigure(app App, nodes []int, progress func(string)) ([]Series, error) {
 // Point.Err and every other cell still runs (under fault injection some
 // cells are expected to die — the MPI baselines have no recovery).
 func RunFigureParallel(app App, nodes []int, workers int, progress func(string)) ([]Series, error) {
+	systems := app.ActiveSystems()
 	type cellKey struct{ si, ni int }
-	cells := make([]cellKey, 0, len(app.Systems)*len(nodes))
-	for si := range app.Systems {
+	cells := make([]cellKey, 0, len(systems)*len(nodes))
+	for si := range systems {
 		for ni := range nodes {
 			cells = append(cells, cellKey{si, ni})
 		}
@@ -198,13 +205,14 @@ func RunFigureParallel(app App, nodes []int, workers int, progress func(string))
 	points := make([]Point, len(cells))
 	var progressMu sync.Mutex
 	runCells(len(cells), workers, func(i int) {
-		sys, n := app.Systems[cells[i].si], nodes[cells[i].ni]
+		sys, n := systems[cells[i].si], nodes[cells[i].ni]
 		t0 := time.Now()
 		per, err := app.Measure(sys, n, app.Iters, bench.MeasureOpts{
 			Faults:  app.cellFaults(cells[i].si, n),
 			NoTrace: app.NoTrace,
 			NoShare: app.NoShare,
 			Trace:   app.Trace,
+			Backend: app.Backend,
 		})
 		note := func(line string) {
 			if progress != nil {
@@ -228,15 +236,32 @@ func RunFigureParallel(app App, nodes []int, workers int, progress func(string))
 		note(fmt.Sprintf("%-10s %-16s nodes=%-5d thr/node=%10.1f %s (sim wall %v)",
 			app.Name, sys, n, p.Throughput, app.Unit, p.Wall.Round(time.Millisecond)))
 	})
-	out := make([]Series, len(app.Systems))
+	out := make([]Series, len(systems))
 	for i, c := range cells {
 		if out[c.si].System == "" {
-			out[c.si].System = app.Systems[c.si]
+			out[c.si].System = systems[c.si]
 			out[c.si].Points = make([]Point, 0, len(nodes))
 		}
 		out[c.si].Points = append(out[c.si].Points, points[i])
 	}
 	return out, nil
+}
+
+// ActiveSystems returns the systems the sweep actually measures under the
+// app's backend: all of them on the DES, only the Regent variants (with
+// and without control replication) on native — the MPI baselines are pure
+// DES cost models with no kernels to execute.
+func (a App) ActiveSystems() []string {
+	if a.Backend != bench.BackendNative {
+		return a.Systems
+	}
+	var out []string
+	for _, s := range a.Systems {
+		if s == "regent-cr" || s == "regent-nocr" {
+			out = append(out, s)
+		}
+	}
+	return out
 }
 
 // cellFaults derives the fault plan for one sweep cell. Each cell gets

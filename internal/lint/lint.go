@@ -70,11 +70,27 @@ func (d Diagnostic) String() string {
 // IgnoreDirective is the suppression comment prefix.
 const IgnoreDirective = "//detlint:ignore"
 
+// Allowlist maps package import paths to the analyzer names that do not
+// apply there. The native realm backend is the execution engine that real
+// goroutines and the wall clock are FOR — flagging every `go` statement
+// and time.Now in it would bury real findings under boilerplate ignores —
+// while the simulator core (realm, rt, spmd) stays fully locked down: the
+// allowlist is per-package, never per-pattern, so adding a package here is
+// a reviewed, visible decision. Analyzers not named (maprange) still run.
+var Allowlist = map[string]map[string]bool{
+	"repro/internal/realm/native": {"wallclock": true, "goroutine": true},
+}
+
 // Run applies the analyzers to one typechecked package and returns the
-// findings that survive //detlint:ignore suppression, sorted by position.
+// findings that survive the package Allowlist and //detlint:ignore
+// suppression, sorted by position.
 func Run(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) []Diagnostic {
 	var diags []Diagnostic
+	exempt := Allowlist[pkg.Path()]
 	for _, a := range analyzers {
+		if exempt[a.Name] {
+			continue
+		}
 		a.Run(&Pass{
 			Analyzer:  a,
 			Fset:      fset,

@@ -196,3 +196,38 @@ func Bad() time.Time { return time.Now() }
 		t.Fatalf("facts file not written: %v", err)
 	}
 }
+
+func TestPackageAllowlist(t *testing.T) {
+	// A backend-style package: exempt from wallclock and goroutine, but the
+	// maprange contract still applies there, and a sibling package with the
+	// identical source stays fully checked.
+	src := `package a
+
+import (
+	"fmt"
+	"time"
+)
+
+func engine(done chan struct{}, m map[string]int) time.Time {
+	go func() { close(done) }()
+	for k := range m {
+		fmt.Println(k)
+	}
+	return time.Now()
+}
+`
+	Allowlist["lintcheck/engine"] = map[string]bool{"wallclock": true, "goroutine": true}
+	defer delete(Allowlist, "lintcheck/engine")
+	diags := loadAndRun(t, map[string]string{
+		"engine/a.go": src,
+		"core/a.go":   src,
+	})
+	expect(t, diags,
+		// core/a.go: everything fires.
+		[2]string{"goroutine", "go statement"},
+		[2]string{"maprange", "map"},
+		[2]string{"wallclock", "time.Now"},
+		// engine/a.go: only maprange survives the allowlist.
+		[2]string{"maprange", "map"},
+	)
+}

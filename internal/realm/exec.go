@@ -1,0 +1,171 @@
+package realm
+
+// This file defines the backend-neutral execution interface: the subset of
+// machine operations the engines (internal/spmd, internal/rt) and the
+// benchmark harness are written against. The DES (*Sim) and the native
+// goroutine backend (internal/realm/native.Machine) both implement Exec, so
+// an engine runs identically on a simulated machine or on real cores — the
+// event graph it builds is the same; only what "time" means differs.
+//
+// The interface is deliberately node-ID based (LaunchOn, CopyBytes) rather
+// than object based (Node.LaunchAuto, Copy(*Node, *Node)): handles that are
+// plain integers serialize into traces, survive failover remapping, and
+// leave each backend free to represent a node however it likes.
+
+// Exec is a machine that can run an engine: spawn control agents, launch
+// work items, move bytes between nodes, and order everything through
+// one-shot events. Exactly the event semantics of the DES apply: events
+// trigger once, continuations run synchronously at trigger, NoEvent is
+// permanently triggered.
+//
+// *Sim implements Exec with virtual time charged by its TimePolicy;
+// native.Machine implements it on real goroutines with wall-clock time.
+type Exec interface {
+	// Backend names the implementation ("des", "native") for diagnostics
+	// and capability errors.
+	Backend() string
+	// Config returns the machine description the backend was built from.
+	Config() Config
+	// Nodes returns the node count.
+	Nodes() int
+	// Now returns the backend's notion of current time: virtual nanoseconds
+	// on the DES, wall-clock nanoseconds since construction on native.
+	Now() Time
+	// Stats returns a snapshot of the machine-wide counters.
+	Stats() Stats
+
+	// NewUserEvent creates an untriggered event.
+	NewUserEvent() Event
+	// ReserveEvents creates n untriggered events with contiguous handles
+	// and returns the first (NoEvent when n <= 0).
+	ReserveEvents(n int) Event
+	// Trigger fires a user event; continuations run immediately in
+	// registration order. Triggering twice panics.
+	Trigger(e Event)
+	// Triggered reports whether e has fired.
+	Triggered(e Event) bool
+	// OnTrigger runs fn when e fires (immediately if it already has).
+	OnTrigger(e Event, fn func())
+	// Merge returns an event that triggers once all inputs have triggered.
+	// The inputs slice is not retained.
+	Merge(evs ...Event) Event
+
+	// SpawnOn starts fn as a long-running control agent bound to the given
+	// node and processor.
+	SpawnOn(name string, node, proc int, fn func(Agent)) Agent
+	// LaunchOn schedules a work item on node: once pre triggers, the item
+	// runs for dur (a modeled duration; native backends execute body's real
+	// work instead), then body (if non-nil) runs and the returned event
+	// fires.
+	LaunchOn(node int, pre Event, dur Time, body func()) Event
+	// CopyBytes moves bytes from node src to node dst: after pre triggers
+	// the transfer is performed (modeled wire cost on the DES, a real
+	// shared-memory copy by body on native), body runs at the destination,
+	// and the returned event fires.
+	CopyBytes(src, dst int, bytes int64, pre Event, body func()) Event
+
+	// Barrier creates a single-use phase barrier expecting n arrivals.
+	Barrier(n int) BarrierOp
+	// Collective creates a dynamic collective over n participants folding
+	// contributed values in participant-index order.
+	Collective(n int, identity float64, fold func(acc, v float64) float64) CollectiveOp
+
+	// Drive runs the machine to completion — until every agent has finished
+	// and no work items remain — and returns the final time.
+	Drive() (Time, error)
+}
+
+// Agent is a long-running thread of control executing on a backend: the
+// implicit program's main task, a CR shard's control loop. On the DES it is
+// a cooperatively scheduled *Thread; on the native backend it is a real
+// goroutine.
+type Agent interface {
+	// Name returns the agent's diagnostic name.
+	Name() string
+	// Now returns the backend's current time.
+	Now() Time
+	// WaitEvent blocks the agent until e triggers.
+	WaitEvent(e Event)
+	// Elapse charges d of busy time on the agent's processor (a no-op on
+	// backends where time is real: the agent's actual work is its cost).
+	Elapse(d Time)
+	// Sleep advances the agent by d without occupying the processor (a
+	// no-op on wall-clock backends).
+	Sleep(d Time)
+}
+
+// BarrierOp is a single-use phase barrier: once the expected number of
+// arrivals have registered, its completion event fires.
+type BarrierOp interface {
+	// Arrive registers an arrival once pre triggers.
+	Arrive(pre Event)
+	// Done returns the event that fires when the barrier completes.
+	Done() Event
+}
+
+// CollectiveOp is a dynamic collective (§4.4): participants contribute
+// scalar values, and once all are in they are folded in participant-index
+// order — so the floating-point result is bitwise deterministic on every
+// backend.
+type CollectiveOp interface {
+	// Contribute registers participant idx's value once pre triggers; value
+	// is evaluated at that moment. Each participant contributes once.
+	Contribute(idx int, pre Event, value func() float64)
+	// Done returns the completion event.
+	Done() Event
+	// Result returns the values folded in index order; valid once Done has
+	// triggered.
+	Result() float64
+}
+
+// UnsupportedError reports an operation the selected backend does not
+// implement (e.g. fault injection or checkpoint/restart recovery on the
+// native backend, which has no virtual machine state to fail or restore).
+type UnsupportedError struct {
+	Backend string // backend name, as reported by Exec.Backend
+	Op      string // the unsupported operation
+}
+
+func (e *UnsupportedError) Error() string {
+	return "realm: " + e.Op + " is not supported on the " + e.Backend + " backend"
+}
+
+// Interface conformance: the DES is an Exec, its threads are Agents, and
+// its synchronization primitives implement the backend-neutral op types.
+var (
+	_ Exec         = (*Sim)(nil)
+	_ Agent        = (*Thread)(nil)
+	_ BarrierOp    = (*Barrier)(nil)
+	_ CollectiveOp = (*Collective)(nil)
+)
+
+// Backend implements Exec.
+func (s *Sim) Backend() string { return "des" }
+
+// SpawnOn implements Exec by binding the agent to the node's proc-th
+// processor.
+func (s *Sim) SpawnOn(name string, node, proc int, fn func(Agent)) Agent {
+	return s.Spawn(name, s.Node(node).Proc(proc), func(t *Thread) { fn(t) })
+}
+
+// LaunchOn implements Exec via the node's earliest-free-processor mapping
+// (Node.LaunchAuto).
+func (s *Sim) LaunchOn(node int, pre Event, dur Time, body func()) Event {
+	return s.Node(node).LaunchAuto(pre, dur, body)
+}
+
+// CopyBytes implements Exec.
+func (s *Sim) CopyBytes(src, dst int, bytes int64, pre Event, body func()) Event {
+	return s.Copy(s.Node(src), s.Node(dst), bytes, pre, body)
+}
+
+// Barrier implements Exec.
+func (s *Sim) Barrier(n int) BarrierOp { return s.NewBarrier(n) }
+
+// Collective implements Exec.
+func (s *Sim) Collective(n int, identity float64, fold func(acc, v float64) float64) CollectiveOp {
+	return s.NewCollective(n, identity, fold)
+}
+
+// Drive implements Exec by running the event loop to completion.
+func (s *Sim) Drive() (Time, error) { return s.Run() }

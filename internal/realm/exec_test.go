@@ -1,0 +1,91 @@
+package realm
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestExecAdaptersOnSim drives the Sim exclusively through the
+// backend-neutral Exec interface: the node-ID-based adapters must behave
+// exactly like the Node/Proc methods they wrap.
+func TestExecAdaptersOnSim(t *testing.T) {
+	var x Exec = MustNewSim(DefaultConfig(2))
+	if x.Backend() != "des" {
+		t.Fatalf("Backend = %q", x.Backend())
+	}
+	if x.Nodes() != 2 {
+		t.Fatalf("Nodes = %d", x.Nodes())
+	}
+	kernel := false
+	done := x.LaunchOn(1, NoEvent, Microseconds(3), func() { kernel = true })
+	moved := x.CopyBytes(0, 1, 1<<20, done, nil)
+	var ctlSaw Time
+	x.SpawnOn("ctl", 0, 0, func(a Agent) {
+		a.WaitEvent(moved)
+		ctlSaw = a.Now()
+	})
+	elapsed, err := x.Drive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !kernel {
+		t.Fatal("kernel did not run")
+	}
+	if ctlSaw == 0 || elapsed < ctlSaw {
+		t.Fatalf("ctlSaw=%v elapsed=%v", ctlSaw, elapsed)
+	}
+	if st := x.Stats(); st.WallNanos != 0 {
+		t.Fatalf("DES WallNanos = %d, want 0 (virtual clock)", st.WallNanos)
+	}
+}
+
+// TestSetTimePolicy pins the engine/time-policy split: swapping the policy
+// reshapes virtual copy times without touching the engine, and restoring
+// the default reproduces the modeled formulas exactly.
+func TestSetTimePolicy(t *testing.T) {
+	const bytes = 1 << 20
+	run := func(policy TimePolicy) Time {
+		s := MustNewSim(DefaultConfig(2))
+		s.SetTimePolicy(policy)
+		var arrive Time
+		ev := s.CopyBytes(0, 1, bytes, NoEvent, nil)
+		s.OnTrigger(ev, func() { arrive = s.Now() })
+		if _, err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return arrive
+	}
+	modeled := run(nil) // nil restores the default ModeledTime
+	fixed := run(flatPolicy{})
+	if modeled == fixed {
+		t.Fatalf("policy swap had no effect (both %v)", modeled)
+	}
+	if want := Microseconds(7); fixed != want {
+		t.Fatalf("flat policy arrival = %v, want %v", fixed, want)
+	}
+	cfg := DefaultConfig(2)
+	mt := ModeledTime{Cfg: cfg}
+	if want := mt.RemoteTransfer(bytes) + mt.RemoteLatency(); modeled != want {
+		t.Fatalf("modeled arrival = %v, want %v", modeled, want)
+	}
+}
+
+// flatPolicy charges a constant for everything — the simplest possible
+// alternative policy.
+type flatPolicy struct{}
+
+func (flatPolicy) LocalCopy(int64) Time      { return Microseconds(7) }
+func (flatPolicy) RemoteTransfer(int64) Time { return Microseconds(5) }
+func (flatPolicy) RemoteLatency() Time       { return Microseconds(2) }
+func (flatPolicy) CollectiveLatency(int) Time {
+	return Microseconds(1)
+}
+
+// TestUnsupportedError pins the structured error's text: callers match on
+// the type, humans read the message.
+func TestUnsupportedError(t *testing.T) {
+	err := &UnsupportedError{Backend: "native", Op: "fault injection"}
+	if !strings.Contains(err.Error(), "fault injection") || !strings.Contains(err.Error(), "native") {
+		t.Fatalf("Error() = %q", err.Error())
+	}
+}

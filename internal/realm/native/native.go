@@ -1,0 +1,493 @@
+// Package native implements the realm execution interface (realm.Exec) on
+// real goroutines over shared memory: the second backend of the engine /
+// time-policy split. Where the DES interprets the event graph on one
+// virtual clock, the native Machine runs it — one goroutine per control
+// agent (a CR shard thread), one per ready work item, real memcpy-style
+// region copies in task and copy bodies, and wall-clock timing.
+//
+// The memory model is the event graph itself. Engines order every pair of
+// conflicting accesses through events (task preconditions, p2p war/done
+// pairs, barriers, collectives), and the Machine gives each trigger edge a
+// happens-before edge: a continuation or a woken agent observes everything
+// the triggering goroutine wrote, because registration and trigger
+// synchronize through the event-table mutex. Floating-point results are
+// bitwise identical to the DES not because the schedule is identical (it is
+// not — real cores race) but because every order that could affect a float
+// is fixed by explicit dependences: reduction copies chain in source order
+// through shared done events, and collectives fold contributions in
+// participant-index order regardless of arrival order.
+//
+// Time-model operations are deliberately inert: Agent.Elapse and
+// Agent.Sleep are no-ops (the agent's real work is its cost), LaunchOn
+// ignores the modeled duration, and Now/Stats report wall-clock nanoseconds
+// since construction. Fault injection and checkpoint/restart recovery are
+// not supported — there is no virtual machine state to fail or restore —
+// and surface as realm.UnsupportedError.
+package native
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/realm"
+)
+
+// Machine is a native shared-memory implementation of realm.Exec.
+type Machine struct {
+	cfg   realm.Config
+	epoch time.Time
+
+	mu  sync.Mutex
+	evs []evState // index = Event-1
+	// started flips when Drive begins; agents spawned earlier are deferred
+	// so setup code can build the initial population race-free.
+	started bool
+	pending []func()
+
+	// wg tracks every live goroutine that can still trigger events: agents
+	// for their whole lifetime, work items from the moment their
+	// precondition fires. An untriggered event that will ever trigger is
+	// always owed to a goroutine counted here, so Drive's Wait cannot
+	// return early.
+	wg sync.WaitGroup
+
+	// failCh closes on the first recorded error; agents blocked in
+	// WaitEvent abandon their waits so the machine drains instead of
+	// hanging on events a dead goroutine will never trigger.
+	failMu sync.Mutex
+	failCh chan struct{}
+	err    error
+
+	// Counters (atomics: work items complete concurrently).
+	messages    int64
+	bytesSent   int64
+	localCopies int64
+	tasksRun    int64
+	events      int64
+}
+
+type evState struct {
+	triggered bool
+	waiters   []func()
+}
+
+// NewMachine builds a native machine for the given configuration. Only the
+// topology fields (Nodes, CoresPerNode) govern execution; the cost-model
+// fields are carried for Config() but never charged.
+func NewMachine(cfg realm.Config) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Machine{cfg: cfg, failCh: make(chan struct{})}
+	m.evs = make([]evState, 0, 4096)
+	m.epoch = time.Now()
+	return m, nil
+}
+
+// MustNewMachine is NewMachine for statically valid configurations.
+func MustNewMachine(cfg realm.Config) *Machine {
+	m, err := NewMachine(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+var _ realm.Exec = (*Machine)(nil)
+
+// Backend implements realm.Exec.
+func (m *Machine) Backend() string { return "native" }
+
+// Config implements realm.Exec.
+func (m *Machine) Config() realm.Config { return m.cfg }
+
+// Nodes implements realm.Exec.
+func (m *Machine) Nodes() int { return m.cfg.Nodes }
+
+// Now returns wall-clock nanoseconds since the machine was created.
+func (m *Machine) Now() realm.Time {
+	return realm.Time(time.Since(m.epoch))
+}
+
+// Stats implements realm.Exec; WallNanos carries the elapsed wall-clock
+// time that the DES's virtual counters cannot.
+func (m *Machine) Stats() realm.Stats {
+	return realm.Stats{
+		Messages:    atomic.LoadInt64(&m.messages),
+		BytesSent:   atomic.LoadInt64(&m.bytesSent),
+		LocalCopies: atomic.LoadInt64(&m.localCopies),
+		TasksRun:    atomic.LoadInt64(&m.tasksRun),
+		Events:      atomic.LoadInt64(&m.events),
+		WallNanos:   int64(m.Now()),
+	}
+}
+
+// InjectFaults reports fault injection as unsupported: the native backend
+// has no virtual nodes to crash or links to corrupt.
+func (m *Machine) InjectFaults(realm.FaultPlan) error {
+	return &realm.UnsupportedError{Backend: m.Backend(), Op: "fault injection"}
+}
+
+// NewUserEvent implements realm.Exec.
+func (m *Machine) NewUserEvent() realm.Event {
+	m.mu.Lock()
+	m.evs = append(m.evs, evState{})
+	e := realm.Event(len(m.evs))
+	m.mu.Unlock()
+	return e
+}
+
+// ReserveEvents implements realm.Exec: n contiguous untriggered handles.
+func (m *Machine) ReserveEvents(n int) realm.Event {
+	if n <= 0 {
+		return realm.NoEvent
+	}
+	m.mu.Lock()
+	first := realm.Event(len(m.evs) + 1)
+	for i := 0; i < n; i++ {
+		m.evs = append(m.evs, evState{})
+	}
+	m.mu.Unlock()
+	return first
+}
+
+// Trigger implements realm.Exec. Continuations run synchronously on the
+// triggering goroutine, outside the table lock, so they may re-enter the
+// machine (trigger further events, register waiters, spawn work).
+func (m *Machine) Trigger(e realm.Event) {
+	if e == realm.NoEvent {
+		panic("native: cannot trigger NoEvent")
+	}
+	m.mu.Lock()
+	st := &m.evs[e-1]
+	if st.triggered {
+		m.mu.Unlock()
+		panic(fmt.Sprintf("native: event %d triggered twice", e))
+	}
+	st.triggered = true
+	waiters := st.waiters
+	st.waiters = nil
+	m.mu.Unlock()
+	atomic.AddInt64(&m.events, 1)
+	for _, fn := range waiters {
+		fn()
+	}
+}
+
+// Triggered implements realm.Exec.
+func (m *Machine) Triggered(e realm.Event) bool {
+	if e == realm.NoEvent {
+		return true
+	}
+	m.mu.Lock()
+	t := m.evs[e-1].triggered
+	m.mu.Unlock()
+	return t
+}
+
+// OnTrigger implements realm.Exec; fn runs inline when e already fired.
+func (m *Machine) OnTrigger(e realm.Event, fn func()) {
+	if e == realm.NoEvent {
+		fn()
+		return
+	}
+	m.mu.Lock()
+	st := &m.evs[e-1]
+	if st.triggered {
+		m.mu.Unlock()
+		fn()
+		return
+	}
+	st.waiters = append(st.waiters, fn)
+	m.mu.Unlock()
+}
+
+// Merge implements realm.Exec via an atomic countdown: the extra initial
+// count covers registration itself, so inputs may trigger concurrently
+// while the loop is still walking them.
+func (m *Machine) Merge(evs ...realm.Event) realm.Event {
+	if len(evs) == 0 {
+		return realm.NoEvent
+	}
+	out := m.NewUserEvent()
+	remaining := int64(len(evs)) + 1
+	dec := func() {
+		if atomic.AddInt64(&remaining, -1) == 0 {
+			m.Trigger(out)
+		}
+	}
+	for _, e := range evs {
+		m.OnTrigger(e, dec)
+	}
+	dec()
+	return out
+}
+
+// SpawnOn implements realm.Exec: fn runs on its own goroutine. The node
+// and proc bindings are advisory on shared memory — the Go scheduler owns
+// placement — but are kept for the interface's diagnostics.
+func (m *Machine) SpawnOn(name string, node, proc int, fn func(realm.Agent)) realm.Agent {
+	_ = proc
+	a := &agent{m: m, name: name, node: node}
+	m.wg.Add(1)
+	run := func() {
+		defer m.wg.Done()
+		defer m.capturePanic("agent " + name)
+		fn(a)
+	}
+	m.mu.Lock()
+	if m.started {
+		m.mu.Unlock()
+		go run()
+	} else {
+		m.pending = append(m.pending, run)
+		m.mu.Unlock()
+	}
+	return a
+}
+
+// LaunchOn implements realm.Exec. The modeled duration is ignored — the
+// body's real execution time is the cost. A body-less item (a modeled
+// placeholder) completes inline at precondition trigger.
+func (m *Machine) LaunchOn(node int, pre realm.Event, dur realm.Time, body func()) realm.Event {
+	_, _ = node, dur
+	done := m.NewUserEvent()
+	m.OnTrigger(pre, func() {
+		atomic.AddInt64(&m.tasksRun, 1)
+		if body == nil {
+			m.Trigger(done)
+			return
+		}
+		m.wg.Add(1)
+		go func() {
+			defer m.wg.Done()
+			defer m.capturePanic("task")
+			body()
+			m.Trigger(done)
+		}()
+	})
+	return done
+}
+
+// CopyBytes implements realm.Exec: the body performs the real data
+// movement (a shared-memory store-to-store copy); the byte count only
+// feeds the traffic counters.
+func (m *Machine) CopyBytes(src, dst int, bytes int64, pre realm.Event, body func()) realm.Event {
+	done := m.NewUserEvent()
+	m.OnTrigger(pre, func() {
+		if src == dst {
+			atomic.AddInt64(&m.localCopies, 1)
+		} else {
+			atomic.AddInt64(&m.messages, 1)
+			atomic.AddInt64(&m.bytesSent, bytes)
+		}
+		if body == nil {
+			m.Trigger(done)
+			return
+		}
+		m.wg.Add(1)
+		go func() {
+			defer m.wg.Done()
+			defer m.capturePanic("copy")
+			body()
+			m.Trigger(done)
+		}()
+	})
+	return done
+}
+
+// Drive implements realm.Exec: release the agents spawned before the run,
+// then wait for the population of agents and work items to drain. The
+// counting discipline makes the Wait sound: any event that will ever
+// trigger is owed to a goroutine in the group, and work items join the
+// group synchronously inside their precondition's trigger (i.e. while the
+// triggering goroutine is still counted), so the count never dips to zero
+// with work outstanding.
+func (m *Machine) Drive() (realm.Time, error) {
+	m.mu.Lock()
+	if m.started {
+		m.mu.Unlock()
+		return m.Now(), fmt.Errorf("native: Drive is not reentrant")
+	}
+	m.started = true
+	pend := m.pending
+	m.pending = nil
+	m.mu.Unlock()
+	for _, run := range pend {
+		go run()
+	}
+	m.wg.Wait()
+	m.failMu.Lock()
+	err := m.err
+	m.failMu.Unlock()
+	return m.Now(), err
+}
+
+// abortPanic unwinds an agent whose machine has failed; capturePanic
+// swallows it without recording.
+type abortPanic struct{}
+
+// fail records the first error and releases every agent blocked in
+// WaitEvent, so a panicking kernel drains the machine instead of wedging
+// Drive on events that will never fire.
+func (m *Machine) fail(err error) {
+	m.failMu.Lock()
+	if m.err == nil {
+		m.err = err
+		close(m.failCh)
+	}
+	m.failMu.Unlock()
+}
+
+func (m *Machine) failed() bool {
+	select {
+	case <-m.failCh:
+		return true
+	default:
+		return false
+	}
+}
+
+func (m *Machine) capturePanic(what string) {
+	r := recover()
+	if r == nil {
+		return
+	}
+	if _, ok := r.(abortPanic); ok {
+		return
+	}
+	m.fail(fmt.Errorf("native: %s panicked: %v", what, r))
+}
+
+// agent is a native control agent: a real goroutine that blocks on
+// channels instead of yielding to a scheduler.
+type agent struct {
+	m    *Machine
+	name string
+	node int
+}
+
+var _ realm.Agent = (*agent)(nil)
+
+// Name implements realm.Agent.
+func (a *agent) Name() string { return a.name }
+
+// Now implements realm.Agent (wall-clock).
+func (a *agent) Now() realm.Time { return a.m.Now() }
+
+// WaitEvent implements realm.Agent: block until e fires, or unwind if the
+// machine fails first.
+func (a *agent) WaitEvent(e realm.Event) {
+	if a.m.Triggered(e) {
+		if a.m.failed() {
+			panic(abortPanic{})
+		}
+		return
+	}
+	ch := make(chan struct{})
+	a.m.OnTrigger(e, func() { close(ch) })
+	select {
+	case <-ch:
+	case <-a.m.failCh:
+		panic(abortPanic{})
+	}
+}
+
+// Elapse implements realm.Agent as a no-op: on real cores the agent's
+// actual control work is its cost; there is no modeled time to charge.
+func (a *agent) Elapse(realm.Time) {}
+
+// Sleep implements realm.Agent as a no-op: modeled backoff delays belong
+// to the DES's virtual clock.
+func (a *agent) Sleep(realm.Time) {}
+
+// barrier counts arrivals with an atomic; the last arrival fires done on
+// its own goroutine, which gives waiters the usual happens-before edge.
+type barrier struct {
+	m         *Machine
+	remaining int64
+	done      realm.Event
+}
+
+var _ realm.BarrierOp = (*barrier)(nil)
+
+// Barrier implements realm.Exec.
+func (m *Machine) Barrier(n int) realm.BarrierOp {
+	return &barrier{m: m, remaining: int64(n), done: m.NewUserEvent()}
+}
+
+// Arrive implements realm.BarrierOp.
+func (b *barrier) Arrive(pre realm.Event) {
+	b.m.OnTrigger(pre, func() {
+		if atomic.AddInt64(&b.remaining, -1) == 0 {
+			b.m.Trigger(b.done)
+		}
+	})
+}
+
+// Done implements realm.BarrierOp.
+func (b *barrier) Done() realm.Event { return b.done }
+
+// collective stores contributions by participant index under a lock and
+// folds them in index order, so the result is bitwise identical no matter
+// which order real cores arrive in.
+type collective struct {
+	m        *Machine
+	identity float64
+	fold     func(acc, v float64) float64
+
+	mu      sync.Mutex
+	values  []float64
+	present []bool
+	arrived int
+	done    realm.Event
+}
+
+var _ realm.CollectiveOp = (*collective)(nil)
+
+// Collective implements realm.Exec.
+func (m *Machine) Collective(n int, identity float64, fold func(acc, v float64) float64) realm.CollectiveOp {
+	return &collective{
+		m:        m,
+		identity: identity,
+		fold:     fold,
+		values:   make([]float64, n),
+		present:  make([]bool, n),
+		done:     m.NewUserEvent(),
+	}
+}
+
+// Contribute implements realm.CollectiveOp.
+func (c *collective) Contribute(idx int, pre realm.Event, value func() float64) {
+	c.m.OnTrigger(pre, func() {
+		v := value()
+		c.mu.Lock()
+		if c.present[idx] {
+			c.mu.Unlock()
+			panic("native: duplicate collective contribution")
+		}
+		c.present[idx] = true
+		c.values[idx] = v
+		c.arrived++
+		fire := c.arrived == len(c.values)
+		c.mu.Unlock()
+		if fire {
+			c.m.Trigger(c.done)
+		}
+	})
+}
+
+// Done implements realm.CollectiveOp.
+func (c *collective) Done() realm.Event { return c.done }
+
+// Result implements realm.CollectiveOp: an index-order fold, identical to
+// the DES's.
+func (c *collective) Result() float64 {
+	acc := c.identity
+	for _, v := range c.values {
+		acc = c.fold(acc, v)
+	}
+	return acc
+}

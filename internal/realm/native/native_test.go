@@ -1,0 +1,259 @@
+package native
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/realm"
+)
+
+func newTest(t *testing.T, nodes int) *Machine {
+	t.Helper()
+	m, err := NewMachine(realm.DefaultConfig(nodes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestEventsAndMerge(t *testing.T) {
+	m := newTest(t, 2)
+	if !m.Triggered(realm.NoEvent) {
+		t.Fatal("NoEvent must read as triggered")
+	}
+	a, b := m.NewUserEvent(), m.NewUserEvent()
+	merged := m.Merge(a, b)
+	var fired int32
+	m.OnTrigger(merged, func() { atomic.AddInt32(&fired, 1) })
+	m.Trigger(a)
+	if m.Triggered(merged) {
+		t.Fatal("merge fired after one of two inputs")
+	}
+	m.Trigger(b)
+	if !m.Triggered(merged) || atomic.LoadInt32(&fired) != 1 {
+		t.Fatal("merge did not fire after both inputs")
+	}
+	if m.Merge() != realm.NoEvent {
+		t.Fatal("empty merge must be NoEvent")
+	}
+	if !m.Triggered(m.Merge(a, b)) {
+		t.Fatal("merge of triggered inputs must come back triggered")
+	}
+}
+
+func TestReserveEventsContiguous(t *testing.T) {
+	m := newTest(t, 1)
+	first := m.ReserveEvents(4)
+	for i := realm.Event(0); i < 4; i++ {
+		if m.Triggered(first + i) {
+			t.Fatalf("reserved event %d born triggered", first+i)
+		}
+	}
+	m.Trigger(first + 2)
+	if !m.Triggered(first+2) || m.Triggered(first+3) {
+		t.Fatal("reserved handles are not independent")
+	}
+	if m.ReserveEvents(0) != realm.NoEvent {
+		t.Fatal("zero-length reservation must be NoEvent")
+	}
+}
+
+func TestDriveRunsAgentsAndWork(t *testing.T) {
+	m := newTest(t, 2)
+	var order []string
+	done := m.LaunchOn(1, realm.NoEvent, 0, func() { order = append(order, "task") })
+	m.SpawnOn("ctl", 0, 0, func(a realm.Agent) {
+		a.WaitEvent(done)
+		a.Elapse(realm.Microseconds(5)) // no-op, must not deadlock
+		order = append(order, "ctl")
+	})
+	if _, err := m.Drive(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != "task" || order[1] != "ctl" {
+		t.Fatalf("order = %v", order)
+	}
+	if _, err := m.Drive(); err == nil {
+		t.Fatal("Drive must reject re-entry")
+	}
+	st := m.Stats()
+	if st.TasksRun != 1 || st.WallNanos <= 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestPanicDrainsInsteadOfHanging(t *testing.T) {
+	m := newTest(t, 1)
+	never := m.NewUserEvent()
+	m.SpawnOn("waiter", 0, 0, func(a realm.Agent) {
+		a.WaitEvent(never) // only the failure path can release this
+	})
+	m.SpawnOn("boom", 0, 0, func(realm.Agent) {
+		panic("kernel bug")
+	})
+	_, err := m.Drive()
+	if err == nil || !strings.Contains(err.Error(), "kernel bug") {
+		t.Fatalf("err = %v, want the agent panic", err)
+	}
+}
+
+func TestInjectFaultsUnsupported(t *testing.T) {
+	m := newTest(t, 2)
+	err := m.InjectFaults(realm.FaultPlan{Seed: 1, CrashRate: 1})
+	var ue *realm.UnsupportedError
+	if !errors.As(err, &ue) {
+		t.Fatalf("err = %v, want realm.UnsupportedError", err)
+	}
+	if ue.Backend != "native" || !strings.Contains(err.Error(), "native") {
+		t.Fatalf("err = %v, want the backend named", err)
+	}
+}
+
+func TestCollectiveFoldsInIndexOrder(t *testing.T) {
+	// A non-commutative fold exposes arrival-order sensitivity: the result
+	// must be the index-order fold no matter which schedule the goroutines
+	// get.
+	m := newTest(t, 4)
+	c := m.Collective(4, 0, func(acc, v float64) float64 { return acc*10 + v })
+	pres := make([]realm.Event, 4)
+	for i := range pres {
+		pres[i] = m.NewUserEvent()
+	}
+	for i := 0; i < 4; i++ {
+		i := i
+		m.SpawnOn(fmt.Sprintf("p%d", i), 0, 0, func(a realm.Agent) {
+			c.Contribute(i, pres[i], func() float64 { return float64(i + 1) })
+			a.WaitEvent(c.Done())
+			if got := c.Result(); got != 1234 {
+				panic(fmt.Sprintf("participant %d saw %v", i, got))
+			}
+		})
+	}
+	// Release contributions in reverse order to fight the index order.
+	m.SpawnOn("release", 0, 0, func(realm.Agent) {
+		for i := 3; i >= 0; i-- {
+			m.Trigger(pres[i])
+		}
+	})
+	if _, err := m.Drive(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStressPrimitives is the seeded concurrency stress for the native
+// sync primitives: many agents churn p2p war/done pairs, barriers, and
+// collectives through randomized (but seeded, hence reproducible) think
+// patterns. Run under -race this exercises the happens-before edges the
+// backend promises; the collective sums double-check delivery.
+func TestStressPrimitives(t *testing.T) {
+	const (
+		agents = 8
+		rounds = 40
+		seed   = 20260808
+	)
+	m := newTest(t, agents)
+	var sums [rounds]float64
+	// One contiguous war/done block per round per pair of ring neighbors,
+	// mirroring the executor's dense slot layout.
+	base := m.ReserveEvents(2 * agents * rounds)
+	slot := func(round, who int) realm.Event {
+		return base + realm.Event(2*(round*agents+who))
+	}
+	bars := make([]realm.BarrierOp, rounds)
+	colls := make([]realm.CollectiveOp, rounds)
+	for r := 0; r < rounds; r++ {
+		bars[r] = m.Barrier(agents)
+		colls[r] = m.Collective(agents, 0, func(acc, v float64) float64 { return acc + v })
+	}
+	for i := 0; i < agents; i++ {
+		i := i
+		rng := rand.New(rand.NewSource(seed + int64(i)))
+		m.SpawnOn(fmt.Sprintf("shard-%d", i), i, 0, func(a realm.Agent) {
+			for r := 0; r < rounds; r++ {
+				war, done := slot(r, i), slot(r, i)+1
+				// Producer side: my done fires when my neighbor's war
+				// (release of the previous consumer) has fired.
+				m.OnTrigger(war, func() { m.Trigger(done) })
+				// Randomize issue order pressure with busy work.
+				for k := 0; k < rng.Intn(64); k++ {
+					_ = rng.Float64()
+				}
+				// Consumer side: release the ring successor's pair.
+				m.Trigger(slot(r, (i+1)%agents))
+				colls[r].Contribute(i, done, func() float64 { return float64(r) })
+				bars[r].Arrive(colls[r].Done())
+				a.WaitEvent(bars[r].Done())
+				if i == 0 {
+					sums[r] = colls[r].Result()
+				}
+			}
+		})
+	}
+	if _, err := m.Drive(); err != nil {
+		t.Fatal(err)
+	}
+	for r, got := range sums {
+		if want := float64(r * agents); got != want {
+			t.Errorf("round %d: collective sum = %v, want %v", r, got, want)
+		}
+	}
+}
+
+// TestStressCopiesAndTasks drives a randomized producer/consumer copy
+// graph: every byte moved is tallied against Stats, and every copy body
+// must observe its precondition's write.
+func TestStressCopiesAndTasks(t *testing.T) {
+	const (
+		chains = 16
+		depth  = 25
+		seed   = 7
+	)
+	m := newTest(t, 4)
+	cells := make([]int64, chains)
+	rng := rand.New(rand.NewSource(seed))
+	var wantBytes int64
+	var wantMsgs, wantLocal int64
+	for c := 0; c < chains; c++ {
+		c := c
+		pre := realm.NoEvent
+		for d := 0; d < depth; d++ {
+			d := d
+			bytes := int64(rng.Intn(1000) + 1)
+			src, dst := rng.Intn(4), rng.Intn(4)
+			if src == dst {
+				wantLocal++
+			} else {
+				wantMsgs++
+				wantBytes += bytes
+			}
+			pre = m.CopyBytes(src, dst, bytes, pre, func() {
+				// Chained bodies run one at a time: the event edge must
+				// publish the previous body's write.
+				if got := atomic.LoadInt64(&cells[c]); got != int64(d) {
+					panic(fmt.Sprintf("chain %d step %d saw %d", c, d, got))
+				}
+				atomic.StoreInt64(&cells[c], int64(d+1))
+			})
+		}
+		fin := pre
+		m.SpawnOn(fmt.Sprintf("chain-%d", c), 0, 0, func(a realm.Agent) {
+			a.WaitEvent(fin)
+		})
+	}
+	if _, err := m.Drive(); err != nil {
+		t.Fatal(err)
+	}
+	for c := range cells {
+		if cells[c] != depth {
+			t.Errorf("chain %d advanced to %d, want %d", c, cells[c], depth)
+		}
+	}
+	st := m.Stats()
+	if st.BytesSent != wantBytes || st.Messages != wantMsgs || st.LocalCopies != wantLocal {
+		t.Errorf("stats = %+v, want bytes=%d msgs=%d local=%d", st, wantBytes, wantMsgs, wantLocal)
+	}
+}

@@ -1,0 +1,63 @@
+package realm
+
+import "math"
+
+// TimePolicy is the pluggable time-charging half of the DES split: it maps
+// machine operations to virtual durations, while the Sim proper only
+// sequences events. Every formula lives here, so a policy swap changes what
+// operations cost without touching how they are ordered. The native backend
+// needs no policy at all — its time is wall-clock — which is exactly why
+// the split exists.
+type TimePolicy interface {
+	// LocalCopy returns the cost of a node-local transfer of the given
+	// size.
+	LocalCopy(bytes int64) Time
+	// RemoteTransfer returns the wire occupancy of one payload of the given
+	// size (the per-attempt link serialization; charged again per
+	// retransmission).
+	RemoteTransfer(bytes int64) Time
+	// RemoteLatency returns the end-to-end latency added to every remote
+	// message on top of its wire time.
+	RemoteLatency() Time
+	// CollectiveLatency returns the latency of an n-participant
+	// tree-structured collective.
+	CollectiveLatency(n int) Time
+}
+
+// ModeledTime is the default policy: the Cray-XC-style cost model the DES
+// has always charged, parameterized by the machine Config.
+type ModeledTime struct {
+	Cfg Config
+}
+
+// LocalCopy implements TimePolicy.
+func (p ModeledTime) LocalCopy(bytes int64) Time {
+	return p.Cfg.LocalLatency + Time(float64(bytes)/p.Cfg.LocalBW)
+}
+
+// RemoteTransfer implements TimePolicy.
+func (p ModeledTime) RemoteTransfer(bytes int64) Time {
+	return Time(float64(bytes) / p.Cfg.NetBandwidth)
+}
+
+// RemoteLatency implements TimePolicy.
+func (p ModeledTime) RemoteLatency() Time { return p.Cfg.NetLatency }
+
+// CollectiveLatency implements TimePolicy.
+func (p ModeledTime) CollectiveLatency(n int) Time {
+	if n <= 1 {
+		return 0
+	}
+	levels := int(math.Ceil(math.Log2(float64(n))))
+	return Time(levels) * p.Cfg.HopLatency
+}
+
+// SetTimePolicy replaces the simulator's time-charging policy (nil restores
+// the modeled default). Must be called before Run; swapping mid-simulation
+// would make the clock incoherent.
+func (s *Sim) SetTimePolicy(p TimePolicy) {
+	if p == nil {
+		p = ModeledTime{Cfg: s.cfg}
+	}
+	s.policy = p
+}

@@ -172,15 +172,14 @@ func (s *Sim) execCopy(src, dst *Node, bytes int64, body func(), done Event) {
 	}
 	var arrive Time
 	if src == dst {
-		cost := s.cfg.LocalLatency + Time(float64(bytes)/s.cfg.LocalBW)
-		arrive = s.now + cost
+		arrive = s.now + s.policy.LocalCopy(bytes)
 		s.stats.LocalCopies++
 	} else {
 		start := src.linkFreeAt
 		if s.now > start {
 			start = s.now
 		}
-		xfer := Time(float64(bytes) / s.cfg.NetBandwidth)
+		xfer := s.policy.RemoteTransfer(bytes)
 		serialize := xfer
 		var delay Time
 		if s.faults != nil {
@@ -206,7 +205,7 @@ func (s *Sim) execCopy(src, dst *Node, bytes int64, body func(), done Event) {
 			}
 		}
 		src.linkFreeAt = start + serialize
-		arrive = start + xfer + s.cfg.NetLatency + delay
+		arrive = start + xfer + s.policy.RemoteLatency() + delay
 		s.stats.Messages++
 		s.stats.BytesSent += bytes
 		if s.tracer != nil {

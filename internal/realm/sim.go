@@ -15,7 +15,6 @@ package realm
 
 import (
 	"fmt"
-	"math"
 	"sort"
 )
 
@@ -102,14 +101,20 @@ type Stats struct {
 	// count toward Messages/BytesSent like any other transfer.
 	TraceShips     int64
 	TraceShipBytes int64
+
+	// WallNanos is real elapsed wall-clock time in nanoseconds, reported
+	// only by backends that execute on real cores (always zero on the DES,
+	// whose clock is virtual).
+	WallNanos int64
 }
 
 // Sim is the simulator: the event heap, virtual clock, machine state, and
 // statistics.
 type Sim struct {
-	cfg   Config
-	now   Time
-	seq   int64
+	cfg    Config
+	policy TimePolicy
+	now    Time
+	seq    int64
 	queue eventQueue
 	evs   []eventState // index = Event-1
 	nodes []*Node
@@ -234,7 +239,7 @@ func NewSim(cfg Config) (*Sim, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	s := &Sim{cfg: cfg, activeYield: make(chan struct{}), liveThreads: map[*Thread]bool{}}
+	s := &Sim{cfg: cfg, policy: ModeledTime{Cfg: cfg}, activeYield: make(chan struct{}), liveThreads: map[*Thread]bool{}}
 	// Pre-size the event table and heap: simulations allocate events at a
 	// furious rate, and starting from a real capacity avoids the first dozen
 	// grow-and-copy cycles of append.
@@ -526,11 +531,7 @@ func (s *Sim) MustRun() Time {
 }
 
 // CollectiveLatency returns the modeled latency of an n-participant
-// tree-structured collective operation.
+// tree-structured collective operation, as charged by the time policy.
 func (s *Sim) CollectiveLatency(n int) Time {
-	if n <= 1 {
-		return 0
-	}
-	levels := int(math.Ceil(math.Log2(float64(n))))
-	return Time(levels) * s.cfg.HopLatency
+	return s.policy.CollectiveLatency(n)
 }

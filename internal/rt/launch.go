@@ -80,7 +80,6 @@ func (e *Engine) issueLaunch(l *ir.Launch) {
 
 	for idx, c := range l.Domain {
 		target := e.Map.NodeFor(idx, numColors, nodes)
-		node := e.Sim.Node(target)
 		taskNode[idx] = target
 
 		// Gather preconditions and cross-node data movement. The scratch
@@ -91,7 +90,7 @@ func (e *Engine) issueLaunch(l *ir.Launch) {
 			for _, d := range deps[ai][idx] {
 				nDeps++
 				if d.bytes > 0 && d.srcNode != target {
-					pres = append(pres, e.Sim.Copy(e.Sim.Node(d.srcNode), node, d.bytes, d.ev, nil))
+					pres = append(pres, e.Sim.CopyBytes(d.srcNode, target, d.bytes, d.ev, nil))
 				} else {
 					pres = append(pres, d.ev)
 				}
@@ -107,7 +106,7 @@ func (e *Engine) issueLaunch(l *ir.Launch) {
 			realm.Time(numColors)*e.Over.LaunchPerSub)
 
 		if target != 0 {
-			pres = append(pres, e.Sim.Copy(e.Sim.Node(0), node, e.Over.RemoteStartBytes, realm.NoEvent, nil))
+			pres = append(pres, e.Sim.CopyBytes(0, target, e.Over.RemoteStartBytes, realm.NoEvent, nil))
 		}
 
 		vol := l.Args[l.Task.CostArg].At(c).Volume()
@@ -124,7 +123,7 @@ func (e *Engine) issueLaunch(l *ir.Launch) {
 				body = func() { l.Task.Kernel(ctx) }
 			}
 		}
-		taskDone[idx] = node.LaunchAuto(e.Sim.Merge(pres...), dur, body)
+		taskDone[idx] = e.Sim.LaunchOn(target, e.Sim.Merge(pres...), dur, body)
 		e.presBuf = pres[:0]
 	}
 
@@ -157,7 +156,7 @@ func (e *Engine) issueLaunch(l *ir.Launch) {
 				}
 			}
 			pre := e.Sim.Merge(taskDone[idx], prev)
-			applied := e.Sim.Copy(e.Sim.Node(taskNode[idx]), e.Sim.Node(taskNode[idx]), bytes, pre, body)
+			applied := e.Sim.CopyBytes(taskNode[idx], taskNode[idx], bytes, pre, body)
 			u.done[idx] = applied
 			u.node[idx] = taskNode[idx]
 			prev = applied

@@ -134,9 +134,10 @@ type Result struct {
 	Stats     realm.Stats
 }
 
-// Engine executes one program on one simulated machine.
+// Engine executes one program on one realm backend: the DES (*realm.Sim)
+// in the usual configuration, or any other realm.Exec implementation.
 type Engine struct {
-	Sim  *realm.Sim
+	Sim  realm.Exec
 	Prog *ir.Program
 	Mode Mode
 	Over Overheads
@@ -149,7 +150,7 @@ type Engine struct {
 	stores     map[*region.Region]*region.Store
 	users      map[*region.Region][]*use
 	env        map[string]*scalarVal
-	ctl        *realm.Thread
+	ctl        realm.Agent
 	pairCache  map[pairKey][]pairInfo
 	unionCache map[*region.Partition]geometry.IndexSpace
 	coverCache map[pairKey]bool
@@ -177,7 +178,7 @@ type Engine struct {
 func (e *Engine) TraceStats() TraceStats { return e.traceStats }
 
 // New creates an engine with default mapper.
-func New(sim *realm.Sim, prog *ir.Program, mode Mode) *Engine {
+func New(sim realm.Exec, prog *ir.Program, mode Mode) *Engine {
 	return &Engine{
 		Sim:  sim,
 		Prog: prog,
@@ -216,7 +217,7 @@ func (e *Engine) Run() (*Result, error) {
 
 	var runErr error
 	ctlDone := false
-	e.Sim.Spawn("control", e.Sim.Node(0).Proc(0), func(t *realm.Thread) {
+	e.Sim.SpawnOn("control", 0, 0, func(t realm.Agent) {
 		defer func() {
 			if r := recover(); r != nil {
 				if realm.IsThreadKilled(r) {
@@ -330,16 +331,16 @@ func maxInt(a, b int) int {
 	return b
 }
 
-// runSim drives the simulation, converting panics from task kernels (which
-// execute inside the event loop) into errors so a faulty application
-// cannot crash the host process. A deadlock (e.g. an injected node crash
-// orphaning the control thread's waits — rt has no recovery layer) comes
-// back as a *realm.DeadlockError.
-func runSim(sim *realm.Sim) (elapsed realm.Time, err error) {
+// runSim drives the backend, converting panics from task kernels (which
+// the DES executes inside the event loop) into errors so a faulty
+// application cannot crash the host process. A deadlock (e.g. an injected
+// node crash orphaning the control thread's waits — rt has no recovery
+// layer) comes back as a *realm.DeadlockError.
+func runSim(x realm.Exec) (elapsed realm.Time, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("rt: task execution panicked: %v", r)
 		}
 	}()
-	return sim.Run()
+	return x.Drive()
 }

@@ -588,7 +588,6 @@ func (e *Engine) replayLaunch(l *ir.Launch, rec *launchRec) {
 
 	for idx, c := range l.Domain {
 		target := rec.targets[idx]
-		node := e.Sim.Node(target)
 		taskNode[idx] = target
 
 		pres := e.presBuf[:0]
@@ -610,7 +609,7 @@ func (e *Engine) replayLaunch(l *ir.Launch, rec *launchRec) {
 				ev, srcNode = d.ev, int(d.srcNode)
 			}
 			if d.bytes > 0 && srcNode != target {
-				pres = append(pres, e.Sim.Copy(e.Sim.Node(srcNode), node, d.bytes, ev, nil))
+				pres = append(pres, e.Sim.CopyBytes(srcNode, target, d.bytes, ev, nil))
 			} else {
 				pres = append(pres, ev)
 			}
@@ -621,7 +620,7 @@ func (e *Engine) replayLaunch(l *ir.Launch, rec *launchRec) {
 			realm.Time(numColors)*e.Over.LaunchPerSub)
 
 		if target != 0 {
-			pres = append(pres, e.Sim.Copy(e.Sim.Node(0), node, e.Over.RemoteStartBytes, realm.NoEvent, nil))
+			pres = append(pres, e.Sim.CopyBytes(0, target, e.Over.RemoteStartBytes, realm.NoEvent, nil))
 		}
 
 		dur := rec.durBase[idx]
@@ -637,7 +636,7 @@ func (e *Engine) replayLaunch(l *ir.Launch, rec *launchRec) {
 				body = func() { l.Task.Kernel(ctx) }
 			}
 		}
-		taskDone[idx] = node.LaunchAuto(e.Sim.Merge(pres...), dur, body)
+		taskDone[idx] = e.Sim.LaunchOn(target, e.Sim.Merge(pres...), dur, body)
 		e.presBuf = pres[:0]
 	}
 
@@ -666,7 +665,7 @@ func (e *Engine) replayLaunch(l *ir.Launch, rec *launchRec) {
 				}
 			}
 			pre := e.Sim.Merge(taskDone[idx], prev)
-			applied := e.Sim.Copy(e.Sim.Node(taskNode[idx]), e.Sim.Node(taskNode[idx]), bytes, pre, body)
+			applied := e.Sim.CopyBytes(taskNode[idx], taskNode[idx], bytes, pre, body)
 			u.done[idx] = applied
 			u.node[idx] = taskNode[idx]
 			prev = applied

@@ -15,7 +15,7 @@ import (
 // the shard thread wait for the collective (its value is then identical on
 // every shard because the collective folds in participant order).
 type shardEnv struct {
-	th   *realm.Thread
+	th   realm.Agent
 	vals map[string]float64
 	futs map[string]futVal
 }
@@ -25,7 +25,7 @@ type futVal struct {
 	val func() float64
 }
 
-func newShardEnv(th *realm.Thread, base ir.MapEnv) *shardEnv {
+func newShardEnv(th realm.Agent, base ir.MapEnv) *shardEnv {
 	vals := make(map[string]float64, len(base))
 	for k, v := range base {
 		vals[k] = v

@@ -179,7 +179,6 @@ type planOp struct {
 type launchPlan struct {
 	l      *ir.Launch
 	reduce bool
-	node   *realm.Node
 	nodeID int
 	colors []launchColorPlan
 }
@@ -223,7 +222,7 @@ type copyProdPlan struct {
 	chain            bool // fold-chain link: also wait on pairIdx-1's done
 	srcState         *instState
 	bytes            int64
-	srcNode, dstNode *realm.Node
+	srcNode, dstNode int
 	body             func() // Real-mode transfer body; iteration-invariant
 }
 
@@ -238,6 +237,12 @@ func (st *runState) planFor(sh *shard) *shardPlan {
 	if e.NoTrace || !st.plan.Trace.Traceable || st.plan.Opts.Sync == cr.BarrierSync {
 		return nil
 	}
+	// planMu serializes capture/specialization across shard agents (they
+	// resolve concurrently on the native backend) and guards the engine's
+	// shared-capture cache and counters. Capture happens once per shard per
+	// placement, so the serialization is off the steady-state path.
+	e.planMu.Lock()
+	defer e.planMu.Unlock()
 	if sp := st.plans[sh.me]; sp != nil {
 		return sp
 	}
@@ -312,14 +317,17 @@ func (st *runState) specialize(sh *shard, shr *sharedTrace) *shardPlan {
 	return sp
 }
 
-// tempStore returns the Real-mode reduce temporary for tk, creating it like
-// buildCtx does on first use.
+// tempStore returns the Real-mode reduce temporary for tk, creating it on
+// first use. The temps map is shared across shards, so creation is locked;
+// the returned store itself is only ever touched under event ordering.
 func (st *runState) tempStore(tk tempKey, sub *region.Region) *region.Store {
+	st.mu.Lock()
 	buf, ok := st.temps[tk]
 	if !ok {
 		buf = region.NewStore(sub.IndexSpace(), st.e.Prog.FieldSpaceOf(sub))
 		st.temps[tk] = buf
 	}
+	st.mu.Unlock()
 	return buf
 }
 
@@ -357,12 +365,10 @@ func (st *runState) resolveLaunchArgs(sh *shard, l *ir.Launch, col geometry.Poin
 
 func (st *runState) captureLaunch(sh *shard, l *ir.Launch) *launchPlan {
 	e := st.e
-	nodeID := st.nodeOfShard(sh.me)
 	lp := &launchPlan{
 		l:      l,
 		reduce: l.Reduce != nil,
-		node:   e.Sim.Node(nodeID),
-		nodeID: nodeID,
+		nodeID: st.nodeOfShard(sh.me),
 	}
 	for _, col := range st.plan.Owned[sh.me] {
 		vol := l.Args[l.Task.CostArg].At(col).Volume()
@@ -381,13 +387,10 @@ func (st *runState) captureLaunch(sh *shard, l *ir.Launch) *launchPlan {
 // replaced by shared-table lookups: owned color k is dense slot
 // OwnedBase[shard]+k, and its duration was computed once for all shards.
 func (st *runState) specializeLaunch(sh *shard, l *ir.Launch, shl *sharedLaunch) *launchPlan {
-	e := st.e
-	nodeID := st.nodeOfShard(sh.me)
 	lp := &launchPlan{
 		l:      l,
 		reduce: l.Reduce != nil,
-		node:   e.Sim.Node(nodeID),
-		nodeID: nodeID,
+		nodeID: st.nodeOfShard(sh.me),
 	}
 	base := st.plan.Spec.OwnedBase[sh.me]
 	for k, col := range st.plan.Owned[sh.me] {
@@ -404,7 +407,7 @@ func (st *runState) specializeLaunch(sh *shard, l *ir.Launch, shl *sharedLaunch)
 
 // resolveProdPlan fills one produced pair's dependence state and Real-mode
 // transfer body. Shared by direct capture and specialization.
-func (st *runState) resolveProdPlan(sh *shard, cp *cr.CopyOp, k int, chain bool, bytes int64, srcNode, dstNode *realm.Node) copyProdPlan {
+func (st *runState) resolveProdPlan(sh *shard, cp *cr.CopyOp, k int, chain bool, bytes int64, srcNode, dstNode int) copyProdPlan {
 	e := st.e
 	pr := cp.Pairs[k]
 	p := copyProdPlan{
@@ -455,9 +458,8 @@ func (st *runState) captureCopy(sh *shard, cp *cr.CopyOp) *copyPlan {
 		for _, k := range work.ProdPairs {
 			pr := pairs[k]
 			bytes := pr.Overlap.Volume() * e.Over.EltBytes * int64(len(cp.Fields))
-			srcNode := e.Sim.Node(st.ownerNode(pr.Src))
-			dstNode := e.Sim.Node(st.ownerNode(pr.Dst))
-			w.prods = append(w.prods, st.resolveProdPlan(sh, cp, k, reduce && k > work.GroupStart, bytes, srcNode, dstNode))
+			w.prods = append(w.prods, st.resolveProdPlan(sh, cp, k, reduce && k > work.GroupStart, bytes,
+				st.ownerNode(pr.Src), st.ownerNode(pr.Dst)))
 		}
 		out.works = append(out.works, w)
 	}
@@ -469,7 +471,6 @@ func (st *runState) captureCopy(sh *shard, cp *cr.CopyOp) *copyPlan {
 // endpoint nodes from the compiler's pair-endpoint shard tables composed
 // with the runState's assignment.
 func (st *runState) specializeCopy(sh *shard, cp *cr.CopyOp, shc *sharedCopy) *copyPlan {
-	e := st.e
 	pairs := cp.Pairs
 	spec := st.plan.Spec.CopyByID[cp.ID]
 	out := &copyPlan{id: cp.ID}
@@ -480,9 +481,8 @@ func (st *runState) specializeCopy(sh *shard, cp *cr.CopyOp, shc *sharedCopy) *c
 			w.dstState = sh.table.get(instKey{cp.Dst.ID(), pairs[work.GroupStart].Dst})
 		}
 		for _, k := range work.ProdPairs {
-			srcNode := e.Sim.Node(st.assign[spec.SrcShard[k]])
-			dstNode := e.Sim.Node(st.assign[spec.DstShard[k]])
-			w.prods = append(w.prods, st.resolveProdPlan(sh, cp, k, reduce && k > work.GroupStart, shc.bytes[k], srcNode, dstNode))
+			w.prods = append(w.prods, st.resolveProdPlan(sh, cp, k, reduce && k > work.GroupStart, shc.bytes[k],
+				st.assign[spec.SrcShard[k]], st.assign[spec.DstShard[k]]))
 		}
 		out.works = append(out.works, w)
 	}
@@ -503,7 +503,10 @@ func (sh *shard) replayIter(sp *shardPlan, iter int) {
 			sh.replayCopy(op.cp, iter)
 		}
 	}
-	sh.st.e.traceStats.ReplayedIters++
+	e := sh.st.e
+	e.planMu.Lock()
+	e.traceStats.ReplayedIters++
+	e.planMu.Unlock()
 }
 
 // replayLaunch mirrors shard.doLaunch over the resolved plan.
@@ -557,7 +560,7 @@ func (sh *shard) replayLaunch(lp *launchPlan, iter int) {
 				}
 			}
 		}
-		done := lp.node.LaunchAuto(e.Sim.Merge(pres...), dur, body)
+		done := e.Sim.LaunchOn(lp.nodeID, e.Sim.Merge(pres...), dur, body)
 		sh.presBuf = pres[:0]
 
 		for _, a := range cp.args {
@@ -623,7 +626,7 @@ func (sh *shard) replayCopy(cpl *copyPlan, iter int) {
 			if p.chain {
 				pres = append(pres, st.pairSyncFor(cpl.id, p.pairIdx-1, iter).done)
 			}
-			ev := e.Sim.Copy(p.srcNode, p.dstNode, p.bytes, e.Sim.Merge(pres...), p.body)
+			ev := e.Sim.CopyBytes(p.srcNode, p.dstNode, p.bytes, e.Sim.Merge(pres...), p.body)
 			p.srcState.readers = append(p.srcState.readers, ev)
 			st.connect(ev, ps.done)
 			sh.presBuf = pres[:0]

@@ -107,7 +107,7 @@ func copyEnv(src ir.MapEnv) ir.MapEnv {
 func (e *Engine) liveAssign(ns int) []int {
 	var live []int
 	for i := 0; i < e.Sim.Nodes(); i++ {
-		if i == 0 || !e.Sim.Node(i).Failed() {
+		if i == 0 || !e.nodeFailed(i) {
 			live = append(live, i)
 		}
 	}
@@ -122,8 +122,17 @@ func (e *Engine) liveAssign(ns int) []int {
 // the run state fails, whichever comes first; it reports whether ev won.
 // Without this race, a crash that swallows a completion event would leave
 // the control thread blocked forever (the deadlock the fault tests pin).
-func (e *Engine) waitOrFail(ctl *realm.Thread, st *runState, ev realm.Event) bool {
-	sim := e.Sim
+// nodeFailed reports whether node i has crashed; only the DES can crash
+// nodes, so every other backend answers false.
+func (e *Engine) nodeFailed(i int) bool {
+	if des := e.des(); des != nil {
+		return des.Node(i).Failed()
+	}
+	return false
+}
+
+func (e *Engine) waitOrFail(ctl realm.Agent, st *runState, ev realm.Event) bool {
+	sim := e.des() // guarded waits only run under recovery, which is DES-only
 	if sim.Triggered(ev) {
 		return true
 	}
@@ -150,7 +159,7 @@ func (e *Engine) waitOrFail(ctl *realm.Thread, st *runState, ev realm.Event) boo
 // phaseWait is waitOrFail when guarded, a plain wait otherwise — the plain
 // branch is the fault-free hot path and must stay event-identical to the
 // seed executor.
-func (e *Engine) phaseWait(ctl *realm.Thread, st *runState, ev realm.Event, guarded bool) bool {
+func (e *Engine) phaseWait(ctl realm.Agent, st *runState, ev realm.Event, guarded bool) bool {
 	if !guarded {
 		ctl.WaitEvent(ev)
 		return true
@@ -161,7 +170,7 @@ func (e *Engine) phaseWait(ctl *realm.Thread, st *runState, ev realm.Event, guar
 // takeCheckpoint models moving every instance's bytes to node 0's stable
 // storage and (Real mode) clones the stores. Returns nil if a node failed
 // mid-checkpoint.
-func (e *Engine) takeCheckpoint(ctl *realm.Thread, st *runState, iter int) *checkpoint {
+func (e *Engine) takeCheckpoint(ctl realm.Agent, st *runState, iter int) *checkpoint {
 	plan := st.plan
 	e.rep().Checkpoints++
 	var evs []realm.Event
@@ -170,7 +179,7 @@ func (e *Engine) takeCheckpoint(ctl *realm.Thread, st *runState, iter int) *chec
 		for _, col := range plan.Domain {
 			sub := part.Sub(col)
 			bytes := sub.Volume() * e.Over.EltBytes * int64(len(fields))
-			evs = append(evs, e.Sim.Copy(e.Sim.Node(st.ownerNode(col)), e.Sim.Node(0), bytes, realm.NoEvent, nil))
+			evs = append(evs, e.Sim.CopyBytes(st.ownerNode(col), 0, bytes, realm.NoEvent, nil))
 		}
 	}
 	if !e.waitOrFail(ctl, st, e.Sim.Merge(evs...)) {
@@ -193,7 +202,7 @@ func (e *Engine) takeCheckpoint(ctl *realm.Thread, st *runState, iter int) *chec
 // every instance from the checkpoint (modeled as copies from node 0's
 // stable storage), and resets the scalar environment. ok is false if yet
 // another node failed during the restore.
-func (e *Engine) restorePhase(ctl *realm.Thread, plan *cr.Compiled, trip int, cp *checkpoint) (*runState, bool) {
+func (e *Engine) restorePhase(ctl realm.Agent, plan *cr.Compiled, trip int, cp *checkpoint) (*runState, bool) {
 	st := newRunState(e, plan, trip, e.liveAssign(plan.Opts.NumShards))
 	st.curEnv = copyEnv(cp.env)
 	var evs []realm.Event
@@ -206,7 +215,7 @@ func (e *Engine) restorePhase(ctl *realm.Thread, plan *cr.Compiled, trip int, cp
 				st.inst[key] = cp.stores[key].Clone()
 			}
 			bytes := sub.Volume() * e.Over.EltBytes * int64(len(fields))
-			evs = append(evs, e.Sim.Copy(e.Sim.Node(0), e.Sim.Node(st.ownerNode(col)), bytes, realm.NoEvent, nil))
+			evs = append(evs, e.Sim.CopyBytes(0, st.ownerNode(col), bytes, realm.NoEvent, nil))
 		}
 	}
 	return st, e.waitOrFail(ctl, st, e.Sim.Merge(evs...))
@@ -242,7 +251,7 @@ func (e *Engine) degrade(plan *cr.Compiled, trip, retries int, cp *checkpoint, t
 	}
 	rep.CompletedIters = done
 	rep.Reason = fmt.Sprintf("spmd: recovery budget exhausted after %d restarts with %d node crashes; degraded to the checkpoint at iteration %d of %d",
-		retries, len(e.Sim.Crashes()), done, trip)
+		retries, len(e.des().Crashes()), done, trip)
 	e.iterTimes[plan.Loop] = times[:done]
 	e.degraded = true
 }
@@ -254,18 +263,19 @@ func (e *Engine) degrade(plan *cr.Compiled, trip, retries int, cp *checkpoint, t
 // instead of re-capturing. No-op when the loop has no shared capture
 // (sharing disabled, tracing off, or an unshareable loop). Reports false if
 // a node failed mid-shipment.
-func (e *Engine) shipTraces(ctl *realm.Thread, st *runState) bool {
+func (e *Engine) shipTraces(ctl realm.Agent, st *runState) bool {
 	shr, ok := e.shared[st.plan]
 	if !ok {
 		return true
 	}
-	node0 := e.Sim.Node(0)
+	des := e.des() // trace shipping only happens under recovery (DES-only)
+	node0 := des.Node(0)
 	var evs []realm.Event
 	for _, n := range st.watch { // sorted: the shipment order is deterministic
 		if n == 0 {
 			continue
 		}
-		evs = append(evs, e.Sim.ShipTrace(node0, e.Sim.Node(n), shr.bytes, realm.NoEvent))
+		evs = append(evs, des.ShipTrace(node0, des.Node(n), shr.bytes, realm.NoEvent))
 		e.traceStats.Ships++
 		e.traceStats.ShippedBytes += shr.bytes
 	}
@@ -283,7 +293,7 @@ func (e *Engine) shipTraces(ctl *realm.Thread, st *runState) bool {
 // the surviving shard threads, backs off exponentially in virtual time,
 // remaps shards onto the live nodes, restores the last checkpoint, and
 // retries. MaxRetries consecutive failures degrade to the checkpoint.
-func (e *Engine) runRecoverable(ctl *realm.Thread, plan *cr.Compiled, rec Recovery) {
+func (e *Engine) runRecoverable(ctl realm.Agent, plan *cr.Compiled, rec Recovery) {
 	trip := plan.Loop.Trip
 	ns := plan.Opts.NumShards
 	times := make([]realm.Time, trip)

@@ -17,7 +17,7 @@ import (
 // recovery disabled (the default) the loop runs as one unguarded epoch —
 // the exact fault-free schedule; with recovery enabled it runs in
 // checkpointed epochs under runRecoverable.
-func (e *Engine) runReplicated(ctl *realm.Thread, plan *cr.Compiled) {
+func (e *Engine) runReplicated(ctl realm.Agent, plan *cr.Compiled) {
 	rec := e.Recov.normalized(plan.Loop.Trip)
 	if rec.MaxRetries > 0 {
 		e.runRecoverable(ctl, plan, rec)
@@ -36,7 +36,7 @@ func (e *Engine) runReplicated(ctl *realm.Thread, plan *cr.Compiled) {
 // the parent region's data on its owner node, then runs the hoisted
 // loop-invariant copies. Under recovery it reports false as soon as a
 // watched node fails (the phase is idempotent and simply reruns).
-func (e *Engine) initPhase(ctl *realm.Thread, st *runState, guarded bool) bool {
+func (e *Engine) initPhase(ctl realm.Agent, st *runState, guarded bool) bool {
 	plan := st.plan
 	var initEvs []realm.Event
 	for _, part := range plan.UsedParts {
@@ -53,7 +53,7 @@ func (e *Engine) initPhase(ctl *realm.Thread, st *runState, guarded bool) bool {
 				st.inst[key] = store
 			}
 			bytes := sub.Volume() * e.Over.EltBytes * int64(len(fields))
-			initEvs = append(initEvs, e.Sim.Copy(e.Sim.Node(0), e.Sim.Node(owner), bytes, realm.NoEvent, nil))
+			initEvs = append(initEvs, e.Sim.CopyBytes(0, owner, bytes, realm.NoEvent, nil))
 		}
 	}
 	if !e.phaseWait(ctl, st, e.Sim.Merge(initEvs...), guarded) {
@@ -76,8 +76,8 @@ func (e *Engine) initPhase(ctl *realm.Thread, st *runState, guarded bool) bool {
 					}
 				}
 			}
-			evs = append(evs, e.Sim.Copy(
-				e.Sim.Node(st.ownerNode(pr.Src)), e.Sim.Node(st.ownerNode(pr.Dst)),
+			evs = append(evs, e.Sim.CopyBytes(
+				st.ownerNode(pr.Src), st.ownerNode(pr.Dst),
 				bytes, realm.NoEvent, body))
 		}
 		if !e.phaseWait(ctl, st, e.Sim.Merge(evs...), guarded) {
@@ -91,19 +91,22 @@ func (e *Engine) initPhase(ctl *realm.Thread, st *runState, guarded bool) bool {
 // for them (§3.5). Under recovery a node failure aborts the wait and kills
 // the surviving shard threads so the epoch can be retried from the last
 // checkpoint.
-func (e *Engine) runEpoch(ctl *realm.Thread, st *runState, lo, hi int, guarded bool) bool {
+func (e *Engine) runEpoch(ctl realm.Agent, st *runState, lo, hi int, guarded bool) bool {
 	plan := st.plan
 	ns := plan.Opts.NumShards
 	st.shardDone = make([]realm.Event, ns)
 	for s := range st.shardDone {
 		st.shardDone[s] = e.Sim.NewUserEvent()
 	}
-	threads := make([]*realm.Thread, ns)
+	// Capture the entry environment on the control thread: shard 0 writes
+	// st.curEnv back when its range ends, which may overlap another shard's
+	// startup on the native backend.
+	baseEnv := st.curEnv
+	threads := make([]realm.Agent, ns)
 	for s := 0; s < ns; s++ {
 		s := s
-		proc := e.Sim.Node(st.nodeOfShard(s)).Proc(0)
-		threads[s] = e.Sim.Spawn(fmt.Sprintf("shard-%d", s), proc, func(th *realm.Thread) {
-			sh := &shard{st: st, me: s, th: th, table: st.tables[s]}
+		threads[s] = e.Sim.SpawnOn(fmt.Sprintf("shard-%d", s), st.nodeOfShard(s), 0, func(th realm.Agent) {
+			sh := &shard{st: st, me: s, th: th, table: st.tables[s], baseEnv: baseEnv}
 			sh.runRange(lo, hi)
 			e.Sim.Trigger(st.shardDone[s])
 		})
@@ -111,8 +114,11 @@ func (e *Engine) runEpoch(ctl *realm.Thread, st *runState, lo, hi int, guarded b
 	if e.phaseWait(ctl, st, e.Sim.Merge(st.shardDone...), guarded) {
 		return true
 	}
+	// Only the guarded (recovery) path reaches here, and recovery is gated
+	// to the DES, whose agents are killable simulated threads.
+	des := e.des()
 	for _, th := range threads {
-		e.Sim.Kill(th)
+		des.Kill(th.(*realm.Thread))
 	}
 	return false
 }
@@ -120,7 +126,7 @@ func (e *Engine) runEpoch(ctl *realm.Thread, st *runState, lo, hi int, guarded b
 // finalizePhase copies the disjoint written partitions' instances back to
 // the parent regions on node 0. The copies overwrite whole subregions, so
 // a half-finished finalization is safely redone after recovery.
-func (e *Engine) finalizePhase(ctl *realm.Thread, st *runState, guarded bool) bool {
+func (e *Engine) finalizePhase(ctl realm.Agent, st *runState, guarded bool) bool {
 	plan := st.plan
 	var finEvs []realm.Event
 	for _, part := range plan.WrittenDisjoint {
@@ -140,7 +146,7 @@ func (e *Engine) finalizePhase(ctl *realm.Thread, st *runState, guarded bool) bo
 				}
 			}
 			bytes := sub.Volume() * e.Over.EltBytes * int64(len(fields))
-			finEvs = append(finEvs, e.Sim.Copy(e.Sim.Node(st.ownerNode(col)), e.Sim.Node(0), bytes, realm.NoEvent, body))
+			finEvs = append(finEvs, e.Sim.CopyBytes(st.ownerNode(col), 0, bytes, realm.NoEvent, body))
 		}
 	}
 	return e.phaseWait(ctl, st, e.Sim.Merge(finEvs...), guarded)
@@ -162,9 +168,12 @@ func (e *Engine) mergeEnv(st *runState) {
 type shard struct {
 	st    *runState
 	me    int
-	th    *realm.Thread
+	th    realm.Agent
 	table *shardTable
-	env   *shardEnv
+	// baseEnv is the replicated scalar environment at epoch entry, captured
+	// by the control thread before the shard agents start.
+	baseEnv ir.MapEnv
+	env     *shardEnv
 	// ops collects the events of the current iteration.
 	ops []realm.Event
 	// Scratch buffers recycled across the shard's issue loops. Merge does
@@ -186,7 +195,7 @@ func (sh *shard) runRange(lo, hi int) {
 	st := sh.st
 	plan := st.plan
 	e := st.e
-	sh.env = newShardEnv(sh.th, st.curEnv)
+	sh.env = newShardEnv(sh.th, sh.baseEnv)
 
 	window := e.Over.Window
 	if window < 1 {
@@ -242,7 +251,7 @@ func (sh *shard) doLaunch(l *ir.Launch, iter int) {
 	st := sh.st
 	e := st.e
 	owned := st.plan.Owned[sh.me]
-	node := e.Sim.Node(st.nodeOfShard(sh.me))
+	nodeID := st.nodeOfShard(sh.me)
 
 	scalars := make([]float64, len(l.ScalarArgs))
 	for i, ex := range l.ScalarArgs {
@@ -293,7 +302,7 @@ func (sh *shard) doLaunch(l *ir.Launch, iter int) {
 				}
 			}
 		}
-		done := node.LaunchAuto(e.Sim.Merge(pres...), dur, body)
+		done := e.Sim.LaunchOn(nodeID, e.Sim.Merge(pres...), dur, body)
 		sh.presBuf = pres[:0]
 
 		for ai, a := range l.Args {
@@ -351,12 +360,7 @@ func (sh *shard) buildCtx(l *ir.Launch, col geometry.Point, scalars []float64) *
 		param := l.Task.Params[ai]
 		sub := a.Part.Sub(col)
 		if param.Priv == ir.PrivReduce {
-			tk := tempKey{l, ai, col}
-			buf, ok := st.temps[tk]
-			if !ok {
-				buf = region.NewStore(sub.IndexSpace(), st.e.Prog.FieldSpaceOf(sub))
-				st.temps[tk] = buf
-			}
+			buf := st.tempStore(tempKey{l, ai, col}, sub)
 			ctx.Args = append(ctx.Args, ir.NewPhysArg(sub, buf, param))
 		} else {
 			ctx.Args = append(ctx.Args, ir.NewPhysArg(sub, st.inst[instKey{a.Part.ID(), col}], param))
@@ -369,16 +373,17 @@ func (sh *shard) buildCtx(l *ir.Launch, col geometry.Point, scalars []float64) *
 // temporaries to the identity (run at task start, §4.3).
 func (sh *shard) tempReinits(l *ir.Launch, col geometry.Point) []func() {
 	var out []func()
-	for ai := range l.Args {
+	for ai, a := range l.Args {
 		param := l.Task.Params[ai]
 		if param.Priv != ir.PrivReduce {
 			continue
 		}
-		tk := tempKey{l, ai, col}
-		st := sh.st
+		// Resolve the store now (buildCtx has already created it) rather
+		// than at body-run time: kernel bodies run concurrently on the
+		// native backend and must not touch the shared temps map.
+		buf := sh.st.tempStore(tempKey{l, ai, col}, a.Part.Sub(col))
 		fields, op := param.Fields, param.Op
 		out = append(out, func() {
-			buf := st.temps[tk]
 			for _, f := range fields {
 				buf.Fill(f, op.Identity())
 			}
@@ -448,7 +453,7 @@ func (sh *shard) doCopyP2P(cp *cr.CopyOp, iter int) {
 					pres = append(pres, st.pairSyncFor(cp.ID, k-1, iter).done)
 				}
 				if e.Mode == ir.ExecReal {
-					buf := st.temps[tempKey{cp.SrcLaunch, cp.SrcArg, pr.Src}]
+					buf := st.tempStore(tempKey{cp.SrcLaunch, cp.SrcArg, pr.Src}, cp.Src.Sub(pr.Src))
 					dst := st.inst[instKey{cp.Dst.ID(), pr.Dst}]
 					fields, op, overlap := cp.Fields, cp.Reduce, pr.Overlap
 					body = func() {
@@ -472,8 +477,8 @@ func (sh *shard) issueCopy(pr intersect.Pair, cp *cr.CopyOp, pres []realm.Event,
 	st := sh.st
 	e := st.e
 	bytes := pr.Overlap.Volume() * e.Over.EltBytes * int64(len(cp.Fields))
-	return e.Sim.Copy(
-		e.Sim.Node(st.ownerNode(pr.Src)), e.Sim.Node(st.ownerNode(pr.Dst)),
+	return e.Sim.CopyBytes(
+		st.ownerNode(pr.Src), st.ownerNode(pr.Dst),
 		bytes, e.Sim.Merge(pres...), body)
 }
 
@@ -539,7 +544,7 @@ func (sh *shard) doCopyBarrier(cp *cr.CopyOp, iter int) {
 					pres = append(pres, st.pairSyncFor(cp.ID, k-1, iter).done)
 				}
 				if e.Mode == ir.ExecReal {
-					buf := st.temps[tempKey{cp.SrcLaunch, cp.SrcArg, pr.Src}]
+					buf := st.tempStore(tempKey{cp.SrcLaunch, cp.SrcArg, pr.Src}, cp.Src.Sub(pr.Src))
 					dst := st.inst[instKey{cp.Dst.ID(), pr.Dst}]
 					fields, op, overlap := cp.Fields, cp.Reduce, pr.Overlap
 					body = func() {

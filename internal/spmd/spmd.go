@@ -16,6 +16,7 @@ package spmd
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/cr"
 	"repro/internal/geometry"
@@ -68,9 +69,14 @@ type Result struct {
 	Faults    *FaultReport
 }
 
-// Engine executes a program whose loops have been control-replicated.
+// Engine executes a program whose loops have been control-replicated. It
+// is written against the backend-neutral realm.Exec interface: the same
+// engine drives the DES (*realm.Sim) and the native goroutine backend
+// (realm/native.Machine). DES-only capabilities — fault injection,
+// checkpoint/restart recovery, trace shipping — are reached through a type
+// assertion and report realm.UnsupportedError elsewhere.
 type Engine struct {
-	Sim   *realm.Sim
+	Sim   realm.Exec
 	Prog  *ir.Program
 	Mode  ir.ExecMode
 	Over  Overheads
@@ -100,6 +106,11 @@ type Engine struct {
 
 	traceStats TraceStats
 
+	// planMu guards the capture/specialization state (traceStats, shared,
+	// shareLogged, runState.plans): on the native backend shard agents
+	// resolve their plans concurrently. Uncontended on the DES.
+	planMu sync.Mutex
+
 	// shared caches the per-loop shared captures (see plan.go); shareLogged
 	// dedups the fallback diagnostics. Both reset per Run.
 	shared      map[*cr.Compiled]*sharedTrace
@@ -112,8 +123,9 @@ type Engine struct {
 	degraded  bool // an unrecoverable loop ended the run early
 }
 
-// New creates an engine executing prog with the given compiled plans.
-func New(sim *realm.Sim, prog *ir.Program, mode ir.ExecMode, plans map[*ir.Loop]*cr.Compiled) *Engine {
+// New creates an engine executing prog with the given compiled plans on
+// any realm backend.
+func New(sim realm.Exec, prog *ir.Program, mode ir.ExecMode, plans map[*ir.Loop]*cr.Compiled) *Engine {
 	return &Engine{
 		Sim:   sim,
 		Prog:  prog,
@@ -150,6 +162,12 @@ func (e *Engine) Run() (*Result, error) {
 	if err := e.Prog.Validate(); err != nil {
 		return nil, err
 	}
+	// Checkpoint/restart recovery needs DES-only machinery (node failure
+	// events, virtual-time backoff, trace shipping); reject it up front on
+	// other backends instead of panicking mid-run.
+	if e.Recov.MaxRetries > 0 && e.des() == nil {
+		return nil, &realm.UnsupportedError{Backend: e.Sim.Backend(), Op: "checkpoint/restart recovery"}
+	}
 	e.global = make(map[*region.Region]*region.Store)
 	if e.Mode == ir.ExecReal {
 		roots := make([]*region.Region, 0, len(e.Prog.FieldSpaces))
@@ -174,7 +192,7 @@ func (e *Engine) Run() (*Result, error) {
 
 	var runErr error
 	ctlDone := false
-	e.Sim.Spawn("spmd-control", e.Sim.Node(0).Proc(0), func(t *realm.Thread) {
+	e.Sim.SpawnOn("spmd-control", 0, 0, func(t realm.Agent) {
 		defer func() {
 			if r := recover(); r != nil {
 				if realm.IsThreadKilled(r) {
@@ -187,8 +205,10 @@ func (e *Engine) Run() (*Result, error) {
 		ctlDone = true
 	})
 	elapsed, err := runSim(e.Sim)
-	if crashes := e.Sim.Crashes(); len(crashes) > 0 {
-		e.rep().Crashes = crashes
+	if des := e.des(); des != nil {
+		if crashes := des.Crashes(); len(crashes) > 0 {
+			e.rep().Crashes = crashes
+		}
 	}
 	if err != nil {
 		return nil, err
@@ -213,20 +233,28 @@ func (e *Engine) Run() (*Result, error) {
 // Run.
 func (e *Engine) TraceStats() TraceStats { return e.traceStats }
 
-// runSim drives the simulation, converting panics from task kernels (which
-// execute inside the event loop) into errors so a faulty application
-// cannot crash the host process. A deadlock (e.g. an injected crash with
-// recovery disabled) comes back as a *realm.DeadlockError.
-func runSim(sim *realm.Sim) (elapsed realm.Time, err error) {
+// des returns the underlying DES when the engine runs on one, nil on any
+// other backend. The DES-only paths (faults, recovery, trace shipping)
+// gate on it.
+func (e *Engine) des() *realm.Sim {
+	s, _ := e.Sim.(*realm.Sim)
+	return s
+}
+
+// runSim drives the backend, converting panics from task kernels (which
+// the DES executes inside the event loop) into errors so a faulty
+// application cannot crash the host process. A deadlock (e.g. an injected
+// crash with recovery disabled) comes back as a *realm.DeadlockError.
+func runSim(x realm.Exec) (elapsed realm.Time, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("spmd: task execution panicked: %v", r)
 		}
 	}()
-	return sim.Run()
+	return x.Drive()
 }
 
-func (e *Engine) execStmts(ctl *realm.Thread, stmts []ir.Stmt) {
+func (e *Engine) execStmts(ctl realm.Agent, stmts []ir.Stmt) {
 	for _, s := range stmts {
 		if e.degraded {
 			return // an unrecoverable loop degraded: stop at its checkpoint

@@ -2,6 +2,7 @@ package spmd
 
 import (
 	"sort"
+	"sync"
 
 	"repro/internal/cr"
 	"repro/internal/geometry"
@@ -73,11 +74,20 @@ type pairSync struct {
 }
 
 // runState is the state shared by the shards of one replicated loop
-// execution. All access happens under the simulator's deterministic
-// single-threaded schedule.
+// execution. On the DES all access happens under the simulator's
+// deterministic single-threaded schedule; on the native backend shard
+// agents run concurrently, so the lazily-populated shared tables (sync
+// blocks, barriers, collectives, reduce temporaries, iteration counters)
+// are guarded by mu. Everything else is either written only before the
+// shards start (inst, tables, assign) or written by exactly one agent
+// (curEnv by shard 0, per-index slice slots by their owners).
 type runState struct {
 	e    *Engine
 	plan *cr.Compiled
+
+	// mu guards the lazily-created shared state below: syncBase, colls,
+	// bars, temps, and the iteration counters. Uncontended on the DES.
+	mu sync.Mutex
 
 	inst   map[instKey]*region.Store // Real mode instances
 	temps  map[tempKey]*region.Store // Real mode reduce temporaries
@@ -98,11 +108,11 @@ type runState struct {
 
 	redIdx map[*ir.Launch]int
 	numRed int
-	colls  []*realm.Collective // [iter*numRed + redIdx], lazily created
+	colls  []realm.CollectiveOp // [iter*numRed + redIdx], lazily created
 
 	barIdx    map[int]int
 	numBarOps int
-	bars      []*realm.Barrier // [(iter*numBarOps + barIdx)*2 + which], lazy
+	bars      []realm.BarrierOp // [(iter*numBarOps + barIdx)*2 + which], lazy
 
 	// plans are the per-shard memoized iteration plans (see plan.go); nil
 	// until a shard first runs, or always nil when tracing is off. Rebuilt
@@ -188,9 +198,9 @@ func (st *runState) indexSyncSlots(trip int) {
 	for i := range st.syncBase {
 		st.syncBase[i] = realm.NoEvent
 	}
-	st.colls = make([]*realm.Collective, trip*st.numRed)
+	st.colls = make([]realm.CollectiveOp, trip*st.numRed)
 	if st.plan.Opts.Sync == cr.BarrierSync {
-		st.bars = make([]*realm.Barrier, trip*st.numBarOps*2)
+		st.bars = make([]realm.BarrierOp, trip*st.numBarOps*2)
 	}
 }
 
@@ -198,34 +208,40 @@ func (st *runState) indexSyncSlots(trip int) {
 // and consumer may ask in either order. The first touch of an iteration
 // reserves its whole sync block in bulk.
 func (st *runState) pairSyncFor(copyID, pairIdx, iter int) pairSync {
+	st.mu.Lock()
 	base := st.syncBase[iter]
 	if base == realm.NoEvent {
 		base = st.e.Sim.ReserveEvents(2 * st.pairTotal)
 		st.syncBase[iter] = base
 	}
+	st.mu.Unlock()
 	war := base + realm.Event(2*(st.pairOff[copyID]+pairIdx))
 	return pairSync{war: war, done: war + 1}
 }
 
 // barrierFor lazily creates one of a copy op's two global barriers.
-func (st *runState) barrierFor(copyID, iter, which int) *realm.Barrier {
+func (st *runState) barrierFor(copyID, iter, which int) realm.BarrierOp {
 	i := (iter*st.numBarOps+st.barIdx[copyID])*2 + which
+	st.mu.Lock()
 	b := st.bars[i]
 	if b == nil {
-		b = st.e.Sim.NewBarrier(st.plan.Opts.NumShards)
+		b = st.e.Sim.Barrier(st.plan.Opts.NumShards)
 		st.bars[i] = b
 	}
+	st.mu.Unlock()
 	return b
 }
 
 // collFor lazily creates the dynamic collective for a scalar reduction.
-func (st *runState) collFor(l *ir.Launch, iter int, op region.ReductionOp) *realm.Collective {
+func (st *runState) collFor(l *ir.Launch, iter int, op region.ReductionOp) realm.CollectiveOp {
 	i := iter*st.numRed + st.redIdx[l]
+	st.mu.Lock()
 	c := st.colls[i]
 	if c == nil {
-		c = st.e.Sim.NewCollective(len(st.plan.Domain), op.Identity(), op.Fold)
+		c = st.e.Sim.Collective(len(st.plan.Domain), op.Identity(), op.Fold)
 		st.colls[i] = c
 	}
+	st.mu.Unlock()
 	return c
 }
 
@@ -236,14 +252,17 @@ func (st *runState) connect(src, dst realm.Event) {
 }
 
 // recordIter counts shard completions of iteration t and stamps the time
-// when the last one lands.
+// when the last one lands. The callback may run on any goroutine on the
+// native backend, so the counters live under mu.
 func (st *runState) recordIter(t int, ev realm.Event) {
 	sim := st.e.Sim
 	sim.OnTrigger(ev, func() {
+		st.mu.Lock()
 		st.iterCount[t]++
 		if st.iterCount[t] == st.plan.Opts.NumShards {
 			st.iterTimes[t] = sim.Now()
 		}
+		st.mu.Unlock()
 	})
 }
 
