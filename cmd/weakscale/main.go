@@ -15,10 +15,9 @@
 // deterministic discrete-event simulator and reports virtual time. native
 // runs the Regent systems' real kernels on real goroutines over shared
 // memory and reports wall-clock time; the MPI baselines are DES cost
-// models and are dropped from native sweeps, and -faults is rejected
-// (fault injection needs the simulator's virtual machine state). Native
-// sweeps want small node counts (each simulated node is a set of
-// goroutines competing for the host's cores).
+// models and are dropped from native sweeps. Native sweeps want small
+// node counts (each simulated node is a set of goroutines competing for
+// the host's cores).
 //
 // -verify statically verifies every compiled schedule (internal/verify)
 // at each swept node count before running it — including the specialization
@@ -43,10 +42,12 @@
 //
 // -faults injects deterministic node crashes into every measurement cell:
 // seed is the base fault seed (each cell derives its own), rate is the
-// expected crashes per second of virtual time. Regent-CR cells recover via
-// checkpoint/restart; systems without recovery (the MPI baselines, the
-// implicit runtime) record an error for cells where a crash lands, and the
-// sweep continues.
+// expected crashes per second (of virtual time on des; of modeled
+// execution on native, where each launch rolls per quantum of its modeled
+// duration). Regent-CR cells recover via checkpoint/restart on both
+// backends; systems without recovery (the MPI baselines, the implicit
+// runtime) record an error for cells where a crash lands, and the sweep
+// continues.
 package main
 
 import (
@@ -219,10 +220,6 @@ func main() {
 		var err error
 		if fp, err = parseFaults(*faults); err != nil {
 			fmt.Fprintln(os.Stderr, "weakscale:", err)
-			os.Exit(1)
-		}
-		if *backend == bench.BackendNative {
-			fmt.Fprintln(os.Stderr, "weakscale: -faults needs the des backend (fault injection is simulator-only)")
 			os.Exit(1)
 		}
 	}

@@ -97,11 +97,13 @@ func steadyState(times []realm.Time, skip int) (realm.Time, error) {
 // MeasureOpts carries the per-measurement switches shared by the systems
 // under test. The zero value is a fault-free run with tracing on.
 type MeasureOpts struct {
-	// Faults injects deterministic faults into the simulated machine (nil =
+	// Faults injects deterministic faults into the machine (nil =
 	// fault-free). The implicit runtime has no recovery, so an injected
-	// crash surfaces as an error (typically a *realm.DeadlockError naming
-	// the blocked threads); the SPMD executor recovers via its default
-	// checkpoint/restart.
+	// crash surfaces as an error (a *realm.DeadlockError naming the blocked
+	// threads on the DES; rejected up front on native, where an
+	// unrecoverable hang would only be caught by the wall-clock watchdog);
+	// the SPMD executor recovers via its default checkpoint/restart on both
+	// backends.
 	Faults *realm.FaultPlan
 	// NoTrace disables trace capture/replay in both runtimes (the implicit
 	// runtime's loop traces and the SPMD executor's shard plans). The
@@ -119,8 +121,10 @@ type MeasureOpts struct {
 	// Backend selects the realm backend: BackendDES ("" or "des") runs the
 	// deterministic simulator in Modeled mode and reports virtual time;
 	// BackendNative runs real kernels on real goroutines (ir.ExecReal) and
-	// reports wall-clock time. Fault injection and the MPI baselines are
-	// DES-only and return realm.UnsupportedError on native.
+	// reports wall-clock time. The MPI baselines are DES-only and return
+	// realm.UnsupportedError on native; fault injection runs on both
+	// backends for the CR executor (the implicit runtime rejects it on
+	// native, having no recovery to hang usefully without).
 	Backend string
 }
 
@@ -182,11 +186,18 @@ func MeasureImplicit(prog *ir.Program, loop *ir.Loop, nodes int, tune Tuning, op
 		mode = rt.Real
 	}
 	if opts.Faults != nil {
-		des, ok := sim.(*realm.Sim)
+		// The implicit runtime has no recovery. On the DES an injected crash
+		// deadlocks the event loop immediately (a structured DeadlockError);
+		// on native it would only stall until the watchdog fires, wasting a
+		// full hang timeout per sweep cell — so reject the combination.
+		if opts.NativeBackend() {
+			return 0, &realm.UnsupportedError{Backend: sim.Backend(), Op: "fault injection without recovery (implicit runtime)"}
+		}
+		fx, ok := sim.(realm.FaultExec)
 		if !ok {
 			return 0, &realm.UnsupportedError{Backend: sim.Backend(), Op: "fault injection"}
 		}
-		if err := des.InjectFaults(*opts.Faults); err != nil {
+		if err := fx.InjectFaults(*opts.Faults); err != nil {
 			return 0, err
 		}
 	}
@@ -228,11 +239,11 @@ func MeasureCR(prog *ir.Program, loop *ir.Loop, nodes int, sync cr.SyncMode, tun
 	}
 	eng := spmd.New(sim, prog, mode, map[*ir.Loop]*cr.Compiled{loop: plan})
 	if opts.Faults != nil {
-		des, ok := sim.(*realm.Sim)
+		fx, ok := sim.(realm.FaultExec)
 		if !ok {
 			return 0, &realm.UnsupportedError{Backend: sim.Backend(), Op: "fault injection"}
 		}
-		if err := des.InjectFaults(*opts.Faults); err != nil {
+		if err := fx.InjectFaults(*opts.Faults); err != nil {
 			return 0, err
 		}
 		eng.Recov = spmd.DefaultRecovery()

@@ -159,46 +159,104 @@ func TestNativeImplicitMatchesDES(t *testing.T) {
 		&spmd.Result{Stores: got.Stores, Env: got.Env})
 }
 
-// TestNativeRecoveryUnsupported pins the structured error for DES-only
-// machinery: enabling checkpoint/restart recovery on the native backend
-// must fail fast with realm.UnsupportedError, not panic mid-run.
-func TestNativeRecoveryUnsupported(t *testing.T) {
-	prog := stencil.Build(stencil.Small(2)).Prog
-	plans, err := spmd.CompileAll(prog, cr.Options{NumShards: 2})
+// runSPMDRecov executes a freshly built program on the given backend with
+// a fault plan installed and checkpoint/restart recovery enabled.
+func runSPMDRecov(t *testing.T, prog *ir.Program, nodes int, sync cr.SyncMode, backend string, fp *realm.FaultPlan) *spmd.Result {
+	t.Helper()
+	plans, err := spmd.CompileAll(prog, cr.Options{NumShards: nodes, Sync: sync})
 	if err != nil {
 		t.Fatal(err)
 	}
-	x, err := bench.NewExec(bench.BackendNative, 2)
+	x, err := bench.NewExec(backend, nodes)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if fp != nil {
+		fx, ok := x.(realm.FaultExec)
+		if !ok {
+			t.Fatalf("backend %s lost its FaultExec implementation", backend)
+		}
+		if err := fx.InjectFaults(*fp); err != nil {
+			t.Fatal(err)
+		}
 	}
 	eng := spmd.New(x, prog, ir.ExecReal, plans)
-	eng.Recov = spmd.DefaultRecovery()
-	_, err = eng.Run()
-	var ue *realm.UnsupportedError
-	if !errors.As(err, &ue) {
-		t.Fatalf("err = %v, want realm.UnsupportedError", err)
+	eng.Recov = spmd.Recovery{MaxRetries: 6, Backoff: realm.Microseconds(200)}
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatalf("backend=%s: %v", backend, err)
 	}
-	if ue.Backend != "native" {
-		t.Errorf("Backend = %q, want native", ue.Backend)
+	return res
+}
+
+// TestNativeCrashRecoveryMatchesFaultFree is the keystone of native fault
+// tolerance: every evaluation application, under both sync lowerings, is
+// run on the native backend with a seeded crash injected, recovered
+// through real-goroutine failover — and must produce Real-mode stores
+// bitwise equal to the fault-free native run (which is itself pinned
+// bitwise-equal to the DES by TestNativeMatchesDES).
+func TestNativeCrashRecoveryMatchesFaultFree(t *testing.T) {
+	const nodes = 4
+	syncs := []struct {
+		name string
+		mode cr.SyncMode
+	}{{"p2p", cr.PointToPoint}, {"barrier", cr.BarrierSync}}
+	for _, app := range backendApps {
+		for _, sy := range syncs {
+			label := fmt.Sprintf("%s/%s", app.name, sy.name)
+			t.Run(label, func(t *testing.T) {
+				ref := runSPMD(t, app.build(nodes), nodes, sy.mode, false, false, bench.BackendNative)
+				// Seed 4 at rate 500 (a 0.05 crash probability per launch)
+				// lands at least one early crash in every app under both
+				// lowerings; the per-node draw sequences are seeded, so the
+				// crashes land at the same logical points on every run.
+				fp := &realm.FaultPlan{Seed: 4, CrashRate: 500}
+				res := runSPMDRecov(t, app.build(nodes), nodes, sy.mode, bench.BackendNative, fp)
+				if res.Faults == nil || len(res.Faults.Crashes) == 0 || res.Faults.Restarts < 1 {
+					t.Fatalf("%s: fault report = %+v, want at least one crash and one restart", label, res.Faults)
+				}
+				if res.Faults.Unrecovered {
+					t.Fatalf("%s: run degraded: %+v", label, res.Faults)
+				}
+				for _, c := range res.Faults.Crashes {
+					if c.Node == 0 {
+						t.Fatalf("%s: node 0 crashed without CrashNode0", label)
+					}
+				}
+				requireSameResults(t, label, ref, res)
+			})
+		}
 	}
 }
 
-// TestNativeMeasureUnsupported pins the measurement-layer gates: fault
-// injection and the MPI baselines are DES cost models and must report
-// realm.UnsupportedError on native instead of measuring nonsense.
-func TestNativeMeasureUnsupported(t *testing.T) {
+// TestNativeMeasureGates pins the measurement-layer capability surface on
+// native: the MPI baselines stay DES-only cost models (UnsupportedError),
+// fault injection into the implicit runtime is rejected up front (it has
+// no recovery — on the DES a crash is a cheap immediate DeadlockError, on
+// native it would burn a watchdog window per sweep cell), and fault
+// injection into regent-cr now measures successfully through recovery.
+func TestNativeMeasureGates(t *testing.T) {
 	_, err := stencil.Measure("mpi", 2, 0, bench.MeasureOpts{Backend: bench.BackendNative})
 	var ue *realm.UnsupportedError
 	if !errors.As(err, &ue) {
 		t.Fatalf("mpi on native: err = %v, want realm.UnsupportedError", err)
 	}
-	_, err = stencil.Measure("regent-cr", 2, 0, bench.MeasureOpts{
+	_, err = stencil.Measure("regent-nocr", 2, 0, bench.MeasureOpts{
 		Backend: bench.BackendNative,
 		Faults:  &realm.FaultPlan{Seed: 1, CrashRate: 0.5},
 	})
 	if !errors.As(err, &ue) {
-		t.Fatalf("faults on native: err = %v, want realm.UnsupportedError", err)
+		t.Fatalf("implicit faults on native: err = %v, want realm.UnsupportedError", err)
+	}
+	per, err := stencil.Measure("regent-cr", 2, 0, bench.MeasureOpts{
+		Backend: bench.BackendNative,
+		Faults:  &realm.FaultPlan{Seed: 1, CrashRate: 0.5},
+	})
+	if err != nil {
+		t.Fatalf("regent-cr faults on native must measure through recovery: %v", err)
+	}
+	if per <= 0 {
+		t.Fatalf("regent-cr faulty native per-iter = %v, want > 0 wall time", per)
 	}
 }
 

@@ -1,5 +1,7 @@
 package realm
 
+import "fmt"
+
 // This file defines the backend-neutral execution interface: the subset of
 // machine operations the engines (internal/spmd, internal/rt) and the
 // benchmark harness are written against. The DES (*Sim) and the native
@@ -118,9 +120,79 @@ type CollectiveOp interface {
 	Result() float64
 }
 
+// FaultExec is the fault-tolerance extension of Exec: the operations the
+// recovery layer (internal/spmd's checkpoint/restart) needs beyond plain
+// execution. Both backends implement it — the DES with virtual-time fault
+// schedules, the native machine with seeded logical-point injection over
+// real goroutines — so the same failover protocol runs over modeled and
+// real execution alike. Engines reach it through a type assertion on their
+// Exec; a backend that does not implement it gets a structured
+// UnsupportedError instead of a mid-run panic.
+type FaultExec interface {
+	Exec
+
+	// InjectFaults installs a fault plan before Drive (at most once). A
+	// backend that supports only part of the plan's feature set rejects the
+	// unsupported remainder with a precise *UnsupportedError.
+	InjectFaults(fp FaultPlan) error
+	// FaultStats returns the counters of faults injected so far.
+	FaultStats() FaultStats
+	// Crashes returns the node crashes that actually occurred. The DES
+	// reports them in virtual-time order; the native backend sorts by node
+	// (concurrent crashes have no total wall-clock order).
+	Crashes() []NodeCrash
+
+	// NodeFailed reports whether the node has fail-stopped.
+	NodeFailed(node int) bool
+	// NodeFailEvent returns the event that fires when (or fired because) the
+	// node crashes. Safe to call from any agent.
+	NodeFailEvent(node int) Event
+	// KillAgent terminates a control agent at its next scheduling point, as
+	// when the processor running it is lost. The agent unwinds with the
+	// thread-kill sentinel (IsThreadKilled); its in-flight work items may
+	// still complete. Killing a finished or already-killed agent is a no-op.
+	KillAgent(a Agent)
+	// Quiesce blocks the calling agent until every in-flight work item has
+	// completed and every killed agent has finished unwinding. The recovery
+	// layer calls it before restoring state so that zombie work from an
+	// abandoned epoch cannot race the restore. A no-op on the DES, whose
+	// scheduler never runs two things at once.
+	Quiesce()
+	// ShipTrace transfers a captured execution trace from node src to node
+	// dst as an ordinary costed message, counted separately in Stats so the
+	// recovery protocol's trace traffic stays visible.
+	ShipTrace(src, dst int, bytes int64, pre Event) Event
+}
+
+// BlockedAgent describes one stalled agent in a HangError: its name, the
+// event it is parked on, and the primitive that owns that event.
+type BlockedAgent struct {
+	Name      string
+	Waiting   Event
+	Primitive string // "barrier", "collective", "copy", "task", "sync", "merge", "event"
+}
+
+// HangError is the native backend's analogue of the DES DeadlockError: the
+// wall-clock watchdog observed no progress — every live agent blocked, no
+// work item or sleeper in flight, no event triggered — for a full timeout
+// window. It names the blocked agents and what they are parked on, turning
+// a would-be test timeout into a structured error.
+type HangError struct {
+	Timeout Time // the watchdog window that elapsed with no progress
+	Blocked []BlockedAgent
+}
+
+func (e *HangError) Error() string {
+	s := fmt.Sprintf("realm: native execution stalled (no progress for %.3fs); blocked agents:", e.Timeout.Seconds())
+	for _, b := range e.Blocked {
+		s += " " + b.Name + "(" + b.Primitive + ")"
+	}
+	return s
+}
+
 // UnsupportedError reports an operation the selected backend does not
-// implement (e.g. fault injection or checkpoint/restart recovery on the
-// native backend, which has no virtual machine state to fail or restore).
+// implement (e.g. a virtual-time crash schedule on the native backend,
+// which has no virtual clock to schedule against).
 type UnsupportedError struct {
 	Backend string // backend name, as reported by Exec.Backend
 	Op      string // the unsupported operation
@@ -134,6 +206,7 @@ func (e *UnsupportedError) Error() string {
 // its synchronization primitives implement the backend-neutral op types.
 var (
 	_ Exec         = (*Sim)(nil)
+	_ FaultExec    = (*Sim)(nil)
 	_ Agent        = (*Thread)(nil)
 	_ BarrierOp    = (*Barrier)(nil)
 	_ CollectiveOp = (*Collective)(nil)
@@ -169,3 +242,20 @@ func (s *Sim) Collective(n int, identity float64, fold func(acc, v float64) floa
 
 // Drive implements Exec by running the event loop to completion.
 func (s *Sim) Drive() (Time, error) { return s.Run() }
+
+// NodeFailed implements FaultExec.
+func (s *Sim) NodeFailed(node int) bool { return s.Node(node).Failed() }
+
+// NodeFailEvent implements FaultExec.
+func (s *Sim) NodeFailEvent(node int) Event { return s.Node(node).FailEvent() }
+
+// KillAgent implements FaultExec on the DES's simulated threads.
+func (s *Sim) KillAgent(a Agent) {
+	if t, ok := a.(*Thread); ok {
+		s.Kill(t)
+	}
+}
+
+// Quiesce implements FaultExec as a no-op: the DES never runs two things at
+// once, so an abandoned epoch's work cannot race a restore.
+func (s *Sim) Quiesce() {}

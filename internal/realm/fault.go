@@ -114,6 +114,29 @@ func (s *Sim) Crashes() []NodeCrash {
 	return append([]NodeCrash(nil), s.crashLog...)
 }
 
+// Fault-draw streams for backends that cannot consult a single global draw
+// counter. The native machine's fault points are concurrent, so its draws
+// are keyed by logical position — (stream kind, node, per-node sequence
+// number) — rather than by a global sequence.
+const (
+	FaultStreamCrash     uint64 = 1 // per-launch crash rolls, keyed by target node
+	FaultStreamCopy      uint64 = 2 // per-copy duplicate rolls, keyed by source node
+	FaultStreamStraggler uint64 = 3 // per-launch straggler rolls, keyed by target node
+	FaultStreamDrop      uint64 = 4 // per-attempt drop rolls, keyed by source node
+)
+
+// FaultDraw returns a deterministic uniform [0, 1) draw for the seq-th
+// fault decision of the given stream on the given node under seed: three
+// chained splitmix finalizations, so nearby (stream, node, seq) triples
+// decorrelate. Shared by every backend whose fault points are identified by
+// logical position instead of a global counter.
+func FaultDraw(seed, stream, node, seq uint64) float64 {
+	x := splitmix(seed + stream*0x9e3779b97f4a7c15)
+	x = splitmix(x + node*0x9e3779b97f4a7c15)
+	x = splitmix(x + seq*0x9e3779b97f4a7c15)
+	return float64(x>>11) / (1 << 53)
+}
+
 // faultRand draws the next 64 deterministic pseudo-random bits of the
 // installed plan.
 func (s *Sim) faultRand() uint64 {

@@ -17,16 +17,34 @@
 // through shared done events, and collectives fold contributions in
 // participant-index order regardless of arrival order.
 //
-// Time-model operations are deliberately inert: Agent.Elapse and
-// Agent.Sleep are no-ops (the agent's real work is its cost), LaunchOn
-// ignores the modeled duration, and Now/Stats report wall-clock nanoseconds
-// since construction. Fault injection and checkpoint/restart recovery are
-// not supported — there is no virtual machine state to fail or restore —
-// and surface as realm.UnsupportedError.
+// Time-model operations are deliberately inert: Agent.Elapse is a no-op
+// (the agent's real work is its cost), LaunchOn uses the modeled duration
+// only to scale injected straggler delays, and Now/Stats report wall-clock
+// nanoseconds since construction. Agent.Sleep is a real sleep — the
+// recovery layer's restart backoff is wall-clock here.
+//
+// Fault injection (realm.FaultExec) is seeded and logical-point based:
+// every fault decision is a pure function of (seed, stream, node, per-node
+// operation sequence number), so the same seed kills the same shard at the
+// same logical point on every run — no wall-clock timers are involved in
+// deciding faults. Crashes cancel the node's agent goroutines (they unwind
+// with the shared kill sentinel at their next scheduling point) and
+// suppress not-yet-started work touching the node; drops pay a bounded
+// exponential-backoff retransmit delay; stragglers sleep for real.
+// Virtual-time crash schedules (FaultPlan.Crashes) are the one DES-only
+// feature: there is no virtual clock to schedule them against, and they are
+// rejected with a precise realm.UnsupportedError.
+//
+// A wall-clock watchdog — the analogue of the DES DeadlockError — detects
+// runs that stop making progress (every live agent blocked, no work item in
+// flight, no event fired for a full window) and fails the machine with a
+// realm.HangError naming the blocked agents and the primitive each is
+// parked on, instead of letting the caller hit a test timeout.
 package native
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -34,7 +52,41 @@ import (
 	"repro/internal/realm"
 )
 
-// Machine is a native shared-memory implementation of realm.Exec.
+// crashQuantumSec converts FaultPlan.CrashRate (a Poisson rate in crashes
+// per simulated second) into a per-launch crash probability: each task
+// launch is treated as one crash opportunity worth this many seconds of
+// exposure. The quantum approximates the DES's per-launch virtual-time
+// advance, so comparable rates produce comparable crash counts on both
+// backends.
+const crashQuantumSec = 1e-4
+
+// maxRetransmits bounds the retransmit-with-backoff loop for dropped
+// messages: after this many consecutive drops the transport delivers
+// anyway (the DES's geometric drop loop is unbounded but terminates with
+// probability 1; real wall-clock delays need a hard bound).
+const maxRetransmits = 8
+
+// defaultHangTimeout is the watchdog window: two consecutive windows with
+// zero progress fail the machine with a realm.HangError.
+const defaultHangTimeout = 10 * time.Second
+
+// Event kinds label what primitive owns each event, so watchdog reports
+// can say what a blocked agent is parked on.
+const (
+	evUser uint8 = iota
+	evTask
+	evCopy
+	evBarrier
+	evCollective
+	evMerge
+	evSync
+	evFail
+)
+
+var evKindNames = [...]string{"event", "task", "copy", "barrier", "collective", "merge", "sync", "node-fail"}
+
+// Machine is a native shared-memory implementation of realm.Exec and
+// realm.FaultExec.
 type Machine struct {
 	cfg   realm.Config
 	epoch time.Time
@@ -60,6 +112,42 @@ type Machine struct {
 	failCh chan struct{}
 	err    error
 
+	// waiting is the blocked-agent registry the watchdog reads: every agent
+	// parked in WaitEvent, keyed to the event it waits on.
+	waitMu  sync.Mutex
+	waiting map[*agent]realm.Event
+
+	// qmu/qcond guard the quiescence counters: inflight work-item
+	// goroutines (from precondition trigger to completion) and zombies
+	// (killed agents that have not yet unwound). Quiesce waits for both to
+	// reach zero.
+	qmu      sync.Mutex
+	qcond    *sync.Cond
+	inflight int
+	zombies  int
+
+	liveAgents  int64 // atomic: agents started and not yet finished
+	hangTimeout time.Duration
+
+	// Fault state. faults is written once before Drive (InjectFaults) and
+	// read without locking afterwards — the goroutine-start edges of Drive
+	// publish it. The per-node failure flags and draw counters are atomics:
+	// fault points are concurrent.
+	faults         *realm.FaultPlan
+	faultMu        sync.Mutex // guards crashLog, crashCount, nodeFailEv, agentsOn
+	crashLog       []realm.NodeCrash
+	crashCount     int
+	nodeFailEv     []realm.Event
+	agentsOn       [][]*agent
+	failedNodes    []int32  // atomic 0/1 per node
+	launchSeq      []uint64 // atomic per-node launch issue counters
+	copySeq        []uint64 // atomic per-node (source) copy issue counters
+	drops          int64
+	dups           int64
+	stragglers     int64
+	traceShips     int64
+	traceShipBytes int64
+
 	// Counters (atomics: work items complete concurrently).
 	messages    int64
 	bytesSent   int64
@@ -70,17 +158,30 @@ type Machine struct {
 
 type evState struct {
 	triggered bool
+	kind      uint8
 	waiters   []func()
 }
 
 // NewMachine builds a native machine for the given configuration. Only the
 // topology fields (Nodes, CoresPerNode) govern execution; the cost-model
-// fields are carried for Config() but never charged.
+// fields are carried for Config() but never charged (except
+// RetransmitTimeout defaults, which scale from NetLatency).
 func NewMachine(cfg realm.Config) (*Machine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	m := &Machine{cfg: cfg, failCh: make(chan struct{})}
+	m := &Machine{
+		cfg:         cfg,
+		failCh:      make(chan struct{}),
+		waiting:     make(map[*agent]realm.Event),
+		hangTimeout: defaultHangTimeout,
+		nodeFailEv:  make([]realm.Event, cfg.Nodes),
+		agentsOn:    make([][]*agent, cfg.Nodes),
+		failedNodes: make([]int32, cfg.Nodes),
+		launchSeq:   make([]uint64, cfg.Nodes),
+		copySeq:     make([]uint64, cfg.Nodes),
+	}
+	m.qcond = sync.NewCond(&m.qmu)
 	m.evs = make([]evState, 0, 4096)
 	m.epoch = time.Now()
 	return m, nil
@@ -95,7 +196,10 @@ func MustNewMachine(cfg realm.Config) *Machine {
 	return m
 }
 
-var _ realm.Exec = (*Machine)(nil)
+var (
+	_ realm.Exec      = (*Machine)(nil)
+	_ realm.FaultExec = (*Machine)(nil)
+)
 
 // Backend implements realm.Exec.
 func (m *Machine) Backend() string { return "native" }
@@ -115,31 +219,197 @@ func (m *Machine) Now() realm.Time {
 // time that the DES's virtual counters cannot.
 func (m *Machine) Stats() realm.Stats {
 	return realm.Stats{
-		Messages:    atomic.LoadInt64(&m.messages),
-		BytesSent:   atomic.LoadInt64(&m.bytesSent),
-		LocalCopies: atomic.LoadInt64(&m.localCopies),
-		TasksRun:    atomic.LoadInt64(&m.tasksRun),
-		Events:      atomic.LoadInt64(&m.events),
-		WallNanos:   int64(m.Now()),
+		Messages:       atomic.LoadInt64(&m.messages),
+		BytesSent:      atomic.LoadInt64(&m.bytesSent),
+		LocalCopies:    atomic.LoadInt64(&m.localCopies),
+		TasksRun:       atomic.LoadInt64(&m.tasksRun),
+		Events:         atomic.LoadInt64(&m.events),
+		TraceShips:     atomic.LoadInt64(&m.traceShips),
+		TraceShipBytes: atomic.LoadInt64(&m.traceShipBytes),
+		WallNanos:      int64(m.Now()),
 	}
 }
 
-// InjectFaults reports fault injection as unsupported: the native backend
-// has no virtual nodes to crash or links to corrupt.
-func (m *Machine) InjectFaults(realm.FaultPlan) error {
-	return &realm.UnsupportedError{Backend: m.Backend(), Op: "fault injection"}
+// SetHangTimeout configures the watchdog window (two consecutive windows
+// without progress fail the machine with a realm.HangError). Must be set
+// before Drive; d <= 0 disables the watchdog.
+func (m *Machine) SetHangTimeout(d time.Duration) { m.hangTimeout = d }
+
+// InjectFaults implements realm.FaultExec. Rate-based faults are fully
+// supported and logical-point seeded; explicit virtual-time crash
+// schedules (FaultPlan.Crashes) are DES-only — the native machine has no
+// virtual clock to schedule them against — and are rejected precisely.
+// Must be called before Drive, at most once.
+func (m *Machine) InjectFaults(fp realm.FaultPlan) error {
+	if len(fp.Crashes) > 0 {
+		return &realm.UnsupportedError{Backend: m.Backend(), Op: "virtual-time crash schedules (FaultPlan.Crashes)"}
+	}
+	if err := fp.Validate(m.cfg); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	started := m.started
+	m.mu.Unlock()
+	if started {
+		return fmt.Errorf("native: InjectFaults must be called before Drive")
+	}
+	if m.faults != nil {
+		return fmt.Errorf("native: a fault plan is already installed")
+	}
+	if fp.RetransmitTimeout <= 0 {
+		fp.RetransmitTimeout = 20 * m.cfg.NetLatency
+		if fp.RetransmitTimeout <= 0 {
+			fp.RetransmitTimeout = realm.Microseconds(30)
+		}
+	}
+	m.faults = &fp
+	return nil
 }
 
-// NewUserEvent implements realm.Exec.
-func (m *Machine) NewUserEvent() realm.Event {
+// FaultStats implements realm.FaultExec.
+func (m *Machine) FaultStats() realm.FaultStats {
+	m.faultMu.Lock()
+	crashes := m.crashCount
+	m.faultMu.Unlock()
+	return realm.FaultStats{
+		Crashes:    crashes,
+		Drops:      atomic.LoadInt64(&m.drops),
+		Dups:       atomic.LoadInt64(&m.dups),
+		Stragglers: atomic.LoadInt64(&m.stragglers),
+	}
+}
+
+// Crashes implements realm.FaultExec. Concurrent crashes have no total
+// wall-clock order, so the log is reported sorted by node for
+// reproducibility.
+func (m *Machine) Crashes() []realm.NodeCrash {
+	m.faultMu.Lock()
+	out := append([]realm.NodeCrash(nil), m.crashLog...)
+	m.faultMu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Node < out[j].Node })
+	return out
+}
+
+// NodeFailed implements realm.FaultExec.
+func (m *Machine) NodeFailed(node int) bool { return m.nodeDown(node) }
+
+func (m *Machine) nodeDown(node int) bool {
+	return node >= 0 && node < len(m.failedNodes) && atomic.LoadInt32(&m.failedNodes[node]) != 0
+}
+
+// NodeFailEvent implements realm.FaultExec: the event fires when (or fired
+// because) the node crashes.
+func (m *Machine) NodeFailEvent(node int) realm.Event {
+	m.faultMu.Lock()
+	ev := m.nodeFailEv[node]
+	if ev == realm.NoEvent {
+		ev = m.newEvent(evFail)
+		m.nodeFailEv[node] = ev
+	}
+	m.faultMu.Unlock()
+	return ev
+}
+
+// crashNode fail-stops a node: its failure flag suppresses every
+// not-yet-started work item touching it (lost work, as on the DES), its
+// fail event fires, and every agent on it is killed — each unwinds with
+// the shared kill sentinel at its next scheduling point. Crashing a dead
+// node is a no-op.
+func (m *Machine) crashNode(id int) {
+	m.faultMu.Lock()
+	if atomic.LoadInt32(&m.failedNodes[id]) != 0 {
+		m.faultMu.Unlock()
+		return
+	}
+	atomic.StoreInt32(&m.failedNodes[id], 1)
+	m.crashCount++
+	m.crashLog = append(m.crashLog, realm.NodeCrash{Node: id, At: m.Now()})
+	ev := m.nodeFailEv[id]
+	if ev == realm.NoEvent {
+		ev = m.newEvent(evFail)
+		m.nodeFailEv[id] = ev
+	}
+	victims := append([]*agent(nil), m.agentsOn[id]...)
+	m.faultMu.Unlock()
+	m.Trigger(ev)
+	for _, a := range victims {
+		m.killAgent(a)
+	}
+}
+
+// KillAgent implements realm.FaultExec: the agent unwinds with the kill
+// sentinel at its next scheduling point (WaitEvent or Sleep). Its
+// in-flight work items are unaffected; only the control flow stops.
+func (m *Machine) KillAgent(a realm.Agent) {
+	if ag, ok := a.(*agent); ok {
+		m.killAgent(ag)
+	}
+}
+
+func (m *Machine) killAgent(a *agent) {
+	a.mu.Lock()
+	if a.done || a.killed {
+		a.mu.Unlock()
+		return
+	}
+	a.killed = true
+	m.addZombies(1)
+	close(a.kill)
+	a.mu.Unlock()
+}
+
+// Quiesce implements realm.FaultExec: block until every in-flight work
+// item has completed and every killed agent has unwound. The recovery
+// layer calls it before restoring a checkpoint so zombie work from an
+// abandoned epoch cannot race the restore.
+func (m *Machine) Quiesce() {
+	m.qmu.Lock()
+	for m.inflight > 0 || m.zombies > 0 {
+		m.qcond.Wait()
+	}
+	m.qmu.Unlock()
+}
+
+func (m *Machine) addInflight(d int) {
+	m.qmu.Lock()
+	m.inflight += d
+	if m.inflight == 0 && m.zombies == 0 {
+		m.qcond.Broadcast()
+	}
+	m.qmu.Unlock()
+}
+
+func (m *Machine) addZombies(d int) {
+	m.qmu.Lock()
+	m.zombies += d
+	if m.inflight == 0 && m.zombies == 0 {
+		m.qcond.Broadcast()
+	}
+	m.qmu.Unlock()
+}
+
+// ShipTrace implements realm.FaultExec: a trace shipment is an ordinary
+// message, counted separately so the recovery protocol's trace traffic is
+// visible in the run statistics.
+func (m *Machine) ShipTrace(src, dst int, bytes int64, pre realm.Event) realm.Event {
+	atomic.AddInt64(&m.traceShips, 1)
+	atomic.AddInt64(&m.traceShipBytes, bytes)
+	return m.CopyBytes(src, dst, bytes, pre, nil)
+}
+
+func (m *Machine) newEvent(kind uint8) realm.Event {
 	m.mu.Lock()
-	m.evs = append(m.evs, evState{})
+	m.evs = append(m.evs, evState{kind: kind})
 	e := realm.Event(len(m.evs))
 	m.mu.Unlock()
 	return e
 }
 
-// ReserveEvents implements realm.Exec: n contiguous untriggered handles.
+// NewUserEvent implements realm.Exec.
+func (m *Machine) NewUserEvent() realm.Event { return m.newEvent(evUser) }
+
+// ReserveEvents implements realm.Exec: n contiguous untriggered handles
+// (the executor's dense p2p sync slots).
 func (m *Machine) ReserveEvents(n int) realm.Event {
 	if n <= 0 {
 		return realm.NoEvent
@@ -147,7 +417,7 @@ func (m *Machine) ReserveEvents(n int) realm.Event {
 	m.mu.Lock()
 	first := realm.Event(len(m.evs) + 1)
 	for i := 0; i < n; i++ {
-		m.evs = append(m.evs, evState{})
+		m.evs = append(m.evs, evState{kind: evSync})
 	}
 	m.mu.Unlock()
 	return first
@@ -204,6 +474,16 @@ func (m *Machine) OnTrigger(e realm.Event, fn func()) {
 	m.mu.Unlock()
 }
 
+func (m *Machine) eventKind(e realm.Event) string {
+	if e == realm.NoEvent {
+		return "event"
+	}
+	m.mu.Lock()
+	k := m.evs[e-1].kind
+	m.mu.Unlock()
+	return evKindNames[k]
+}
+
 // Merge implements realm.Exec via an atomic countdown: the extra initial
 // count covers registration itself, so inputs may trigger concurrently
 // while the loop is still walking them.
@@ -211,7 +491,7 @@ func (m *Machine) Merge(evs ...realm.Event) realm.Event {
 	if len(evs) == 0 {
 		return realm.NoEvent
 	}
-	out := m.NewUserEvent()
+	out := m.newEvent(evMerge)
 	remaining := int64(len(evs)) + 1
 	dec := func() {
 		if atomic.AddInt64(&remaining, -1) == 0 {
@@ -226,14 +506,31 @@ func (m *Machine) Merge(evs ...realm.Event) realm.Event {
 }
 
 // SpawnOn implements realm.Exec: fn runs on its own goroutine. The node
-// and proc bindings are advisory on shared memory — the Go scheduler owns
-// placement — but are kept for the interface's diagnostics.
+// binding is advisory for placement on shared memory — the Go scheduler
+// owns cores — but is authoritative for fault injection: a crash of the
+// node kills the agents spawned on it.
 func (m *Machine) SpawnOn(name string, node, proc int, fn func(realm.Agent)) realm.Agent {
 	_ = proc
-	a := &agent{m: m, name: name, node: node}
+	a := &agent{m: m, name: name, node: node, kill: make(chan struct{})}
+	if node >= 0 && node < len(m.agentsOn) {
+		m.faultMu.Lock()
+		m.agentsOn[node] = append(m.agentsOn[node], a)
+		m.faultMu.Unlock()
+	}
 	m.wg.Add(1)
 	run := func() {
+		atomic.AddInt64(&m.liveAgents, 1)
 		defer m.wg.Done()
+		defer func() {
+			a.mu.Lock()
+			a.done = true
+			killed := a.killed
+			a.mu.Unlock()
+			atomic.AddInt64(&m.liveAgents, -1)
+			if killed {
+				m.addZombies(-1)
+			}
+		}()
 		defer m.capturePanic("agent " + name)
 		fn(a)
 	}
@@ -248,23 +545,54 @@ func (m *Machine) SpawnOn(name string, node, proc int, fn func(realm.Agent)) rea
 	return a
 }
 
-// LaunchOn implements realm.Exec. The modeled duration is ignored — the
-// body's real execution time is the cost. A body-less item (a modeled
-// placeholder) completes inline at precondition trigger.
+// LaunchOn implements realm.Exec. The modeled duration is not charged —
+// the body's real execution time is the cost — but it scales injected
+// straggler delays. A body-less item (a modeled placeholder) completes
+// inline at precondition trigger.
+//
+// Fault decisions are made here, at issue time, on the issuing goroutine:
+// the per-node launch counter gives each launch a logical position, and
+// the draw for that position decides crash and straggler injection. While
+// one agent issues each node's launches (the steady state — the engine
+// binds one shard per node until a failover doubles shards up), the
+// sequence is deterministic, so the same seed crashes the same node at the
+// same launch on every run.
 func (m *Machine) LaunchOn(node int, pre realm.Event, dur realm.Time, body func()) realm.Event {
-	_, _ = node, dur
-	done := m.NewUserEvent()
+	var delay time.Duration
+	if fp := m.faults; fp != nil {
+		seq := atomic.AddUint64(&m.launchSeq[node], 1)
+		if fp.CrashRate > 0 && !m.nodeDown(node) && (node != 0 || fp.CrashNode0) &&
+			realm.FaultDraw(fp.Seed, realm.FaultStreamCrash, uint64(node), seq) < fp.CrashRate*crashQuantumSec {
+			m.crashNode(node)
+		}
+		if fp.StragglerRate > 0 && dur > 0 &&
+			realm.FaultDraw(fp.Seed, realm.FaultStreamStraggler, uint64(node), seq) < fp.StragglerRate {
+			atomic.AddInt64(&m.stragglers, 1)
+			delay = time.Duration(float64(dur) * (fp.StragglerFactor - 1))
+		}
+	}
+	done := m.newEvent(evTask)
 	m.OnTrigger(pre, func() {
+		if m.nodeDown(node) {
+			return // the node crashed: the work is lost, done never fires
+		}
 		atomic.AddInt64(&m.tasksRun, 1)
-		if body == nil {
+		if body == nil && delay == 0 {
 			m.Trigger(done)
 			return
 		}
 		m.wg.Add(1)
+		m.addInflight(1)
 		go func() {
 			defer m.wg.Done()
+			defer func() { m.addInflight(-1) }()
 			defer m.capturePanic("task")
-			body()
+			if delay > 0 {
+				time.Sleep(delay)
+			}
+			if body != nil {
+				body()
+			}
 			m.Trigger(done)
 		}()
 	})
@@ -274,24 +602,59 @@ func (m *Machine) LaunchOn(node int, pre realm.Event, dur realm.Time, body func(
 // CopyBytes implements realm.Exec: the body performs the real data
 // movement (a shared-memory store-to-store copy); the byte count only
 // feeds the traffic counters.
+//
+// Like LaunchOn, fault decisions are made at issue time from the source
+// node's copy counter: a duplicate pays the wire twice; each drop pays the
+// wire again and delays delivery by an exponentially backed-off retransmit
+// timeout (bounded at maxRetransmits attempts — reliable transport).
 func (m *Machine) CopyBytes(src, dst int, bytes int64, pre realm.Event, body func()) realm.Event {
-	done := m.NewUserEvent()
+	var extraMsgs int64
+	var delay time.Duration
+	if fp := m.faults; fp != nil && src != dst {
+		seq := atomic.AddUint64(&m.copySeq[src], 1)
+		if fp.DupRate > 0 &&
+			realm.FaultDraw(fp.Seed, realm.FaultStreamCopy, uint64(src), seq) < fp.DupRate {
+			extraMsgs++
+			atomic.AddInt64(&m.dups, 1)
+		}
+		if fp.DropRate > 0 {
+			for k := uint64(0); k < maxRetransmits; k++ {
+				if realm.FaultDraw(fp.Seed, realm.FaultStreamDrop, uint64(src), seq*maxRetransmits+k) >= fp.DropRate {
+					break
+				}
+				extraMsgs++
+				atomic.AddInt64(&m.drops, 1)
+				delay += time.Duration(fp.RetransmitTimeout) << k
+			}
+		}
+	}
+	done := m.newEvent(evCopy)
 	m.OnTrigger(pre, func() {
+		if m.nodeDown(src) || m.nodeDown(dst) {
+			return // either endpoint crashed: the transfer is lost
+		}
 		if src == dst {
 			atomic.AddInt64(&m.localCopies, 1)
 		} else {
-			atomic.AddInt64(&m.messages, 1)
-			atomic.AddInt64(&m.bytesSent, bytes)
+			atomic.AddInt64(&m.messages, 1+extraMsgs)
+			atomic.AddInt64(&m.bytesSent, bytes*(1+extraMsgs))
 		}
-		if body == nil {
+		if body == nil && delay == 0 {
 			m.Trigger(done)
 			return
 		}
 		m.wg.Add(1)
+		m.addInflight(1)
 		go func() {
 			defer m.wg.Done()
+			defer func() { m.addInflight(-1) }()
 			defer m.capturePanic("copy")
-			body()
+			if delay > 0 {
+				time.Sleep(delay)
+			}
+			if body != nil {
+				body()
+			}
 			m.Trigger(done)
 		}()
 	})
@@ -304,7 +667,8 @@ func (m *Machine) CopyBytes(src, dst int, bytes int64, pre realm.Event, body fun
 // trigger is owed to a goroutine in the group, and work items join the
 // group synchronously inside their precondition's trigger (i.e. while the
 // triggering goroutine is still counted), so the count never dips to zero
-// with work outstanding.
+// with work outstanding. The watchdog runs alongside and fails the machine
+// if no progress is made for two full windows.
 func (m *Machine) Drive() (realm.Time, error) {
 	m.mu.Lock()
 	if m.started {
@@ -315,14 +679,75 @@ func (m *Machine) Drive() (realm.Time, error) {
 	pend := m.pending
 	m.pending = nil
 	m.mu.Unlock()
+	stop := make(chan struct{})
+	if m.hangTimeout > 0 {
+		//detlint:ignore the watchdog goroutine only observes counters; it never produces results the run depends on
+		go m.watchdog(stop)
+	}
 	for _, run := range pend {
 		go run()
 	}
 	m.wg.Wait()
+	close(stop)
 	m.failMu.Lock()
 	err := m.err
 	m.failMu.Unlock()
 	return m.Now(), err
+}
+
+// watchdog samples the machine every hangTimeout: if two consecutive
+// samples see every live agent blocked, nothing in flight, and an
+// unchanged event count, nothing can ever fire again (the only trigger
+// sources are agents and in-flight work), and the machine fails with a
+// HangError instead of wedging Drive.
+func (m *Machine) watchdog(stop chan struct{}) {
+	tick := time.NewTicker(m.hangTimeout)
+	defer tick.Stop()
+	lastEvents := int64(-1)
+	stalled := false
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+		}
+		events := atomic.LoadInt64(&m.events)
+		live := atomic.LoadInt64(&m.liveAgents)
+		m.qmu.Lock()
+		busy := m.inflight
+		m.qmu.Unlock()
+		m.waitMu.Lock()
+		blocked := len(m.waiting)
+		m.waitMu.Unlock()
+		quiet := live > 0 && int64(blocked) == live && busy == 0 && events == lastEvents
+		if quiet && stalled {
+			m.fail(m.hangError())
+			return
+		}
+		stalled = quiet
+		lastEvents = events
+	}
+}
+
+// hangError snapshots the blocked-agent registry into a structured report,
+// sorted by agent name for stable output.
+func (m *Machine) hangError() *realm.HangError {
+	type parked struct {
+		a *agent
+		e realm.Event
+	}
+	m.waitMu.Lock()
+	snap := make([]parked, 0, len(m.waiting))
+	for a, e := range m.waiting {
+		snap = append(snap, parked{a, e})
+	}
+	m.waitMu.Unlock()
+	sort.Slice(snap, func(i, j int) bool { return snap[i].a.name < snap[j].a.name })
+	blocked := make([]realm.BlockedAgent, 0, len(snap))
+	for _, p := range snap {
+		blocked = append(blocked, realm.BlockedAgent{Name: p.a.name, Waiting: p.e, Primitive: m.eventKind(p.e)})
+	}
+	return &realm.HangError{Timeout: realm.Time(m.hangTimeout), Blocked: blocked}
 }
 
 // abortPanic unwinds an agent whose machine has failed; capturePanic
@@ -358,6 +783,9 @@ func (m *Machine) capturePanic(what string) {
 	if _, ok := r.(abortPanic); ok {
 		return
 	}
+	if realm.IsThreadKilled(r) {
+		return // a killed agent retiring, not an error
+	}
 	m.fail(fmt.Errorf("native: %s panicked: %v", what, r))
 }
 
@@ -367,6 +795,11 @@ type agent struct {
 	m    *Machine
 	name string
 	node int
+
+	mu     sync.Mutex
+	kill   chan struct{} // closed by killAgent; checked at scheduling points
+	killed bool
+	done   bool
 }
 
 var _ realm.Agent = (*agent)(nil)
@@ -377,21 +810,47 @@ func (a *agent) Name() string { return a.name }
 // Now implements realm.Agent (wall-clock).
 func (a *agent) Now() realm.Time { return a.m.Now() }
 
+// checkUnwind is the agent's scheduling-point check: a killed agent
+// unwinds with the shared kill sentinel (so engine-level recovers
+// recognize it exactly as they do a DES thread kill), and an agent of a
+// failed machine unwinds with the abort sentinel.
+func (a *agent) checkUnwind() {
+	select {
+	case <-a.kill:
+		panic(realm.KillSentinel(a.name))
+	default:
+	}
+	if a.m.failed() {
+		panic(abortPanic{})
+	}
+}
+
 // WaitEvent implements realm.Agent: block until e fires, or unwind if the
-// machine fails first.
+// agent is killed or the machine fails first.
 func (a *agent) WaitEvent(e realm.Event) {
+	a.checkUnwind()
 	if a.m.Triggered(e) {
-		if a.m.failed() {
-			panic(abortPanic{})
-		}
 		return
 	}
 	ch := make(chan struct{})
 	a.m.OnTrigger(e, func() { close(ch) })
+	a.m.waitMu.Lock()
+	a.m.waiting[a] = e
+	a.m.waitMu.Unlock()
+	defer func() {
+		a.m.waitMu.Lock()
+		delete(a.m.waiting, a)
+		a.m.waitMu.Unlock()
+	}()
 	select {
 	case <-ch:
+		// A kill that raced the wake still wins: unwind before issuing
+		// more work on a dead node.
+		a.checkUnwind()
 	case <-a.m.failCh:
 		panic(abortPanic{})
+	case <-a.kill:
+		panic(realm.KillSentinel(a.name))
 	}
 }
 
@@ -399,9 +858,24 @@ func (a *agent) WaitEvent(e realm.Event) {
 // actual control work is its cost; there is no modeled time to charge.
 func (a *agent) Elapse(realm.Time) {}
 
-// Sleep implements realm.Agent as a no-op: modeled backoff delays belong
-// to the DES's virtual clock.
-func (a *agent) Sleep(realm.Time) {}
+// Sleep implements realm.Agent as a real wall-clock sleep: the recovery
+// layer's exponential restart backoff is genuine elapsed time here. A
+// killed agent or a failed machine interrupts the sleep.
+func (a *agent) Sleep(d realm.Time) {
+	a.checkUnwind()
+	if d <= 0 {
+		return
+	}
+	t := time.NewTimer(time.Duration(d))
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-a.m.failCh:
+		panic(abortPanic{})
+	case <-a.kill:
+		panic(realm.KillSentinel(a.name))
+	}
+}
 
 // barrier counts arrivals with an atomic; the last arrival fires done on
 // its own goroutine, which gives waiters the usual happens-before edge.
@@ -415,7 +889,7 @@ var _ realm.BarrierOp = (*barrier)(nil)
 
 // Barrier implements realm.Exec.
 func (m *Machine) Barrier(n int) realm.BarrierOp {
-	return &barrier{m: m, remaining: int64(n), done: m.NewUserEvent()}
+	return &barrier{m: m, remaining: int64(n), done: m.newEvent(evBarrier)}
 }
 
 // Arrive implements realm.BarrierOp.
@@ -455,7 +929,7 @@ func (m *Machine) Collective(n int, identity float64, fold func(acc, v float64) 
 		fold:     fold,
 		values:   make([]float64, n),
 		present:  make([]bool, n),
-		done:     m.NewUserEvent(),
+		done:     m.newEvent(evCollective),
 	}
 }
 

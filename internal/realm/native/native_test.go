@@ -7,6 +7,7 @@ import (
 	"strings"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/realm"
 )
@@ -101,15 +102,275 @@ func TestPanicDrainsInsteadOfHanging(t *testing.T) {
 	}
 }
 
-func TestInjectFaultsUnsupported(t *testing.T) {
+// TestInjectFaultsPartialSupport pins the native fault-capability surface:
+// rate-based plans install cleanly, while the one DES-only feature — a
+// virtual-time crash schedule — is rejected with a precise UnsupportedError
+// naming exactly the unsupported field, not a blanket "no faults" error.
+func TestInjectFaultsPartialSupport(t *testing.T) {
 	m := newTest(t, 2)
-	err := m.InjectFaults(realm.FaultPlan{Seed: 1, CrashRate: 1})
+	err := m.InjectFaults(realm.FaultPlan{
+		Seed:    1,
+		Crashes: []realm.NodeCrash{{Node: 1, At: realm.Microseconds(10)}},
+	})
 	var ue *realm.UnsupportedError
 	if !errors.As(err, &ue) {
 		t.Fatalf("err = %v, want realm.UnsupportedError", err)
 	}
-	if ue.Backend != "native" || !strings.Contains(err.Error(), "native") {
-		t.Fatalf("err = %v, want the backend named", err)
+	if ue.Backend != "native" || !strings.Contains(ue.Op, "FaultPlan.Crashes") {
+		t.Fatalf("err = %v, want the backend and FaultPlan.Crashes named", err)
+	}
+	// A rate-only plan — the supported remainder — installs fine...
+	if err := m.InjectFaults(realm.FaultPlan{Seed: 1, CrashRate: 1}); err != nil {
+		t.Fatalf("rate-based plan rejected: %v", err)
+	}
+	// ...exactly once.
+	if err := m.InjectFaults(realm.FaultPlan{Seed: 2, CrashRate: 1}); err == nil {
+		t.Fatal("double install must be rejected")
+	}
+	m.SpawnOn("noop", 0, 0, func(realm.Agent) {})
+	if _, err := m.Drive(); err != nil {
+		t.Fatal(err)
+	}
+	m2 := newTest(t, 2)
+	m2.SpawnOn("noop", 0, 0, func(realm.Agent) {})
+	if _, err := m2.Drive(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.InjectFaults(realm.FaultPlan{Seed: 1, CrashRate: 1}); err == nil {
+		t.Fatal("post-Drive install must be rejected")
+	}
+}
+
+// crashWorkload runs one launching agent per node and returns the crashed
+// node set and fault stats: the determinism fixture for seeded crashes.
+func crashWorkload(t *testing.T, seed uint64, nodes, launches int) ([]int, realm.FaultStats) {
+	t.Helper()
+	m := newTest(t, nodes)
+	if err := m.InjectFaults(realm.FaultPlan{Seed: seed, CrashRate: 100}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < nodes; i++ {
+		i := i
+		m.SpawnOn(fmt.Sprintf("issuer-%d", i), i, 0, func(a realm.Agent) {
+			for k := 0; k < launches; k++ {
+				a.WaitEvent(m.LaunchOn(i, realm.NoEvent, 0, nil))
+			}
+		})
+	}
+	if _, err := m.Drive(); err != nil {
+		t.Fatal(err)
+	}
+	var crashed []int
+	for _, c := range m.Crashes() {
+		crashed = append(crashed, c.Node)
+		if !m.NodeFailed(c.Node) {
+			t.Errorf("node %d crashed but NodeFailed is false", c.Node)
+		}
+		if !m.Triggered(m.NodeFailEvent(c.Node)) {
+			t.Errorf("node %d crashed but its fail event has not fired", c.Node)
+		}
+	}
+	return crashed, m.FaultStats()
+}
+
+// TestCrashDeterminism checks that seeded crashes hit the same logical
+// points on every run: while one agent issues each node's launches, the
+// per-node draw sequence is a pure function of the seed, so two runs
+// produce identical crash sets (wall-clock crash times differ; nodes and
+// counts may not). Node 0 is the head node and must be spared.
+func TestCrashDeterminism(t *testing.T) {
+	crashed1, stats1 := crashWorkload(t, 42, 4, 200)
+	crashed2, stats2 := crashWorkload(t, 42, 4, 200)
+	if len(crashed1) == 0 {
+		t.Fatal("seed 42 injected no crashes; pick a seed that does")
+	}
+	if fmt.Sprint(crashed1) != fmt.Sprint(crashed2) {
+		t.Fatalf("crash sets differ across identical runs: %v vs %v", crashed1, crashed2)
+	}
+	if stats1 != stats2 {
+		t.Fatalf("fault stats differ across identical runs: %+v vs %+v", stats1, stats2)
+	}
+	for _, n := range crashed1 {
+		if n == 0 {
+			t.Fatal("node 0 crashed without CrashNode0")
+		}
+	}
+	crashed3, _ := crashWorkload(t, 43, 4, 200)
+	if fmt.Sprint(crashed1) == fmt.Sprint(crashed3) && len(crashed1) == len(crashed3) {
+		// Different seeds usually differ; equal sets are possible but the
+		// draws must not be seed-independent. Distinguish via stats-bearing
+		// reruns only if the sets matched by chance.
+		t.Logf("seeds 42 and 43 crashed the same nodes %v (possible, but verify FaultDraw seeding on changes)", crashed1)
+	}
+}
+
+// TestCopyFaultCounters checks seeded drops and duplicates: counters are
+// identical across identical runs, and every extra wire transit is charged
+// to Messages and BytesSent exactly as on the DES.
+func TestCopyFaultCounters(t *testing.T) {
+	const copies, bytes = 400, 100
+	run := func() (realm.FaultStats, realm.Stats) {
+		m := newTest(t, 2)
+		err := m.InjectFaults(realm.FaultPlan{
+			Seed: 7, DropRate: 0.1, DupRate: 0.05,
+			RetransmitTimeout: realm.Microseconds(1),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.SpawnOn("issuer", 0, 0, func(a realm.Agent) {
+			for k := 0; k < copies; k++ {
+				a.WaitEvent(m.CopyBytes(0, 1, bytes, realm.NoEvent, nil))
+			}
+		})
+		if _, err := m.Drive(); err != nil {
+			t.Fatal(err)
+		}
+		return m.FaultStats(), m.Stats()
+	}
+	fs1, st1 := run()
+	fs2, st2 := run()
+	if fs1 != fs2 {
+		t.Fatalf("fault stats differ across identical runs: %+v vs %+v", fs1, fs2)
+	}
+	if fs1.Drops == 0 || fs1.Dups == 0 {
+		t.Fatalf("seed 7 injected no message faults: %+v", fs1)
+	}
+	extra := fs1.Drops + fs1.Dups
+	if st1.Messages != copies+extra {
+		t.Errorf("Messages = %d, want %d copies + %d retransmits/dups", st1.Messages, copies, extra)
+	}
+	if st1.BytesSent != bytes*(copies+extra) {
+		t.Errorf("BytesSent = %d, want %d", st1.BytesSent, bytes*(copies+extra))
+	}
+	if st1.Messages != st2.Messages || st1.BytesSent != st2.BytesSent {
+		t.Errorf("traffic differs across identical runs: %+v vs %+v", st1, st2)
+	}
+}
+
+// TestStragglerDelaysAreReal checks that straggler injection on native is
+// an actual delay — the modeled duration scales a real sleep — and that
+// every delayed item is counted.
+func TestStragglerDelaysAreReal(t *testing.T) {
+	m := newTest(t, 2)
+	err := m.InjectFaults(realm.FaultPlan{
+		Seed: 3, StragglerRate: 1, StragglerFactor: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const items = 4
+	dur := realm.Milliseconds(5)
+	start := time.Now()
+	m.SpawnOn("issuer", 0, 0, func(a realm.Agent) {
+		evs := make([]realm.Event, items)
+		for k := range evs {
+			evs[k] = m.LaunchOn(1, realm.NoEvent, dur, func() {})
+		}
+		a.WaitEvent(m.Merge(evs...))
+	})
+	if _, err := m.Drive(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.FaultStats().Stragglers; got != items {
+		t.Errorf("Stragglers = %d, want %d (rate 1 delays every item)", got, items)
+	}
+	// Factor 2 on a 5ms task adds a 5ms real delay; the items run
+	// concurrently, so elapsed is ~one delay, not items delays.
+	if elapsed := time.Since(start); elapsed < 5*time.Millisecond {
+		t.Errorf("elapsed %v, want at least the 5ms injected delay", elapsed)
+	}
+}
+
+// TestWatchdogReportsHang checks the native analogue of the DES
+// DeadlockError: a run that can never progress (a barrier expecting an
+// arrival that never comes) is failed by the watchdog with a structured
+// HangError naming the blocked agents and the primitive they are parked
+// on, instead of wedging Drive until the test timeout.
+func TestWatchdogReportsHang(t *testing.T) {
+	m := newTest(t, 2)
+	m.SetHangTimeout(25 * time.Millisecond)
+	b := m.Barrier(3) // three expected, only two will ever arrive
+	for i := 0; i < 2; i++ {
+		i := i
+		m.SpawnOn(fmt.Sprintf("stuck-%d", i), i, 0, func(a realm.Agent) {
+			b.Arrive(realm.NoEvent)
+			a.WaitEvent(b.Done())
+		})
+	}
+	_, err := m.Drive()
+	var he *realm.HangError
+	if !errors.As(err, &he) {
+		t.Fatalf("err = %v, want realm.HangError", err)
+	}
+	if len(he.Blocked) != 2 {
+		t.Fatalf("blocked = %+v, want both stuck agents", he.Blocked)
+	}
+	for i, blk := range he.Blocked {
+		if want := fmt.Sprintf("stuck-%d", i); blk.Name != want {
+			t.Errorf("blocked[%d].Name = %q, want %q (sorted)", i, blk.Name, want)
+		}
+		if blk.Primitive != "barrier" {
+			t.Errorf("blocked[%d].Primitive = %q, want barrier", i, blk.Primitive)
+		}
+	}
+	if !strings.Contains(err.Error(), "stuck-0(barrier)") {
+		t.Errorf("err = %v, want agents named with their primitive", err)
+	}
+}
+
+// TestKillAgentAndQuiesce checks the failover building blocks: a killed
+// agent unwinds with the shared kill sentinel (not an error), its node's
+// suppressed work never fires its events, and Quiesce really waits out
+// in-flight work bodies before returning.
+func TestKillAgentAndQuiesce(t *testing.T) {
+	m := newTest(t, 2)
+	var bodyDone, sawQuiesce int32
+	never := m.NewUserEvent()
+	victim := m.SpawnOn("victim", 1, 0, func(a realm.Agent) {
+		a.WaitEvent(never)
+		t.Error("victim survived its kill")
+	})
+	m.SpawnOn("ctl", 0, 0, func(a realm.Agent) {
+		// A slow work body is in flight while we kill and quiesce.
+		done := m.LaunchOn(0, realm.NoEvent, 0, func() {
+			time.Sleep(10 * time.Millisecond)
+			atomic.StoreInt32(&bodyDone, 1)
+		})
+		m.KillAgent(victim)
+		m.KillAgent(victim) // killing twice is a no-op
+		m.Quiesce()
+		if atomic.LoadInt32(&bodyDone) != 1 {
+			t.Error("Quiesce returned with a work body still running")
+		}
+		atomic.StoreInt32(&sawQuiesce, 1)
+		a.WaitEvent(done)
+	})
+	if _, err := m.Drive(); err != nil {
+		t.Fatalf("a killed agent must not fail the machine: %v", err)
+	}
+	if atomic.LoadInt32(&sawQuiesce) != 1 {
+		t.Fatal("control agent never reached Quiesce")
+	}
+}
+
+// TestShipTraceCounted checks that trace shipments move through the normal
+// copy path but are tallied separately, as the recovery protocol's
+// observable trace traffic.
+func TestShipTraceCounted(t *testing.T) {
+	m := newTest(t, 2)
+	m.SpawnOn("ctl", 0, 0, func(a realm.Agent) {
+		a.WaitEvent(m.ShipTrace(0, 1, 1234, realm.NoEvent))
+	})
+	if _, err := m.Drive(); err != nil {
+		t.Fatal(err)
+	}
+	st := m.Stats()
+	if st.TraceShips != 1 || st.TraceShipBytes != 1234 {
+		t.Errorf("trace counters = ships %d bytes %d, want 1/1234", st.TraceShips, st.TraceShipBytes)
+	}
+	if st.Messages != 1 || st.BytesSent != 1234 {
+		t.Errorf("shipments must ride the message path: %+v", st)
 	}
 }
 

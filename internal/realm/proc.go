@@ -154,15 +154,15 @@ func (s *Sim) Copy(src, dst *Node, bytes int64, pre Event, body func()) Event {
 	return done
 }
 
-// ShipTrace models shipping a captured execution trace to a restarted
-// shard's node: an ordinary wire transfer (latency, bandwidth, link
-// serialization, and fault effects all apply, via Copy), counted separately
-// so the recovery protocol's trace traffic is visible in the run
+// ShipTrace implements FaultExec: shipping a captured execution trace to a
+// restarted shard's node is an ordinary wire transfer (latency, bandwidth,
+// link serialization, and fault effects all apply, via Copy), counted
+// separately so the recovery protocol's trace traffic is visible in the run
 // statistics.
-func (s *Sim) ShipTrace(src, dst *Node, bytes int64, pre Event) Event {
+func (s *Sim) ShipTrace(src, dst int, bytes int64, pre Event) Event {
 	s.stats.TraceShips++
 	s.stats.TraceShipBytes += bytes
-	return s.Copy(src, dst, bytes, pre, nil)
+	return s.Copy(s.Node(src), s.Node(dst), bytes, pre, nil)
 }
 
 // execCopy performs a transfer whose precondition has triggered.

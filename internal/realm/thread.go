@@ -29,13 +29,19 @@ type Thread struct {
 // IsThreadKilled).
 type killPanic struct{ name string }
 
-// IsThreadKilled reports whether a recovered panic value is the simulator's
-// thread-kill sentinel. Code that recovers panics inside simulated threads
-// must re-panic such values so the scheduler can retire the thread.
+// IsThreadKilled reports whether a recovered panic value is the thread-kill
+// sentinel (of any backend). Code that recovers panics inside agents must
+// re-panic such values so the backend can retire the agent.
 func IsThreadKilled(r interface{}) bool {
 	_, ok := r.(killPanic)
 	return ok
 }
+
+// KillSentinel returns the panic value a killed agent unwinds with. Other
+// backends (realm/native) panic with it from their own agents so the same
+// IsThreadKilled check — and every engine-level recover built on it —
+// recognizes kills uniformly across backends.
+func KillSentinel(name string) interface{} { return killPanic{name} }
 
 // Spawn starts fn as a simulated thread bound to proc, beginning at the
 // current virtual time. Spawn may be called before Run or from any running

@@ -201,6 +201,156 @@ func TestFaultSeedDeterminism(t *testing.T) {
 	}
 }
 
+// TestCrashDuringCheckpointCapture times a crash to land inside the
+// checkpoint-capture window itself — after the epoch's shards have
+// completed but before the capture copies to node 0's stable storage have
+// drained. The half-taken checkpoint must be discarded (a nil from
+// takeCheckpoint, one restart), the epoch re-runs, and the final stores
+// stay bitwise correct.
+func TestCrashDuringCheckpointCapture(t *testing.T) {
+	build := func() *progtest.Figure2 { return progtest.NewFigure2(48, 8, 8) }
+	rec := Recovery{CheckpointEvery: 2, MaxRetries: 3, Backoff: realm.Microseconds(50)}
+	golden := build()
+	res0, err := runCRFaulty(t, golden, 4, 4, nil, rec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The first checkpoint's capture copies start the instant iteration 2
+	// (index 1) completes; one nanosecond later is inside the window, since
+	// the copies pay at least the wire latency.
+	at := res0.IterTimes[golden.Loop][1] + 1
+	f := build()
+	fp := &realm.FaultPlan{Crashes: []realm.NodeCrash{{Node: 2, At: at}}}
+	res, err := runCRFaulty(t, f, 4, 4, fp, rec, nil)
+	if err != nil {
+		t.Fatalf("crash during checkpoint capture was not recovered: %v", err)
+	}
+	rep := res.Faults
+	if rep == nil || len(rep.Crashes) != 1 || rep.Restarts < 1 || rep.Unrecovered {
+		t.Fatalf("fault report = %+v, want 1 crash, >= 1 restart, recovered", rep)
+	}
+	// The interrupted attempt still counts, so the faulty run takes more
+	// checkpoint attempts than the fault-free one.
+	if rep.Checkpoints <= res0.Faults.Checkpoints {
+		t.Errorf("checkpoints = %d, want more than the fault-free %d (the interrupted capture counts)",
+			rep.Checkpoints, res0.Faults.Checkpoints)
+	}
+	assertEqualStores(t, res0.Stores[golden.A], res.Stores[f.A], f.A, f.Val)
+	assertEqualStores(t, res0.Stores[golden.B], res.Stores[f.B], f.B, f.Val)
+}
+
+// TestDoubleFailover lands a second crash inside the first crash's
+// recovery window (after the backoff, during the guarded restore/re-run),
+// so the restart path itself fails over again. With a budget of two
+// retries both are consumed back-to-back, both failovers complete, and the
+// stores still come out bitwise correct.
+func TestDoubleFailover(t *testing.T) {
+	build := func() *progtest.Figure2 { return progtest.NewFigure2(48, 8, 8) }
+	rec := Recovery{CheckpointEvery: 2, MaxRetries: 4, Backoff: realm.Microseconds(50)}
+	golden := build()
+	res0, err := runCRFaulty(t, golden, 4, 4, nil, rec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid := res0.Elapsed / 2
+	f := build()
+	fp := &realm.FaultPlan{Crashes: []realm.NodeCrash{
+		{Node: 2, At: mid},
+		{Node: 3, At: mid + realm.Microseconds(60)}, // inside the first recovery (post-backoff)
+	}}
+	res, err := runCRFaulty(t, f, 4, 4, fp, rec, nil)
+	if err != nil {
+		t.Fatalf("double failover was not recovered: %v", err)
+	}
+	rep := res.Faults
+	if rep == nil || len(rep.Crashes) != 2 || rep.Restarts < 2 || rep.Unrecovered {
+		t.Fatalf("fault report = %+v, want 2 crashes, >= 2 restarts, recovered", rep)
+	}
+	assertEqualStores(t, res0.Stores[golden.A], res.Stores[f.A], f.A, f.Val)
+	assertEqualStores(t, res0.Stores[golden.B], res.Stores[f.B], f.B, f.Val)
+}
+
+// TestCrashDuringTraceShipping kills a shipment destination while the
+// restarted placement's shared-capture shipments are still in flight: the
+// mid-shipment failure must recurse into another restart (extra ships, no
+// re-capture) and still recover to correct stores. The exact window is
+// probed over a spread of virtual-time offsets — the DES is deterministic,
+// so whichever offsets land mid-shipment do so on every run.
+func TestCrashDuringTraceShipping(t *testing.T) {
+	const nodes, shards = 4, 4
+	rec := Recovery{CheckpointEvery: 2, MaxRetries: 4, Backoff: realm.Microseconds(50)}
+	build := func() *progtest.Figure2 { return progtest.NewFigure2(48, 8, 8) }
+
+	golden := build()
+	res0, err := runCRFaulty(t, golden, nodes, shards, nil, rec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid := res0.Elapsed / 2
+
+	// Reference single-crash run: how many ships does one clean failover do?
+	refF := build()
+	refPlans, err := CompileAll(refF.Prog, cr.Options{NumShards: shards})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refSim := realm.MustNewSim(testConfig(nodes))
+	if err := refSim.InjectFaults(realm.FaultPlan{Crashes: []realm.NodeCrash{{Node: 2, At: mid}}}); err != nil {
+		t.Fatal(err)
+	}
+	refEng := New(refSim, refF.Prog, ir.ExecReal, refPlans)
+	refEng.Recov = rec
+	if _, err := refEng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	baseShips := refEng.TraceStats().Ships
+	if baseShips == 0 {
+		t.Fatal("single failover shipped nothing; the probe has no baseline")
+	}
+
+	// Probe second-crash offsets across the recovery window until one lands
+	// while shipments are in flight: the recursion then re-restarts, so the
+	// run ships more than a single failover and restarts at least twice.
+	found := false
+	for off := realm.Time(55); off < 300 && !found; off += 5 {
+		f := build()
+		plans, err := CompileAll(f.Prog, cr.Options{NumShards: shards})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim := realm.MustNewSim(testConfig(nodes))
+		fp := realm.FaultPlan{Crashes: []realm.NodeCrash{
+			{Node: 2, At: mid},
+			{Node: 3, At: mid + realm.Microseconds(float64(off))},
+		}}
+		if err := sim.InjectFaults(fp); err != nil {
+			t.Fatal(err)
+		}
+		eng := New(sim, f.Prog, ir.ExecReal, plans)
+		eng.Recov = rec
+		res, err := eng.Run()
+		if err != nil {
+			t.Fatalf("offset %dus: %v", off, err)
+		}
+		rep := res.Faults
+		if rep == nil || rep.Unrecovered {
+			t.Fatalf("offset %dus: run degraded: %+v", off, rep)
+		}
+		stats := eng.TraceStats()
+		if stats.Captures != 1 || stats.PerShardCaptures != 0 {
+			t.Fatalf("offset %dus: failover re-captured: %+v", off, stats)
+		}
+		if len(rep.Crashes) == 2 && rep.Restarts >= 2 && stats.Ships > baseShips {
+			found = true
+			assertEqualStores(t, res0.Stores[golden.A], res.Stores[f.A], f.A, f.Val)
+			assertEqualStores(t, res0.Stores[golden.B], res.Stores[f.B], f.B, f.Val)
+		}
+	}
+	if !found {
+		t.Fatalf("no probed offset interrupted trace shipping (baseline ships = %d); widen the probe window", baseShips)
+	}
+}
+
 // TestUnrecoverableDegradesToPartialResults: when crashes outpace the
 // retry budget, Run returns the last checkpoint's partial results plus a
 // structured report — not an error, and not a hang.

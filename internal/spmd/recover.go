@@ -2,6 +2,7 @@ package spmd
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/cr"
 	"repro/internal/ir"
@@ -12,9 +13,11 @@ import (
 // This file is the recovery layer of the SPMD executor: periodic
 // barrier-consistent checkpoints of the distributed instance stores plus
 // the replicated scalar environment, shard relaunch on surviving nodes
-// after a node crash, bounded retry with exponential virtual-time backoff,
-// and graceful degradation to the last checkpoint when the budget runs
-// out.
+// after a node crash, bounded retry with exponential backoff (virtual time
+// on the DES, wall-clock on the native backend), and graceful degradation
+// to the last checkpoint when the budget runs out. It is written against
+// realm.FaultExec, so the same protocol runs over modeled and real
+// execution.
 //
 // Correctness rests on two properties of the execution model. First, every
 // epoch boundary is quiescent: the control thread has seen every shard's
@@ -37,8 +40,9 @@ type Recovery struct {
 	// MaxRetries bounds consecutive restarts without forward progress; the
 	// counter resets every time an epoch completes. 0 disables recovery.
 	MaxRetries int
-	// Backoff is the virtual-time delay before the first restart, doubling
-	// on each consecutive retry. 0 means 1ms.
+	// Backoff is the delay before the first restart — virtual time on the
+	// DES, real wall-clock time on the native backend — doubling on each
+	// consecutive retry. 0 means 1ms.
 	Backoff realm.Time
 }
 
@@ -122,38 +126,42 @@ func (e *Engine) liveAssign(ns int) []int {
 // the run state fails, whichever comes first; it reports whether ev won.
 // Without this race, a crash that swallows a completion event would leave
 // the control thread blocked forever (the deadlock the fault tests pin).
-// nodeFailed reports whether node i has crashed; only the DES can crash
-// nodes, so every other backend answers false.
+// nodeFailed reports whether node i has crashed; a backend without fault
+// support cannot crash nodes, so it answers false.
 func (e *Engine) nodeFailed(i int) bool {
-	if des := e.des(); des != nil {
-		return des.Node(i).Failed()
+	if fx := e.fx(); fx != nil {
+		return fx.NodeFailed(i)
 	}
 	return false
 }
 
 func (e *Engine) waitOrFail(ctl realm.Agent, st *runState, ev realm.Event) bool {
-	sim := e.des() // guarded waits only run under recovery, which is DES-only
-	if sim.Triggered(ev) {
+	fx := e.fx() // guarded waits only run under recovery, which requires FaultExec
+	if fx.Triggered(ev) {
 		return true
 	}
-	out := sim.NewUserEvent()
-	settled, failed := false, false
+	out := fx.NewUserEvent()
+	// The completion and failure continuations race on the native backend
+	// (real goroutines trigger concurrently); first to settle wins, and the
+	// loser's trigger must not fire `out` twice.
+	var settled, failed int32
 	settle := func(f bool) func() {
 		return func() {
-			if settled {
+			if !atomic.CompareAndSwapInt32(&settled, 0, 1) {
 				return
 			}
-			settled = true
-			failed = f
-			sim.Trigger(out)
+			if f {
+				atomic.StoreInt32(&failed, 1)
+			}
+			fx.Trigger(out)
 		}
 	}
-	sim.OnTrigger(ev, settle(false))
+	fx.OnTrigger(ev, settle(false))
 	for _, n := range st.watch {
-		sim.OnTrigger(sim.Node(n).FailEvent(), settle(true))
+		fx.OnTrigger(fx.NodeFailEvent(n), settle(true))
 	}
 	ctl.WaitEvent(out)
-	return !failed
+	return atomic.LoadInt32(&failed) == 0
 }
 
 // phaseWait is waitOrFail when guarded, a plain wait otherwise — the plain
@@ -251,31 +259,31 @@ func (e *Engine) degrade(plan *cr.Compiled, trip, retries int, cp *checkpoint, t
 	}
 	rep.CompletedIters = done
 	rep.Reason = fmt.Sprintf("spmd: recovery budget exhausted after %d restarts with %d node crashes; degraded to the checkpoint at iteration %d of %d",
-		retries, len(e.des().Crashes()), done, trip)
+		retries, len(e.fx().Crashes()), done, trip)
 	e.iterTimes[plan.Loop] = times[:done]
 	e.degraded = true
 }
 
 // shipTraces sends the loop's surviving shared capture from node 0's
 // stable storage to every other node of a freshly rebuilt placement, as
-// real messages with latency and bandwidth cost (realm.ShipTrace), so the
-// restarted shards specialize the shipped trace and resume in replay mode
-// instead of re-capturing. No-op when the loop has no shared capture
-// (sharing disabled, tracing off, or an unshareable loop). Reports false if
-// a node failed mid-shipment.
+// real messages (FaultExec.ShipTrace: modeled wire cost on the DES, real
+// messages subject to drop/dup injection on native), so the restarted
+// shards specialize the shipped trace and resume in replay mode instead of
+// re-capturing. No-op when the loop has no shared capture (sharing
+// disabled, tracing off, or an unshareable loop). Reports false if a node
+// failed mid-shipment.
 func (e *Engine) shipTraces(ctl realm.Agent, st *runState) bool {
 	shr, ok := e.shared[st.plan]
 	if !ok {
 		return true
 	}
-	des := e.des() // trace shipping only happens under recovery (DES-only)
-	node0 := des.Node(0)
+	fx := e.fx() // trace shipping only happens under recovery, which requires FaultExec
 	var evs []realm.Event
 	for _, n := range st.watch { // sorted: the shipment order is deterministic
 		if n == 0 {
 			continue
 		}
-		evs = append(evs, des.ShipTrace(node0, des.Node(n), shr.bytes, realm.NoEvent))
+		evs = append(evs, fx.ShipTrace(0, n, shr.bytes, realm.NoEvent))
 		e.traceStats.Ships++
 		e.traceStats.ShippedBytes += shr.bytes
 	}
@@ -303,7 +311,8 @@ func (e *Engine) runRecoverable(ctl realm.Agent, plan *cr.Compiled, rec Recovery
 	needInit := true
 	done := 0
 
-	// restart consumes one retry, backs off, and rebuilds state from the
+	// restart consumes one retry, backs off (virtual time on the DES, real
+	// wall-clock exponential backoff on native), and rebuilds state from the
 	// last checkpoint (or from scratch when none exists yet). The rebuild
 	// discards the old run state's shard plans (trace invalidation: the
 	// placement changed) and then ships the surviving shared capture to the
@@ -312,6 +321,12 @@ func (e *Engine) runRecoverable(ctl realm.Agent, plan *cr.Compiled, rec Recovery
 	// or mid-shipment.
 	var restart func() bool
 	restart = func() bool {
+		// Drain the abandoned epoch first: on the native backend the killed
+		// shard agents and their in-flight work items are real goroutines
+		// that may still be writing the old run state's instances; the
+		// restore (and degrade's write-back) must not race them. No-op on
+		// the DES.
+		e.fx().Quiesce()
 		if retries >= rec.MaxRetries {
 			return false
 		}
@@ -320,8 +335,12 @@ func (e *Engine) runRecoverable(ctl realm.Agent, plan *cr.Compiled, rec Recovery
 		e.traceStats.Invalidations += st.dropPlans()
 		ctl.Sleep(rec.Backoff << (retries - 1))
 		if cp == nil {
+			// From scratch: the failure may have landed after an epoch
+			// completed but before its first checkpoint committed (mid-capture),
+			// so roll the iteration cursor all the way back too.
 			st = newRunState(e, plan, trip, e.liveAssign(ns))
 			needInit = true
+			done = 0
 		} else {
 			nst, ok := e.restorePhase(ctl, plan, trip, cp)
 			if !ok {

@@ -115,10 +115,10 @@ func (e *Engine) runEpoch(ctl realm.Agent, st *runState, lo, hi int, guarded boo
 		return true
 	}
 	// Only the guarded (recovery) path reaches here, and recovery is gated
-	// to the DES, whose agents are killable simulated threads.
-	des := e.des()
+	// to backends with the fault-tolerance extension (killable agents).
+	fx := e.fx()
 	for _, th := range threads {
-		des.Kill(th.(*realm.Thread))
+		fx.KillAgent(th)
 	}
 	return false
 }

@@ -162,10 +162,10 @@ func (e *Engine) Run() (*Result, error) {
 	if err := e.Prog.Validate(); err != nil {
 		return nil, err
 	}
-	// Checkpoint/restart recovery needs DES-only machinery (node failure
-	// events, virtual-time backoff, trace shipping); reject it up front on
-	// other backends instead of panicking mid-run.
-	if e.Recov.MaxRetries > 0 && e.des() == nil {
+	// Checkpoint/restart recovery needs the fault-tolerance extension of
+	// the backend (node failure events, agent kill, trace shipping); reject
+	// it up front on a backend without one instead of panicking mid-run.
+	if e.Recov.MaxRetries > 0 && e.fx() == nil {
 		return nil, &realm.UnsupportedError{Backend: e.Sim.Backend(), Op: "checkpoint/restart recovery"}
 	}
 	e.global = make(map[*region.Region]*region.Store)
@@ -205,8 +205,8 @@ func (e *Engine) Run() (*Result, error) {
 		ctlDone = true
 	})
 	elapsed, err := runSim(e.Sim)
-	if des := e.des(); des != nil {
-		if crashes := des.Crashes(); len(crashes) > 0 {
+	if fx := e.fx(); fx != nil {
+		if crashes := fx.Crashes(); len(crashes) > 0 {
 			e.rep().Crashes = crashes
 		}
 	}
@@ -233,18 +233,20 @@ func (e *Engine) Run() (*Result, error) {
 // Run.
 func (e *Engine) TraceStats() TraceStats { return e.traceStats }
 
-// des returns the underlying DES when the engine runs on one, nil on any
-// other backend. The DES-only paths (faults, recovery, trace shipping)
-// gate on it.
-func (e *Engine) des() *realm.Sim {
-	s, _ := e.Sim.(*realm.Sim)
-	return s
+// fx returns the backend's fault-tolerance extension when it has one, nil
+// otherwise. The recovery paths (failure events, agent kill, quiesce,
+// trace shipping) gate on it; both the DES and the native machine
+// implement it.
+func (e *Engine) fx() realm.FaultExec {
+	f, _ := e.Sim.(realm.FaultExec)
+	return f
 }
 
 // runSim drives the backend, converting panics from task kernels (which
 // the DES executes inside the event loop) into errors so a faulty
 // application cannot crash the host process. A deadlock (e.g. an injected
-// crash with recovery disabled) comes back as a *realm.DeadlockError.
+// crash with recovery disabled) comes back as a *realm.DeadlockError on
+// the DES, or as a *realm.HangError from the native watchdog.
 func runSim(x realm.Exec) (elapsed realm.Time, err error) {
 	defer func() {
 		if r := recover(); r != nil {
