@@ -107,13 +107,26 @@ func BenchmarkTable1Intersections(b *testing.B) {
 // node's core count shows the real speedup the SPMD schedule exposes
 // (BENCH_PR6.json records the measured ratio).
 func BenchmarkFigure6StencilNative(b *testing.B) {
+	benchStencilNative(b, false)
+}
+
+// BenchmarkFigure6StencilNativeNoSched is the scheduler A/B baseline: the
+// same native run with the worker pool disabled, every kernel and copy
+// body on its own freshly spawned goroutine (the pre-scheduler dispatch).
+// Comparing against BenchmarkFigure6StencilNative isolates what the
+// per-(node,proc) deque pool buys.
+func BenchmarkFigure6StencilNativeNoSched(b *testing.B) {
+	benchStencilNative(b, true)
+}
+
+func benchStencilNative(b *testing.B, noSched bool) {
 	const nodes = 8
 	app, err := harness.AppByName("stencil")
 	if err != nil {
 		b.Fatal(err)
 	}
 	for i := 0; i < b.N; i++ {
-		per, err := app.Measure("regent-cr", nodes, 0, bench.MeasureOpts{Backend: bench.BackendNative})
+		per, err := app.Measure("regent-cr", nodes, 0, bench.MeasureOpts{Backend: bench.BackendNative, NoSched: noSched})
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -7,7 +7,9 @@
 //
 //	weakscale [-app stencil|miniaero|pennant|circuit|all] [-nodes 1,2,...]
 //	          [-iters N] [-j workers] [-csv] [-v] [-faults seed:rate]
-//	          [-backend des|native] [-trace on|off] [-trace-share on|off]
+//	          [-backend des|native] [-procs N] [-sched on|off]
+//	          [-timepolicy modeled|measured] [-fit-in file] [-fit-out file]
+//	          [-trace on|off] [-trace-share on|off]
 //	          [-benchjson file] [-verify] [-cpuprofile file]
 //	          [-memprofile file]
 //
@@ -18,6 +20,24 @@
 // models and are dropped from native sweeps. Native sweeps want small
 // node counts (each simulated node is a set of goroutines competing for
 // the host's cores).
+//
+// -procs sets the native worker pool's per-node size (0, the default, is
+// an equal share of GOMAXPROCS across the simulated nodes). -sched=off
+// disables the pool entirely, falling back to goroutine-per-launch
+// dispatch — the scheduler's A/B baseline; series are identical either
+// way (only host wall-clock differs), which the CI multicore job pins.
+// After a native sweep the scheduler counters (dispatches, steals,
+// inline completions) are printed to stderr.
+//
+// -timepolicy selects the DES's time-charging policy: modeled (default)
+// charges the Cray-XC-style cost model; measured charges a policy fitted
+// from real native runs, imported with -fit-in (a JSON file written by
+// -fit-out). -fit-out, valid with -backend native, records the wall-clock
+// duration of every executed kernel and copy during the sweep and writes
+// the fitted coefficients to the named file — the calibration loop is:
+//
+//	weakscale -backend native -nodes 2,4 -fit-out fit.json
+//	weakscale -timepolicy measured -fit-in fit.json
 //
 // -verify statically verifies every compiled schedule (internal/verify)
 // at each swept node count before running it — including the specialization
@@ -125,6 +145,9 @@ type benchSnapshot struct {
 	Trace      string     `json:"trace"`
 	TraceShare string     `json:"trace_share"`
 	Faults     string     `json:"faults,omitempty"`
+	Procs      int        `json:"procs,omitempty"`
+	Sched      string     `json:"sched,omitempty"`
+	TimePolicy string     `json:"timepolicy,omitempty"`
 	Results    []benchRow `json:"results"`
 }
 
@@ -162,6 +185,11 @@ func main() {
 	verbose := flag.Bool("v", false, "print per-measurement progress")
 	faults := flag.String("faults", "", "inject faults: seed:rate (crash rate in crashes per simulated second)")
 	backend := flag.String("backend", bench.BackendDES, "realm backend: des (deterministic simulator, virtual time) or native (real goroutines, wall-clock)")
+	procs := flag.Int("procs", 0, "native worker pool size per node (0 = an equal share of GOMAXPROCS)")
+	sched := flag.String("sched", "on", "native worker pool: on, or off for goroutine-per-launch dispatch (A/B baseline)")
+	timepolicy := flag.String("timepolicy", "modeled", "DES time-charging policy: modeled (Cray-XC cost model) or measured (fitted, needs -fit-in)")
+	fitIn := flag.String("fit-in", "", "JSON file of fitted time coefficients to import (with -timepolicy measured)")
+	fitOut := flag.String("fit-out", "", "fit a time policy from this native sweep and write its coefficients to this JSON file")
 	trace := flag.String("trace", "on", "runtime trace capture/replay: on or off (ablation; results are identical)")
 	traceShare := flag.String("trace-share", "on", "cross-shard trace sharing: on or off (ablation; results are identical)")
 	benchjson := flag.String("benchjson", "", "write the sweep results as a JSON snapshot to this file")
@@ -212,6 +240,61 @@ func main() {
 
 	if *backend != bench.BackendDES && *backend != bench.BackendNative {
 		fmt.Fprintf(os.Stderr, "weakscale: bad -backend %q (want des or native)\n", *backend)
+		os.Exit(1)
+	}
+	native := *backend == bench.BackendNative
+
+	if *sched != "on" && *sched != "off" {
+		fmt.Fprintf(os.Stderr, "weakscale: bad -sched %q (want on or off)\n", *sched)
+		os.Exit(1)
+	}
+	noSched := *sched == "off"
+	if *procs < 0 {
+		fmt.Fprintf(os.Stderr, "weakscale: bad -procs %d (want >= 0)\n", *procs)
+		os.Exit(1)
+	}
+	if (*procs > 0 || noSched) && !native {
+		fmt.Fprintln(os.Stderr, "weakscale: -procs and -sched configure the native worker pool; use -backend native")
+		os.Exit(1)
+	}
+
+	var fit *realm.MeasuredTime
+	if *fitOut != "" {
+		if !native {
+			fmt.Fprintln(os.Stderr, "weakscale: -fit-out records real kernel durations; use -backend native")
+			os.Exit(1)
+		}
+		fit = realm.NewMeasuredTime(realm.ModeledTime{Cfg: realm.DefaultConfig(1)})
+	}
+	var policy realm.TimePolicy
+	switch *timepolicy {
+	case "modeled":
+		if *fitIn != "" {
+			fmt.Fprintln(os.Stderr, "weakscale: -fit-in needs -timepolicy measured")
+			os.Exit(1)
+		}
+	case "measured":
+		if native {
+			fmt.Fprintln(os.Stderr, "weakscale: -timepolicy measured re-models on the DES; native time is wall-clock")
+			os.Exit(1)
+		}
+		if *fitIn == "" {
+			fmt.Fprintln(os.Stderr, "weakscale: -timepolicy measured needs -fit-in (a file written by -fit-out)")
+			os.Exit(1)
+		}
+		data, err := os.ReadFile(*fitIn)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "weakscale:", err)
+			os.Exit(1)
+		}
+		p, err := realm.ImportMeasuredTime(data, realm.ModeledTime{Cfg: realm.DefaultConfig(1)})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "weakscale:", err)
+			os.Exit(1)
+		}
+		policy = p
+	default:
+		fmt.Fprintf(os.Stderr, "weakscale: bad -timepolicy %q (want modeled or measured)\n", *timepolicy)
 		os.Exit(1)
 	}
 
@@ -269,6 +352,11 @@ func main() {
 		HostCPUs: runtime.NumCPU(), GoMaxProcs: runtime.GOMAXPROCS(0),
 		Trace: *trace, TraceShare: *traceShare, Faults: *faults,
 	}
+	if native {
+		snap.Procs, snap.Sched = *procs, *sched
+	} else {
+		snap.TimePolicy = *timepolicy
+	}
 	for _, app := range apps {
 		if *iters > 0 {
 			app.Iters = *iters
@@ -277,10 +365,21 @@ func main() {
 		app.Backend = *backend
 		app.NoTrace = noTrace
 		app.NoShare = noShare
+		app.Procs = *procs
+		app.NoSched = noSched
+		app.Policy = policy
+		if fit != nil {
+			app.Fit = fit
+		}
 		var agg *bench.TraceAgg
 		if !noTrace {
 			agg = &bench.TraceAgg{}
 			app.Trace = agg
+		}
+		var sagg *bench.SchedAgg
+		if native {
+			sagg = &bench.SchedAgg{}
+			app.Sched = sagg
 		}
 		series, err := harness.RunFigureParallel(app, nodes, *workers, progress)
 		if err != nil {
@@ -291,6 +390,11 @@ func main() {
 			rtStats, spmdStats := agg.Snapshot()
 			fmt.Fprintf(os.Stderr, "weakscale: %s rt trace: %+v\n", app.Name, rtStats)
 			fmt.Fprintf(os.Stderr, "weakscale: %s spmd trace: %+v\n", app.Name, spmdStats)
+		}
+		if sagg != nil {
+			ss := sagg.Snapshot()
+			fmt.Fprintf(os.Stderr, "weakscale: %s sched: workers=%d dispatches=%d steals=%d (local %d, remote %d) inline=%d\n",
+				app.Name, ss.Workers, ss.Dispatches, ss.Steals, ss.LocalSteals, ss.RemoteSteals, ss.InlineCompletions)
 		}
 		for _, s := range series {
 			for _, p := range s.Points {
@@ -315,6 +419,21 @@ func main() {
 			fmt.Print(harness.FormatFigure(app, series))
 			fmt.Println()
 		}
+	}
+
+	if fit != nil {
+		launches, copies := fit.Samples()
+		buf, err := fit.ExportJSON()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "weakscale:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*fitOut, append(buf, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "weakscale:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "weakscale: wrote fitted time policy (%d launch / %d copy samples) to %s\n",
+			launches, copies, *fitOut)
 	}
 
 	if *benchjson != "" {

@@ -126,10 +126,90 @@ type MeasureOpts struct {
 	// backends for the CR executor (the implicit runtime rejects it on
 	// native, having no recovery to hang usefully without).
 	Backend string
+	// Procs sets the native machine's per-node worker count (0 = an equal
+	// share of GOMAXPROCS). Ignored on the DES.
+	Procs int
+	// NoSched disables the native worker pool, falling back to
+	// goroutine-per-launch dispatch — the A/B baseline for the scheduler.
+	// Ignored on the DES.
+	NoSched bool
+	// Fit, when non-nil, receives a wall-clock sample for every launch and
+	// copy body the native machine executes (pass a *realm.MeasuredTime to
+	// build a fitted TimePolicy from the run). Ignored on the DES.
+	Fit realm.TimeRecorder
+	// Policy, when non-nil, replaces the DES's time-charging policy (e.g. a
+	// realm.MeasuredTime imported from a native calibration run). Ignored
+	// on native, whose time is wall-clock.
+	Policy realm.TimePolicy
+	// Sched, when non-nil, accumulates the native machine's scheduler
+	// counters across the measurement (safe under the parallel sweep
+	// harness). Ignored on the DES.
+	Sched *SchedAgg
 }
 
 // NativeBackend reports whether the options select the native backend.
 func (o MeasureOpts) NativeBackend() bool { return o.Backend == BackendNative }
+
+// applyExecOpts configures a freshly built backend from the options:
+// scheduler sizing, the A/B pool switch, and the time recorder on native;
+// the time-policy override on the DES.
+func applyExecOpts(sim realm.Exec, opts MeasureOpts) {
+	switch b := sim.(type) {
+	case *native.Machine:
+		if opts.Procs > 0 {
+			b.SetProcs(opts.Procs)
+		}
+		if opts.NoSched {
+			b.SetScheduler(false)
+		}
+		if opts.Fit != nil {
+			b.SetTimeRecorder(opts.Fit)
+		}
+	case *realm.Sim:
+		if opts.Policy != nil {
+			b.SetTimePolicy(opts.Policy)
+		}
+	}
+}
+
+// collectSched folds the machine's scheduler counters into the
+// aggregator, when both sides exist.
+func collectSched(sim realm.Exec, opts MeasureOpts) {
+	if opts.Sched == nil {
+		return
+	}
+	if mach, ok := sim.(*native.Machine); ok {
+		opts.Sched.add(mach.SchedStats())
+	}
+}
+
+// SchedAgg accumulates native scheduler counters across the (possibly
+// parallel) measurements of a sweep. Pass one instance through
+// MeasureOpts.Sched.
+type SchedAgg struct {
+	mu sync.Mutex
+	s  native.SchedStats
+}
+
+func (a *SchedAgg) add(s native.SchedStats) {
+	a.mu.Lock()
+	if s.Workers > a.s.Workers {
+		a.s.Workers = s.Workers // pool size, not additive across cells
+	}
+	a.s.Dispatches += s.Dispatches
+	a.s.Steals += s.Steals
+	a.s.LocalSteals += s.LocalSteals
+	a.s.RemoteSteals += s.RemoteSteals
+	a.s.InlineCompletions += s.InlineCompletions
+	a.mu.Unlock()
+}
+
+// Snapshot returns the accumulated counters.
+func (a *SchedAgg) Snapshot() native.SchedStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.s
+}
 
 // TraceAgg accumulates trace-layer counters across the (possibly parallel)
 // measurements of a sweep. Pass one instance through MeasureOpts.Trace.
@@ -179,6 +259,7 @@ func MeasureImplicit(prog *ir.Program, loop *ir.Loop, nodes int, tune Tuning, op
 	if err != nil {
 		return 0, err
 	}
+	applyExecOpts(sim, opts)
 	mode := rt.Modeled
 	if opts.NativeBackend() {
 		// On real cores only real execution is meaningful: the control
@@ -215,6 +296,7 @@ func MeasureImplicit(prog *ir.Program, loop *ir.Loop, nodes int, tune Tuning, op
 	if opts.Trace != nil {
 		opts.Trace.addRT(eng.TraceStats())
 	}
+	collectSched(sim, opts)
 	return steadyState(res.IterTimes[loop], warmup(loop.Trip))
 }
 
@@ -233,6 +315,7 @@ func MeasureCR(prog *ir.Program, loop *ir.Loop, nodes int, sync cr.SyncMode, tun
 	if err != nil {
 		return 0, err
 	}
+	applyExecOpts(sim, opts)
 	mode := ir.ExecModeled
 	if opts.NativeBackend() {
 		mode = ir.ExecReal
@@ -261,6 +344,7 @@ func MeasureCR(prog *ir.Program, loop *ir.Loop, nodes int, sync cr.SyncMode, tun
 	if opts.Trace != nil {
 		opts.Trace.addSPMD(eng.TraceStats())
 	}
+	collectSched(sim, opts)
 	if res.Faults != nil && res.Faults.Unrecovered {
 		return 0, fmt.Errorf("bench: %s", res.Faults.Reason)
 	}

@@ -3,6 +3,7 @@ package harness
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"testing"
 
@@ -14,6 +15,7 @@ import (
 	"repro/internal/cr"
 	"repro/internal/ir"
 	"repro/internal/realm"
+	"repro/internal/realm/native"
 	"repro/internal/region"
 	"repro/internal/rt"
 	"repro/internal/spmd"
@@ -226,6 +228,124 @@ func TestNativeCrashRecoveryMatchesFaultFree(t *testing.T) {
 				requireSameResults(t, label, ref, res)
 			})
 		}
+	}
+}
+
+// runSPMDNoSched executes a freshly built program in Real mode on the
+// native backend with the worker pool disabled — goroutine-per-launch
+// dispatch, the scheduler's A/B baseline.
+func runSPMDNoSched(t *testing.T, prog *ir.Program, nodes int, sync cr.SyncMode) *spmd.Result {
+	t.Helper()
+	plans, err := spmd.CompileAll(prog, cr.Options{NumShards: nodes, Sync: sync})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := native.NewMachine(realm.DefaultConfig(nodes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SetScheduler(false)
+	res, err := spmd.New(m, prog, ir.ExecReal, plans).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestNativeSchedulerOffMatchesOn is the scheduler's determinism check:
+// for every evaluation application, Real-mode stores with the worker pool
+// on must be bitwise equal to the goroutine-per-launch baseline. The pool
+// reorders ready items freely (LIFO slots, stealing), so equality holds
+// only because every float-affecting order is fixed by the event graph —
+// which is exactly what this pins.
+func TestNativeSchedulerOffMatchesOn(t *testing.T) {
+	const nodes = 4
+	for _, app := range backendApps {
+		t.Run(app.name, func(t *testing.T) {
+			ref := runSPMD(t, app.build(nodes), nodes, cr.PointToPoint, false, false, bench.BackendNative)
+			res := runSPMDNoSched(t, app.build(nodes), nodes, cr.PointToPoint)
+			requireSameResults(t, app.name, ref, res)
+			if ref.Stats.Dispatches == 0 {
+				t.Error("pooled run recorded no dispatches; is the scheduler actually on?")
+			}
+			if res.Stats.Dispatches != 0 || res.Stats.Steals != 0 {
+				t.Errorf("NoSched run recorded scheduler activity: %d dispatches, %d steals",
+					res.Stats.Dispatches, res.Stats.Steals)
+			}
+		})
+	}
+}
+
+// TestNativeLaunchCrashRecovery runs a logical-point crash schedule —
+// "node 2 dies at its 5th launch" — end to end on the native backend:
+// the plan installs (virtual-time schedules are still rejected), the crash
+// lands exactly once, recovery restores the run, and the stores come out
+// bitwise equal to the fault-free native run.
+func TestNativeLaunchCrashRecovery(t *testing.T) {
+	const nodes = 4
+	app := backendApps[0] // stencil
+	ref := runSPMD(t, app.build(nodes), nodes, cr.PointToPoint, false, false, bench.BackendNative)
+	fp := &realm.FaultPlan{LaunchCrashes: []realm.LaunchCrash{{Node: 2, AtLaunch: 5}}}
+	res := runSPMDRecov(t, app.build(nodes), nodes, cr.PointToPoint, bench.BackendNative, fp)
+	if res.Faults == nil || len(res.Faults.Crashes) != 1 || res.Faults.Crashes[0].Node != 2 {
+		t.Fatalf("fault report = %+v, want exactly the scheduled crash of node 2", res.Faults)
+	}
+	if res.Faults.Restarts < 1 || res.Faults.Unrecovered {
+		t.Fatalf("fault report = %+v, want a clean recovery", res.Faults)
+	}
+	requireSameResults(t, "launch-crash", ref, res)
+}
+
+// TestMeasuredTimeCalibratesDES closes the model-reality loop: fit a
+// MeasuredTime from a native stencil run, export and re-import its
+// coefficients, install the policy on the DES, and check the re-modeled
+// per-iteration time lands closer (in log error) to the measured wall time
+// than the default Cray-XC model does. The native backend interprets its
+// kernels, so the modeled constants are off by orders of magnitude — the
+// fit must close most of that gap.
+func TestMeasuredTimeCalibratesDES(t *testing.T) {
+	// All three runs use the same program at the native benchmark size: the
+	// calibration is only meaningful when the DES re-models the very
+	// workload the samples came from (the harness's Measure deliberately
+	// scales the grid per backend, which would compare different programs).
+	const nodes = 2
+	tune := bench.DefaultTuning(realm.DefaultConfig(nodes).CoresPerNode)
+	run := func(opts bench.MeasureOpts) realm.Time {
+		t.Helper()
+		app := stencil.Build(stencil.Native(nodes))
+		per, err := bench.MeasureCR(app.Prog, app.Loop, nodes, cr.PointToPoint, tune, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return per
+	}
+	fit := realm.NewMeasuredTime(realm.ModeledTime{Cfg: realm.DefaultConfig(nodes)})
+	wall := run(bench.MeasureOpts{Backend: bench.BackendNative, Fit: fit})
+	launches, copies := fit.Samples()
+	if launches == 0 || copies == 0 {
+		t.Fatalf("fit saw %d launches / %d copies, want both > 0", launches, copies)
+	}
+	data, err := fit.ExportJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	imported, err := realm.ImportMeasuredTime(data, realm.ModeledTime{Cfg: realm.DefaultConfig(nodes)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	modeled := run(bench.MeasureOpts{})
+	measured := run(bench.MeasureOpts{Policy: imported})
+	logErr := func(got realm.Time) float64 {
+		return math.Abs(math.Log(float64(got) / float64(wall)))
+	}
+	if logErr(measured) >= logErr(modeled) {
+		t.Errorf("fitted policy did not move the DES toward reality: wall=%v modeled=%v measured=%v",
+			wall, modeled, measured)
+	}
+	// Tolerance: the fitted re-run must land within a factor of 4 of the
+	// measured wall time (the defaults are off by far more).
+	if logErr(measured) > math.Log(4) {
+		t.Errorf("fitted per-iter %v is more than 4x off the measured wall %v", measured, wall)
 	}
 }
 

@@ -53,6 +53,21 @@ type App struct {
 	// Trace optionally accumulates both runtimes' trace counters across the
 	// whole sweep (printed by weakscale under -trace on).
 	Trace *bench.TraceAgg
+	// Procs sets the native worker pool's per-node size for every cell
+	// (0 = an equal share of GOMAXPROCS); NoSched disables the pool —
+	// goroutine-per-launch dispatch, the scheduler's A/B baseline. Both
+	// are ignored on the DES.
+	Procs   int
+	NoSched bool
+	// Sched optionally accumulates the native scheduler's counters across
+	// the whole sweep (printed by weakscale under -backend native).
+	Sched *bench.SchedAgg
+	// Fit optionally receives a wall-clock sample for every launch and copy
+	// body executed on native (pass a *realm.MeasuredTime to fit a
+	// TimePolicy from the sweep); Policy optionally replaces the DES's
+	// time-charging policy (e.g. a MeasuredTime imported from such a fit).
+	Fit    realm.TimeRecorder
+	Policy realm.TimePolicy
 	// UnitsPerNode is the per-node work per iteration; Unit/UnitScale name
 	// and scale the throughput axis exactly as the paper's figures do.
 	UnitsPerNode float64
@@ -213,6 +228,11 @@ func RunFigureParallel(app App, nodes []int, workers int, progress func(string))
 			NoShare: app.NoShare,
 			Trace:   app.Trace,
 			Backend: app.Backend,
+			Procs:   app.Procs,
+			NoSched: app.NoSched,
+			Sched:   app.Sched,
+			Fit:     app.Fit,
+			Policy:  app.Policy,
 		})
 		note := func(line string) {
 			if progress != nil {

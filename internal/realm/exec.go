@@ -222,8 +222,18 @@ func (s *Sim) SpawnOn(name string, node, proc int, fn func(Agent)) Agent {
 }
 
 // LaunchOn implements Exec via the node's earliest-free-processor mapping
-// (Node.LaunchAuto).
+// (Node.LaunchAuto). When the installed fault plan carries logical-point
+// crash schedules, the issue is also a crash opportunity: the per-node
+// launch counter advances, and if this is the scheduled launch the node
+// fail-stops here — before the launch lands, so the launch itself is lost
+// (LaunchAuto sees a failed node), exactly as on the native backend.
 func (s *Sim) LaunchOn(node int, pre Event, dur Time, body func()) Event {
+	if s.launchCrashAt != nil && !s.Node(node).failed {
+		s.launchSeq[node]++
+		if at, ok := s.launchCrashAt[node]; ok && s.launchSeq[node] == at {
+			s.crashNode(node)
+		}
+	}
 	return s.Node(node).LaunchAuto(pre, dur, body)
 }
 

@@ -74,6 +74,7 @@ func TestSetTimePolicy(t *testing.T) {
 // alternative policy.
 type flatPolicy struct{}
 
+func (flatPolicy) TaskDuration(d Time) Time  { return d }
 func (flatPolicy) LocalCopy(int64) Time      { return Microseconds(7) }
 func (flatPolicy) RemoteTransfer(int64) Time { return Microseconds(5) }
 func (flatPolicy) RemoteLatency() Time       { return Microseconds(2) }

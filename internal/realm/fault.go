@@ -20,6 +20,18 @@ type NodeCrash struct {
 	At   Time
 }
 
+// LaunchCrash is a whole-node fail-stop failure at a logical point: the
+// node dies at the issue of its AtLaunch-th launch (1-based, counted per
+// target node across the whole run). Unlike NodeCrash it names no clock,
+// so every backend can honor it — the DES counts launches as it issues
+// them, the native machine matches its per-node atomic launch counters —
+// and "node 2 dies at its 37th launch" means the same schedule point on
+// both. The AtLaunch-th launch itself is lost (the crash precedes it).
+type LaunchCrash struct {
+	Node     int
+	AtLaunch uint64
+}
+
 // FaultPlan describes the faults to inject into a simulation. The zero
 // value injects nothing. Rates are probabilities per opportunity (per
 // remote message for DropRate/DupRate, per work item for StragglerRate)
@@ -28,9 +40,10 @@ type NodeCrash struct {
 type FaultPlan struct {
 	Seed uint64 // root of all fault randomness
 
-	Crashes    []NodeCrash // explicit fail-stop crashes at fixed times
-	CrashRate  float64     // additional random crashes per simulated second
-	CrashNode0 bool        // allow random crashes to hit node 0 (the head node)
+	Crashes       []NodeCrash   // explicit fail-stop crashes at fixed virtual times (DES-only)
+	LaunchCrashes []LaunchCrash // explicit fail-stop crashes at logical points (all backends)
+	CrashRate     float64       // additional random crashes per simulated second
+	CrashNode0    bool          // allow random crashes to hit node 0 (the head node)
 
 	DropRate          float64 // per-message probability of a drop + retransmit
 	RetransmitTimeout Time    // redelivery delay per drop (default 20x NetLatency)
@@ -64,7 +77,32 @@ func (fp *FaultPlan) Validate(cfg Config) error {
 			return fmt.Errorf("realm: crash of node %d at negative time %d", c.Node, c.At)
 		}
 	}
+	for _, c := range fp.LaunchCrashes {
+		if c.Node < 0 || c.Node >= cfg.Nodes {
+			return fmt.Errorf("realm: launch crash targets node %d of a %d-node machine", c.Node, cfg.Nodes)
+		}
+		if c.AtLaunch == 0 {
+			return fmt.Errorf("realm: launch crash of node %d at launch 0 (AtLaunch is 1-based)", c.Node)
+		}
+	}
 	return nil
+}
+
+// launchCrashPoints folds the plan's LaunchCrashes into a per-node map of
+// the earliest scheduled crash point (several entries for one node reduce
+// to the first one that would fire). Returns nil when the plan has none,
+// so the per-launch hot path stays a nil check.
+func (fp *FaultPlan) launchCrashPoints() map[int]uint64 {
+	if len(fp.LaunchCrashes) == 0 {
+		return nil
+	}
+	at := make(map[int]uint64, len(fp.LaunchCrashes))
+	for _, c := range fp.LaunchCrashes {
+		if prev, ok := at[c.Node]; !ok || c.AtLaunch < prev {
+			at[c.Node] = c.AtLaunch
+		}
+	}
+	return at
 }
 
 // FaultStats counts the faults actually injected during a run.
@@ -92,6 +130,10 @@ func (s *Sim) InjectFaults(fp FaultPlan) error {
 		}
 	}
 	s.faults = &fp
+	if at := fp.launchCrashPoints(); at != nil {
+		s.launchCrashAt = at
+		s.launchSeq = make([]uint64, s.cfg.Nodes)
+	}
 	// Sort planned crashes by time so equal-time behavior does not depend
 	// on the caller's slice order.
 	crashes := append([]NodeCrash(nil), fp.Crashes...)

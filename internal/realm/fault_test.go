@@ -19,8 +19,10 @@ func TestFaultPlanValidate(t *testing.T) {
 		{StragglerRate: 0.5},                       // rate without a factor > 1
 		{StragglerRate: 0.5, StragglerFactor: 0.5}, // factor <= 1
 		{RetransmitTimeout: -1},
-		{Crashes: []NodeCrash{{Node: 4, At: 0}}},  // out of range
-		{Crashes: []NodeCrash{{Node: 1, At: -5}}}, // negative time
+		{Crashes: []NodeCrash{{Node: 4, At: 0}}},               // out of range
+		{Crashes: []NodeCrash{{Node: 1, At: -5}}},              // negative time
+		{LaunchCrashes: []LaunchCrash{{Node: 4, AtLaunch: 1}}}, // out of range
+		{LaunchCrashes: []LaunchCrash{{Node: 1, AtLaunch: 0}}}, // AtLaunch is 1-based
 	}
 	for i, fp := range bad {
 		if err := fp.Validate(cfg); err == nil {
@@ -28,9 +30,52 @@ func TestFaultPlanValidate(t *testing.T) {
 		}
 	}
 	good := FaultPlan{Seed: 7, CrashRate: 0.5, DropRate: 0.1, DupRate: 0.1,
-		StragglerRate: 0.2, StragglerFactor: 3, Crashes: []NodeCrash{{Node: 3, At: 100}}}
+		StragglerRate: 0.2, StragglerFactor: 3, Crashes: []NodeCrash{{Node: 3, At: 100}},
+		LaunchCrashes: []LaunchCrash{{Node: 2, AtLaunch: 37}}}
 	if err := good.Validate(cfg); err != nil {
 		t.Errorf("valid plan rejected: %v", err)
+	}
+}
+
+// TestLaunchCrashAtLogicalPoint pins the DES half of the logical-point
+// crash schedule: the node dies at the issue of its AtLaunch-th launch,
+// the crashing launch itself is lost, and earlier launches are untouched.
+// With serialized issues the executed-body count is exact — the property
+// that makes "node 1 dies at its 3rd launch" mean the same schedule point
+// on every backend.
+func TestLaunchCrashAtLogicalPoint(t *testing.T) {
+	s := MustNewSim(DefaultConfig(2))
+	err := s.InjectFaults(FaultPlan{
+		// Two entries for one node reduce to the earliest point.
+		LaunchCrashes: []LaunchCrash{{Node: 1, AtLaunch: 4}, {Node: 1, AtLaunch: 3}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ran := 0
+	s.Spawn("issuer", s.Node(0).Proc(0), func(th *Thread) {
+		for k := 0; k < 5; k++ {
+			done := s.LaunchOn(1, NoEvent, Microseconds(5), func() { ran++ })
+			if s.Node(1).Failed() {
+				break // the launch was lost; its event will never fire
+			}
+			th.WaitEvent(done)
+		}
+	})
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ran != 2 {
+		t.Errorf("%d bodies executed, want exactly 2 (the crash precedes launch 3)", ran)
+	}
+	if got := s.Crashes(); len(got) != 1 || got[0].Node != 1 {
+		t.Errorf("crash log = %+v, want one crash of node 1", got)
+	}
+	if !s.Triggered(s.Node(1).FailEvent()) {
+		t.Error("FailEvent of the crashed node should have fired")
+	}
+	if s.FaultStats().Crashes != 1 {
+		t.Errorf("FaultStats.Crashes = %d, want 1", s.FaultStats().Crashes)
 	}
 }
 

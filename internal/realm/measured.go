@@ -1,0 +1,314 @@
+package realm
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/bits"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// MeasuredTime is a TimePolicy fitted online from wall-clock samples of a
+// native run, closing the model↔reality loop: run an app on the native
+// backend with a recorder attached, let every launch and copy report its
+// real duration, then re-run the DES sweep with the fitted policy so the
+// modeled schedule is charged calibrated costs instead of the Cray-XC
+// constants of ModeledTime.
+//
+// The fit is deliberately simple and streaming:
+//
+//   - Launches are grouped into kernel-cost classes by the log2 of their
+//     modeled duration, and each class keeps an EWMA of the wall/modeled
+//     ratio. TaskDuration(d) rescales d by its class's ratio (nearest
+//     fitted class when the exact one has no samples — the ratio is
+//     scale-free, so a neighbor is a fair proxy).
+//   - Zero-modeled launches (pure control placeholders) keep their own
+//     EWMA of absolute wall nanoseconds.
+//   - Copies fit a per-byte rate (EWMA of wall/bytes) plus a base latency
+//     (EWMA of the residual after the rate's share). LocalCopy charges
+//     base + rate·bytes, RemoteTransfer rate·bytes, RemoteLatency base.
+//
+// Operations the samples cannot speak to (collectives, and anything asked
+// before the first relevant sample arrives) are answered by the fallback
+// policy, so a partially fitted MeasuredTime is always safe to install.
+//
+// The fitted state exports to JSON (ExportJSON) and re-imports
+// (ImportMeasuredTime), so a calibration run on real hardware can be
+// captured once and replayed across DES sweeps.
+//
+// All methods are safe for concurrent use: the native machine's work
+// items observe from many goroutines at once.
+type MeasuredTime struct {
+	mu       sync.Mutex
+	fallback TimePolicy
+	alpha    float64
+
+	classes  map[int]*ewma // log2(modeled ns) → EWMA of wall/modeled ratio
+	taskBase ewma          // wall ns of zero-modeled launches
+	copyRate ewma          // wall ns per byte
+	copyBase ewma          // wall ns residual intercept per copy
+
+	launchSamples int64
+	copySamples   int64
+}
+
+var (
+	_ TimePolicy   = (*MeasuredTime)(nil)
+	_ TimeRecorder = (*MeasuredTime)(nil)
+)
+
+// TimeRecorder receives wall-clock samples from a backend that executes
+// for real. The native machine calls it once per executed launch and copy
+// body; *MeasuredTime implements it to build its fit online.
+type TimeRecorder interface {
+	// ObserveLaunch records one executed launch: its modeled duration and
+	// the wall nanoseconds the body took.
+	ObserveLaunch(modeled Time, wallNs int64)
+	// ObserveCopy records one executed copy: its payload size and wall
+	// nanoseconds.
+	ObserveCopy(bytes int64, wallNs int64)
+}
+
+// measuredAlpha is the default EWMA gain: heavy enough smoothing to ride
+// out scheduler noise, light enough that a few dozen samples converge.
+const measuredAlpha = 0.25
+
+// ewma is a streaming exponentially weighted mean seeded by its first
+// sample.
+type ewma struct {
+	n int64
+	v float64
+}
+
+func (e *ewma) observe(x, alpha float64) {
+	if e.n == 0 {
+		e.v = x
+	} else {
+		e.v += alpha * (x - e.v)
+	}
+	e.n++
+}
+
+// NewMeasuredTime creates an unfitted policy. The fallback answers every
+// query the samples cannot; it must be non-nil (pass the ModeledTime of
+// the target machine).
+func NewMeasuredTime(fallback TimePolicy) *MeasuredTime {
+	if fallback == nil {
+		panic("realm: MeasuredTime requires a fallback policy")
+	}
+	return &MeasuredTime{fallback: fallback, alpha: measuredAlpha, classes: map[int]*ewma{}}
+}
+
+// taskClass buckets a modeled duration into its kernel-cost class.
+func taskClass(modeled Time) int { return bits.Len64(uint64(modeled)) }
+
+// ObserveLaunch records one launch: the modeled duration the engine
+// asked for and the wall nanoseconds its body actually took.
+func (m *MeasuredTime) ObserveLaunch(modeled Time, wallNs int64) {
+	if wallNs < 0 {
+		return
+	}
+	m.mu.Lock()
+	m.launchSamples++
+	if modeled <= 0 {
+		m.taskBase.observe(float64(wallNs), m.alpha)
+	} else {
+		k := taskClass(modeled)
+		c := m.classes[k]
+		if c == nil {
+			c = &ewma{}
+			m.classes[k] = c
+		}
+		c.observe(float64(wallNs)/float64(modeled), m.alpha)
+	}
+	m.mu.Unlock()
+}
+
+// ObserveCopy records one copy: its payload size and wall nanoseconds.
+func (m *MeasuredTime) ObserveCopy(bytes int64, wallNs int64) {
+	if wallNs < 0 {
+		return
+	}
+	m.mu.Lock()
+	m.copySamples++
+	if bytes > 0 {
+		m.copyRate.observe(float64(wallNs)/float64(bytes), m.alpha)
+		resid := float64(wallNs) - m.copyRate.v*float64(bytes)
+		if resid < 0 {
+			resid = 0
+		}
+		m.copyBase.observe(resid, m.alpha)
+	} else {
+		m.copyBase.observe(float64(wallNs), m.alpha)
+	}
+	m.mu.Unlock()
+}
+
+// Samples reports how many launch and copy observations have been folded
+// into the fit.
+func (m *MeasuredTime) Samples() (launches, copies int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.launchSamples, m.copySamples
+}
+
+// classRatio returns the fitted wall/modeled ratio for class k, falling
+// back to the nearest fitted class (the ratio is scale-free). The second
+// result reports whether any class is fitted at all.
+func (m *MeasuredTime) classRatio(k int) (float64, bool) {
+	if c := m.classes[k]; c != nil && c.n > 0 {
+		return c.v, true
+	}
+	best, bestDist := 0.0, -1
+	for ck, c := range m.classes {
+		if c.n == 0 {
+			continue
+		}
+		d := ck - k
+		if d < 0 {
+			d = -d
+		}
+		if bestDist < 0 || d < bestDist || (d == bestDist && ck < k) {
+			best, bestDist = c.v, d
+		}
+	}
+	return best, bestDist >= 0
+}
+
+// TaskDuration implements TimePolicy.
+func (m *MeasuredTime) TaskDuration(modeled Time) Time {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if modeled <= 0 {
+		if m.taskBase.n > 0 {
+			return Time(m.taskBase.v)
+		}
+		return m.fallback.TaskDuration(modeled)
+	}
+	if r, ok := m.classRatio(taskClass(modeled)); ok {
+		return Time(r * float64(modeled))
+	}
+	return m.fallback.TaskDuration(modeled)
+}
+
+// LocalCopy implements TimePolicy.
+func (m *MeasuredTime) LocalCopy(bytes int64) Time {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.copyRate.n > 0 {
+		return Time(m.copyBase.v + m.copyRate.v*float64(bytes))
+	}
+	return m.fallback.LocalCopy(bytes)
+}
+
+// RemoteTransfer implements TimePolicy. The native machine is shared
+// memory, so its copy samples measure memory movement; the fitted rate
+// stands in for the wire's serialization cost.
+func (m *MeasuredTime) RemoteTransfer(bytes int64) Time {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.copyRate.n > 0 {
+		return Time(m.copyRate.v * float64(bytes))
+	}
+	return m.fallback.RemoteTransfer(bytes)
+}
+
+// RemoteLatency implements TimePolicy.
+func (m *MeasuredTime) RemoteLatency() Time {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.copyBase.n > 0 {
+		return Time(m.copyBase.v)
+	}
+	return m.fallback.RemoteLatency()
+}
+
+// CollectiveLatency implements TimePolicy via the fallback: native
+// collectives complete by counting, not by a tree of timed hops, so the
+// samples carry no signal for them.
+func (m *MeasuredTime) CollectiveLatency(n int) Time {
+	return m.fallback.CollectiveLatency(n)
+}
+
+// measuredJSON is the exported fit: coefficients only, not sample
+// histories — importing reproduces the policy's answers, not its
+// adaptation state.
+type measuredJSON struct {
+	TaskClassRatio    map[string]float64 `json:"task_class_ratio,omitempty"`
+	TaskBaseNs        *float64           `json:"task_base_ns,omitempty"`
+	CopyRateNsPerByte *float64           `json:"copy_rate_ns_per_byte,omitempty"`
+	CopyBaseNs        *float64           `json:"copy_base_ns,omitempty"`
+	LaunchSamples     int64              `json:"launch_samples"`
+	CopySamples       int64              `json:"copy_samples"`
+}
+
+// ExportJSON serializes the fitted coefficients.
+func (m *MeasuredTime) ExportJSON() ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := measuredJSON{LaunchSamples: m.launchSamples, CopySamples: m.copySamples}
+	keys := make([]int, 0, len(m.classes))
+	for k := range m.classes {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	for _, k := range keys {
+		c := m.classes[k]
+		if c.n == 0 {
+			continue
+		}
+		if out.TaskClassRatio == nil {
+			out.TaskClassRatio = map[string]float64{}
+		}
+		out.TaskClassRatio[strconv.Itoa(k)] = c.v
+	}
+	if m.taskBase.n > 0 {
+		v := m.taskBase.v
+		out.TaskBaseNs = &v
+	}
+	if m.copyRate.n > 0 {
+		v := m.copyRate.v
+		out.CopyRateNsPerByte = &v
+	}
+	if m.copyBase.n > 0 {
+		v := m.copyBase.v
+		out.CopyBaseNs = &v
+	}
+	return json.MarshalIndent(out, "", "  ")
+}
+
+// ImportMeasuredTime rebuilds a policy from exported coefficients. The
+// fallback plays the same role as in NewMeasuredTime; further Observe
+// calls keep adapting from the imported values.
+func ImportMeasuredTime(data []byte, fallback TimePolicy) (*MeasuredTime, error) {
+	var in measuredJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return nil, fmt.Errorf("realm: bad measured-time JSON: %w", err)
+	}
+	m := NewMeasuredTime(fallback)
+	classKeys := make([]string, 0, len(in.TaskClassRatio))
+	for ks := range in.TaskClassRatio {
+		classKeys = append(classKeys, ks)
+	}
+	sort.Strings(classKeys)
+	for _, ks := range classKeys {
+		k, err := strconv.Atoi(ks)
+		if err != nil || in.TaskClassRatio[ks] < 0 {
+			return nil, fmt.Errorf("realm: bad measured-time class %q", ks)
+		}
+		m.classes[k] = &ewma{n: 1, v: in.TaskClassRatio[ks]}
+	}
+	if in.TaskBaseNs != nil {
+		m.taskBase = ewma{n: 1, v: *in.TaskBaseNs}
+	}
+	if in.CopyRateNsPerByte != nil {
+		m.copyRate = ewma{n: 1, v: *in.CopyRateNsPerByte}
+	}
+	if in.CopyBaseNs != nil {
+		m.copyBase = ewma{n: 1, v: *in.CopyBaseNs}
+	}
+	m.launchSamples = in.LaunchSamples
+	m.copySamples = in.CopySamples
+	return m, nil
+}

@@ -2,8 +2,14 @@
 // real goroutines over shared memory: the second backend of the engine /
 // time-policy split. Where the DES interprets the event graph on one
 // virtual clock, the native Machine runs it — one goroutine per control
-// agent (a CR shard thread), one per ready work item, real memcpy-style
-// region copies in task and copy bodies, and wall-clock timing.
+// agent (a CR shard thread), a fixed pool of worker goroutines executing
+// the ready work items off per-(node, proc) deques (sched.go; affinity
+// placement, LIFO slots, node-local-then-remote stealing), real
+// memcpy-style region copies in task and copy bodies, and wall-clock
+// timing. Zero-cost completions (nil body, no injected delay) short-
+// circuit inline at trigger without touching a queue, and SetScheduler
+// can fall the machine back to goroutine-per-launch dispatch for A/B
+// comparison.
 //
 // The memory model is the event graph itself. Engines order every pair of
 // conflicting accesses through events (task preconditions, p2p war/done
@@ -129,12 +135,22 @@ type Machine struct {
 	liveAgents  int64 // atomic: agents started and not yet finished
 	hangTimeout time.Duration
 
+	// Scheduler state (sched.go). schedp is published in Drive before the
+	// agents are released and read by every dispatch; nil means
+	// goroutine-per-launch (pool disabled, or work issued before Drive).
+	// procs/noSched/recorder are configured before Drive only.
+	schedp   atomic.Pointer[scheduler]
+	procs    int // per-node worker count; 0 → defaultProcs
+	noSched  bool
+	recorder realm.TimeRecorder
+
 	// Fault state. faults is written once before Drive (InjectFaults) and
 	// read without locking afterwards — the goroutine-start edges of Drive
 	// publish it. The per-node failure flags and draw counters are atomics:
 	// fault points are concurrent.
 	faults         *realm.FaultPlan
-	faultMu        sync.Mutex // guards crashLog, crashCount, nodeFailEv, agentsOn
+	launchCrashAt  map[int]uint64 // logical-point crash schedule, read-only after InjectFaults
+	faultMu        sync.Mutex     // guards crashLog, crashCount, nodeFailEv, agentsOn
 	crashLog       []realm.NodeCrash
 	crashCount     int
 	nodeFailEv     []realm.Event
@@ -149,11 +165,16 @@ type Machine struct {
 	traceShipBytes int64
 
 	// Counters (atomics: work items complete concurrently).
-	messages    int64
-	bytesSent   int64
-	localCopies int64
-	tasksRun    int64
-	events      int64
+	messages     int64
+	bytesSent    int64
+	localCopies  int64
+	tasksRun     int64
+	events       int64
+	dispatches   int64 // items executed by pool workers
+	steals       int64 // pool dispatches taken off another deque
+	localSteals  int64 // steals within the enqueue node
+	remoteSteals int64 // steals across nodes
+	inline       int64 // launches/copies completed inline at trigger
 }
 
 type evState struct {
@@ -219,14 +240,17 @@ func (m *Machine) Now() realm.Time {
 // time that the DES's virtual counters cannot.
 func (m *Machine) Stats() realm.Stats {
 	return realm.Stats{
-		Messages:       atomic.LoadInt64(&m.messages),
-		BytesSent:      atomic.LoadInt64(&m.bytesSent),
-		LocalCopies:    atomic.LoadInt64(&m.localCopies),
-		TasksRun:       atomic.LoadInt64(&m.tasksRun),
-		Events:         atomic.LoadInt64(&m.events),
-		TraceShips:     atomic.LoadInt64(&m.traceShips),
-		TraceShipBytes: atomic.LoadInt64(&m.traceShipBytes),
-		WallNanos:      int64(m.Now()),
+		Messages:          atomic.LoadInt64(&m.messages),
+		BytesSent:         atomic.LoadInt64(&m.bytesSent),
+		LocalCopies:       atomic.LoadInt64(&m.localCopies),
+		TasksRun:          atomic.LoadInt64(&m.tasksRun),
+		Events:            atomic.LoadInt64(&m.events),
+		TraceShips:        atomic.LoadInt64(&m.traceShips),
+		TraceShipBytes:    atomic.LoadInt64(&m.traceShipBytes),
+		WallNanos:         int64(m.Now()),
+		Dispatches:        atomic.LoadInt64(&m.dispatches),
+		Steals:            atomic.LoadInt64(&m.steals),
+		InlineCompletions: atomic.LoadInt64(&m.inline),
 	}
 }
 
@@ -235,11 +259,13 @@ func (m *Machine) Stats() realm.Stats {
 // before Drive; d <= 0 disables the watchdog.
 func (m *Machine) SetHangTimeout(d time.Duration) { m.hangTimeout = d }
 
-// InjectFaults implements realm.FaultExec. Rate-based faults are fully
-// supported and logical-point seeded; explicit virtual-time crash
-// schedules (FaultPlan.Crashes) are DES-only — the native machine has no
-// virtual clock to schedule them against — and are rejected precisely.
-// Must be called before Drive, at most once.
+// InjectFaults implements realm.FaultExec. Rate-based faults and
+// logical-point crash schedules (FaultPlan.LaunchCrashes — "node 2 dies at
+// its 37th launch", matched against the per-node atomic launch counters)
+// are fully supported; only explicit virtual-time crash schedules
+// (FaultPlan.Crashes) remain DES-only — the native machine has no virtual
+// clock to schedule them against — and are rejected precisely. Must be
+// called before Drive, at most once.
 func (m *Machine) InjectFaults(fp realm.FaultPlan) error {
 	if len(fp.Crashes) > 0 {
 		return &realm.UnsupportedError{Backend: m.Backend(), Op: "virtual-time crash schedules (FaultPlan.Crashes)"}
@@ -263,7 +289,24 @@ func (m *Machine) InjectFaults(fp realm.FaultPlan) error {
 		}
 	}
 	m.faults = &fp
+	m.launchCrashAt = launchCrashPoints(fp.LaunchCrashes)
 	return nil
+}
+
+// launchCrashPoints folds a logical-point crash schedule into a per-node
+// map of the earliest scheduled launch number (nil when there is none, so
+// the per-launch hot path stays a nil-map lookup).
+func launchCrashPoints(crashes []realm.LaunchCrash) map[int]uint64 {
+	if len(crashes) == 0 {
+		return nil
+	}
+	at := make(map[int]uint64, len(crashes))
+	for _, c := range crashes {
+		if prev, ok := at[c.Node]; !ok || c.AtLaunch < prev {
+			at[c.Node] = c.AtLaunch
+		}
+	}
+	return at
 }
 
 // FaultStats implements realm.FaultExec.
@@ -561,6 +604,9 @@ func (m *Machine) LaunchOn(node int, pre realm.Event, dur realm.Time, body func(
 	var delay time.Duration
 	if fp := m.faults; fp != nil {
 		seq := atomic.AddUint64(&m.launchSeq[node], 1)
+		if at, ok := m.launchCrashAt[node]; ok && seq == at {
+			m.crashNode(node) // scheduled logical-point crash: this launch is lost
+		}
 		if fp.CrashRate > 0 && !m.nodeDown(node) && (node != 0 || fp.CrashNode0) &&
 			realm.FaultDraw(fp.Seed, realm.FaultStreamCrash, uint64(node), seq) < fp.CrashRate*crashQuantumSec {
 			m.crashNode(node)
@@ -578,23 +624,11 @@ func (m *Machine) LaunchOn(node int, pre realm.Event, dur realm.Time, body func(
 		}
 		atomic.AddInt64(&m.tasksRun, 1)
 		if body == nil && delay == 0 {
+			atomic.AddInt64(&m.inline, 1)
 			m.Trigger(done)
 			return
 		}
-		m.wg.Add(1)
-		m.addInflight(1)
-		go func() {
-			defer m.wg.Done()
-			defer func() { m.addInflight(-1) }()
-			defer m.capturePanic("task")
-			if delay > 0 {
-				time.Sleep(delay)
-			}
-			if body != nil {
-				body()
-			}
-			m.Trigger(done)
-		}()
+		m.dispatch(&workItem{kind: itemTask, node: node, node2: -1, dur: dur, body: body, done: done}, delay)
 	})
 	return done
 }
@@ -640,35 +674,25 @@ func (m *Machine) CopyBytes(src, dst int, bytes int64, pre realm.Event, body fun
 			atomic.AddInt64(&m.bytesSent, bytes*(1+extraMsgs))
 		}
 		if body == nil && delay == 0 {
+			atomic.AddInt64(&m.inline, 1)
 			m.Trigger(done)
 			return
 		}
-		m.wg.Add(1)
-		m.addInflight(1)
-		go func() {
-			defer m.wg.Done()
-			defer func() { m.addInflight(-1) }()
-			defer m.capturePanic("copy")
-			if delay > 0 {
-				time.Sleep(delay)
-			}
-			if body != nil {
-				body()
-			}
-			m.Trigger(done)
-		}()
+		m.dispatch(&workItem{kind: itemCopy, node: dst, node2: src, bytes: bytes, body: body, done: done}, delay)
 	})
 	return done
 }
 
-// Drive implements realm.Exec: release the agents spawned before the run,
-// then wait for the population of agents and work items to drain. The
-// counting discipline makes the Wait sound: any event that will ever
-// trigger is owed to a goroutine in the group, and work items join the
-// group synchronously inside their precondition's trigger (i.e. while the
+// Drive implements realm.Exec: start the worker pool, release the agents
+// spawned before the run, then wait for the population of agents and work
+// items to drain. The counting discipline makes the Wait sound: any event
+// that will ever trigger is owed to an agent goroutine or a dispatched
+// (queued or executing) work item in the group, and items join the group
+// synchronously inside their precondition's trigger (i.e. while the
 // triggering goroutine is still counted), so the count never dips to zero
-// with work outstanding. The watchdog runs alongside and fails the machine
-// if no progress is made for two full windows.
+// with work outstanding. The pool is stopped only after the Wait returns,
+// when every deque is provably empty. The watchdog runs alongside and
+// fails the machine if no progress is made for two full windows.
 func (m *Machine) Drive() (realm.Time, error) {
 	m.mu.Lock()
 	if m.started {
@@ -679,6 +703,9 @@ func (m *Machine) Drive() (realm.Time, error) {
 	pend := m.pending
 	m.pending = nil
 	m.mu.Unlock()
+	if !m.noSched {
+		m.schedp.Store(newScheduler(m, m.cfg.Nodes, m.Procs()))
+	}
 	stop := make(chan struct{})
 	if m.hangTimeout > 0 {
 		//detlint:ignore the watchdog goroutine only observes counters; it never produces results the run depends on
@@ -689,6 +716,9 @@ func (m *Machine) Drive() (realm.Time, error) {
 	}
 	m.wg.Wait()
 	close(stop)
+	if s := m.schedp.Load(); s != nil {
+		s.shutdown()
+	}
 	m.failMu.Lock()
 	err := m.err
 	m.failMu.Unlock()

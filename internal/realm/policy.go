@@ -9,6 +9,11 @@ import "math"
 // needs no policy at all — its time is wall-clock — which is exactly why
 // the split exists.
 type TimePolicy interface {
+	// TaskDuration maps a work item's modeled duration to the duration
+	// actually charged on its processor. The modeled default is the
+	// identity; a fitted policy (MeasuredTime) rescales each kernel-cost
+	// class toward measured wall-clock reality.
+	TaskDuration(modeled Time) Time
 	// LocalCopy returns the cost of a node-local transfer of the given
 	// size.
 	LocalCopy(bytes int64) Time
@@ -29,6 +34,10 @@ type TimePolicy interface {
 type ModeledTime struct {
 	Cfg Config
 }
+
+// TaskDuration implements TimePolicy: the modeled duration is charged
+// as-is.
+func (p ModeledTime) TaskDuration(modeled Time) Time { return modeled }
 
 // LocalCopy implements TimePolicy.
 func (p ModeledTime) LocalCopy(bytes int64) Time {

@@ -82,6 +82,7 @@ func (p *Proc) execItem(dur Time, body func(), done Event) {
 	if p.node.failed {
 		return // lost work: a crashed node never starts the item
 	}
+	dur = s.policy.TaskDuration(dur)
 	if s.faults != nil && dur > 0 && s.faultRoll(s.faults.StragglerRate) {
 		dur = Time(float64(dur) * s.faults.StragglerFactor)
 		s.faultStats.Stragglers++

@@ -106,6 +106,16 @@ type Stats struct {
 	// only by backends that execute on real cores (always zero on the DES,
 	// whose clock is virtual).
 	WallNanos int64
+
+	// Scheduler counters, reported only by backends with a real work
+	// scheduler (always zero on the DES, which has no worker pool).
+	// Dispatches counts work items executed by pool workers; Steals counts
+	// the subset taken from a deque other than the one they were enqueued
+	// on; InlineCompletions counts launches and copies that completed
+	// inline at precondition trigger without touching a queue.
+	Dispatches        int64
+	Steals            int64
+	InlineCompletions int64
 }
 
 // Sim is the simulator: the event heap, virtual clock, machine state, and
@@ -115,10 +125,10 @@ type Sim struct {
 	policy TimePolicy
 	now    Time
 	seq    int64
-	queue eventQueue
-	evs   []eventState // index = Event-1
-	nodes []*Node
-	stats Stats
+	queue  eventQueue
+	evs    []eventState // index = Event-1
+	nodes  []*Node
+	stats  Stats
 
 	running     bool
 	strong      int           // count of non-weak queued items
@@ -132,6 +142,12 @@ type Sim struct {
 	faultSeq   uint64
 	faultStats FaultStats
 	crashLog   []NodeCrash
+	// Logical-point crash schedules: per-node launch issue counters and the
+	// per-node launch number at which the node fail-stops (nil unless the
+	// plan carries LaunchCrashes). Counting happens in LaunchOn so the DES
+	// numbers launches exactly as the native backend's atomic counters do.
+	launchSeq     []uint64
+	launchCrashAt map[int]uint64
 
 	// waiterPool recycles the waiter slices of triggered events; DES runs
 	// create and retire millions of events, and reusing the slices keeps the

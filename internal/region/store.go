@@ -36,20 +36,56 @@ func (l *Layout) Size() int64 { return l.total }
 func (l *Layout) IndexSpace() geometry.IndexSpace { return l.ispace }
 
 // Slot returns the storage slot for point p, panicking if p is outside the
-// layout's index space.
+// layout's index space. It is the hot path of every per-point accessor, so
+// containment and row-major offset are computed in one fused pass instead
+// of Contains followed by Index, and dense single-span layouts (the common
+// case) skip the span search entirely.
 func (l *Layout) Slot(p geometry.Point) int64 {
+	spans := l.spans
+	if len(spans) == 1 {
+		sp := &spans[0]
+		if idx, ok := spanOffset(sp, p); ok {
+			return idx
+		}
+		panic(fmt.Sprintf("region: point %v not in layout %v", p, l.ispace))
+	}
 	// Binary search over span lower bounds, then scan back for containment;
 	// spans are disjoint so at most a couple of candidates precede p.
-	i := sort.Search(len(l.spans), func(i int) bool { return p.Less(l.spans[i].Lo) })
-	for j := i - 1; j >= 0; j-- {
-		if l.spans[j].Contains(p) {
-			return l.bases[j] + l.spans[j].Index(p)
+	lo, hi := 0, len(spans)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if p.Less(spans[mid].Lo) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	for j := lo - 1; j >= 0; j-- {
+		if idx, ok := spanOffset(&spans[j], p); ok {
+			return l.bases[j] + idx
 		}
 		// A span whose Lo is on a strictly earlier row can still contain p
 		// in multi-dimensional layouts, so keep scanning; in practice span
 		// counts are small.
 	}
 	panic(fmt.Sprintf("region: point %v not in layout %v", p, l.ispace))
+}
+
+// spanOffset reports whether p lies in sp and, if so, its row-major offset
+// within the span — Rect.Contains and Rect.Index fused into one pass.
+func spanOffset(sp *geometry.Rect, p geometry.Point) (int64, bool) {
+	if p.Dim != sp.Lo.Dim {
+		panic(fmt.Sprintf("geometry: dimension mismatch %d vs %d", p.Dim, sp.Lo.Dim))
+	}
+	idx := int64(0)
+	for i := 0; i < int(p.Dim); i++ {
+		c, clo, chi := p.C[i], sp.Lo.C[i], sp.Hi.C[i]
+		if c < clo || c > chi {
+			return 0, false
+		}
+		idx = idx*(chi-clo+1) + (c - clo)
+	}
+	return idx, true
 }
 
 // Each calls fn with each (point, slot) pair in slot order.

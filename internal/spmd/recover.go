@@ -380,7 +380,17 @@ func (e *Engine) runRecoverable(ctl realm.Agent, plan *cr.Compiled, rec Recovery
 				}
 				continue
 			}
+			// The last iteration's recordIter continuation may still be
+			// running on the goroutine that triggered it: the shard's
+			// WaitEvent fast-path orders the shard only with the trigger
+			// itself, not with sibling continuations of the same event. The
+			// stamps live under st.mu for exactly this reason — take it for
+			// the read. (A stamp that loses the race stays zero; the wall
+			// stamps are diagnostic on the native backend and the DES is
+			// sequential, so no modeled result depends on it.)
+			st.mu.Lock()
 			copy(times[done:hi], st.iterTimes[done:hi])
+			st.mu.Unlock()
 			done = hi
 			retries = 0
 			if done < trip {
