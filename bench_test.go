@@ -22,16 +22,21 @@ import (
 var benchNodes = []int{1, 4, 16, 64, 256, 1024}
 
 func runFigure(b *testing.B, name string, noTrace bool) {
-	runFigureShare(b, name, noTrace, false)
+	runFigureOpts(b, name, noTrace, false, false)
 }
 
 func runFigureShare(b *testing.B, name string, noTrace, noShare bool) {
+	runFigureOpts(b, name, noTrace, noShare, false)
+}
+
+func runFigureOpts(b *testing.B, name string, noTrace, noShare, prune bool) {
 	app, err := harness.AppByName(name)
 	if err != nil {
 		b.Fatal(err)
 	}
 	app.NoTrace = noTrace
 	app.NoShare = noShare
+	app.Prune = prune
 	for i := 0; i < b.N; i++ {
 		series, err := harness.RunFigure(app, benchNodes, nil)
 		if err != nil {
@@ -73,6 +78,13 @@ func BenchmarkFigure7MiniAero(b *testing.B) { runFigure(b, "miniaero", false) }
 // BenchmarkFigure8 regenerates Figure 8: PENNANT weak scaling (Regent vs
 // MPI and MPI+OpenMP, with the per-cycle dt allreduce).
 func BenchmarkFigure8PENNANT(b *testing.B) { runFigure(b, "pennant", false) }
+
+// BenchmarkFigure8PENNANTPrune is the certified-pruning ablation of
+// Figure 8: the same sweep with the redundant-sync prune pass attached to
+// every CR cell (the -prune flag). The printed figure must be
+// byte-identical to BenchmarkFigure8PENNANT — pruning removes sync edges
+// and dead initialization copies, never a modeled result.
+func BenchmarkFigure8PENNANTPrune(b *testing.B) { runFigureOpts(b, "pennant", false, false, true) }
 
 // BenchmarkFigure9 regenerates Figure 9: Circuit weak scaling (Regent with
 // vs without control replication).

@@ -8,16 +8,24 @@
 // Usage:
 //
 //	crc [-app stencil|miniaero|pennant|circuit] [-nodes N] [-shards N]
-//	    [-sync p2p|barrier] [-pairs] [-verify] [-verify-json file]
+//	    [-sync p2p|barrier] [-pairs] [-prune] [-verify] [-verify-json file]
 //
-// -verify runs the static race/sync verifier (internal/verify) over the
-// compiled loop and reports every conflicting access pair the inserted
-// copies and sync fail to order. -verify-json writes the full report
-// (findings + stats) as JSON to the given file, or to stdout with "-",
-// and implies -verify.
+// -verify runs the schedule certifier (internal/verify) over the compiled
+// loop: the race pass (every conflicting access pair must be ordered by
+// the inserted copies and sync), the liveness pass (the wait-for graph
+// must be free of cycles, never-triggered events, and barrier phase
+// mismatches), and the spec pass (the specialization tables must match
+// recomputation). -verify-json writes the full certification suite — one
+// verify.Report per pass, each with its pass name, findings, stats, and
+// counters — as JSON to the given file, or to stdout with "-", and
+// implies -verify.
 //
-// Exit status: 0 on success, 1 on usage or compile errors, 2 when the
-// verifier finds unordered or misordered pairs.
+// -prune runs the certified redundant-sync pruning pass and reports which
+// sync edges and init copies it removes; with -verify the prune report
+// joins the suite (the pruned schedule is itself re-certified).
+//
+// Exit status: 0 on success, 1 on usage or compile errors, 2 when any
+// certification pass reports findings.
 package main
 
 import (
@@ -40,9 +48,19 @@ func main() {
 	syncMode := flag.String("sync", "p2p", "synchronization lowering: p2p or barrier")
 	showPairs := flag.Bool("pairs", false, "list every communication pair")
 	dump := flag.Bool("dump", false, "print the source program before compiling")
-	doVerify := flag.Bool("verify", false, "statically verify the compiled schedule (exit 2 on findings)")
-	verifyJSON := flag.String("verify-json", "", "write the verification report as JSON to this file (\"-\" = stdout); implies -verify")
+	doVerify := flag.Bool("verify", false, "run the schedule certifier: races, liveness, spec (exit 2 on findings)")
+	verifyJSON := flag.String("verify-json", "", "write the certification suite as JSON to this file (\"-\" = stdout); implies -verify")
+	doPrune := flag.Bool("prune", false, "run the certified redundant-sync pruning pass and report what it removes")
 	flag.Parse()
+
+	// With the JSON suite going to stdout, the human-readable report moves
+	// to stderr so stdout stays machine-parseable (crc ... -verify-json - |
+	// jq). fmt.Print* resolves os.Stdout at each call, so the swap covers
+	// every report line; jsonOut keeps the real stream for the suite.
+	jsonOut := os.Stdout
+	if *verifyJSON == "-" {
+		os.Stdout = os.Stderr
+	}
 
 	app, err := harness.AppByName(*appName)
 	if err != nil {
@@ -144,36 +162,64 @@ func main() {
 	fmt.Printf("intersections: shallow %v (%d candidates), complete %v (%d non-empty pairs)\n",
 		plan.Timings.Shallow, plan.Timings.Candidates, plan.Timings.Complete, plan.Timings.Pairs)
 
+	var pruneRep *verify.Report
+	if *doPrune {
+		info, rep, err := verify.PlanPrune(plan)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "crc: prune:", err)
+			os.Exit(1)
+		}
+		pruneRep = rep
+		if info != nil {
+			plan.Prune = info
+			c := rep.Counters
+			fmt.Printf("\ncertified pruning: %d sync edges removed (%d war, %d done, %d chain), %d dead init copies; sync edges %d -> %d\n",
+				c["pruned_edges"], c["pruned_war"], c["pruned_done"], c["pruned_chain"],
+				c["pruned_init_copies"], c["sync_edges_before"], c["sync_edges_after"])
+		}
+	}
+
 	if *doVerify || *verifyJSON != "" {
-		rep, err := verify.Verify(plan)
+		a, err := verify.Analyze(plan)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "crc: verify:", err)
 			os.Exit(1)
 		}
+		suite := &verify.Suite{}
+		suite.Add(a.Check())
+		suite.Add(a.CheckLiveness())
+		specRep := &verify.Report{Pass: "spec", Findings: []verify.Finding{}}
+		if err := verify.CheckSpec(plan); err != nil {
+			specRep.Findings = append(specRep.Findings, verify.Finding{Kind: "spec", Detail: err.Error()})
+		}
+		suite.Add(specRep)
+		suite.Add(pruneRep)
 		if *verifyJSON != "" {
-			buf, err := json.MarshalIndent(rep, "", "  ")
+			buf, err := json.MarshalIndent(suite, "", "  ")
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "crc: verify:", err)
 				os.Exit(1)
 			}
 			buf = append(buf, '\n')
 			if *verifyJSON == "-" {
-				os.Stdout.Write(buf)
+				jsonOut.Write(buf)
 			} else if err := os.WriteFile(*verifyJSON, buf, 0o644); err != nil {
 				fmt.Fprintln(os.Stderr, "crc: verify:", err)
 				os.Exit(1)
 			}
 		}
-		s := rep.Stats
-		fmt.Printf("\nstatic verification: %d conflicts (%d cross-shard) over %d instances, %d-node happens-before graph\n",
+		s := suite.Reports[0].Stats
+		fmt.Printf("\nstatic certification: %d conflicts (%d cross-shard) over %d instances, %d-node happens-before graph\n",
 			s.Conflicts, s.CrossShard, s.Instances, s.Nodes)
-		if rep.OK() {
-			fmt.Println("verified: every conflicting pair is ordered by the inserted copies and sync")
+		if suite.OK() {
+			fmt.Println("certified: races, liveness, and spec passes all clean")
 		} else {
-			for _, f := range rep.Findings {
-				fmt.Printf("  FAIL %s\n", f)
+			for _, rep := range suite.Reports {
+				for _, f := range rep.Findings {
+					fmt.Printf("  FAIL [%s] %s\n", rep.Pass, f)
+				}
 			}
-			fmt.Printf("verification FAILED: %d unordered/misordered pairs\n", len(rep.Findings))
+			fmt.Printf("certification FAILED: %d findings\n", suite.NumFindings())
 			os.Exit(2)
 		}
 	}

@@ -9,9 +9,9 @@
 //	          [-iters N] [-j workers] [-csv] [-v] [-faults seed:rate]
 //	          [-backend des|native] [-procs N] [-sched on|off]
 //	          [-timepolicy modeled|measured] [-fit-in file] [-fit-out file]
-//	          [-trace on|off] [-trace-share on|off]
-//	          [-benchjson file] [-verify] [-cpuprofile file]
-//	          [-memprofile file]
+//	          [-trace on|off] [-trace-share on|off] [-prune on|off]
+//	          [-benchjson file] [-verify] [-verify-json file]
+//	          [-cpuprofile file] [-memprofile file]
 //
 // -backend selects the realm backend. The default, des, measures on the
 // deterministic discrete-event simulator and reports virtual time. native
@@ -39,11 +39,20 @@
 //	weakscale -backend native -nodes 2,4 -fit-out fit.json
 //	weakscale -timepolicy measured -fit-in fit.json
 //
-// -verify statically verifies every compiled schedule (internal/verify)
-// at each swept node count before running it — including the specialization
-// tables that license cross-shard trace sharing — and aborts the sweep with
-// exit status 2 if any conflicting access pair is left unordered or any
-// table diverges from recomputation.
+// -verify runs the schedule certifier (internal/verify) over every
+// compiled schedule at each swept node count before running it: the race
+// pass, the liveness (deadlock-freedom) pass, the specialization-table
+// pass, and — under -prune on — the pruning pass. The sweep aborts with
+// exit status 2 on any finding. -verify-json additionally writes every
+// pass's verify.Report (the shared certification schema) as one JSON
+// document to the named file ("-" = stdout), and implies -verify.
+//
+// -prune=on attaches the certified redundant-sync pruning pass to every
+// Regent-CR cell: sync edges proven transitively redundant (and dead
+// initialization populations) are skipped by the executor. Default off.
+// Throughput series and stores are identical either way on the DES; the
+// prune counters (edges and init copies removed) are printed to stderr
+// after each app and recorded in the -benchjson snapshot.
 //
 // -trace=off disables runtime trace capture/replay (the PR 3 ablation).
 // The printed series are identical either way — tracing only changes host
@@ -83,42 +92,92 @@ import (
 	"repro/internal/bench"
 	"repro/internal/cr"
 	"repro/internal/harness"
+	"repro/internal/ir"
 	"repro/internal/realm"
 	"repro/internal/spmd"
 	"repro/internal/verify"
 )
 
-// verifyApp statically verifies the app's compiled schedules at every
-// swept node count, under both sync lowerings. It returns the number of
-// findings printed.
-func verifyApp(app harness.App, nodes []int) int {
+// verifyApp runs the schedule certifier over the app's compiled schedules
+// at every swept node count, under both sync lowerings: the race pass, the
+// liveness pass, the spec pass, and — when prune is set — the certified
+// pruning pass. Every pass emits the shared verify.Report schema; findings
+// are printed to stderr prefixed with their pass name, and each (node
+// count, sync) suite is appended to out when non-nil. It returns the
+// number of findings printed.
+func verifyApp(app harness.App, nodes []int, prune bool, out *verify.Suite) int {
 	bad := 0
 	for _, n := range nodes {
 		prog, _ := app.BuildProgram(n)
 		for _, sync := range []cr.SyncMode{cr.PointToPoint, cr.BarrierSync} {
+			fail := func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "weakscale: %s @ %d nodes (%v): ", app.Name, n, sync)
+				fmt.Fprintf(os.Stderr, format+"\n", args...)
+				bad++
+			}
 			plans, err := spmd.CompileAll(prog, cr.Options{NumShards: n, Sync: sync})
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "weakscale: %s @ %d nodes (%v): compile: %v\n", app.Name, n, sync, err)
-				bad++
+				fail("compile: %v", err)
 				continue
 			}
+			suite := &verify.Suite{}
 			rep, err := verify.VerifyAll(prog, plans)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "weakscale: %s @ %d nodes (%v): verify: %v\n", app.Name, n, sync, err)
-				bad++
+				fail("verify: %v", err)
 				continue
 			}
-			for _, f := range rep.Findings {
-				fmt.Fprintf(os.Stderr, "weakscale: %s @ %d nodes (%v): FAIL %s\n", app.Name, n, sync, f)
-				bad++
+			suite.Add(rep)
+			ordered := plansInOrder(prog, plans)
+			live := &verify.Report{Pass: "liveness", Findings: []verify.Finding{}}
+			for _, plan := range ordered {
+				a, err := verify.Analyze(plan)
+				if err != nil {
+					fail("liveness: %v", err)
+					continue
+				}
+				live.Findings = append(live.Findings, a.CheckLiveness().Findings...)
 			}
+			suite.Add(live)
+			spec := &verify.Report{Pass: "spec", Findings: []verify.Finding{}}
 			if err := verify.CheckSpecAll(prog, plans); err != nil {
-				fmt.Fprintf(os.Stderr, "weakscale: %s @ %d nodes (%v): FAIL %v\n", app.Name, n, sync, err)
-				bad++
+				spec.Findings = append(spec.Findings, verify.Finding{Kind: "spec", Detail: err.Error()})
+			}
+			suite.Add(spec)
+			if prune {
+				for _, plan := range ordered {
+					_, prep, err := verify.PlanPrune(plan)
+					if err != nil {
+						fail("prune: %v", err)
+						continue
+					}
+					suite.Add(prep)
+				}
+			}
+			for _, r := range suite.Reports {
+				for _, f := range r.Findings {
+					fail("FAIL [%s] %s", r.Pass, f)
+				}
+			}
+			if out != nil {
+				out.Reports = append(out.Reports, suite.Reports...)
 			}
 		}
 	}
 	return bad
+}
+
+// plansInOrder returns the compiled plans in program order (the plan map's
+// iteration order is not deterministic).
+func plansInOrder(prog *ir.Program, plans map[*ir.Loop]*cr.Compiled) []*cr.Compiled {
+	var out []*cr.Compiled
+	for _, s := range prog.Stmts {
+		if loop, ok := s.(*ir.Loop); ok {
+			if plan, ok := plans[loop]; ok {
+				out = append(out, plan)
+			}
+		}
+	}
+	return out
 }
 
 // benchRow is one measurement cell in the -benchjson snapshot.
@@ -138,17 +197,21 @@ type benchRow struct {
 // contextualizes wall-clock columns: native per-iteration times are real
 // seconds on this many cores, not virtual machine time.
 type benchSnapshot struct {
-	Nodes      []int      `json:"nodes"`
-	Backend    string     `json:"backend"`
-	HostCPUs   int        `json:"host_cpus"`
-	GoMaxProcs int        `json:"gomaxprocs"`
-	Trace      string     `json:"trace"`
-	TraceShare string     `json:"trace_share"`
-	Faults     string     `json:"faults,omitempty"`
-	Procs      int        `json:"procs,omitempty"`
-	Sched      string     `json:"sched,omitempty"`
-	TimePolicy string     `json:"timepolicy,omitempty"`
-	Results    []benchRow `json:"results"`
+	Nodes      []int  `json:"nodes"`
+	Backend    string `json:"backend"`
+	HostCPUs   int    `json:"host_cpus"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	Trace      string `json:"trace"`
+	TraceShare string `json:"trace_share"`
+	Faults     string `json:"faults,omitempty"`
+	Procs      int    `json:"procs,omitempty"`
+	Sched      string `json:"sched,omitempty"`
+	TimePolicy string `json:"timepolicy,omitempty"`
+	// Prune and PruneCounters are present only under -prune, so default-off
+	// snapshots stay byte-identical to pre-prune ones.
+	Prune         string           `json:"prune,omitempty"`
+	PruneCounters map[string]int64 `json:"prune_counters,omitempty"`
+	Results       []benchRow       `json:"results"`
 }
 
 // parseFaults parses the -faults argument, "seed:rate".
@@ -193,7 +256,9 @@ func main() {
 	trace := flag.String("trace", "on", "runtime trace capture/replay: on or off (ablation; results are identical)")
 	traceShare := flag.String("trace-share", "on", "cross-shard trace sharing: on or off (ablation; results are identical)")
 	benchjson := flag.String("benchjson", "", "write the sweep results as a JSON snapshot to this file")
-	doVerify := flag.Bool("verify", false, "statically verify every compiled schedule before sweeping (exit 2 on findings)")
+	prune := flag.String("prune", "off", "certified redundant-sync pruning: off (default) or on (ablation; results are identical, sync edges and messages drop)")
+	doVerify := flag.Bool("verify", false, "run the schedule certifier over every compiled schedule before sweeping (exit 2 on findings)")
+	verifyJSON := flag.String("verify-json", "", "write the certification suites as JSON to this file (\"-\" = stdout); implies -verify")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -317,6 +382,11 @@ func main() {
 		os.Exit(1)
 	}
 	noShare := *traceShare == "off"
+	if *prune != "on" && *prune != "off" {
+		fmt.Fprintf(os.Stderr, "weakscale: bad -prune %q (want on or off)\n", *prune)
+		os.Exit(1)
+	}
+	doPrune := *prune == "on"
 
 	var apps []harness.App
 	if *appName == "all" {
@@ -335,16 +405,34 @@ func main() {
 		progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
 	}
 
-	if *doVerify {
+	if *doVerify || *verifyJSON != "" {
 		bad := 0
+		var suites *verify.Suite
+		if *verifyJSON != "" {
+			suites = &verify.Suite{}
+		}
 		for _, app := range apps {
-			bad += verifyApp(app, nodes)
+			bad += verifyApp(app, nodes, doPrune, suites)
+		}
+		if suites != nil {
+			buf, err := json.MarshalIndent(suites, "", "  ")
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "weakscale:", err)
+				os.Exit(1)
+			}
+			buf = append(buf, '\n')
+			if *verifyJSON == "-" {
+				os.Stdout.Write(buf)
+			} else if err := os.WriteFile(*verifyJSON, buf, 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "weakscale:", err)
+				os.Exit(1)
+			}
 		}
 		if bad > 0 {
-			fmt.Fprintf(os.Stderr, "weakscale: static verification failed (%d findings); not sweeping\n", bad)
+			fmt.Fprintf(os.Stderr, "weakscale: static certification failed (%d findings); not sweeping\n", bad)
 			os.Exit(2)
 		}
-		fmt.Fprintln(os.Stderr, "weakscale: static verification passed for every app, node count, and sync lowering")
+		fmt.Fprintln(os.Stderr, "weakscale: static certification passed for every app, node count, and sync lowering")
 	}
 
 	snap := benchSnapshot{
@@ -356,6 +444,9 @@ func main() {
 		snap.Procs, snap.Sched = *procs, *sched
 	} else {
 		snap.TimePolicy = *timepolicy
+	}
+	if doPrune {
+		snap.Prune = *prune
 	}
 	for _, app := range apps {
 		if *iters > 0 {
@@ -381,6 +472,12 @@ func main() {
 			sagg = &bench.SchedAgg{}
 			app.Sched = sagg
 		}
+		var pagg *bench.PruneAgg
+		if doPrune {
+			app.Prune = true
+			pagg = &bench.PruneAgg{}
+			app.PruneStats = pagg
+		}
 		series, err := harness.RunFigureParallel(app, nodes, *workers, progress)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "weakscale:", err)
@@ -395,6 +492,18 @@ func main() {
 			ss := sagg.Snapshot()
 			fmt.Fprintf(os.Stderr, "weakscale: %s sched: workers=%d dispatches=%d steals=%d (local %d, remote %d) inline=%d\n",
 				app.Name, ss.Workers, ss.Dispatches, ss.Steals, ss.LocalSteals, ss.RemoteSteals, ss.InlineCompletions)
+		}
+		if pagg != nil {
+			pc := pagg.Snapshot()
+			fmt.Fprintf(os.Stderr, "weakscale: %s prune: edges=%d (war %d, done %d, chain %d) init_copies=%d sync_edges %d->%d\n",
+				app.Name, pc["pruned_edges"], pc["pruned_war"], pc["pruned_done"], pc["pruned_chain"],
+				pc["pruned_init_copies"], pc["sync_edges_before"], pc["sync_edges_after"])
+			if snap.PruneCounters == nil {
+				snap.PruneCounters = make(map[string]int64)
+			}
+			for k, v := range pc {
+				snap.PruneCounters[k] += v
+			}
 		}
 		for _, s := range series {
 			for _, p := range s.Points {

@@ -16,6 +16,7 @@ import (
 	"repro/internal/realm/native"
 	"repro/internal/rt"
 	"repro/internal/spmd"
+	"repro/internal/verify"
 )
 
 // Backend names accepted by MeasureOpts.Backend and NewExec. The empty
@@ -145,6 +146,15 @@ type MeasureOpts struct {
 	// counters across the measurement (safe under the parallel sweep
 	// harness). Ignored on the DES.
 	Sched *SchedAgg
+	// Prune runs the certified redundant-sync pruning pass
+	// (verify.PlanPrune) over every CR-compiled loop and attaches the
+	// licensed PruneInfo, so the executor skips the pruned sync connects and
+	// dead initialization populations. Off by default; stores and series are
+	// identical either way — only sync-edge and message counts drop.
+	Prune bool
+	// PruneStats, when non-nil, accumulates the prune pass's counters
+	// across the measurement (safe under the parallel sweep harness).
+	PruneStats *PruneAgg
 }
 
 // NativeBackend reports whether the options select the native backend.
@@ -209,6 +219,36 @@ func (a *SchedAgg) Snapshot() native.SchedStats {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	return a.s
+}
+
+// PruneAgg accumulates the prune pass's counters (pruned wars/dones/chains,
+// sync edges before/after, dead init copies) across the (possibly parallel)
+// measurements of a sweep. Pass one instance through MeasureOpts.PruneStats.
+type PruneAgg struct {
+	mu sync.Mutex
+	c  map[string]int64
+}
+
+func (a *PruneAgg) add(counters map[string]int64) {
+	a.mu.Lock()
+	if a.c == nil {
+		a.c = make(map[string]int64, len(counters))
+	}
+	for k, v := range counters {
+		a.c[k] += v
+	}
+	a.mu.Unlock()
+}
+
+// Snapshot returns a copy of the accumulated counters.
+func (a *PruneAgg) Snapshot() map[string]int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make(map[string]int64, len(a.c))
+	for k, v := range a.c {
+		out[k] = v
+	}
+	return out
 }
 
 // TraceAgg accumulates trace-layer counters across the (possibly parallel)
@@ -310,6 +350,19 @@ func MeasureCR(prog *ir.Program, loop *ir.Loop, nodes int, sync cr.SyncMode, tun
 	plan, err := cr.Compile(prog, loop, cr.Options{NumShards: nodes, Sync: sync})
 	if err != nil {
 		return 0, err
+	}
+	if opts.Prune {
+		info, rep, err := verify.PlanPrune(plan)
+		if err != nil {
+			return 0, err
+		}
+		if !rep.OK() {
+			return 0, fmt.Errorf("bench: prune pass found %d defects in the unpruned schedule; not pruning", len(rep.Findings))
+		}
+		plan.Prune = info
+		if opts.PruneStats != nil {
+			opts.PruneStats.add(rep.Counters)
+		}
 	}
 	sim, err := NewExec(opts.Backend, nodes)
 	if err != nil {

@@ -187,6 +187,11 @@ type Compiled struct {
 	// data-dependent scalar values never affect traceability.
 	Trace TraceMarker
 
+	// Prune is the certifier-licensed redundant-sync and dead-init skip set
+	// (verify.PlanPrune); nil — the default — leaves the conservative
+	// schedule exactly as compiled.
+	Prune *PruneInfo
+
 	domainSet map[geometry.Point]bool
 }
 

@@ -48,6 +48,14 @@ type CopySpec struct {
 	// SrcShard/DstShard[k] are the shards owning Pairs[k]'s source and
 	// destination colors.
 	SrcShard, DstShard []int32
+	// ProdWait/ProdArrive[k] are the producer's sync endpoints within
+	// Pairs[k]'s two-slot block: the slot it waits on before transferring
+	// (0, the war slot — the consumer's write-after-read release) and the
+	// slot it arrives at on completion (1, the done slot consumers and the
+	// fold chain wait on). The liveness certifier replays the wait-for
+	// graph from these endpoints, so a table corrupted to swap them is
+	// rejected as a deadlock, not merely a race.
+	ProdWait, ProdArrive []int8
 }
 
 // LaunchSpec is the shard-independent cost table of one launch op.
@@ -146,15 +154,19 @@ func (c *Compiled) buildCopySpec(cp *CopyOp) *CopySpec {
 	ns := c.Opts.NumShards
 	pairs := cp.Pairs
 	cs := &CopySpec{
-		PerShard: make([][]SpecWork, ns),
-		PairVols: make([]int64, len(pairs)),
-		SrcShard: make([]int32, len(pairs)),
-		DstShard: make([]int32, len(pairs)),
+		PerShard:   make([][]SpecWork, ns),
+		PairVols:   make([]int64, len(pairs)),
+		SrcShard:   make([]int32, len(pairs)),
+		DstShard:   make([]int32, len(pairs)),
+		ProdWait:   make([]int8, len(pairs)),
+		ProdArrive: make([]int8, len(pairs)),
 	}
 	for k, pr := range pairs {
 		cs.PairVols[k] = pr.Overlap.Volume()
 		cs.SrcShard[k] = int32(c.ShardOf[pr.Src])
 		cs.DstShard[k] = int32(c.ShardOf[pr.Dst])
+		cs.ProdWait[k] = 0
+		cs.ProdArrive[k] = 1
 	}
 	i := 0
 	for i < len(pairs) {

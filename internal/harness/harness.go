@@ -62,6 +62,12 @@ type App struct {
 	// Sched optionally accumulates the native scheduler's counters across
 	// the whole sweep (printed by weakscale under -backend native).
 	Sched *bench.SchedAgg
+	// Prune runs every CR cell with the certified redundant-sync pruning
+	// pass attached (the -prune ablation; default off). Series and stores
+	// are identical either way — only sync-edge and message counts drop.
+	// PruneStats optionally accumulates the prune counters across the sweep.
+	Prune      bool
+	PruneStats *bench.PruneAgg
 	// Fit optionally receives a wall-clock sample for every launch and copy
 	// body executed on native (pass a *realm.MeasuredTime to fit a
 	// TimePolicy from the sweep); Policy optionally replaces the DES's
@@ -223,16 +229,18 @@ func RunFigureParallel(app App, nodes []int, workers int, progress func(string))
 		sys, n := systems[cells[i].si], nodes[cells[i].ni]
 		t0 := time.Now()
 		per, err := app.Measure(sys, n, app.Iters, bench.MeasureOpts{
-			Faults:  app.cellFaults(cells[i].si, n),
-			NoTrace: app.NoTrace,
-			NoShare: app.NoShare,
-			Trace:   app.Trace,
-			Backend: app.Backend,
-			Procs:   app.Procs,
-			NoSched: app.NoSched,
-			Sched:   app.Sched,
-			Fit:     app.Fit,
-			Policy:  app.Policy,
+			Faults:     app.cellFaults(cells[i].si, n),
+			NoTrace:    app.NoTrace,
+			NoShare:    app.NoShare,
+			Trace:      app.Trace,
+			Backend:    app.Backend,
+			Procs:      app.Procs,
+			NoSched:    app.NoSched,
+			Sched:      app.Sched,
+			Fit:        app.Fit,
+			Policy:     app.Policy,
+			Prune:      app.Prune,
+			PruneStats: app.PruneStats,
 		})
 		note := func(line string) {
 			if progress != nil {

@@ -1,0 +1,170 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CondLoop flags the two sync misuses that produce lost wakeups and
+// silently-split locks rather than data races (so the race detector never
+// sees them): a sync.Cond.Wait that is not re-checked in a for loop —
+// spurious wakeups and wakeup/recheck races make `if !ready { c.Wait() }`
+// a latent hang — and sync.Mutex/sync.RWMutex/sync.WaitGroup values
+// passed or copied by value, where the copy guards nothing.
+var CondLoop = &Analyzer{
+	Name: "condloop",
+	Doc:  "flag sync.Cond.Wait outside a re-checked for loop and by-value sync.Mutex/WaitGroup",
+	Run:  runCondLoop,
+}
+
+// syncValueTypes are the sync types that must never travel by value.
+// sync.Cond is included: it embeds a noCopy sentinel for the same reason.
+var syncValueTypes = map[string]bool{
+	"Mutex": true, "RWMutex": true, "WaitGroup": true, "Cond": true, "Once": true,
+}
+
+func runCondLoop(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkCondWaits(pass, fn.Body)
+				}
+				checkSyncParams(pass, fn.Type)
+			case *ast.FuncLit:
+				checkCondWaits(pass, fn.Body)
+				checkSyncParams(pass, fn.Type)
+			case *ast.AssignStmt:
+				for _, rhs := range fn.Rhs {
+					checkSyncCopy(pass, rhs)
+				}
+			case *ast.ValueSpec:
+				for _, v := range fn.Values {
+					checkSyncCopy(pass, v)
+				}
+			case *ast.CallExpr:
+				for _, a := range fn.Args {
+					checkSyncCopy(pass, a)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkCondWaits walks one function body (stopping at nested function
+// literals, which get their own visit) and reports every sync.Cond.Wait
+// call that is not lexically inside the body of a for loop — the only
+// shape under which the condition is re-checked after a wakeup.
+func checkCondWaits(pass *Pass, body *ast.BlockStmt) {
+	var walk func(n ast.Node, inFor bool)
+	walk = func(n ast.Node, inFor bool) {
+		if n == nil {
+			return
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return
+		case *ast.ForStmt:
+			walk(n.Init, inFor)
+			walk(n.Cond, inFor)
+			walk(n.Post, inFor)
+			walk(n.Body, true)
+			return
+		case *ast.RangeStmt:
+			walk(n.X, inFor)
+			walk(n.Body, true)
+			return
+		case *ast.CallExpr:
+			if isCondWait(pass, n) && !inFor {
+				pass.Reportf(n.Pos(), "sync.Cond.Wait outside a for loop never re-checks its condition after a wakeup; use `for !ready() { c.Wait() }`")
+			}
+		}
+		ast.Inspect(n, func(child ast.Node) bool {
+			if child == n {
+				return true
+			}
+			walk(child, inFor)
+			return false
+		})
+	}
+	walk(body, false)
+}
+
+// isCondWait matches c.Wait() where c is a sync.Cond or *sync.Cond.
+// (sync.WaitGroup also has Wait, but waiting on a group needs no loop.)
+func isCondWait(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Wait" {
+		return false
+	}
+	return syncTypeName(pass.TypesInfo.TypeOf(sel.X)) == "Cond"
+}
+
+// checkSyncParams reports parameters and results declared as bare sync
+// value types: every call site would copy the lock state.
+func checkSyncParams(pass *Pass, ft *ast.FuncType) {
+	report := func(fl *ast.FieldList, what string) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			if name := bareSyncType(pass.TypesInfo.TypeOf(field.Type)); name != "" {
+				pass.Reportf(field.Type.Pos(), "sync.%s %s by value; the copy guards nothing the original guards — use *sync.%s", name, what, name)
+			}
+		}
+	}
+	report(ft.Params, "passed")
+	report(ft.Results, "returned")
+}
+
+// checkSyncCopy reports expressions that read an existing sync value —
+// a variable, field, element, or dereference — in a copying position
+// (assignment right-hand side, call argument). Composite literals and
+// new(...) are initialization, not copies, and pass.
+func checkSyncCopy(pass *Pass, e ast.Expr) {
+	switch e.(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr:
+	default:
+		return
+	}
+	if name := bareSyncType(pass.TypesInfo.TypeOf(e)); name != "" {
+		pass.Reportf(e.Pos(), "sync.%s copied by value; the copy shares no lock state with the original — use *sync.%s", name, name)
+	}
+}
+
+// bareSyncType returns the sync type name when t is a non-pointer sync
+// value type ("" otherwise).
+func bareSyncType(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	if _, ok := t.(*types.Pointer); ok {
+		return ""
+	}
+	return syncTypeName(t)
+}
+
+// syncTypeName resolves t (through pointers) to a named type from package
+// sync and returns its name when it is one of the guarded types.
+func syncTypeName(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return ""
+	}
+	if !syncValueTypes[obj.Name()] {
+		return ""
+	}
+	return obj.Name()
+}

@@ -33,7 +33,7 @@ type Analyzer struct {
 
 // All returns the registered analyzers.
 func All() []*Analyzer {
-	return []*Analyzer{Wallclock, MapRange, Goroutine}
+	return []*Analyzer{Wallclock, MapRange, Goroutine, CondLoop}
 }
 
 // A Pass hands one typechecked package to an analyzer.

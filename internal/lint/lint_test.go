@@ -135,6 +135,88 @@ func bad(done chan struct{}) {
 	expect(t, diags, [2]string{"goroutine", "go statement"})
 }
 
+func TestCondLoopWait(t *testing.T) {
+	diags := loadAndRun(t, map[string]string{"a.go": `package a
+
+import "sync"
+
+type q struct {
+	mu    sync.Mutex
+	c     *sync.Cond
+	ready bool
+	wg    sync.WaitGroup
+}
+
+func (s *q) bad() {
+	if !s.ready {
+		s.c.Wait() // no re-check after wakeup
+	}
+}
+
+func (s *q) naked() {
+	s.c.Wait()
+}
+
+func (s *q) good() {
+	for !s.ready {
+		s.c.Wait()
+	}
+	s.wg.Wait() // WaitGroup.Wait needs no loop
+}
+
+func (s *q) goodNested() {
+	for {
+		if !s.ready {
+			s.c.Wait()
+			continue
+		}
+		return
+	}
+}
+`})
+	expect(t, diags,
+		[2]string{"condloop", "sync.Cond.Wait outside a for loop"},
+		[2]string{"condloop", "sync.Cond.Wait outside a for loop"},
+	)
+}
+
+func TestCondLoopByValue(t *testing.T) {
+	diags := loadAndRun(t, map[string]string{"a.go": `package a
+
+import "sync"
+
+type box struct{ mu sync.Mutex }
+
+func lockParam(mu sync.Mutex)  { mu.Lock() }
+func lockPtr(mu *sync.Mutex)   { mu.Lock() }
+func groupParam(wg sync.WaitGroup) { wg.Wait() }
+
+func copies(b *box) sync.Mutex {
+	dup := b.mu // field copy
+	var wg sync.WaitGroup
+	use := func(g sync.WaitGroup) {}
+	use(wg) // argument copy
+	dup.Lock()
+	return b.mu // returned by value
+}
+
+func clean(b *box) {
+	var mu sync.Mutex // fresh zero value: initialization, not a copy
+	p := &b.mu
+	mu.Lock()
+	p.Lock()
+}
+`})
+	expect(t, diags,
+		[2]string{"condloop", "sync.Mutex passed by value"},
+		[2]string{"condloop", "sync.WaitGroup passed by value"},
+		[2]string{"condloop", "sync.Mutex returned by value"},
+		[2]string{"condloop", "sync.Mutex copied by value"},
+		[2]string{"condloop", "sync.WaitGroup passed by value"},
+		[2]string{"condloop", "sync.WaitGroup copied by value"},
+	)
+}
+
 func TestIgnoreDirective(t *testing.T) {
 	diags := loadAndRun(t, map[string]string{"a.go": `package a
 

@@ -458,7 +458,8 @@ func (st *runState) captureCopy(sh *shard, cp *cr.CopyOp) *copyPlan {
 		for _, k := range work.ProdPairs {
 			pr := pairs[k]
 			bytes := pr.Overlap.Volume() * e.Over.EltBytes * int64(len(cp.Fields))
-			w.prods = append(w.prods, st.resolveProdPlan(sh, cp, k, reduce && k > work.GroupStart, bytes,
+			chain := reduce && k > work.GroupStart && !st.plan.Prune.SkipChain(cp.ID, k)
+			w.prods = append(w.prods, st.resolveProdPlan(sh, cp, k, chain, bytes,
 				st.ownerNode(pr.Src), st.ownerNode(pr.Dst)))
 		}
 		out.works = append(out.works, w)
@@ -481,7 +482,8 @@ func (st *runState) specializeCopy(sh *shard, cp *cr.CopyOp, shc *sharedCopy) *c
 			w.dstState = sh.table.get(instKey{cp.Dst.ID(), pairs[work.GroupStart].Dst})
 		}
 		for _, k := range work.ProdPairs {
-			w.prods = append(w.prods, st.resolveProdPlan(sh, cp, k, reduce && k > work.GroupStart, shc.bytes[k],
+			chain := reduce && k > work.GroupStart && !st.plan.Prune.SkipChain(cp.ID, k)
+			w.prods = append(w.prods, st.resolveProdPlan(sh, cp, k, chain, shc.bytes[k],
 				st.assign[spec.SrcShard[k]], st.assign[spec.DstShard[k]]))
 		}
 		out.works = append(out.works, w)
@@ -600,6 +602,7 @@ func (sh *shard) replayLaunch(lp *launchPlan, iter int) {
 func (sh *shard) replayCopy(cpl *copyPlan, iter int) {
 	st := sh.st
 	e := st.e
+	prune := st.plan.Prune
 	for wi := range cpl.works {
 		w := &cpl.works[wi]
 		if w.consumer {
@@ -610,9 +613,13 @@ func (sh *shard) replayCopy(cpl *copyPlan, iter int) {
 			newWrites := append(sh.wrBuf[:0], s.lastWrite)
 			for k := w.groupStart; k < w.groupEnd; k++ {
 				ps := st.pairSyncFor(cpl.id, k, iter)
-				st.connect(release, ps.war)
-				newWrites = append(newWrites, ps.done)
-				sh.ops = append(sh.ops, ps.done)
+				if !prune.SkipWar(cpl.id, k) {
+					st.connect(release, ps.war)
+				}
+				if !prune.SkipDone(cpl.id, k) {
+					newWrites = append(newWrites, ps.done)
+					sh.ops = append(sh.ops, ps.done)
+				}
 			}
 			s.lastWrite = e.Sim.Merge(newWrites...)
 			s.readers = s.readers[:0]
@@ -622,15 +629,25 @@ func (sh *shard) replayCopy(cpl *copyPlan, iter int) {
 			p := &w.prods[pi]
 			ps := st.pairSyncFor(cpl.id, p.pairIdx, iter)
 			sh.th.Elapse(e.Over.CopySetup)
-			pres := append(sh.presBuf[:0], ps.war, p.srcState.lastWrite)
+			pres := sh.presBuf[:0]
+			if !prune.SkipWar(cpl.id, p.pairIdx) {
+				pres = append(pres, ps.war)
+			}
+			pres = append(pres, p.srcState.lastWrite)
 			if p.chain {
 				pres = append(pres, st.pairSyncFor(cpl.id, p.pairIdx-1, iter).done)
 			}
 			ev := e.Sim.CopyBytes(p.srcNode, p.dstNode, p.bytes, e.Sim.Merge(pres...), p.body)
 			p.srcState.readers = append(p.srcState.readers, ev)
-			st.connect(ev, ps.done)
 			sh.presBuf = pres[:0]
-			sh.ops = append(sh.ops, ps.done)
+			if prune.SkipDone(cpl.id, p.pairIdx) {
+				// Done pruned: merge the copy's own completion instead (see
+				// shard.doCopyP2P) so loop-end quiescence still covers it.
+				sh.ops = append(sh.ops, ev)
+			} else {
+				st.connect(ev, ps.done)
+				sh.ops = append(sh.ops, ps.done)
+			}
 		}
 	}
 }

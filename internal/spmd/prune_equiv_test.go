@@ -1,0 +1,166 @@
+// Dynamic validation of certified sync pruning: for every evaluation app,
+// both lowerings, and both execution backends, a run with the certified
+// prune attached must produce bitwise-identical final stores to the
+// unpruned run — pruning may only remove redundant sync and dead
+// initialization copies, never change a value. On top of equivalence,
+// pruning must strictly reduce the DES message count where dead
+// cross-node init copies exist (PENNANT under p2p).
+//
+// Lives in an external test package so it can import the app builders
+// without adding them to spmd's own dependencies.
+package spmd_test
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/apps/circuit"
+	"repro/internal/apps/miniaero"
+	"repro/internal/apps/pennant"
+	"repro/internal/apps/stencil"
+	"repro/internal/cr"
+	"repro/internal/ir"
+	"repro/internal/realm"
+	"repro/internal/realm/native"
+	"repro/internal/region"
+	"repro/internal/spmd"
+	"repro/internal/verify"
+)
+
+// pruneApps builds each evaluation application at the correctness-testing
+// size. Programs are rebuilt per run (region identities are per-instance).
+var pruneApps = []struct {
+	name  string
+	build func(nodes int) *ir.Program
+}{
+	{"stencil", func(n int) *ir.Program { return stencil.Build(stencil.Small(n)).Prog }},
+	{"miniaero", func(n int) *ir.Program { return miniaero.Build(miniaero.Small(n)).Prog }},
+	{"pennant", func(n int) *ir.Program { return pennant.Build(pennant.Small(n)).Prog }},
+	{"circuit", func(n int) *ir.Program { return circuit.Build(circuit.Small(n)).Prog }},
+}
+
+// runPruned compiles, optionally prunes (with certification), and executes
+// one freshly built program on the chosen backend, returning the final
+// stores and the machine counters.
+func runPruned(t *testing.T, prog *ir.Program, nodes int, sync cr.SyncMode, backend string, prune bool) (map[*region.Region]*region.Store, realm.Stats) {
+	t.Helper()
+	plans, err := spmd.CompileAll(prog, cr.Options{NumShards: nodes, Sync: sync})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prune {
+		for _, plan := range plans {
+			info, rep, err := verify.PlanPrune(plan)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rep.OK() {
+				t.Fatalf("prune pass rejected the schedule: %v", rep.Findings)
+			}
+			plan.Prune = info
+		}
+	}
+	var sim realm.Exec
+	switch backend {
+	case "des":
+		cfg := realm.DefaultConfig(nodes)
+		cfg.CoresPerNode = 4
+		sim = realm.MustNewSim(cfg)
+	case "native":
+		m, err := native.NewMachine(realm.DefaultConfig(nodes))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim = m
+	default:
+		t.Fatalf("unknown backend %q", backend)
+	}
+	res, err := spmd.New(sim, prog, ir.ExecReal, plans).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Stores, sim.Stats()
+}
+
+// assertStoresBitwiseEqual matches regions across two independent builds by
+// name and demands bit-for-bit identical contents on every field.
+func assertStoresBitwiseEqual(t *testing.T, base, pruned map[*region.Region]*region.Store) {
+	t.Helper()
+	byName := map[string]*region.Store{}
+	for r, s := range base {
+		byName[r.Name()] = s
+	}
+	matched := 0
+	for r, ps := range pruned {
+		bs, ok := byName[r.Name()]
+		if !ok {
+			t.Errorf("pruned run produced region %s absent from the base run", r.Name())
+			continue
+		}
+		matched++
+		for _, f := range ps.FieldSpace().Fields() {
+			braw, praw := bs.Raw(f), ps.Raw(f)
+			if len(braw) != len(praw) {
+				t.Fatalf("%s field %d: layout diverged (%d vs %d slots)", r.Name(), f, len(braw), len(praw))
+			}
+			diffs := 0
+			for i := range braw {
+				if math.Float64bits(braw[i]) != math.Float64bits(praw[i]) {
+					if diffs < 3 {
+						t.Errorf("%s field %d slot %d: %v (pruned) != %v (base)", r.Name(), f, i, praw[i], braw[i])
+					}
+					diffs++
+				}
+			}
+			if diffs > 0 {
+				t.Errorf("%s field %d: %d slots differ bitwise", r.Name(), f, diffs)
+			}
+		}
+	}
+	if matched == 0 {
+		t.Fatal("no regions matched between the runs; the comparison is vacuous")
+	}
+	if len(base) != len(pruned) {
+		t.Errorf("run produced %d regions unpruned vs %d pruned", len(base), len(pruned))
+	}
+}
+
+// TestPruneEquivalence: certified pruning is invisible to the computed
+// values — bitwise — for every app, both lowerings, both backends.
+func TestPruneEquivalence(t *testing.T) {
+	const nodes = 2
+	backends := []string{"des", "native"}
+	if testing.Short() {
+		backends = []string{"des"}
+	}
+	for _, app := range pruneApps {
+		for _, sync := range []cr.SyncMode{cr.PointToPoint, cr.BarrierSync} {
+			for _, backend := range backends {
+				name := fmt.Sprintf("%s/%v/%s", app.name, sync, backend)
+				t.Run(name, func(t *testing.T) {
+					base, _ := runPruned(t, app.build(nodes), nodes, sync, backend, false)
+					pruned, _ := runPruned(t, app.build(nodes), nodes, sync, backend, true)
+					assertStoresBitwiseEqual(t, base, pruned)
+				})
+			}
+		}
+	}
+}
+
+// TestPruneReducesMessages: the dead-initialization prune class eliminates
+// real cross-node copies, so the DES message counter must strictly drop on
+// PENNANT under p2p — the acceptance bar for -prune reducing measured
+// communication, not just graph edges.
+func TestPruneReducesMessages(t *testing.T) {
+	const nodes = 4
+	build := func() *ir.Program { return pennant.Build(pennant.Small(nodes)).Prog }
+	_, baseStats := runPruned(t, build(), nodes, cr.PointToPoint, "des", false)
+	_, prunedStats := runPruned(t, build(), nodes, cr.PointToPoint, "des", true)
+	if prunedStats.Messages >= baseStats.Messages {
+		t.Errorf("pruning did not reduce messages: %d -> %d", baseStats.Messages, prunedStats.Messages)
+	}
+	if prunedStats.BytesSent > baseStats.BytesSent {
+		t.Errorf("pruning grew bytes sent: %d -> %d", baseStats.BytesSent, prunedStats.BytesSent)
+	}
+}

@@ -104,24 +104,6 @@ func copyEnv(src ir.MapEnv) ir.MapEnv {
 	return out
 }
 
-// liveAssign maps shards blockwise onto the live nodes; with every node
-// alive it reproduces the static placement of §4.2 (shard s on node
-// s*Nodes/NumShards). Node 0 always counts as live — it hosts the control
-// thread, so its loss ends the run regardless.
-func (e *Engine) liveAssign(ns int) []int {
-	var live []int
-	for i := 0; i < e.Sim.Nodes(); i++ {
-		if i == 0 || !e.nodeFailed(i) {
-			live = append(live, i)
-		}
-	}
-	assign := make([]int, ns)
-	for s := range assign {
-		assign[s] = live[s*len(live)/ns]
-	}
-	return assign
-}
-
 // waitOrFail blocks the control thread until ev fires or any node hosting
 // the run state fails, whichever comes first; it reports whether ev won.
 // Without this race, a crash that swallows a completion event would leave

@@ -45,12 +45,22 @@ func (e *Engine) initPhase(ctl realm.Agent, st *runState, guarded bool) bool {
 			sub := part.Sub(col)
 			key := instKey{part.ID(), col}
 			owner := st.ownerNode(col)
+			// A certifier-licensed dead init (every read of the instance is
+			// covered by later overwrites) skips the population transfer; the
+			// store is still created so the instance exists — it stays zero
+			// until the first compiler-inserted copy lands.
+			dead := plan.Prune.SkipInit(part, plan.ColorIdx[col])
 			if e.Mode == ir.ExecReal {
 				store := region.NewStore(sub.IndexSpace(), e.Prog.FieldSpaceOf(sub))
-				for _, f := range fields {
-					store.CopyFieldFrom(e.global[sub.Root()], f, sub.IndexSpace())
+				if !dead {
+					for _, f := range fields {
+						store.CopyFieldFrom(e.global[sub.Root()], f, sub.IndexSpace())
+					}
 				}
 				st.inst[key] = store
+			}
+			if dead {
+				continue
 			}
 			bytes := sub.Volume() * e.Over.EltBytes * int64(len(fields))
 			initEvs = append(initEvs, e.Sim.CopyBytes(0, owner, bytes, realm.NoEvent, nil))
@@ -403,6 +413,7 @@ func (sh *shard) doCopyP2P(cp *cr.CopyOp, iter int) {
 	st := sh.st
 	e := st.e
 	pairs := cp.Pairs
+	prune := st.plan.Prune
 	for _, work := range st.copyWork(cp.ID, sh.me) {
 		if work.Consumer {
 			dstCol := pairs[work.GroupStart].Dst
@@ -413,9 +424,13 @@ func (sh *shard) doCopyP2P(cp *cr.CopyOp, iter int) {
 			newWrites := append(sh.wrBuf[:0], s.lastWrite)
 			for k := work.GroupStart; k < work.GroupEnd; k++ {
 				ps := st.pairSyncFor(cp.ID, k, iter)
-				st.connect(release, ps.war)
-				newWrites = append(newWrites, ps.done)
-				sh.ops = append(sh.ops, ps.done)
+				if !prune.SkipWar(cp.ID, k) {
+					st.connect(release, ps.war)
+				}
+				if !prune.SkipDone(cp.ID, k) {
+					newWrites = append(newWrites, ps.done)
+					sh.ops = append(sh.ops, ps.done)
+				}
 			}
 			s.lastWrite = e.Sim.Merge(newWrites...)
 			s.readers = s.readers[:0]
@@ -425,8 +440,12 @@ func (sh *shard) doCopyP2P(cp *cr.CopyOp, iter int) {
 			pr := pairs[k]
 			ps := st.pairSyncFor(cp.ID, k, iter)
 			sh.th.Elapse(e.Over.CopySetup)
-			pres := append(sh.presBuf[:0], ps.war)
+			pres := sh.presBuf[:0]
+			if !prune.SkipWar(cp.ID, k) {
+				pres = append(pres, ps.war)
+			}
 			var body func()
+			var ev realm.Event
 			if cp.Reduce == region.ReduceNone {
 				s := sh.table.get(instKey{cp.Src.ID(), pr.Src})
 				pres = append(pres, s.lastWrite)
@@ -440,13 +459,12 @@ func (sh *shard) doCopyP2P(cp *cr.CopyOp, iter int) {
 						}
 					}
 				}
-				ev := sh.issueCopy(pr, cp, pres, body)
+				ev = sh.issueCopy(pr, cp, pres, body)
 				s.readers = append(s.readers, ev)
-				st.connect(ev, ps.done)
 			} else {
 				ts := sh.table.getTemp(tempKey{cp.SrcLaunch, cp.SrcArg, pr.Src})
 				pres = append(pres, ts.lastWrite)
-				if k > work.GroupStart {
+				if k > work.GroupStart && !prune.SkipChain(cp.ID, k) {
 					// Chain folds into this destination in source order;
 					// the predecessor may belong to another shard — the
 					// done event is shared state.
@@ -462,12 +480,19 @@ func (sh *shard) doCopyP2P(cp *cr.CopyOp, iter int) {
 						}
 					}
 				}
-				ev := sh.issueCopy(pr, cp, pres, body)
+				ev = sh.issueCopy(pr, cp, pres, body)
 				ts.readers = append(ts.readers, ev)
-				st.connect(ev, ps.done)
 			}
 			sh.presBuf = pres[:0]
-			sh.ops = append(sh.ops, ps.done)
+			if prune.SkipDone(cp.ID, k) {
+				// Done pruned: the copy's own completion joins the producer's
+				// iteration merge so loop-end quiescence still covers the
+				// transfer; nothing triggers or waits on ps.done.
+				sh.ops = append(sh.ops, ev)
+			} else {
+				st.connect(ev, ps.done)
+				sh.ops = append(sh.ops, ps.done)
+			}
 		}
 	}
 }
@@ -540,7 +565,7 @@ func (sh *shard) doCopyBarrier(cp *cr.CopyOp, iter int) {
 				// Chain folds into one destination in source order across
 				// all producing shards via the shared per-pair done events,
 				// so the fold order is deterministic even under barriers.
-				if k > w.GroupStart {
+				if k > w.GroupStart && !st.plan.Prune.SkipChain(cp.ID, k) {
 					pres = append(pres, st.pairSyncFor(cp.ID, k-1, iter).done)
 				}
 				if e.Mode == ir.ExecReal {
@@ -554,7 +579,9 @@ func (sh *shard) doCopyBarrier(cp *cr.CopyOp, iter int) {
 					}
 				}
 				ev := sh.issueCopy(pr, cp, pres, body)
-				st.connect(ev, st.pairSyncFor(cp.ID, k, iter).done)
+				if !st.plan.Prune.SkipDone(cp.ID, k) {
+					st.connect(ev, st.pairSyncFor(cp.ID, k, iter).done)
+				}
 				ts.readers = append(ts.readers, ev)
 				copyEvs = append(copyEvs, ev)
 			}

@@ -1,0 +1,116 @@
+package verify
+
+// Recovery certification: the third pass of the schedule certifier. The
+// recovery layer (internal/spmd/recover.go) rebuilds placement and restores
+// checkpointed state after a node crash; spmd.PlanRebuild performs the same
+// construction statically for any logical crash point, and CertifyRebuild
+// checks the result — so the fault matrix (every app, node count, crashed
+// node, crash launch index) can be certified exhaustively, where dynamic
+// fault injection necessarily samples.
+//
+// A rebuild is certified when (1) the failover placement is valid — every
+// shard lands on a live node, node 0 (the control thread) survives, and the
+// assignment is the blockwise monotone remap the recovery layer installs;
+// (2) the restore phase repopulates every used instance from the
+// checkpoint; (3) the iteration cursor resumes inside the loop; and (4) the
+// schedule the rebuilt shards then execute still passes the race check, the
+// liveness check, and the specialization-table check — the compiled plan is
+// placement-independent, so certifying it once per crash point re-validates
+// exactly what the restarted shards will issue.
+
+import (
+	"fmt"
+
+	"repro/internal/cr"
+)
+
+// CertifyRebuild checks one statically constructed failover rebuild
+// (cr.RebuildSpec, typically from spmd.PlanRebuild) against the compiled
+// loop it rebuilds. Structural defects are reported as findings of kind
+// "bad-rebuild", "dead-node-assignment", or "missing-restore", each with a
+// witness naming the offending shard, node, or instance; schedule defects
+// are the race/liveness/spec findings of the re-run passes.
+func CertifyRebuild(c *cr.Compiled, rs *cr.RebuildSpec) *Report {
+	rep := &Report{Pass: "recovery-cert", Findings: []Finding{}}
+	fail := func(kind, format string, args ...any) {
+		rep.Findings = append(rep.Findings, Finding{Kind: kind, Detail: fmt.Sprintf(format, args...)})
+	}
+	if c == nil || rs == nil {
+		fail("bad-rebuild", "nil compiled loop or rebuild spec")
+		return rep
+	}
+	ns := c.Opts.NumShards
+
+	if rs.Nodes <= 0 {
+		fail("bad-rebuild", "rebuild names %d nodes", rs.Nodes)
+		return rep
+	}
+	live := make([]bool, rs.Nodes)
+	for i := range live {
+		live[i] = true
+	}
+	for _, n := range rs.Crashed {
+		switch {
+		case n == 0:
+			fail("bad-rebuild", "node 0 crashed: the control thread is lost, no rebuild exists")
+		case n < 0 || n >= rs.Nodes:
+			fail("bad-rebuild", "crashed node %d outside the %d-node cluster", n, rs.Nodes)
+		default:
+			live[n] = false
+		}
+	}
+
+	if len(rs.Assign) != ns {
+		fail("bad-rebuild", "assignment covers %d shards, want %d", len(rs.Assign), ns)
+	} else {
+		for s, n := range rs.Assign {
+			if n < 0 || n >= rs.Nodes {
+				fail("dead-node-assignment", "shard %d assigned to node %d outside the %d-node cluster", s, n, rs.Nodes)
+				continue
+			}
+			if !live[n] {
+				fail("dead-node-assignment", "shard %d assigned to crashed node %d", s, n)
+			}
+			if s > 0 && n < rs.Assign[s-1] {
+				fail("bad-rebuild", "assignment not blockwise monotone: shard %d on node %d after shard %d on node %d", s, n, s-1, rs.Assign[s-1])
+			}
+		}
+	}
+
+	// Restore coverage: the checkpoint restore must repopulate every used
+	// instance, or the resumed epoch reads stale (or zero) data.
+	for _, part := range c.UsedParts {
+		mask := rs.Restored[part]
+		for _, col := range c.Domain {
+			if ci := c.ColorIdx[col]; ci >= len(mask) || !mask[ci] {
+				fail("missing-restore", "instance %s[%v] not restored from the checkpoint", part.Name(), col)
+			}
+		}
+	}
+
+	trip := c.Loop.Trip
+	if rs.ResumeIter < 0 || (trip > 0 && rs.ResumeIter >= trip) {
+		fail("bad-rebuild", "resume iteration %d outside the loop (trip %d)", rs.ResumeIter, trip)
+	}
+
+	// The rebuilt shards re-execute the same compiled plan from ResumeIter:
+	// re-certify the schedule itself (races, liveness, spec congruence).
+	a, err := Analyze(c)
+	if err != nil {
+		fail("bad-rebuild", "analysis failed: %v", err)
+		return rep
+	}
+	races := a.Check()
+	rep.Stats = races.Stats
+	rep.Findings = append(rep.Findings, races.Findings...)
+	rep.Findings = append(rep.Findings, a.CheckLiveness().Findings...)
+	if err := CheckSpec(c); err != nil {
+		fail("spec", "%v", err)
+	}
+	rep.Counters = map[string]int64{
+		"nodes":       int64(rs.Nodes),
+		"crashed":     int64(len(rs.Crashed)),
+		"resume_iter": int64(rs.ResumeIter),
+	}
+	return rep
+}

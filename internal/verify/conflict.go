@@ -60,10 +60,10 @@ func enumerateConflicts(g *graph, accs []access) ([]conflict, int) {
 					e, l = b, a
 				}
 				out = append(out, conflict{
-					earlier:    *e,
-					later:      *l,
-					fields:     fi,
-					overlap:    ov,
+					earlier: *e,
+					later:   *l,
+					fields:  fi,
+					overlap: ov,
 					// Cross-shard means two distinct shards; control-thread
 					// ops (init, finalization) have no shard.
 					crossShard: g.nodes[a.n].shard >= 0 && g.nodes[b.n].shard >= 0 &&

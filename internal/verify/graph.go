@@ -104,10 +104,25 @@ type edge struct {
 	label    EdgeID
 }
 
+// barrierArrival records one global barrier's arrival count: how many
+// shards arrive (got) against its participant count (want). The executor
+// arrives unconditionally at both of a copy's barriers on every shard, so
+// got == want by construction; the liveness mutation harness perturbs got
+// to model a shard skipping its arrival (the barrier never triggers).
+type barrierArrival struct {
+	b      nodeID
+	copyID int32
+	iter   int32
+	phase  int32
+	got    int
+	want   int
+}
+
 type graph struct {
-	nodes []node
-	edges []edge
-	iters int
+	nodes    []node
+	edges    []edge
+	iters    int
+	arrivals []barrierArrival
 }
 
 func (g *graph) add(n node) nodeID {
@@ -134,6 +149,18 @@ func (g *graph) adjacency(dropped map[EdgeID]bool) [][]nodeID {
 		adj[e.from] = append(adj[e.from], e.to)
 	}
 	return adj
+}
+
+// find locates a node by identity within one unrolled iteration; -1 when
+// absent (e.g. a pruned sync event). Graphs are small, so a scan suffices.
+func (g *graph) find(kind nodeKind, copyID, sub, iter int32) nodeID {
+	for i := range g.nodes {
+		n := &g.nodes[i]
+		if n.kind == kind && n.copyID == copyID && n.sub == sub && n.iter == iter {
+			return nodeID(i)
+		}
+	}
+	return -1
 }
 
 // seqKey is a node's position in the sequential program order: iteration,
@@ -182,16 +209,40 @@ type symState struct {
 	readers   []nodeID
 }
 
+// warOb is one war event's ordering obligation: every node of the
+// consumer's release set must happen-before the producer's copy node, or
+// skipping the war reorders a write-after-read. Collected (under
+// collectWar) for every p2p war slot, pruned (warN == -1, the obligation
+// must hold through the remaining graph) or kept (warN set, so the
+// proposal pass can ask whether the obligation would survive removing
+// exactly this event).
+type warOb struct {
+	copyID  int
+	k       int
+	release []nodeID
+	cn      nodeID
+	warN    nodeID
+}
+
 type builder struct {
 	c     *cr.Compiled
 	g     *graph
 	insts map[instRef]*symState
 	accs  []access
+	// collectWar records a warOb for every war event the prune info skips.
+	collectWar bool
+	warObs     []warOb
 	// opsOf mirrors each shard's sh.ops for the current iteration: the
 	// events the shard merges into its iteration-completion event. Their
 	// union over all iterations feeds the loop-end phase edge (shardDone).
 	opsOf  [][]nodeID
 	allOps []nodeID
+	// prune is consulted at exactly the points the executor consults it
+	// (spmd shard.go / plan.go), so the graph is the precise happens-before
+	// relation of the pruned schedule — not an approximation by edge
+	// deletion, which would leave the structural done->loopEnd edges of
+	// pruned sync in place. Nil builds the conservative schedule.
+	prune *cr.PruneInfo
 }
 
 func newBuilder(c *cr.Compiled) *builder {
@@ -200,7 +251,14 @@ func newBuilder(c *cr.Compiled) *builder {
 		g:     &graph{},
 		insts: make(map[instRef]*symState),
 		opsOf: make([][]nodeID, c.Opts.NumShards),
+		prune: c.Prune,
 	}
+}
+
+func newPrunedBuilder(c *cr.Compiled, info *cr.PruneInfo) *builder {
+	b := newBuilder(c)
+	b.prune = info
+	return b
 }
 
 func (b *builder) state(r instRef) *symState {
@@ -243,6 +301,13 @@ func (b *builder) build() (*graph, []access) {
 	for _, part := range c.UsedParts {
 		fields := c.InstFields[part]
 		for _, col := range c.Domain {
+			if b.prune.SkipInit(part, c.ColorIdx[col]) {
+				// Dead initialization: the instance is never populated, so
+				// the init node does not write it — every read must instead
+				// be covered by a later compiler-inserted overwrite (the
+				// coverage analysis in prune.go licenses exactly that).
+				continue
+			}
 			b.record(init, instRef{part: part, color: col}, fields, part.Sub(col).IndexSpace(), true)
 		}
 	}
@@ -402,6 +467,10 @@ func (b *builder) doCopyP2P(bi int32, cp *cr.CopyOp, iter int32, seed func(*symS
 	g := b.g
 	warN := make([]nodeID, len(cp.Pairs))
 	doneN := make([]nodeID, len(cp.Pairs))
+	for i := range warN {
+		warN[i], doneN[i] = -1, -1
+	}
+	var obIdx map[int]int
 	for _, gr := range groups(cp) {
 		start, end := gr[0], gr[1]
 		dstCol := cp.Pairs[start].Dst
@@ -411,13 +480,24 @@ func (b *builder) doCopyP2P(bi int32, cp *cr.CopyOp, iter int32, seed func(*symS
 		release := append(append([]nodeID(nil), s.readers...), s.lastWrite...)
 		newWrites := append([]nodeID(nil), s.lastWrite...)
 		for k := start; k < end; k++ {
-			warN[k] = g.add(node{kind: kWar, iter: iter, body: bi, sub: int32(k), copyID: int32(cp.ID), color: dstCol, shard: consShard})
-			doneN[k] = g.add(node{kind: kDone, iter: iter, body: bi, sub: int32(k), copyID: int32(cp.ID), color: dstCol, shard: consShard})
-			for _, r := range release {
-				g.ledge(r, warN[k], EdgeID{Class: EdgeWAR, Copy: cp.ID, Pair: k})
+			if !b.prune.SkipWar(cp.ID, k) {
+				warN[k] = g.add(node{kind: kWar, iter: iter, body: bi, sub: int32(k), copyID: int32(cp.ID), color: dstCol, shard: consShard})
+				for _, r := range release {
+					g.ledge(r, warN[k], EdgeID{Class: EdgeWAR, Copy: cp.ID, Pair: k})
+				}
 			}
-			newWrites = append(newWrites, doneN[k])
-			b.opsOf[consShard] = append(b.opsOf[consShard], doneN[k])
+			if b.collectWar {
+				if obIdx == nil {
+					obIdx = make(map[int]int)
+				}
+				obIdx[k] = len(b.warObs)
+				b.warObs = append(b.warObs, warOb{copyID: cp.ID, k: k, release: release, cn: -1, warN: warN[k]})
+			}
+			if !b.prune.SkipDone(cp.ID, k) {
+				doneN[k] = g.add(node{kind: kDone, iter: iter, body: bi, sub: int32(k), copyID: int32(cp.ID), color: dstCol, shard: consShard})
+				newWrites = append(newWrites, doneN[k])
+				b.opsOf[consShard] = append(b.opsOf[consShard], doneN[k])
+			}
 		}
 		s.lastWrite = newWrites
 		s.readers = s.readers[:0]
@@ -428,7 +508,12 @@ func (b *builder) doCopyP2P(bi int32, cp *cr.CopyOp, iter int32, seed func(*symS
 			pr := cp.Pairs[k]
 			prodShard := b.shardOf(pr.Src)
 			cn := g.add(node{kind: kCopy, iter: iter, body: bi, sub: int32(k), copyID: int32(cp.ID), color: pr.Dst, shard: prodShard})
-			g.edge(warN[k], cn)
+			if warN[k] >= 0 {
+				g.edge(warN[k], cn)
+			}
+			if i, ok := obIdx[k]; ok {
+				b.warObs[i].cn = cn
+			}
 			if cp.Reduce == region.ReduceNone {
 				s := b.state(instRef{part: cp.Src, color: pr.Src})
 				seed(s)
@@ -439,15 +524,29 @@ func (b *builder) doCopyP2P(bi int32, cp *cr.CopyOp, iter int32, seed func(*symS
 				ts := b.state(instRef{l: cp.SrcLaunch, arg: cp.SrcArg, color: pr.Src})
 				seed(ts)
 				b.edgesFrom(ts.lastWrite, cn)
-				if k > start {
+				if k > start && !b.prune.SkipChain(cp.ID, k) {
+					if doneN[k-1] < 0 {
+						// The predecessor's done sync is pruned but the chain
+						// still waits on it: the event exists in the executor
+						// yet nothing ever triggers it. Model the hang with an
+						// orphan node for the liveness check to flag.
+						doneN[k-1] = g.add(node{kind: kDone, iter: iter, body: bi, sub: int32(k - 1), copyID: int32(cp.ID), color: cp.Pairs[k-1].Dst, shard: b.shardOf(cp.Pairs[k-1].Dst)})
+					}
 					g.ledge(doneN[k-1], cn, EdgeID{Class: EdgeChain, Copy: cp.ID, Pair: k})
 				}
 				ts.readers = append(ts.readers, cn)
 				b.record(cn, instRef{l: cp.SrcLaunch, arg: cp.SrcArg, color: pr.Src}, cp.Fields, pr.Overlap, false)
 			}
-			g.ledge(cn, doneN[k], EdgeID{Class: EdgeDone, Copy: cp.ID, Pair: k})
+			if doneN[k] >= 0 {
+				g.ledge(cn, doneN[k], EdgeID{Class: EdgeDone, Copy: cp.ID, Pair: k})
+				b.opsOf[prodShard] = append(b.opsOf[prodShard], doneN[k])
+			} else {
+				// Done pruned: the producer merges the copy's own completion
+				// into its iteration ops instead (spmd doCopyP2P does the
+				// same), so loop-end quiescence still covers the transfer.
+				b.opsOf[prodShard] = append(b.opsOf[prodShard], cn)
+			}
 			b.record(cn, instRef{part: cp.Dst, color: pr.Dst}, cp.Fields, pr.Overlap, true)
-			b.opsOf[prodShard] = append(b.opsOf[prodShard], doneN[k])
 		}
 	}
 }
@@ -462,6 +561,10 @@ func (b *builder) doCopyBarrier(bi int32, cp *cr.CopyOp, iter int32, seed func(*
 	g := b.g
 	b1 := g.add(node{kind: kBarrier, iter: iter, body: bi, sub: 0, copyID: int32(cp.ID), shard: -1})
 	b2 := g.add(node{kind: kBarrier, iter: iter, body: bi, sub: 1, copyID: int32(cp.ID), shard: -1})
+	ns := b.c.Opts.NumShards
+	g.arrivals = append(g.arrivals,
+		barrierArrival{b: b1, copyID: int32(cp.ID), iter: iter, phase: 0, got: ns, want: ns},
+		barrierArrival{b: b2, copyID: int32(cp.ID), iter: iter, phase: 1, got: ns, want: ns})
 	arrive1 := EdgeID{Class: EdgeBarrier, Copy: cp.ID, Pair: 0}
 	arrive2 := EdgeID{Class: EdgeBarrier, Copy: cp.ID, Pair: 1}
 	for _, ops := range b.opsOf {
@@ -482,6 +585,9 @@ func (b *builder) doCopyBarrier(bi int32, cp *cr.CopyOp, iter int32, seed func(*
 		}
 	}
 	doneN := make([]nodeID, len(cp.Pairs))
+	for i := range doneN {
+		doneN[i] = -1
+	}
 	isReduce := cp.Reduce != region.ReduceNone
 	for _, gr := range grs {
 		start, end := gr[0], gr[1]
@@ -500,11 +606,19 @@ func (b *builder) doCopyBarrier(bi int32, cp *cr.CopyOp, iter int32, seed func(*
 				ts := b.state(instRef{l: cp.SrcLaunch, arg: cp.SrcArg, color: pr.Src})
 				seed(ts)
 				b.edgesFrom(ts.lastWrite, cn)
-				if k > start {
+				if k > start && !b.prune.SkipChain(cp.ID, k) {
+					if doneN[k-1] < 0 {
+						// Pruned done with a live chain waiting on it: orphan
+						// node, flagged as never-triggered by the liveness
+						// pass (see doCopyP2P).
+						doneN[k-1] = g.add(node{kind: kDone, iter: iter, body: bi, sub: int32(k - 1), copyID: int32(cp.ID), color: cp.Pairs[k-1].Dst, shard: b.shardOf(cp.Pairs[k-1].Src)})
+					}
 					g.ledge(doneN[k-1], cn, EdgeID{Class: EdgeChain, Copy: cp.ID, Pair: k})
 				}
-				doneN[k] = g.add(node{kind: kDone, iter: iter, body: bi, sub: int32(k), copyID: int32(cp.ID), color: pr.Dst, shard: prodShard})
-				g.ledge(cn, doneN[k], EdgeID{Class: EdgeDone, Copy: cp.ID, Pair: k})
+				if !b.prune.SkipDone(cp.ID, k) {
+					doneN[k] = g.add(node{kind: kDone, iter: iter, body: bi, sub: int32(k), copyID: int32(cp.ID), color: pr.Dst, shard: prodShard})
+					g.ledge(cn, doneN[k], EdgeID{Class: EdgeDone, Copy: cp.ID, Pair: k})
+				}
 				ts.readers = append(ts.readers, cn)
 				b.record(cn, instRef{l: cp.SrcLaunch, arg: cp.SrcArg, color: pr.Src}, cp.Fields, pr.Overlap, false)
 			}

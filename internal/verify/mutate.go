@@ -178,7 +178,7 @@ func (f Finding) InvolvesCopy(id int) bool {
 	return f.A.Copy == id || f.B.Copy == id
 }
 
-/// Covers reports whether the finding is attributable to the mutation:
+// / Covers reports whether the finding is attributable to the mutation:
 // either side of the witness is the mutated copy, or the racing instance
 // belongs to the mutated copy's destination partition. The latter catches
 // collateral races: the copy's consumer-side update clears the destination

@@ -33,13 +33,17 @@ type OpRef struct {
 	Write bool `json:"write"`
 }
 
-// Finding is one conflicting access pair the happens-before relation fails
-// to cover, with a concrete witness.
+// Finding is one defect witness. Race findings ("unordered"/"misordered")
+// describe a conflicting access pair the happens-before relation fails to
+// cover; liveness findings ("cycle"/"never-triggered"/"phase-mismatch")
+// describe a wait-for defect; certification findings ("dead-node-assignment"
+// /"missing-restore"/"bad-rebuild") describe an invalid failover rebuild.
 type Finding struct {
-	// Kind is "unordered" (no happens-before path at all — a race) or
-	// "misordered" (ordered only against the sequential program order).
+	// Kind is "unordered" (no happens-before path at all — a race),
+	// "misordered" (ordered only against the sequential program order), or
+	// one of the liveness/certification kinds above.
 	Kind string `json:"kind"`
-	// Instance names the physical instance both ops touch.
+	// Instance names the physical instance both ops touch (race findings).
 	Instance string `json:"instance"`
 	// Fields are the names of the conflicting fields.
 	Fields []string `json:"fields"`
@@ -47,13 +51,22 @@ type Finding struct {
 	Overlap    string `json:"overlap"`
 	Elems      int64  `json:"elems"`
 	CrossShard bool   `json:"cross_shard"`
-	// A is the sequentially earlier op, B the later one.
+	// A is the sequentially earlier op, B the later one. Liveness findings
+	// reuse A/B for the blocked op and the sync it waits on.
 	A OpRef `json:"a"`
 	B OpRef `json:"b"`
+	// Cycle is the wait-for cycle witness of a "cycle" finding: the ops on
+	// the cycle, in wait order, first repeated last.
+	Cycle []OpRef `json:"cycle,omitempty"`
+	// Detail is a human-readable elaboration for non-race findings.
+	Detail string `json:"detail,omitempty"`
 }
 
 // String renders the witness on one line.
 func (f Finding) String() string {
+	if f.Detail != "" {
+		return fmt.Sprintf("%s: %s", f.Kind, f.Detail)
+	}
 	return fmt.Sprintf("%s: %s fields %v overlap %s (%d elems): %s vs %s",
 		f.Kind, f.Instance, f.Fields, f.Overlap, f.Elems, f.A, f.B)
 }
@@ -142,6 +155,23 @@ func (a *Analysis) opRef(ac access) OpRef {
 		}
 	case kFinal:
 		ref.Kind, ref.Label = "final", "finalization read-back"
+	case kWar:
+		ref.Kind = "war"
+		if cp := a.copyByID(nd.copyID); cp != nil {
+			ref.Label = cp.String()
+		}
+	case kDone:
+		ref.Kind = "done"
+		if cp := a.copyByID(nd.copyID); cp != nil {
+			ref.Label = cp.String()
+		}
+	case kBarrier:
+		ref.Kind = "barrier"
+		if cp := a.copyByID(nd.copyID); cp != nil {
+			ref.Label = cp.String()
+		}
+	case kLoopStart, kLoopEnd:
+		ref.Kind = "phase"
 	default:
 		ref.Kind = "event"
 	}

@@ -137,6 +137,38 @@ func checkCopySpec(c *cr.Compiled, cp *cr.CopyOp, cs *cr.CopySpec, fail func(str
 		}
 	}
 
+	// Producer sync endpoints: the liveness congruence of the spec table.
+	// The executor wires each pair's producer from these two slots (wait on
+	// ProdWait, trigger ProdArrive); the pair is live exactly when the
+	// producer waits on the consumer-triggered war slot (0) and triggers the
+	// consumer-awaited done slot (1). Any other wiring deadlocks — so the
+	// findings here name the deadlock shape, not merely a table mismatch.
+	if len(cs.ProdWait) != len(pairs) || len(cs.ProdArrive) != len(pairs) {
+		fail("copy %d producer sync endpoint tables sized %d/%d, want %d each",
+			cp.ID, len(cs.ProdWait), len(cs.ProdArrive), len(pairs))
+	} else {
+		for k := range pairs {
+			w, ar := cs.ProdWait[k], cs.ProdArrive[k]
+			if w < 0 || w > 1 || ar < 0 || ar > 1 {
+				fail("copy %d pair %d producer sync endpoints (%d,%d) outside the war/done slot range", cp.ID, k, w, ar)
+				continue
+			}
+			if w == ar {
+				fail("copy %d pair %d producer waits on the very slot it triggers: wait-for cycle copy -> %s -> copy — the pair deadlocks",
+					cp.ID, k, slotName(ar))
+				continue
+			}
+			if ar != 1 {
+				fail("copy %d pair %d producer arrives at the war slot instead of done: the done event is never triggered and its waiters block forever",
+					cp.ID, k)
+			}
+			if w != 0 {
+				fail("copy %d pair %d producer waits on the done slot: wait-for cycle through the consumer's done merge — deadlock, not a race",
+					cp.ID, k)
+			}
+		}
+	}
+
 	// Regroup the pair list from scratch (the same destination-run notion
 	// the happens-before builder uses, see groups) and rebuild each shard's
 	// work partition: one consumer per group (the destination's owner),
@@ -169,6 +201,13 @@ func checkCopySpec(c *cr.Compiled, cp *cr.CopyOp, cs *cr.CopySpec, fail func(str
 			fail("copy %d shard %d work list diverges:\n    got  %+v\n    want %+v", cp.ID, s, cs.PerShard[s], want[s])
 		}
 	}
+}
+
+func slotName(s int8) string {
+	if s == 0 {
+		return "war"
+	}
+	return "done"
 }
 
 func workListsEqual(a, b []cr.SpecWork) bool {

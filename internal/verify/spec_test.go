@@ -84,6 +84,22 @@ func TestCheckSpecDetectsCorruption(t *testing.T) {
 			}
 			t.Fatal("no shard has copy work")
 		}, "work list diverges"},
+		// Liveness corruptions: sync endpoint tables that deadlock rather
+		// than race. Swapped wait/arrive endpoints must be rejected as a
+		// wait-for cycle, not merely a divergent table.
+		{"swapped sync endpoints", func(c *cr.Compiled) {
+			cs := firstCopy(c)
+			cs.ProdWait[0], cs.ProdArrive[0] = 1, 0
+		}, "cycle"},
+		// The same swap also starves the done event's waiters: the error
+		// must name the never-triggered event, not just the cycle.
+		{"arrive at war slot", func(c *cr.Compiled) {
+			cs := firstCopy(c)
+			cs.ProdWait[0], cs.ProdArrive[0] = 1, 0
+		}, "never triggered"},
+		{"wait on own done slot", func(c *cr.Compiled) {
+			firstCopy(c).ProdWait[0] = 1
+		}, "cycle"},
 		{"dropped producer", func(c *cr.Compiled) {
 			cs := firstCopy(c)
 			for s := range cs.PerShard {

@@ -77,14 +77,56 @@ type Stats struct {
 	Iters      int `json:"unrolled_iters"`
 }
 
-// Report is the outcome of one verification pass.
+// Report is the outcome of one verification pass. Every pass of the
+// certifier — race checking, liveness, pruning, spec checking, recovery
+// certification — emits this one schema, and the CLIs (`crc -verify-json`,
+// `weakscale -verify`) serialize it (wrapped in a Suite) instead of
+// per-tool ad-hoc shapes.
 type Report struct {
+	// Pass names the certification pass that produced the report: "races",
+	// "liveness", "prune", "spec", or "recovery-cert".
+	Pass     string    `json:"pass,omitempty"`
 	Findings []Finding `json:"findings"`
 	Stats    Stats     `json:"stats"`
+	// Counters carries pass-specific tallies (e.g. the prune pass's
+	// pruned_edges / pruned_init_copies).
+	Counters map[string]int64 `json:"counters,omitempty"`
 }
 
-// OK reports whether every conflicting pair is correctly ordered.
+// OK reports whether the pass found no defects.
 func (r *Report) OK() bool { return len(r.Findings) == 0 }
+
+// Suite aggregates the reports of one certification run; the CLIs emit it
+// as the single JSON document and exit 2 when OK is false.
+type Suite struct {
+	Reports []*Report `json:"reports"`
+}
+
+// Add appends a report (nil-safe to call on reports that were not run).
+func (s *Suite) Add(r *Report) {
+	if r != nil {
+		s.Reports = append(s.Reports, r)
+	}
+}
+
+// OK reports whether every pass passed.
+func (s *Suite) OK() bool {
+	for _, r := range s.Reports {
+		if !r.OK() {
+			return false
+		}
+	}
+	return true
+}
+
+// NumFindings totals the findings across passes.
+func (s *Suite) NumFindings() int {
+	n := 0
+	for _, r := range s.Reports {
+		n += len(r.Findings)
+	}
+	return n
+}
 
 // Analyze builds the conflict set and happens-before graph for a compiled
 // loop. The same Analysis can serve many Check calls (the mutation harness
@@ -110,13 +152,13 @@ func (a *Analysis) Check(drop ...EdgeID) *Report {
 	}
 	adj := a.g.adjacency(dropped)
 	reach := newReachability(a.g, adj)
-	rep := &Report{Findings: []Finding{}, Stats: Stats{
-		Nodes:      len(a.g.nodes),
-		Edges:      len(a.g.edges),
-		Instances:  a.insts,
-		Accesses:   a.accesses,
-		Conflicts:  len(a.conflicts),
-		Iters:      a.g.iters,
+	rep := &Report{Pass: "races", Findings: []Finding{}, Stats: Stats{
+		Nodes:     len(a.g.nodes),
+		Edges:     len(a.g.edges),
+		Instances: a.insts,
+		Accesses:  a.accesses,
+		Conflicts: len(a.conflicts),
+		Iters:     a.g.iters,
 	}}
 	for _, cf := range a.conflicts {
 		if cf.crossShard {
@@ -148,7 +190,7 @@ func Verify(c *cr.Compiled) (*Report, error) {
 // produced by spmd.CompileAll), returning the first failing report, or the
 // merged passing stats. Loops are visited in program order.
 func VerifyAll(prog *ir.Program, plans map[*ir.Loop]*cr.Compiled) (*Report, error) {
-	merged := &Report{}
+	merged := &Report{Pass: "races"}
 	for _, s := range prog.Stmts {
 		loop, ok := s.(*ir.Loop)
 		if !ok {
