@@ -22,14 +22,14 @@ import (
 var benchNodes = []int{1, 4, 16, 64, 256, 1024}
 
 func runFigure(b *testing.B, name string, noTrace bool) {
-	runFigureOpts(b, name, noTrace, false, false)
+	runFigureOpts(b, name, noTrace, false, false, false)
 }
 
 func runFigureShare(b *testing.B, name string, noTrace, noShare bool) {
-	runFigureOpts(b, name, noTrace, noShare, false)
+	runFigureOpts(b, name, noTrace, noShare, false, false)
 }
 
-func runFigureOpts(b *testing.B, name string, noTrace, noShare, prune bool) {
+func runFigureOpts(b *testing.B, name string, noTrace, noShare, prune, agg bool) {
 	app, err := harness.AppByName(name)
 	if err != nil {
 		b.Fatal(err)
@@ -37,6 +37,7 @@ func runFigureOpts(b *testing.B, name string, noTrace, noShare, prune bool) {
 	app.NoTrace = noTrace
 	app.NoShare = noShare
 	app.Prune = prune
+	app.Agg = agg
 	for i := 0; i < b.N; i++ {
 		series, err := harness.RunFigure(app, benchNodes, nil)
 		if err != nil {
@@ -57,6 +58,14 @@ func runFigureOpts(b *testing.B, name string, noTrace, noShare, prune bool) {
 // BenchmarkFigure6 regenerates Figure 6: Stencil weak scaling (Regent with
 // and without control replication vs the PRK MPI and MPI+OpenMP codes).
 func BenchmarkFigure6Stencil(b *testing.B) { runFigure(b, "stencil", false) }
+
+// BenchmarkFigure6StencilAgg is the coalesced-exchange ablation of
+// Figure 6: the same sweep with aggregation attached to every CR cell
+// (the -agg flag), each cell licensed by verify.CheckAgg. At the paper's
+// one-piece-per-shard scale every aggregation group is a singleton, so
+// the printed figure must be byte-identical to BenchmarkFigure6Stencil —
+// coalescing merges messages, never a modeled result at this scale.
+func BenchmarkFigure6StencilAgg(b *testing.B) { runFigureOpts(b, "stencil", false, false, false, true) }
 
 // BenchmarkFigure6StencilNoTrace is the trace ablation of Figure 6: the
 // same sweep with runtime trace capture/replay disabled. The printed
@@ -84,7 +93,7 @@ func BenchmarkFigure8PENNANT(b *testing.B) { runFigure(b, "pennant", false) }
 // every CR cell (the -prune flag). The printed figure must be
 // byte-identical to BenchmarkFigure8PENNANT — pruning removes sync edges
 // and dead initialization copies, never a modeled result.
-func BenchmarkFigure8PENNANTPrune(b *testing.B) { runFigureOpts(b, "pennant", false, false, true) }
+func BenchmarkFigure8PENNANTPrune(b *testing.B) { runFigureOpts(b, "pennant", false, false, true, false) }
 
 // BenchmarkFigure9 regenerates Figure 9: Circuit weak scaling (Regent with
 // vs without control replication).

@@ -8,7 +8,8 @@
 // Usage:
 //
 //	crc [-app stencil|miniaero|pennant|circuit] [-nodes N] [-shards N]
-//	    [-sync p2p|barrier] [-pairs] [-prune] [-verify] [-verify-json file]
+//	    [-sync p2p|barrier] [-pairs] [-prune] [-agg] [-verify]
+//	    [-verify-json file]
 //
 // -verify runs the schedule certifier (internal/verify) over the compiled
 // loop: the race pass (every conflicting access pair must be ordered by
@@ -23,6 +24,13 @@
 // -prune runs the certified redundant-sync pruning pass and reports which
 // sync edges and init copies it removes; with -verify the prune report
 // joins the suite (the pruned schedule is itself re-certified).
+//
+// -agg compiles with coalesced exchange plans — each exchange phase's copy
+// pairs merged into one message per (producing shard, destination shard)
+// group — runs the verify.CheckAgg certification over the aggregated
+// schedule (table recomputation, liveness, races), and reports the phases
+// and multi-member groups. With -verify the agg report joins the suite.
+// -agg does not compose with -prune: each pass certifies its own rewrite.
 //
 // Exit status: 0 on success, 1 on usage or compile errors, 2 when any
 // certification pass reports findings.
@@ -51,6 +59,7 @@ func main() {
 	doVerify := flag.Bool("verify", false, "run the schedule certifier: races, liveness, spec (exit 2 on findings)")
 	verifyJSON := flag.String("verify-json", "", "write the certification suite as JSON to this file (\"-\" = stdout); implies -verify")
 	doPrune := flag.Bool("prune", false, "run the certified redundant-sync pruning pass and report what it removes")
+	doAgg := flag.Bool("agg", false, "compile with coalesced exchange plans (one message per destination shard per exchange phase) and report the aggregation groups; does not compose with -prune")
 	flag.Parse()
 
 	// With the JSON suite going to stdout, the human-readable report moves
@@ -78,12 +87,17 @@ func main() {
 		os.Exit(1)
 	}
 
+	if *doAgg && *doPrune {
+		fmt.Fprintln(os.Stderr, "crc: -agg does not compose with -prune; certify one rewrite at a time")
+		os.Exit(1)
+	}
+
 	prog, loop := app.BuildProgram(*nodes)
 	if *dump {
 		fmt.Print(ir.Dump(prog))
 		fmt.Println()
 	}
-	plan, err := cr.Compile(prog, loop, cr.Options{NumShards: *shards, Sync: sync})
+	plan, err := cr.Compile(prog, loop, cr.Options{NumShards: *shards, Sync: sync, Agg: *doAgg})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "crc:", err)
 		os.Exit(1)
@@ -162,6 +176,30 @@ func main() {
 	fmt.Printf("intersections: shallow %v (%d candidates), complete %v (%d non-empty pairs)\n",
 		plan.Timings.Shallow, plan.Timings.Candidates, plan.Timings.Complete, plan.Timings.Pairs)
 
+	var aggRep *verify.Report
+	if *doAgg {
+		rep, err := verify.CheckAgg(plan)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "crc: agg:", err)
+			os.Exit(1)
+		}
+		aggRep = rep
+		c := rep.Counters
+		fmt.Printf("\ncoalesced exchange plans: %d phases, %d groups (%d multi-member), %d pairs merged away per iteration\n",
+			c["phases"], c["agg_groups"], c["multi_member_groups"], c["merged_pairs"])
+		for pi, ph := range plan.Spec.Phases {
+			fmt.Printf("  phase %d: ops [%d,%d)\n", pi, ph.Start, ph.End)
+			for s, gl := range ph.ByShard {
+				for _, g := range gl {
+					if len(g.Members) < 2 {
+						continue
+					}
+					fmt.Printf("    shard %d -> %d: %d pairs in one message\n", s, g.DstShard, len(g.Members))
+				}
+			}
+		}
+	}
+
 	var pruneRep *verify.Report
 	if *doPrune {
 		info, rep, err := verify.PlanPrune(plan)
@@ -194,6 +232,7 @@ func main() {
 		}
 		suite.Add(specRep)
 		suite.Add(pruneRep)
+		suite.Add(aggRep)
 		if *verifyJSON != "" {
 			buf, err := json.MarshalIndent(suite, "", "  ")
 			if err != nil {

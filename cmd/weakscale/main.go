@@ -10,7 +10,7 @@
 //	          [-backend des|native] [-procs N] [-sched on|off]
 //	          [-timepolicy modeled|measured] [-fit-in file] [-fit-out file]
 //	          [-trace on|off] [-trace-share on|off] [-prune on|off]
-//	          [-benchjson file] [-verify] [-verify-json file]
+//	          [-agg on|off] [-benchjson file] [-verify] [-verify-json file]
 //	          [-cpuprofile file] [-memprofile file]
 //
 // -backend selects the realm backend. The default, des, measures on the
@@ -42,7 +42,8 @@
 // -verify runs the schedule certifier (internal/verify) over every
 // compiled schedule at each swept node count before running it: the race
 // pass, the liveness (deadlock-freedom) pass, the specialization-table
-// pass, and — under -prune on — the pruning pass. The sweep aborts with
+// pass, under -prune on the pruning pass, and under -agg on the
+// aggregation pass (verify.CheckAgg). The sweep aborts with
 // exit status 2 on any finding. -verify-json additionally writes every
 // pass's verify.Report (the shared certification schema) as one JSON
 // document to the named file ("-" = stdout), and implies -verify.
@@ -53,6 +54,17 @@
 // Throughput series and stores are identical either way on the DES; the
 // prune counters (edges and init copies removed) are printed to stderr
 // after each app and recorded in the -benchjson snapshot.
+//
+// -agg=on runs every Regent-CR cell with coalesced exchange plans: each
+// exchange phase's copy pairs are merged into one message per (producing
+// shard, destination shard) aggregation group, licensed per cell by the
+// verify.CheckAgg certification pass — the coalescing analogue of the
+// prune license. Default off. Throughput series, stores, and bytes sent
+// are identical either way on the DES; only message counts drop. The
+// coalescing counters (static groups, runtime messages saved) are printed
+// to stderr after each app and recorded in the -benchjson snapshot.
+// -agg does not compose with -prune: each pass certifies its own
+// rewritten schedule, so the combination is rejected up front.
 //
 // -trace=off disables runtime trace capture/replay (the PR 3 ablation).
 // The printed series are identical either way — tracing only changes host
@@ -105,7 +117,7 @@ import (
 // are printed to stderr prefixed with their pass name, and each (node
 // count, sync) suite is appended to out when non-nil. It returns the
 // number of findings printed.
-func verifyApp(app harness.App, nodes []int, prune bool, out *verify.Suite) int {
+func verifyApp(app harness.App, nodes []int, prune, agg bool, out *verify.Suite) int {
 	bad := 0
 	for _, n := range nodes {
 		prog, _ := app.BuildProgram(n)
@@ -115,7 +127,7 @@ func verifyApp(app harness.App, nodes []int, prune bool, out *verify.Suite) int 
 				fmt.Fprintf(os.Stderr, format+"\n", args...)
 				bad++
 			}
-			plans, err := spmd.CompileAll(prog, cr.Options{NumShards: n, Sync: sync})
+			plans, err := spmd.CompileAll(prog, cr.Options{NumShards: n, Sync: sync, Agg: agg})
 			if err != nil {
 				fail("compile: %v", err)
 				continue
@@ -151,6 +163,14 @@ func verifyApp(app harness.App, nodes []int, prune bool, out *verify.Suite) int 
 						continue
 					}
 					suite.Add(prep)
+				}
+			}
+			if agg {
+				arep, err := verify.CheckAggAll(prog, plans)
+				if err != nil {
+					fail("agg: %v", err)
+				} else {
+					suite.Add(arep)
 				}
 			}
 			for _, r := range suite.Reports {
@@ -208,10 +228,27 @@ type benchSnapshot struct {
 	Sched      string `json:"sched,omitempty"`
 	TimePolicy string `json:"timepolicy,omitempty"`
 	// Prune and PruneCounters are present only under -prune, so default-off
-	// snapshots stay byte-identical to pre-prune ones.
+	// snapshots stay byte-identical to pre-prune ones. Agg and AggCounters
+	// are likewise present only under -agg.
 	Prune         string           `json:"prune,omitempty"`
 	PruneCounters map[string]int64 `json:"prune_counters,omitempty"`
+	Agg           string           `json:"agg,omitempty"`
+	AggCounters   map[string]int64 `json:"agg_counters,omitempty"`
 	Results       []benchRow       `json:"results"`
+}
+
+// onOff parses the shared on|off flag vocabulary (-trace, -trace-share,
+// -prune, -sched, -agg), exiting with a usage error on anything else.
+func onOff(name, val string) bool {
+	switch val {
+	case "on":
+		return true
+	case "off":
+		return false
+	}
+	fmt.Fprintf(os.Stderr, "weakscale: bad -%s %q (want on or off)\n", name, val)
+	os.Exit(1)
+	panic("unreachable")
 }
 
 // parseFaults parses the -faults argument, "seed:rate".
@@ -257,6 +294,7 @@ func main() {
 	traceShare := flag.String("trace-share", "on", "cross-shard trace sharing: on or off (ablation; results are identical)")
 	benchjson := flag.String("benchjson", "", "write the sweep results as a JSON snapshot to this file")
 	prune := flag.String("prune", "off", "certified redundant-sync pruning: off (default) or on (ablation; results are identical, sync edges and messages drop)")
+	agg := flag.String("agg", "off", "coalesced exchange plans: off (default) or on (ablation; results are identical, one message per destination shard per exchange phase). Does not compose with -prune")
 	doVerify := flag.Bool("verify", false, "run the schedule certifier over every compiled schedule before sweeping (exit 2 on findings)")
 	verifyJSON := flag.String("verify-json", "", "write the certification suites as JSON to this file (\"-\" = stdout); implies -verify")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -309,11 +347,7 @@ func main() {
 	}
 	native := *backend == bench.BackendNative
 
-	if *sched != "on" && *sched != "off" {
-		fmt.Fprintf(os.Stderr, "weakscale: bad -sched %q (want on or off)\n", *sched)
-		os.Exit(1)
-	}
-	noSched := *sched == "off"
+	noSched := !onOff("sched", *sched)
 	if *procs < 0 {
 		fmt.Fprintf(os.Stderr, "weakscale: bad -procs %d (want >= 0)\n", *procs)
 		os.Exit(1)
@@ -372,21 +406,17 @@ func main() {
 		}
 	}
 
-	if *trace != "on" && *trace != "off" {
-		fmt.Fprintf(os.Stderr, "weakscale: bad -trace %q (want on or off)\n", *trace)
+	noTrace := !onOff("trace", *trace)
+	noShare := !onOff("trace-share", *traceShare)
+	doPrune := onOff("prune", *prune)
+	doAgg := onOff("agg", *agg)
+	if doAgg && doPrune {
+		// Rejected up front, before any compile or sweep work: each pass
+		// certifies its own rewritten schedule (verify.CheckAgg vs
+		// verify.PlanPrune), and neither models the other's rewrite.
+		fmt.Fprintln(os.Stderr, "weakscale: -agg does not compose with -prune; certify one rewrite at a time")
 		os.Exit(1)
 	}
-	noTrace := *trace == "off"
-	if *traceShare != "on" && *traceShare != "off" {
-		fmt.Fprintf(os.Stderr, "weakscale: bad -trace-share %q (want on or off)\n", *traceShare)
-		os.Exit(1)
-	}
-	noShare := *traceShare == "off"
-	if *prune != "on" && *prune != "off" {
-		fmt.Fprintf(os.Stderr, "weakscale: bad -prune %q (want on or off)\n", *prune)
-		os.Exit(1)
-	}
-	doPrune := *prune == "on"
 
 	var apps []harness.App
 	if *appName == "all" {
@@ -412,7 +442,7 @@ func main() {
 			suites = &verify.Suite{}
 		}
 		for _, app := range apps {
-			bad += verifyApp(app, nodes, doPrune, suites)
+			bad += verifyApp(app, nodes, doPrune, doAgg, suites)
 		}
 		if suites != nil {
 			buf, err := json.MarshalIndent(suites, "", "  ")
@@ -448,6 +478,9 @@ func main() {
 	if doPrune {
 		snap.Prune = *prune
 	}
+	if doAgg {
+		snap.Agg = *agg
+	}
 	for _, app := range apps {
 		if *iters > 0 {
 			app.Iters = *iters
@@ -478,6 +511,12 @@ func main() {
 			pagg = &bench.PruneAgg{}
 			app.PruneStats = pagg
 		}
+		var cagg *bench.AggCounters
+		if doAgg {
+			app.Agg = true
+			cagg = &bench.AggCounters{}
+			app.AggStats = cagg
+		}
 		series, err := harness.RunFigureParallel(app, nodes, *workers, progress)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "weakscale:", err)
@@ -503,6 +542,18 @@ func main() {
 			}
 			for k, v := range pc {
 				snap.PruneCounters[k] += v
+			}
+		}
+		if cagg != nil {
+			ac := cagg.Snapshot()
+			fmt.Fprintf(os.Stderr, "weakscale: %s agg: phases=%d groups=%d (multi-member %d, merged pairs %d) runtime groups=%d saved_messages=%d messages=%d\n",
+				app.Name, ac["phases"], ac["agg_groups"], ac["multi_member_groups"], ac["merged_pairs"],
+				ac["runtime_agg_groups"], ac["runtime_saved_messages"], ac["runtime_messages"])
+			if snap.AggCounters == nil {
+				snap.AggCounters = make(map[string]int64)
+			}
+			for k, v := range ac {
+				snap.AggCounters[k] += v
 			}
 		}
 		for _, s := range series {

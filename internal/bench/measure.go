@@ -155,6 +155,19 @@ type MeasureOpts struct {
 	// PruneStats, when non-nil, accumulates the prune pass's counters
 	// across the measurement (safe under the parallel sweep harness).
 	PruneStats *PruneAgg
+	// Agg compiles every CR loop with coalesced exchange plans: each
+	// exchange phase's copy pairs are merged into one transfer per
+	// (producing shard, destination shard), certified by verify.CheckAgg
+	// before anything runs — the aggregation analogue of the Prune
+	// license. Off by default; stores and series are identical either way,
+	// only message counts drop (bytes are conserved). Does not compose
+	// with Prune: each pass certifies its own rewritten schedule, and
+	// neither models the other's rewrite.
+	Agg bool
+	// AggStats, when non-nil, accumulates the aggregation certification's
+	// static shape counters and the runtime's coalescing counters across
+	// the measurement (safe under the parallel sweep harness).
+	AggStats *AggCounters
 }
 
 // NativeBackend reports whether the options select the native backend.
@@ -242,6 +255,38 @@ func (a *PruneAgg) add(counters map[string]int64) {
 
 // Snapshot returns a copy of the accumulated counters.
 func (a *PruneAgg) Snapshot() map[string]int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make(map[string]int64, len(a.c))
+	for k, v := range a.c {
+		out[k] = v
+	}
+	return out
+}
+
+// AggCounters accumulates the coalescing pass's counters — the static
+// shape from verify.CheckAgg (phases, groups, merged pairs) plus the
+// runtime's per-run coalescing counters (groups issued, messages saved) —
+// across the (possibly parallel) measurements of a sweep. Pass one
+// instance through MeasureOpts.AggStats.
+type AggCounters struct {
+	mu sync.Mutex
+	c  map[string]int64
+}
+
+func (a *AggCounters) add(counters map[string]int64) {
+	a.mu.Lock()
+	if a.c == nil {
+		a.c = make(map[string]int64, len(counters))
+	}
+	for k, v := range counters {
+		a.c[k] += v
+	}
+	a.mu.Unlock()
+}
+
+// Snapshot returns a copy of the accumulated counters.
+func (a *AggCounters) Snapshot() map[string]int64 {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	out := make(map[string]int64, len(a.c))
@@ -347,9 +392,24 @@ func MeasureImplicit(prog *ir.Program, loop *ir.Loop, nodes int, tune Tuning, op
 // degrades (recovery budget exhausted) is reported as an error since its
 // timings are not a valid steady-state measurement.
 func MeasureCR(prog *ir.Program, loop *ir.Loop, nodes int, sync cr.SyncMode, tune Tuning, opts MeasureOpts) (realm.Time, error) {
-	plan, err := cr.Compile(prog, loop, cr.Options{NumShards: nodes, Sync: sync})
+	if opts.Agg && opts.Prune {
+		return 0, fmt.Errorf("bench: -agg does not compose with -prune: each pass certifies its own rewritten schedule, and neither models the other's rewrite")
+	}
+	plan, err := cr.Compile(prog, loop, cr.Options{NumShards: nodes, Sync: sync, Agg: opts.Agg})
 	if err != nil {
 		return 0, err
+	}
+	if opts.Agg {
+		rep, err := verify.CheckAgg(plan)
+		if err != nil {
+			return 0, err
+		}
+		if !rep.OK() {
+			return 0, fmt.Errorf("bench: aggregation certification found %d defects in the coalesced schedule; not aggregating", len(rep.Findings))
+		}
+		if opts.AggStats != nil {
+			opts.AggStats.add(rep.Counters)
+		}
 	}
 	if opts.Prune {
 		info, rep, err := verify.PlanPrune(plan)
@@ -398,6 +458,14 @@ func MeasureCR(prog *ir.Program, loop *ir.Loop, nodes int, sync cr.SyncMode, tun
 		opts.Trace.addSPMD(eng.TraceStats())
 	}
 	collectSched(sim, opts)
+	if opts.AggStats != nil && opts.Agg {
+		st := sim.Stats()
+		opts.AggStats.add(map[string]int64{
+			"runtime_messages":       st.Messages,
+			"runtime_agg_groups":     st.AggGroups,
+			"runtime_saved_messages": st.AggSavedMessages,
+		})
+	}
 	if res.Faults != nil && res.Faults.Unrecovered {
 		return 0, fmt.Errorf("bench: %s", res.Faults.Reason)
 	}

@@ -67,6 +67,13 @@ type Options struct {
 	// dead-copy elimination, hoisting), leaving the naive Figure 4a
 	// placement. Exposed for the placement ablation.
 	NoPlacementOpt bool
+	// Agg coalesces each exchange phase's copy pairs into one transfer per
+	// (producing shard, destination shard) group: the executor issues a
+	// single merged CopyBytes per AggGroup with summed bytes and the union
+	// of the members' preconditions, running member writes in capture
+	// order. Default off; an aggregated schedule is licensed by
+	// verify.CheckAgg the way pruning is licensed by verify.PlanPrune.
+	Agg bool
 }
 
 // BodyOp is one operation of the transformed loop body: exactly one of the

@@ -68,6 +68,13 @@ type App struct {
 	// PruneStats optionally accumulates the prune counters across the sweep.
 	Prune      bool
 	PruneStats *bench.PruneAgg
+	// Agg runs every CR cell with coalesced exchange plans (the -agg
+	// ablation; default off, certified by verify.CheckAgg, incompatible
+	// with Prune). Series and stores are identical either way — only
+	// message counts drop. AggStats optionally accumulates the coalescing
+	// counters across the sweep.
+	Agg      bool
+	AggStats *bench.AggCounters
 	// Fit optionally receives a wall-clock sample for every launch and copy
 	// body executed on native (pass a *realm.MeasuredTime to fit a
 	// TimePolicy from the sweep); Policy optionally replaces the DES's
@@ -241,6 +248,8 @@ func RunFigureParallel(app App, nodes []int, workers int, progress func(string))
 			Policy:     app.Policy,
 			Prune:      app.Prune,
 			PruneStats: app.PruneStats,
+			Agg:        app.Agg,
+			AggStats:   app.AggStats,
 		})
 		note := func(line string) {
 			if progress != nil {

@@ -175,6 +175,8 @@ type Machine struct {
 	localSteals  int64 // steals within the enqueue node
 	remoteSteals int64 // steals across nodes
 	inline       int64 // launches/copies completed inline at trigger
+	aggGroups    int64 // coalesced transfers issued with >= 2 members
+	aggSaved     int64 // remote messages those groups avoided
 }
 
 type evState struct {
@@ -220,6 +222,7 @@ func MustNewMachine(cfg realm.Config) *Machine {
 var (
 	_ realm.Exec      = (*Machine)(nil)
 	_ realm.FaultExec = (*Machine)(nil)
+	_ realm.AggExec   = (*Machine)(nil)
 )
 
 // Backend implements realm.Exec.
@@ -251,6 +254,8 @@ func (m *Machine) Stats() realm.Stats {
 		Dispatches:        atomic.LoadInt64(&m.dispatches),
 		Steals:            atomic.LoadInt64(&m.steals),
 		InlineCompletions: atomic.LoadInt64(&m.inline),
+		AggGroups:         atomic.LoadInt64(&m.aggGroups),
+		AggSavedMessages:  atomic.LoadInt64(&m.aggSaved),
 	}
 }
 
@@ -438,6 +443,21 @@ func (m *Machine) ShipTrace(src, dst int, bytes int64, pre realm.Event) realm.Ev
 	atomic.AddInt64(&m.traceShips, 1)
 	atomic.AddInt64(&m.traceShipBytes, bytes)
 	return m.CopyBytes(src, dst, bytes, pre, nil)
+}
+
+// CopyAgg implements realm.AggExec: a coalesced transfer is one ordinary
+// copy of the summed payload — one work item, one fault draw (so a dropped
+// or duplicated aggregate retransmits the whole group) — counted at issue
+// time exactly as the DES counts it, keeping the aggregation counters
+// backend-independent.
+func (m *Machine) CopyAgg(src, dst int, bytes int64, members int, pre realm.Event, body func()) realm.Event {
+	if members > 1 {
+		atomic.AddInt64(&m.aggGroups, 1)
+		if src != dst {
+			atomic.AddInt64(&m.aggSaved, int64(members-1))
+		}
+	}
+	return m.CopyBytes(src, dst, bytes, pre, body)
 }
 
 func (m *Machine) newEvent(kind uint8) realm.Event {

@@ -166,6 +166,21 @@ func (s *Sim) ShipTrace(src, dst int, bytes int64, pre Event) Event {
 	return s.Copy(s.Node(src), s.Node(dst), bytes, pre, nil)
 }
 
+// CopyAgg implements AggExec: a coalesced transfer is an ordinary wire
+// transfer of the summed payload (one latency charge, batched bandwidth,
+// one fault draw — a dropped or duplicated aggregate retransmits the whole
+// group), counted at issue time so the aggregation counters match the
+// native backend's for any schedule.
+func (s *Sim) CopyAgg(src, dst int, bytes int64, members int, pre Event, body func()) Event {
+	if members > 1 {
+		s.stats.AggGroups++
+		if src != dst {
+			s.stats.AggSavedMessages += int64(members - 1)
+		}
+	}
+	return s.Copy(s.Node(src), s.Node(dst), bytes, pre, body)
+}
+
 // execCopy performs a transfer whose precondition has triggered.
 func (s *Sim) execCopy(src, dst *Node, bytes int64, body func(), done Event) {
 	if src.failed || dst.failed {

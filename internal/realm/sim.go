@@ -102,6 +102,14 @@ type Stats struct {
 	TraceShips     int64
 	TraceShipBytes int64
 
+	// AggGroups counts coalesced transfers issued through CopyAgg with at
+	// least two member pairs; AggSavedMessages counts the remote messages
+	// those groups avoided (members-1 per remote group). Both are counted
+	// at issue time, identically on every backend, so the counters are
+	// backend-independent for a given schedule.
+	AggGroups        int64
+	AggSavedMessages int64
+
 	// WallNanos is real elapsed wall-clock time in nanoseconds, reported
 	// only by backends that execute on real cores (always zero on the DES,
 	// whose clock is virtual).

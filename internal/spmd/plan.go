@@ -167,11 +167,14 @@ type shardPlan struct {
 	ops []planOp
 }
 
-// planOp mirrors cr.BodyOp; exactly one field is set.
+// planOp mirrors cr.BodyOp; exactly one field is set. Under Options.Agg a
+// whole exchange phase is resolved into one phase entry at its head op
+// and the phase's remaining copy ops emit no planOp at all.
 type planOp struct {
 	set    *ir.SetScalar
 	launch *launchPlan
 	cp     *copyPlan
+	phase  *phasePlan
 }
 
 // launchPlan is a launch op resolved for one shard: its owned colors with
@@ -218,12 +221,44 @@ type copyWorkPlan struct {
 }
 
 type copyProdPlan struct {
+	copyID           int  // owning copy op's ID (members of a phase group span ops)
 	pairIdx          int
 	chain            bool // fold-chain link: also wait on pairIdx-1's done
+	reduce           bool // the owning op is a reduction copy
 	srcState         *instState
 	bytes            int64
 	srcNode, dstNode int
 	body             func() // Real-mode transfer body; iteration-invariant
+}
+
+// copyAggPlan is one coalesced transfer: every pair this shard produces
+// toward one destination shard across one exchange phase, merged into a
+// single message. The members keep their per-pair resolution (dependence
+// state, sync slots keyed by their own op's ID, chain links, bodies);
+// bytes is the summed payload and body runs the member writes in member
+// order — the unaggregated issue order — so stores are bitwise identical
+// aggregation on or off.
+type copyAggPlan struct {
+	members          []copyProdPlan
+	bytes            int64
+	srcNode, dstNode int
+	body             func() // merged Real-mode body; iteration-invariant
+}
+
+// phasePlan is one exchange phase resolved for one shard under
+// aggregation: the per-op consumer work (per-pair sync structure survives
+// coalescing untouched) and the shard's coalesced producer schedule over
+// the whole phase. It is emitted at the phase's head op; the phase's other
+// copy ops emit no planOp.
+type phasePlan struct {
+	cons []phaseConsumerPlan
+	aggs []copyAggPlan
+}
+
+// phaseConsumerPlan is one phase op's consumer-side work for this shard.
+type phaseConsumerPlan struct {
+	id    int // the op's CopyOp.ID
+	works []copyWorkPlan
 }
 
 // planFor returns the shard's memoized plan, specializing the engine's
@@ -282,13 +317,22 @@ func (st *runState) dropPlans() int {
 // order), so the side effects on the shard table are identical.
 func (st *runState) capture(sh *shard) *shardPlan {
 	sp := &shardPlan{ops: make([]planOp, 0, len(st.plan.Body))}
-	for _, op := range st.plan.Body {
+	spec := &st.plan.Spec
+	for i, op := range st.plan.Body {
 		switch {
 		case op.Set != nil:
 			sp.ops = append(sp.ops, planOp{set: op.Set})
 		case op.Launch != nil:
 			sp.ops = append(sp.ops, planOp{launch: st.captureLaunch(sh, op.Launch)})
 		case op.Copy != nil:
+			if st.plan.Opts.Agg {
+				// The whole exchange phase resolves at its head op; the
+				// phase's remaining copies emit nothing.
+				if ph := &spec.Phases[spec.PhaseOf[i]]; ph.Start == i {
+					sp.ops = append(sp.ops, planOp{phase: st.resolvePhasePlan(sh, ph, st.interpAggBytes)})
+				}
+				continue
+			}
 			sp.ops = append(sp.ops, planOp{cp: st.captureCopy(sh, op.Copy)})
 		}
 	}
@@ -304,6 +348,7 @@ func (st *runState) capture(sh *shard) *shardPlan {
 // indistinguishable from a captured one.
 func (st *runState) specialize(sh *shard, shr *sharedTrace) *shardPlan {
 	sp := &shardPlan{ops: make([]planOp, 0, len(st.plan.Body))}
+	spec := &st.plan.Spec
 	for i, op := range st.plan.Body {
 		switch {
 		case op.Set != nil:
@@ -311,6 +356,13 @@ func (st *runState) specialize(sh *shard, shr *sharedTrace) *shardPlan {
 		case op.Launch != nil:
 			sp.ops = append(sp.ops, planOp{launch: st.specializeLaunch(sh, op.Launch, shr.ops[i].launch)})
 		case op.Copy != nil:
+			if st.plan.Opts.Agg {
+				if ph := &spec.Phases[spec.PhaseOf[i]]; ph.Start == i {
+					sp.ops = append(sp.ops, planOp{phase: st.resolvePhasePlan(sh, ph,
+						func(op, k int) int64 { return shr.ops[op].cp.bytes[k] })})
+				}
+				continue
+			}
 			sp.ops = append(sp.ops, planOp{cp: st.specializeCopy(sh, op.Copy, shr.ops[i].cp)})
 		}
 	}
@@ -411,8 +463,10 @@ func (st *runState) resolveProdPlan(sh *shard, cp *cr.CopyOp, k int, chain bool,
 	e := st.e
 	pr := cp.Pairs[k]
 	p := copyProdPlan{
+		copyID:  cp.ID,
 		pairIdx: k,
 		chain:   chain,
+		reduce:  cp.Reduce != region.ReduceNone,
 		bytes:   bytes,
 		srcNode: srcNode,
 		dstNode: dstNode,
@@ -443,6 +497,78 @@ func (st *runState) resolveProdPlan(sh *shard, cp *cr.CopyOp, k int, chain bool,
 		}
 	}
 	return p
+}
+
+// resolvePhaseAggs builds the shard's coalesced producer schedule of one
+// exchange phase from the compiler's aggregation tables: one copyAggPlan
+// per destination shard, members (which may span the phase's copy ops)
+// resolved through the same resolveProdPlan as the unaggregated paths.
+// bytesOf supplies a member's wire size by (body op index, pair index) —
+// computed during interpretation/capture, shared-table lookup during
+// specialization. Shared by the interpreter (both lowerings), direct
+// capture, and specialization, so all three resolve identical groups and
+// create identical shard-table entries in identical order.
+func (st *runState) resolvePhaseAggs(sh *shard, ph *cr.AggPhase, bytesOf func(op, k int) int64) []copyAggPlan {
+	srcNode := st.nodeOfShard(sh.me)
+	groups := ph.ByShard[sh.me]
+	out := make([]copyAggPlan, 0, len(groups))
+	for gi := range groups {
+		g := &groups[gi]
+		ap := copyAggPlan{srcNode: srcNode, dstNode: st.nodeOfShard(int(g.DstShard))}
+		for _, mem := range g.Members {
+			cp := st.plan.Body[mem.Op].Copy
+			spec := st.plan.Spec.Ops[mem.Op].Copy
+			k := int(mem.Pair)
+			chain := cp.Reduce != region.ReduceNone && cr.AggChainExternal(cp, spec, k)
+			m := st.resolveProdPlan(sh, cp, k, chain, bytesOf(int(mem.Op), k), ap.srcNode, ap.dstNode)
+			ap.bytes += m.bytes
+			ap.members = append(ap.members, m)
+		}
+		if st.e.Mode == ir.ExecReal {
+			ms := ap.members
+			ap.body = func() {
+				for i := range ms {
+					ms[i].body()
+				}
+			}
+		}
+		out = append(out, ap)
+	}
+	return out
+}
+
+// resolvePhasePlan resolves one exchange phase for one shard: each op's
+// consumer work in body order (exactly the lookups the interpreter's
+// consumer pass performs, in the same order), then the phase's coalesced
+// producer groups. Shared by direct capture and specialization — only the
+// bytesOf source differs.
+func (st *runState) resolvePhasePlan(sh *shard, ph *cr.AggPhase, bytesOf func(op, k int) int64) *phasePlan {
+	pp := &phasePlan{}
+	for op := ph.Start; op < ph.End; op++ {
+		cp := st.plan.Body[op].Copy
+		cons := phaseConsumerPlan{id: cp.ID}
+		for _, work := range st.copyWork(cp.ID, sh.me) {
+			if !work.Consumer {
+				continue
+			}
+			cons.works = append(cons.works, copyWorkPlan{
+				consumer:   true,
+				dstState:   sh.table.get(instKey{cp.Dst.ID(), cp.Pairs[work.GroupStart].Dst}),
+				groupStart: work.GroupStart,
+				groupEnd:   work.GroupEnd,
+			})
+		}
+		pp.cons = append(pp.cons, cons)
+	}
+	pp.aggs = st.resolvePhaseAggs(sh, ph, bytesOf)
+	return pp
+}
+
+// interpAggBytes computes a member pair's wire size from the compiled body
+// — the interpreter's and direct capture's bytesOf for resolvePhaseAggs.
+func (st *runState) interpAggBytes(op, k int) int64 {
+	cp := st.plan.Body[op].Copy
+	return cp.Pairs[k].Overlap.Volume() * st.e.Over.EltBytes * int64(len(cp.Fields))
 }
 
 func (st *runState) captureCopy(sh *shard, cp *cr.CopyOp) *copyPlan {
@@ -503,6 +629,8 @@ func (sh *shard) replayIter(sp *shardPlan, iter int) {
 			sh.replayLaunch(op.launch, iter)
 		case op.cp != nil:
 			sh.replayCopy(op.cp, iter)
+		case op.phase != nil:
+			sh.replayPhase(op.phase, iter)
 		}
 	}
 	e := sh.st.e
@@ -650,4 +778,35 @@ func (sh *shard) replayCopy(cpl *copyPlan, iter int) {
 			}
 		}
 	}
+}
+
+// replayPhase mirrors shard.doPhaseP2PAgg over the resolved plan: every
+// phase op's unaggregated consumer blocks in body order (per-pair sync
+// events survive coalescing, and pruning never composes with aggregation,
+// so there are no Skip checks), then one merged issue per precomputed
+// group.
+func (sh *shard) replayPhase(pp *phasePlan, iter int) {
+	st := sh.st
+	e := st.e
+	for ci := range pp.cons {
+		cons := &pp.cons[ci]
+		for wi := range cons.works {
+			w := &cons.works[wi]
+			s := w.dstState
+			rel := append(sh.evBuf[:0], s.readers...)
+			rel = append(rel, s.lastWrite)
+			release := e.Sim.Merge(rel...)
+			newWrites := append(sh.wrBuf[:0], s.lastWrite)
+			for k := w.groupStart; k < w.groupEnd; k++ {
+				ps := st.pairSyncFor(cons.id, k, iter)
+				st.connect(release, ps.war)
+				newWrites = append(newWrites, ps.done)
+				sh.ops = append(sh.ops, ps.done)
+			}
+			s.lastWrite = e.Sim.Merge(newWrites...)
+			s.readers = s.readers[:0]
+			sh.evBuf, sh.wrBuf = rel[:0], newWrites[:0]
+		}
+	}
+	sh.issueAggGroups(pp.aggs, iter)
 }

@@ -228,16 +228,28 @@ func (sh *shard) runRange(lo, hi int) {
 		if sp != nil {
 			sh.replayIter(sp, t)
 		} else {
-			for _, op := range plan.Body {
+			for bi, op := range plan.Body {
 				switch {
 				case op.Set != nil:
 					sh.env.set(op.Set.Name, op.Set.Expr(sh.env))
 				case op.Launch != nil:
 					sh.doLaunch(op.Launch, t)
 				case op.Copy != nil:
-					if plan.Opts.Sync == cr.BarrierSync {
+					switch {
+					case plan.Opts.Agg:
+						// Aggregation runs the whole exchange phase at its
+						// head op; the phase's remaining copies were already
+						// issued there.
+						if phIdx := plan.Spec.PhaseOf[bi]; plan.Spec.Phases[phIdx].Start == bi {
+							if plan.Opts.Sync == cr.BarrierSync {
+								sh.doPhaseBarrierAgg(phIdx, t)
+							} else {
+								sh.doPhaseP2PAgg(phIdx, t)
+							}
+						}
+					case plan.Opts.Sync == cr.BarrierSync:
 						sh.doCopyBarrier(op.Copy, t)
-					} else {
+					default:
 						sh.doCopyP2P(op.Copy, t)
 					}
 				}
@@ -507,6 +519,88 @@ func (sh *shard) issueCopy(pr intersect.Pair, cp *cr.CopyOp, pres []realm.Event,
 		bytes, e.Sim.Merge(pres...), body)
 }
 
+// doPhaseP2PAgg executes one exchange phase under point-to-point
+// synchronization with per-destination aggregation (cr.Options.Agg). The
+// consumer side is the unaggregated lowering verbatim, op by op in body
+// order — the per-pair war/done events survive coalescing, so consumers
+// release and observe exactly the same sync structure and are oblivious to
+// how producers batch. The producer side then issues ONE merged transfer
+// per (this shard, destination shard) group over the whole phase:
+// preconditions are the union of the members' wars, source validity, and
+// cross-shard fold-chain links (a same-shard chain predecessor is a member
+// of the same group, ordered by the merged body's in-order member writes
+// instead), the payload is the summed member bytes, and the single
+// completion event fans out to every member's done. Pruning never composes
+// with aggregation (Engine.Run rejects the combination), so this path has
+// no Skip checks.
+func (sh *shard) doPhaseP2PAgg(phIdx, iter int) {
+	st := sh.st
+	e := st.e
+	ph := &st.plan.Spec.Phases[phIdx]
+	for opIdx := ph.Start; opIdx < ph.End; opIdx++ {
+		cp := st.plan.Body[opIdx].Copy
+		pairs := cp.Pairs
+		for _, work := range st.copyWork(cp.ID, sh.me) {
+			if !work.Consumer {
+				continue
+			}
+			dstCol := pairs[work.GroupStart].Dst
+			s := sh.table.get(instKey{cp.Dst.ID(), dstCol})
+			rel := append(sh.evBuf[:0], s.readers...)
+			rel = append(rel, s.lastWrite)
+			release := e.Sim.Merge(rel...)
+			newWrites := append(sh.wrBuf[:0], s.lastWrite)
+			for k := work.GroupStart; k < work.GroupEnd; k++ {
+				ps := st.pairSyncFor(cp.ID, k, iter)
+				st.connect(release, ps.war)
+				newWrites = append(newWrites, ps.done)
+				sh.ops = append(sh.ops, ps.done)
+			}
+			s.lastWrite = e.Sim.Merge(newWrites...)
+			s.readers = s.readers[:0]
+			sh.evBuf, sh.wrBuf = rel[:0], newWrites[:0]
+		}
+	}
+	aggs := st.resolvePhaseAggs(sh, ph, st.interpAggBytes)
+	sh.issueAggGroups(aggs, iter)
+}
+
+// issueAggGroups issues the shard's coalesced transfers of one exchange
+// phase under the p2p lowering: one copyAgg per group, then the done
+// fan-out. Members carry their own op's copy ID — phase groups span copy
+// ops, and the per-pair sync slots stay keyed by the owning op. Shared by
+// interpretation (which resolves the groups fresh each iteration) and
+// replay (which resolves them once at capture); both issue the identical
+// Sim call sequence.
+func (sh *shard) issueAggGroups(aggs []copyAggPlan, iter int) {
+	st := sh.st
+	e := st.e
+	for ai := range aggs {
+		ap := &aggs[ai]
+		// One setup charge per group, not per member: batching the issue
+		// overhead is half the point of coalescing.
+		sh.th.Elapse(e.Over.CopySetup)
+		pres := sh.presBuf[:0]
+		for mi := range ap.members {
+			m := &ap.members[mi]
+			pres = append(pres, st.pairSyncFor(m.copyID, m.pairIdx, iter).war)
+			pres = append(pres, m.srcState.lastWrite)
+			if m.chain {
+				pres = append(pres, st.pairSyncFor(m.copyID, m.pairIdx-1, iter).done)
+			}
+		}
+		ev := e.copyAgg(ap.srcNode, ap.dstNode, ap.bytes, len(ap.members), e.Sim.Merge(pres...), ap.body)
+		sh.presBuf = pres[:0]
+		for mi := range ap.members {
+			m := &ap.members[mi]
+			m.srcState.readers = append(m.srcState.readers, ev)
+			ps := st.pairSyncFor(m.copyID, m.pairIdx, iter)
+			st.connect(ev, ps.done)
+			sh.ops = append(sh.ops, ps.done)
+		}
+	}
+}
+
 // doCopyBarrier executes one copy op under the naive barrier lowering of
 // Figure 4c: a global barrier protects write-after-read, the copies run,
 // and a second barrier protects read-after-write. Kept as the ablation
@@ -599,6 +693,87 @@ func (sh *shard) doCopyBarrier(cp *cr.CopyOp, iter int) {
 		s.readers = s.readers[:0]
 	}
 	sh.ops = append(sh.ops, b2.Done())
+}
+
+// doPhaseBarrierAgg executes one exchange phase under the barrier lowering
+// with per-destination aggregation. A merged message spans the phase's
+// copy ops, so its precondition spans their release barriers: the shard
+// arrives at EVERY phase op's first barrier up front — without threading
+// one op's exit barrier into the next op's entry arrival, which would
+// cycle the merged copies against the barriers — then issues the merged
+// transfers (waiting all the phase's first barriers, source validity, and
+// cross-shard fold-chain links), then arrives at every op's second barrier
+// with the phase's merged completions. Each op's second barrier thus waits
+// the whole phase's copies, not only its own members': over-synchronized
+// relative to the unaggregated lowering, but only ever tighter, never a
+// reordering. Reduce members still trigger their per-pair done events,
+// which carry the cross-shard fold order.
+func (sh *shard) doPhaseBarrierAgg(phIdx, iter int) {
+	st := sh.st
+	e := st.e
+	ph := &st.plan.Spec.Phases[phIdx]
+	n := ph.End - ph.Start
+
+	b1done := make([]realm.Event, 0, n)
+	for opIdx := ph.Start; opIdx < ph.End; opIdx++ {
+		cp := st.plan.Body[opIdx].Copy
+		b1 := st.barrierFor(cp.ID, iter, 0)
+		arr := append(sh.evBuf[:0], sh.ops...)
+		for _, w := range st.copyWork(cp.ID, sh.me) {
+			if !w.Consumer {
+				continue
+			}
+			s := sh.table.get(instKey{cp.Dst.ID(), cp.Pairs[w.GroupStart].Dst})
+			arr = append(arr, s.lastWrite)
+			arr = append(arr, s.readers...)
+		}
+		b1.Arrive(e.Sim.Merge(arr...))
+		sh.evBuf = arr[:0]
+		b1done = append(b1done, b1.Done())
+	}
+
+	aggs := st.resolvePhaseAggs(sh, ph, st.interpAggBytes)
+	copyEvs := make([]realm.Event, 0, len(aggs))
+	for ai := range aggs {
+		ap := &aggs[ai]
+		sh.th.Elapse(e.Over.CopySetup)
+		pres := append(sh.presBuf[:0], b1done...)
+		for mi := range ap.members {
+			m := &ap.members[mi]
+			pres = append(pres, m.srcState.lastWrite)
+			if m.chain {
+				pres = append(pres, st.pairSyncFor(m.copyID, m.pairIdx-1, iter).done)
+			}
+		}
+		ev := e.copyAgg(ap.srcNode, ap.dstNode, ap.bytes, len(ap.members), e.Sim.Merge(pres...), ap.body)
+		sh.presBuf = pres[:0]
+		for mi := range ap.members {
+			m := &ap.members[mi]
+			m.srcState.readers = append(m.srcState.readers, ev)
+			if m.reduce {
+				st.connect(ev, st.pairSyncFor(m.copyID, m.pairIdx, iter).done)
+			}
+		}
+		copyEvs = append(copyEvs, ev)
+	}
+
+	for oi, opIdx := 0, ph.Start; opIdx < ph.End; oi, opIdx = oi+1, opIdx+1 {
+		cp := st.plan.Body[opIdx].Copy
+		b2 := st.barrierFor(cp.ID, iter, 1)
+		arr := append(sh.evBuf[:0], copyEvs...)
+		arr = append(arr, b1done[oi])
+		b2.Arrive(e.Sim.Merge(arr...))
+		sh.evBuf = arr[:0]
+		for _, w := range st.copyWork(cp.ID, sh.me) {
+			if !w.Consumer {
+				continue
+			}
+			s := sh.table.get(instKey{cp.Dst.ID(), cp.Pairs[w.GroupStart].Dst})
+			s.lastWrite = e.Sim.Merge(s.lastWrite, b2.Done())
+			s.readers = s.readers[:0]
+		}
+		sh.ops = append(sh.ops, b2.Done())
+	}
 }
 
 func maxInt(a, b int) int {

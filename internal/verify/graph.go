@@ -243,6 +243,12 @@ type builder struct {
 	// deletion, which would leave the structural done->loopEnd edges of
 	// pruned sync in place. Nil builds the conservative schedule.
 	prune *cr.PruneInfo
+	// agg replays the aggregated executor paths (spmd doPhaseP2PAgg /
+	// doPhaseBarrierAgg) instead of the per-copy ones: whole exchange
+	// phases issue at their head op, producers emit one merged message per
+	// aggregation group (see agg.go). Aggregation never composes with
+	// pruning, so agg builders run with prune == nil.
+	agg bool
 }
 
 func newBuilder(c *cr.Compiled) *builder {
@@ -349,9 +355,23 @@ func (b *builder) build() (*graph, []access) {
 			case op.Launch != nil:
 				b.doLaunch(int32(bi), op.Launch, int32(iter), seed)
 			case op.Copy != nil:
-				if c.Opts.Sync == cr.BarrierSync {
+				switch {
+				case b.agg:
+					// Aggregated lowering: the whole exchange phase issues at
+					// its head op; the remaining phase ops are skipped exactly
+					// as the executor skips them. A negative PhaseOf entry
+					// (corrupted tables) skips the op; CheckAggTables reports
+					// the corruption.
+					if phIdx := c.Spec.PhaseOf[bi]; phIdx >= 0 && c.Spec.Phases[phIdx].Start == bi {
+						if c.Opts.Sync == cr.BarrierSync {
+							b.doPhaseBarrierAgg(phIdx, int32(iter), seed)
+						} else {
+							b.doPhaseP2PAgg(phIdx, int32(iter), seed)
+						}
+					}
+				case c.Opts.Sync == cr.BarrierSync:
 					b.doCopyBarrier(int32(bi), op.Copy, int32(iter), seed)
-				} else {
+				default:
 					b.doCopyP2P(int32(bi), op.Copy, int32(iter), seed)
 				}
 			}
